@@ -1,0 +1,146 @@
+//! Criterion micro-benchmarks of the computational kernels behind Table 1's
+//! constant `c` (local-analysis cost per grid point) and the substrates'
+//! hot paths.
+//!
+//! These complement the fig* binaries: the figures regenerate the paper's
+//! evaluation on the modeled cluster; the benches measure the real kernels
+//! this reproduction executes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use enkf_core::{LocalAnalysis, Observations, ObservationOperator, PerturbedObservations};
+use enkf_data::ScenarioBuilder;
+use enkf_grid::{
+    Decomposition, FileLayout, LocalizationRadius, Mesh, ObservationNetwork, RegionRect,
+};
+use enkf_linalg::{Cholesky, GaussianSampler, Matrix, ModifiedCholesky};
+use enkf_pfs::{FileStore, ScratchDir};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_matrix(n: usize, m: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gs = GaussianSampler::new();
+    Matrix::from_fn(n, m, |_, _| gs.sample(&mut rng))
+}
+
+fn spd(n: usize, seed: u64) -> Matrix {
+    let m = random_matrix(n, n, seed);
+    let mut a = m.matmul_tr(&m).unwrap().scale(1.0 / n as f64);
+    for i in 0..n {
+        a[(i, i)] += 2.0;
+    }
+    a
+}
+
+fn bench_linalg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linalg");
+    for n in [64usize, 128, 256] {
+        let a = random_matrix(n, n, 1);
+        let b = random_matrix(n, n, 2);
+        g.bench_function(format!("gemm_{n}"), |bench| {
+            bench.iter(|| a.matmul(&b).unwrap());
+        });
+        let s = spd(n, 3);
+        g.bench_function(format!("cholesky_{n}"), |bench| {
+            bench.iter(|| Cholesky::factor(&s).unwrap());
+        });
+    }
+    // Modified Cholesky over a typical local box (17x17 = 289 points was
+    // the paper-scale box; 9x9 here keeps the bench fast).
+    let rect = RegionRect::new(0, 9, 0, 9);
+    let radius = LocalizationRadius { xi: 2, eta: 2 };
+    let u = random_matrix(81, 40, 4);
+    g.bench_function("modified_cholesky_81x40", |bench| {
+        bench.iter(|| {
+            ModifiedCholesky::estimate(
+                &u,
+                enkf_core::local::box_predecessors(&rect, radius),
+                1e-4,
+            )
+            .unwrap()
+        });
+    });
+    g.finish();
+}
+
+fn bench_local_analysis(c: &mut Criterion) {
+    let mesh = Mesh::new(24, 24);
+    let nens = 24;
+    let radius = LocalizationRadius { xi: 2, eta: 2 };
+    let decomp = Decomposition::new(mesh, 2, 2).unwrap();
+    let target = decomp.subdomain(enkf_grid::SubDomainId { i: 0, j: 0 });
+    let expansion = decomp.expansion(enkf_grid::SubDomainId { i: 0, j: 0 }, radius);
+    let xb = random_matrix(expansion.npoints(), nens, 5);
+    let net = ObservationNetwork::uniform(mesh, 3);
+    let op = ObservationOperator::new(net);
+    let m = op.len();
+    let values = vec![0.1; m];
+    let obs = Observations::new(op, values, vec![0.04; m], PerturbedObservations::new(8, nens));
+    let local = obs.localize(&expansion);
+
+    let mut g = c.benchmark_group("local_analysis");
+    let pointwise = LocalAnalysis::new(radius);
+    g.bench_function("pointwise_12x12_subdomain", |bench| {
+        bench.iter(|| pointwise.analyze(mesh, &target, &expansion, &xb, &local).unwrap());
+    });
+    let blocked = LocalAnalysis::blocked(radius);
+    g.bench_function("blocked_12x12_subdomain", |bench| {
+        bench.iter(|| blocked.analyze(mesh, &target, &expansion, &xb, &local).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_reading(c: &mut Criterion) {
+    // Real-file reading strategies: the bar's single segment vs the block's
+    // one-segment-per-row on identical data volumes.
+    let mesh = Mesh::new(256, 128);
+    let scenario = ScenarioBuilder::new(mesh).members(2).seed(1).build();
+    let scratch = ScratchDir::new("bench-read").unwrap();
+    let store = FileStore::open(scratch.path(), FileLayout::new(mesh, 8)).unwrap();
+    enkf_data::write_ensemble(&store, &scenario.ensemble).unwrap();
+
+    // 32 rows of full width (a bar) vs 128 rows of quarter width (a block):
+    // same point count, very different seek counts.
+    let bar = RegionRect::new(0, 256, 0, 32);
+    let block = RegionRect::new(0, 64, 0, 128);
+    assert_eq!(bar.npoints(), block.npoints());
+
+    let mut g = c.benchmark_group("pfs_reading");
+    g.bench_function("bar_single_seek", |bench| {
+        bench.iter(|| store.read_region(0, &bar).unwrap());
+    });
+    g.bench_function("block_many_seeks", |bench| {
+        bench.iter(|| store.read_region(0, &block).unwrap());
+    });
+    g.finish();
+    drop(scratch);
+}
+
+fn bench_des_engine(c: &mut Criterion) {
+    use enkf_sim::{Kind, Simulation, Task};
+    let mut g = c.benchmark_group("des_engine");
+    g.bench_function("fan_out_10k_tasks", |bench| {
+        bench.iter_batched(
+            || {
+                let mut sim = Simulation::new();
+                let r = sim.add_resource(4);
+                for _ in 0..100 {
+                    let a = sim.add_agent();
+                    for _ in 0..100 {
+                        sim.add_task(
+                            Task::new(a, Kind::Read, 0.001).with_resources(vec![r]),
+                        )
+                        .unwrap();
+                    }
+                }
+                sim
+            },
+            |mut sim| sim.run().unwrap(),
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_linalg, bench_local_analysis, bench_reading, bench_des_engine);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! **Figure 9** — Time for different phases in P-EnKF and S-EnKF.
+//!
+//! Per-rank mean time in each phase (file reading, communication, local
+//! analysis, waiting) at several processor counts. For S-EnKF the I/O
+//! processors and computation processors are reported separately, as in the
+//! paper's stacked bars; the compute side's idle time (waiting for the
+//! exposed first stage plus any stage stalls) is `makespan − busy`.
+
+use enkf_bench::{paper_scaling_points, print_table, secs, write_csv};
+use enkf_parallel::model::penkf::model_penkf;
+use enkf_parallel::model::senkf::model_senkf;
+use enkf_parallel::ModelConfig;
+use enkf_tuning::{autotune, Params};
+
+fn tuned_params(cfg: &ModelConfig, np: usize) -> Params {
+    autotune(&cfg.cost_params(), np, 2e-2).expect("tunable at paper scale").params
+}
+
+fn main() {
+    let cfg = ModelConfig::paper();
+    let mut rows = Vec::new();
+    for (np, nsdx, nsdy) in paper_scaling_points() {
+        // P-EnKF at np ranks.
+        let p = model_penkf(&cfg, nsdx, nsdy).expect("feasible");
+        rows.push(vec![
+            format!("P-EnKF@{np}"),
+            "compute".into(),
+            secs(p.compute_mean.read),
+            secs(p.compute_mean.comm),
+            secs(p.compute_mean.compute),
+            secs(p.compute_mean.wait),
+            secs(p.makespan),
+        ]);
+        // S-EnKF with auto-tuned parameters within the same budget.
+        let params = tuned_params(&cfg, np);
+        let s = model_senkf(&cfg, params).expect("feasible");
+        let compute_idle = (s.makespan - s.compute_mean.total()).max(0.0);
+        rows.push(vec![
+            format!("S-EnKF@{np}"),
+            format!("compute(C2={})", params.c2()),
+            secs(s.compute_mean.read),
+            secs(s.compute_mean.comm),
+            secs(s.compute_mean.compute),
+            secs(compute_idle),
+            secs(s.makespan),
+        ]);
+        let io_idle = (s.makespan - s.io_mean.total() - s.io_mean.wait).max(0.0);
+        rows.push(vec![
+            format!("S-EnKF@{np}"),
+            format!("io(C1={})", params.c1()),
+            secs(s.io_mean.read),
+            secs(s.io_mean.comm),
+            secs(s.io_mean.compute),
+            secs(s.io_mean.wait + io_idle),
+            secs(s.makespan),
+        ]);
+    }
+    let header =
+        ["config", "rank class", "read_s", "comm_s", "compute_s", "wait_s", "runtime_s"];
+    print_table("Figure 9: per-rank phase breakdown", &header, &rows);
+    write_csv("fig09.csv", &header, &rows);
+    println!(
+        "\nPaper shape: P-EnKF's read(+wait) share grows with processors while its\n\
+         compute shrinks; in S-EnKF file reading and communication on the I/O side\n\
+         are hidden behind the compute side's local analyses, and the wait time\n\
+         shrinks as processors increase."
+    );
+}

@@ -1,0 +1,37 @@
+//! **Figure 11** — Percentage of the overlapped time over total runtime in
+//! S-EnKF.
+//!
+//! The overlapped time is the data-obtaining work (file reading, data
+//! communication, and the waiting they induce) hidden behind local
+//! computation; only the first stage's acquisition is exposed. The share
+//! stays high and roughly flat as the processor count grows — the
+//! multi-stage co-design does not degrade at scale.
+
+use enkf_bench::{paper_scaling_points, pct, print_table, secs, write_csv};
+use enkf_parallel::model::senkf::model_senkf;
+use enkf_parallel::ModelConfig;
+use enkf_tuning::autotune;
+
+fn main() {
+    let cfg = ModelConfig::paper();
+    let mut rows = Vec::new();
+    for (np, _, _) in paper_scaling_points() {
+        let tuned = autotune(&cfg.cost_params(), np, 2e-2).expect("tunable");
+        let s = model_senkf(&cfg, tuned.params).expect("feasible");
+        rows.push(vec![
+            np.to_string(),
+            format!("{:?}", tuned.params),
+            pct(s.overlapped_fraction()),
+            secs(s.first_compute_start),
+            secs(s.makespan),
+        ]);
+    }
+    let header = ["processors", "tuned params", "overlapped", "exposed_s", "runtime_s"];
+    print_table("Figure 11: overlapped-time share in S-EnKF", &header, &rows);
+    write_csv("fig11.csv", &header, &rows);
+    println!(
+        "\nPaper shape: the overlapped share is sustained (high and roughly flat)\n\
+         as the processor count grows; the exposed first acquisition stays a small\n\
+         fraction of the total runtime."
+    );
+}

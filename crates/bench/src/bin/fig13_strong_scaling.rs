@@ -1,0 +1,46 @@
+//! **Figure 13** — Total runtime of P-EnKF and S-EnKF (strong scaling).
+//!
+//! Fixed problem size (0.1° mesh, 120 members), processor count swept to
+//! 12,000. P-EnKF scales to about 8,000 processors, then its runtime grows
+//! again as block-reading I/O dominates. S-EnKF (auto-tuned, total
+//! processors `C₁ + C₂ ≤ n_p`) sustains near-ideal strong scaling, reaching
+//! ~3× over P-EnKF at 12,000.
+
+use enkf_bench::{paper_scaling_points, print_table, secs, write_csv};
+use enkf_parallel::model::penkf::model_penkf;
+use enkf_parallel::model::senkf::model_senkf;
+use enkf_parallel::ModelConfig;
+use enkf_tuning::autotune;
+
+fn main() {
+    let cfg = ModelConfig::paper();
+    let mut rows = Vec::new();
+    let mut s_first: Option<(usize, f64)> = None;
+    for (np, nsdx, nsdy) in paper_scaling_points() {
+        let p = model_penkf(&cfg, nsdx, nsdy).expect("feasible");
+        let tuned = autotune(&cfg.cost_params(), np, 2e-2).expect("tunable");
+        let s = model_senkf(&cfg, tuned.params).expect("feasible");
+        let (np0, t0) = *s_first.get_or_insert((np, s.makespan));
+        let ideal = t0 * np0 as f64 / np as f64;
+        rows.push(vec![
+            np.to_string(),
+            secs(p.makespan),
+            secs(s.makespan),
+            secs(ideal),
+            format!("{:.2}x", p.makespan / s.makespan),
+            format!(
+                "{:?} (uses {} of {np})",
+                tuned.params,
+                tuned.params.total_processors()
+            ),
+        ]);
+    }
+    let header = ["processors", "P-EnKF_s", "S-EnKF_s", "S ideal_s", "speedup", "tuned params"];
+    print_table("Figure 13: strong scaling, P-EnKF vs S-EnKF", &header, &rows);
+    write_csv("fig13.csv", &header, &rows);
+    println!(
+        "\nPaper shape: P-EnKF stops scaling near 8,000 processors and regresses\n\
+         beyond 10,000; S-EnKF stays near the ideal strong-scaling line through\n\
+         12,000 processors and sustains ~3x over P-EnKF at the largest run."
+    );
+}

@@ -1,0 +1,76 @@
+//! Shared harness utilities for the figure-regeneration binaries.
+//!
+//! Every `fig*` binary prints its series as an aligned text table and also
+//! writes `target/figures/figNN.csv` so the data can be re-plotted. The
+//! paper-scale processor counts and decompositions used across figures are
+//! centralized here.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Directory the CSV outputs are written to (`target/figures`).
+pub fn figures_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/figures");
+    std::fs::create_dir_all(&dir).expect("create figures dir");
+    dir
+}
+
+/// Write a CSV file into [`figures_dir`].
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
+    let path = figures_dir().join(name);
+    let mut f = std::fs::File::create(&path).expect("create csv");
+    writeln!(f, "{}", header.join(",")).expect("write header");
+    for row in rows {
+        writeln!(f, "{}", row.join(",")).expect("write row");
+    }
+    println!("\n[wrote {}]", path.display());
+}
+
+/// Print an aligned text table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// The strong-scaling processor counts of Figures 1, 9, 11 and 13, with the
+/// P-EnKF decompositions used at each count (all divisor-compatible with
+/// the 3600 × 1800 paper mesh).
+pub fn paper_scaling_points() -> Vec<(usize, usize, usize)> {
+    // (n_p, nsdx, nsdy)
+    vec![
+        (2000, 50, 40),
+        (4000, 100, 40),
+        (6000, 100, 60),
+        (8000, 80, 100),
+        (10000, 100, 100),
+        (12000, 120, 100),
+    ]
+}
+
+/// Format seconds with 3 significant decimals.
+pub fn secs(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}

@@ -1,0 +1,118 @@
+//! Property-based tests of the analysis kernels' invariants.
+
+use enkf_core::{
+    serial_enkf, serial_enkf_decomposed, serial_letkf, LocalAnalysis, Observations,
+    ObservationOperator, PerturbedObservations,
+};
+use enkf_grid::{Decomposition, GridPoint, LocalizationRadius, Mesh, ObservationNetwork};
+use enkf_linalg::{GaussianSampler, Matrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[derive(Debug, Clone)]
+struct Problem {
+    ensemble: enkf_core::Ensemble,
+    observations: Observations,
+    radius: LocalizationRadius,
+}
+
+fn problem_strategy() -> impl Strategy<Value = Problem> {
+    (2usize..=4, 2usize..=3, 4usize..=10, 1usize..=2, 1usize..=2, 2usize..=3, any::<u64>())
+        .prop_map(|(mx, my, nens, xi, eta, stride, seed)| {
+            let mesh = Mesh::new(mx * 3, my * 3);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut gs = GaussianSampler::new();
+            let states = Matrix::from_fn(mesh.n(), nens, |i, _| {
+                let p = mesh.point(i);
+                (p.ix as f64 * 0.5).sin() + 0.5 * gs.sample(&mut rng)
+            });
+            let ensemble = enkf_core::Ensemble::new(mesh, states);
+            let net = ObservationNetwork::uniform(mesh, stride);
+            let op = ObservationOperator::new(net);
+            let m = op.len();
+            let values: Vec<f64> = (0..m).map(|k| (k as f64 * 0.23).cos()).collect();
+            let observations = Observations::new(
+                op,
+                values,
+                vec![0.1; m],
+                PerturbedObservations::new(seed ^ 0xBEEF, nens),
+            );
+            Problem { ensemble, observations, radius: LocalizationRadius { xi, eta } }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pointwise_analysis_is_decomposition_invariant(p in problem_strategy()) {
+        let mesh = p.ensemble.mesh();
+        let reference = serial_enkf(&p.ensemble, &p.observations, p.radius).unwrap();
+        // Any divisor-compatible decomposition must reproduce it.
+        let divx: Vec<usize> = (1..=mesh.nx()).filter(|d| mesh.nx() % d == 0).collect();
+        let divy: Vec<usize> = (1..=mesh.ny()).filter(|d| mesh.ny() % d == 0).collect();
+        let sx = divx[divx.len() / 2];
+        let sy = divy[divy.len() / 2];
+        let d = Decomposition::new(mesh, sx, sy).unwrap();
+        let got =
+            serial_enkf_decomposed(&p.ensemble, &p.observations, LocalAnalysis::new(p.radius), &d)
+                .unwrap();
+        prop_assert!(
+            got.states().approx_eq(reference.states(), 1e-10),
+            "decomposition {sx}x{sy} changed the analysis"
+        );
+    }
+
+    #[test]
+    fn analysis_preserves_geometry_and_finiteness(p in problem_strategy()) {
+        let analysis = serial_enkf(&p.ensemble, &p.observations, p.radius).unwrap();
+        prop_assert_eq!(analysis.mesh(), p.ensemble.mesh());
+        prop_assert_eq!(analysis.size(), p.ensemble.size());
+        prop_assert!(analysis.states().as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn letkf_contracts_total_spread(p in problem_strategy()) {
+        let analysis = serial_letkf(&p.ensemble, &p.observations, p.radius).unwrap();
+        let before = p.ensemble.anomalies().frobenius_norm();
+        let after = analysis.anomalies().frobenius_norm();
+        prop_assert!(after <= before * 1.0001, "spread grew: {before} -> {after}");
+    }
+
+    #[test]
+    fn points_outside_every_local_box_are_untouched(p in problem_strategy()) {
+        // Identify points with no observation in their local box; the
+        // point-wise analysis must leave them bit-identical.
+        let mesh = p.ensemble.mesh();
+        let analysis = serial_enkf(&p.ensemble, &p.observations, p.radius).unwrap();
+        let obs_points: Vec<GridPoint> =
+            p.observations.operator().network().points().to_vec();
+        for gp in mesh.iter_points() {
+            let has_obs = obs_points
+                .iter()
+                .any(|&o| mesh.in_local_box(gp, o, p.radius));
+            if !has_obs {
+                let i = mesh.index(gp);
+                for k in 0..p.ensemble.size() {
+                    prop_assert_eq!(
+                        analysis.states()[(i, k)],
+                        p.ensemble.states()[(i, k)],
+                        "unobserved point {:?} changed", gp
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn perturbed_rows_have_requested_moments(seed in any::<u64>(), nens in 50usize..200) {
+        let p = PerturbedObservations::new(seed, nens);
+        let row = p.row(3, 2.0, 0.5);
+        let mean = row.iter().sum::<f64>() / nens as f64;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (nens - 1) as f64;
+        // Loose sampling bounds: the point is distributional sanity.
+        prop_assert!((mean - 2.0).abs() < 0.5, "mean {mean}");
+        prop_assert!(var > 0.01 && var < 1.5, "var {var}");
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the synthetic-data substrate.
+
+use enkf_data::{read_ensemble, write_ensemble, AdvectionDiffusion, ScenarioBuilder};
+use enkf_grid::{FileLayout, Mesh};
+use enkf_pfs::{FileStore, ScratchDir};
+use proptest::prelude::*;
+
+fn mesh_strategy() -> impl Strategy<Value = Mesh> {
+    (4usize..24, 4usize..16).prop_map(|(nx, ny)| Mesh::new(nx, ny))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn scenario_is_deterministic_and_consistent(
+        mesh in mesh_strategy(),
+        members in 2usize..10,
+        seed in any::<u64>(),
+    ) {
+        let a = ScenarioBuilder::new(mesh).members(members).seed(seed).build();
+        let b = ScenarioBuilder::new(mesh).members(members).seed(seed).build();
+        prop_assert_eq!(a.ensemble.states(), b.ensemble.states());
+        prop_assert_eq!(&a.truth, &b.truth);
+        prop_assert_eq!(a.observations.values(), b.observations.values());
+        prop_assert_eq!(a.ensemble.size(), members);
+        prop_assert_eq!(a.truth.len(), mesh.n());
+        prop_assert!(a.rmse_background() > 0.0);
+    }
+
+    #[test]
+    fn file_roundtrip_is_bit_exact(
+        mesh in mesh_strategy(),
+        members in 2usize..6,
+        levels in 1u64..4,
+        seed in any::<u64>(),
+    ) {
+        let scenario = ScenarioBuilder::new(mesh).members(members).seed(seed).build();
+        let scratch = ScratchDir::new("data-prop").unwrap();
+        let store = FileStore::open(scratch.path(), FileLayout::new(mesh, 8 * levels)).unwrap();
+        write_ensemble(&store, &scenario.ensemble).unwrap();
+        let back = read_ensemble(&store, members).unwrap();
+        prop_assert_eq!(back.states(), scenario.ensemble.states());
+    }
+
+    #[test]
+    fn advection_diffusion_is_stable_and_mass_conserving(
+        mesh in mesh_strategy(),
+        u in -0.8f64..0.8,
+        kappa in 0.0f64..0.1,
+        steps in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        let dynamics = AdvectionDiffusion { u, v: 0.0, kappa, dt: 0.5 };
+        prop_assume!(dynamics.stability_number() < 1.0);
+        let scenario = ScenarioBuilder::new(mesh).members(2).seed(seed).build();
+        let before: f64 = scenario.truth.iter().sum();
+        let max_before = scenario.truth.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+        let after_field = dynamics.integrate(mesh, &scenario.truth, steps);
+        let after: f64 = after_field.iter().sum();
+        // Mass conservation (periodic x, zero-gradient y, v = 0).
+        prop_assert!((before - after).abs() < 1e-6 * (1.0 + before.abs()), "{before} vs {after}");
+        // Upwind + diffusion never amplifies the max norm.
+        let max_after = after_field.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+        prop_assert!(max_after <= max_before * (1.0 + 1e-9), "{max_before} -> {max_after}");
+    }
+
+    #[test]
+    fn observation_values_sit_on_the_truth_up_to_noise(
+        mesh in mesh_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let std = 0.05;
+        let scenario = ScenarioBuilder::new(mesh)
+            .members(4)
+            .obs_noise_std(std)
+            .observation_stride(2)
+            .seed(seed)
+            .build();
+        let op = scenario.observations.operator();
+        let truth_at_obs = op.apply(&scenario.truth);
+        for (obs, truth) in scenario.observations.values().iter().zip(&truth_at_obs) {
+            prop_assert!((obs - truth).abs() < 6.0 * std, "{obs} vs {truth}");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Grid geometry for the S-EnKF reproduction.
+//!
+//! Everything spatial lives here: the latitude–longitude mesh, domain
+//! decomposition into `n_sdx × n_sdy` sub-domains (§2.2), localization boxes
+//! with radii `(ξ, η)` (Fig. 2), sub-domain expansions `D̄`, the `L`-layer
+//! split that drives the multi-stage computation (§4.2), the latitude *bars*
+//! of the bar-reading approach (§4.1.2), and the mapping from grid regions to
+//! contiguous byte segments of the row-priority on-disk layout — which is
+//! what makes block reading seek-heavy and bar reading single-seek.
+//!
+//! Storage convention (fixed by the paper's Figures 3 and 6): an ensemble
+//! member is a 2-D tensor stored row-priority where a *row* is one latitude
+//! line of `n_x` longitude points. A latitude band is therefore contiguous
+//! on disk; a longitude slice is not.
+
+pub mod decomp;
+pub mod layout;
+pub mod mesh;
+pub mod obs;
+pub mod region;
+
+pub use decomp::{Decomposition, SubDomainId};
+pub use layout::FileLayout;
+pub use mesh::{GridPoint, Mesh};
+pub use obs::ObservationNetwork;
+pub use region::RegionRect;
+
+use serde::{Deserialize, Serialize};
+
+/// Domain-localization radius in grid points: `xi` along longitude, `eta`
+/// along latitude (Fig. 2a). The local box around a point has dimensions
+/// `(2ξ+1) × (2η+1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LocalizationRadius {
+    /// Influence radius along the longitude (x) direction, in grid points.
+    pub xi: usize,
+    /// Influence radius along the latitude (y) direction, in grid points.
+    pub eta: usize,
+}
+
+impl LocalizationRadius {
+    /// Convert a physical radius of influence `r` (km) into grid-point radii
+    /// given the (generally different) grid spacings along longitude and
+    /// latitude. This is why `ξ` may differ from `η` on a `n_x ≫ n_y` mesh.
+    pub fn from_physical(r_km: f64, dx_km: f64, dy_km: f64) -> Self {
+        assert!(r_km >= 0.0 && dx_km > 0.0 && dy_km > 0.0, "radii and spacings must be positive");
+        LocalizationRadius {
+            xi: (r_km / dx_km).ceil() as usize,
+            eta: (r_km / dy_km).ceil() as usize,
+        }
+    }
+
+    /// Number of points in a full (interior) local box.
+    pub fn box_points(&self) -> usize {
+        (2 * self.xi + 1) * (2 * self.eta + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn physical_radius_matches_figure_2() {
+        // Fig. 2a: r = 10 km with spacings giving xi=4, eta=2.
+        let r = LocalizationRadius::from_physical(10.0, 2.5, 5.0);
+        assert_eq!(r, LocalizationRadius { xi: 4, eta: 2 });
+        assert_eq!(r.box_points(), 9 * 5);
+    }
+
+    #[test]
+    fn zero_radius_is_single_point() {
+        let r = LocalizationRadius { xi: 0, eta: 0 };
+        assert_eq!(r.box_points(), 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Observation-network geometry.
+//!
+//! The observational operator `H ∈ R^{m×n}` of the paper selects (and in
+//! general interpolates) `m ≪ n` observed components from the model state.
+//! Geometrically an observation network is a set of observed grid points;
+//! this module provides the regular (strided) networks the experiments use
+//! and the restriction of a network to an expansion `D̄` — yielding the
+//! local operator `H_{[i,j]}` with `m̄_sd` rows.
+
+use crate::{GridPoint, Mesh, RegionRect};
+use serde::{Deserialize, Serialize};
+
+/// A set of observed grid points in a fixed (row-priority) order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObservationNetwork {
+    mesh: Mesh,
+    points: Vec<GridPoint>,
+}
+
+impl ObservationNetwork {
+    /// A regular network observing every `stride_x`-th longitude and
+    /// `stride_y`-th latitude point, starting at the given offsets.
+    pub fn strided(mesh: Mesh, stride_x: usize, stride_y: usize, offset_x: usize, offset_y: usize) -> Self {
+        assert!(stride_x > 0 && stride_y > 0, "strides must be positive");
+        let mut points = Vec::new();
+        let mut iy = offset_y;
+        while iy < mesh.ny() {
+            let mut ix = offset_x;
+            while ix < mesh.nx() {
+                points.push(GridPoint { ix, iy });
+                ix += stride_x;
+            }
+            iy += stride_y;
+        }
+        ObservationNetwork { mesh, points }
+    }
+
+    /// Uniform stride in both directions with zero offset.
+    pub fn uniform(mesh: Mesh, stride: usize) -> Self {
+        Self::strided(mesh, stride, stride, 0, 0)
+    }
+
+    /// Build a network from an explicit point list (e.g. a sparse irregular
+    /// network). Points must lie inside the mesh.
+    pub fn from_points(mesh: Mesh, points: Vec<GridPoint>) -> Self {
+        assert!(points.iter().all(|&p| mesh.contains(p)), "observation outside mesh");
+        ObservationNetwork { mesh, points }
+    }
+
+    /// The mesh the network observes.
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    /// Number of observed components `m`.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no point is observed.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The observed points, in network order (row `k` of `H` observes
+    /// `points()[k]`).
+    pub fn points(&self) -> &[GridPoint] {
+        &self.points
+    }
+
+    /// Global observation indices (rows of `H`) whose points fall inside a
+    /// region, in network order. These are the rows of the local operator
+    /// `H_{[i,j]}` and the entries of `Yˢ_{[i,j]}` / `R_{[i,j]}`.
+    pub fn indices_in(&self, region: &RegionRect) -> Vec<usize> {
+        self.points
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| region.contains(p))
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// The observed points inside a region (paired with [`Self::indices_in`]).
+    pub fn points_in(&self, region: &RegionRect) -> Vec<GridPoint> {
+        self.points.iter().copied().filter(|&p| region.contains(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_network_count() {
+        let mesh = Mesh::new(12, 6);
+        let net = ObservationNetwork::uniform(mesh, 3);
+        // ix in {0,3,6,9}, iy in {0,3}: 4 * 2 points.
+        assert_eq!(net.len(), 8);
+        assert!(!net.is_empty());
+    }
+
+    #[test]
+    fn strided_offsets_respected() {
+        let mesh = Mesh::new(10, 10);
+        let net = ObservationNetwork::strided(mesh, 4, 5, 1, 2);
+        assert!(net.points().iter().all(|p| (p.ix - 1) % 4 == 0 && (p.iy - 2) % 5 == 0));
+        assert!(net.points().iter().all(|&p| mesh.contains(p)));
+    }
+
+    #[test]
+    fn indices_in_region_are_sorted_and_consistent() {
+        let mesh = Mesh::new(12, 6);
+        let net = ObservationNetwork::uniform(mesh, 2);
+        let region = RegionRect::new(4, 9, 2, 5);
+        let idx = net.indices_in(&region);
+        let pts = net.points_in(&region);
+        assert_eq!(idx.len(), pts.len());
+        assert!(idx.windows(2).all(|w| w[0] < w[1]), "network order preserved");
+        for (&k, &p) in idx.iter().zip(pts.iter()) {
+            assert_eq!(net.points()[k], p);
+            assert!(region.contains(p));
+        }
+    }
+
+    #[test]
+    fn whole_mesh_region_captures_all() {
+        let mesh = Mesh::new(8, 8);
+        let net = ObservationNetwork::uniform(mesh, 3);
+        let all = net.indices_in(&RegionRect::full(mesh));
+        assert_eq!(all.len(), net.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "observation outside mesh")]
+    fn from_points_validates() {
+        let mesh = Mesh::new(4, 4);
+        ObservationNetwork::from_points(mesh, vec![GridPoint { ix: 4, iy: 0 }]);
+    }
+
+    #[test]
+    fn empty_region_has_no_observations() {
+        let mesh = Mesh::new(8, 8);
+        let net = ObservationNetwork::uniform(mesh, 2);
+        let empty = RegionRect::new(3, 3, 0, 8);
+        assert!(net.indices_in(&empty).is_empty());
+    }
+}

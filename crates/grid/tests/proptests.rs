@@ -1,0 +1,163 @@
+//! Property-based tests for the grid geometry invariants the parallel
+//! implementations rely on.
+
+use enkf_grid::{Decomposition, FileLayout, LocalizationRadius, Mesh, RegionRect};
+use proptest::prelude::*;
+
+/// A mesh whose extents have useful divisors.
+fn mesh_strategy() -> impl Strategy<Value = Mesh> {
+    (1usize..=6, 1usize..=6, 1usize..=6, 1usize..=6)
+        .prop_map(|(a, b, c, d)| Mesh::new(a * b * 4, c * d * 4))
+}
+
+fn decomp_strategy() -> impl Strategy<Value = Decomposition> {
+    mesh_strategy().prop_flat_map(|mesh| {
+        let divx: Vec<usize> = (1..=mesh.nx()).filter(|d| mesh.nx() % d == 0).collect();
+        let divy: Vec<usize> = (1..=mesh.ny()).filter(|d| mesh.ny() % d == 0).collect();
+        (proptest::sample::select(divx), proptest::sample::select(divy))
+            .prop_map(move |(sx, sy)| Decomposition::new(mesh, sx, sy).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn flat_index_roundtrips(mesh in mesh_strategy(), k in any::<usize>()) {
+        let idx = k % mesh.n();
+        prop_assert_eq!(mesh.index(mesh.point(idx)), idx);
+    }
+
+    #[test]
+    fn subdomains_partition(decomp in decomp_strategy()) {
+        let mut covered = vec![false; decomp.mesh().n()];
+        for id in decomp.iter_ids() {
+            for p in decomp.subdomain(id).iter_points() {
+                let idx = decomp.mesh().index(p);
+                prop_assert!(!covered[idx], "point covered twice");
+                covered[idx] = true;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c), "every point covered");
+    }
+
+    #[test]
+    fn owner_is_consistent_with_subdomain(decomp in decomp_strategy(), k in any::<usize>()) {
+        let p = decomp.mesh().point(k % decomp.mesh().n());
+        let owner = decomp.owner_of(p);
+        prop_assert!(decomp.subdomain(owner).contains(p));
+    }
+
+    #[test]
+    fn expansion_contains_halo(
+        decomp in decomp_strategy(),
+        xi in 0usize..5,
+        eta in 0usize..5,
+    ) {
+        let radius = LocalizationRadius { xi, eta };
+        for id in decomp.iter_ids() {
+            let sub = decomp.subdomain(id);
+            let exp = decomp.expansion(id, radius);
+            prop_assert!(exp.contains_rect(&sub));
+            // Every point within the radius of a subdomain point is inside
+            // the expansion (clamped to the mesh).
+            for p in sub.iter_points() {
+                let single = RegionRect::new(p.ix, p.ix + 1, p.iy, p.iy + 1);
+                let b = single.expand(radius, decomp.mesh());
+                prop_assert!(exp.contains_rect(&b), "box of {p:?} escapes expansion");
+            }
+        }
+    }
+
+    #[test]
+    fn layers_partition_each_subdomain(decomp in decomp_strategy(), lseed in any::<u64>()) {
+        let sub_h = decomp.sub_height();
+        let divisors: Vec<usize> = (1..=sub_h).filter(|l| sub_h % l == 0).collect();
+        let layers = divisors[(lseed as usize) % divisors.len()];
+        for id in decomp.iter_ids() {
+            let sub = decomp.subdomain(id);
+            let mut count = 0;
+            let mut prev_end = sub.y0;
+            for l in 0..layers {
+                let lay = decomp.layer(id, l, layers);
+                prop_assert_eq!(lay.y0, prev_end, "layers tile in order");
+                prev_end = lay.y1;
+                prop_assert!(sub.contains_rect(&lay));
+                count += lay.npoints();
+            }
+            prop_assert_eq!(prev_end, sub.y1);
+            prop_assert_eq!(count, sub.npoints());
+        }
+    }
+
+    #[test]
+    fn small_bar_contains_all_its_blocks(
+        decomp in decomp_strategy(),
+        xi in 0usize..4,
+        eta in 0usize..4,
+        lseed in any::<u64>(),
+    ) {
+        let radius = LocalizationRadius { xi, eta };
+        let sub_h = decomp.sub_height();
+        let divisors: Vec<usize> = (1..=sub_h).filter(|l| sub_h % l == 0).collect();
+        let layers = divisors[(lseed as usize) % divisors.len()];
+        for j in 0..decomp.nsdy() {
+            for l in 0..layers {
+                let bar = decomp.small_bar(j, l, layers, radius);
+                for i in 0..decomp.nsdx() {
+                    let id = enkf_grid::SubDomainId { i, j };
+                    let block = decomp.block_of_small_bar(id, l, layers, radius);
+                    prop_assert!(bar.contains_rect(&block));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn segments_cover_region_bytes_exactly(
+        decomp in decomp_strategy(),
+        h in 1u64..=5,
+        xi in 0usize..4,
+        eta in 0usize..4,
+    ) {
+        let mesh = decomp.mesh();
+        let layout = FileLayout::new(mesh, h * 8);
+        let radius = LocalizationRadius { xi, eta };
+        for id in decomp.iter_ids() {
+            let region = decomp.expansion(id, radius);
+            let segs = layout.segments(&region);
+            // Total bytes match; segments are disjoint, ordered, in-file.
+            let total: u64 = segs.iter().map(|s| s.len).sum();
+            prop_assert_eq!(total, layout.region_bytes(&region));
+            for w in segs.windows(2) {
+                prop_assert!(w[0].offset + w[0].len < w[1].offset + w[1].len);
+                prop_assert!(w[0].offset + w[0].len <= w[1].offset, "segments overlap");
+            }
+            if let Some(last) = segs.last() {
+                prop_assert!(last.offset + last.len <= layout.file_size());
+            }
+            prop_assert_eq!(segs.len(), layout.seek_count(&region));
+        }
+    }
+
+    #[test]
+    fn local_indices_are_bijective(decomp in decomp_strategy()) {
+        for id in decomp.iter_ids() {
+            let sub = decomp.subdomain(id);
+            let mut seen = vec![false; sub.npoints()];
+            for p in sub.iter_points() {
+                let li = sub.local_index(p);
+                prop_assert!(!seen[li]);
+                seen[li] = true;
+                prop_assert_eq!(sub.point_at(li), p);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_mapping_roundtrips(decomp in decomp_strategy()) {
+        for rank in 0..decomp.num_subdomains() {
+            prop_assert_eq!(decomp.rank_of(decomp.id_of_rank(rank)), rank);
+        }
+    }
+}

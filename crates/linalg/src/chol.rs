@@ -1,0 +1,309 @@
+//! Cholesky and LDLᵀ factorizations with triangular solves.
+//!
+//! The local analysis (Eq. 6) solves SPD systems with the matrix
+//! `B̂⁻¹ + Hᵀ R⁻¹ H`; operationally this is done with a Cholesky
+//! factorization (paper §2.3). LDLᵀ is provided as the square-root-free
+//! variant used by the modified-Cholesky covariance estimator.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factor a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read. Fails with
+    /// [`LinalgError::NotPositiveDefinite`] when a pivot is not strictly
+    /// positive.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.nrows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite(i));
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Borrow the lower-triangular factor.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.nrows()
+    }
+
+    /// Solve `A x = b` for a single right-hand side.
+    pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimMismatch {
+                op: "Cholesky::solve_vec",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut y = b.to_vec();
+        // Forward substitution L y = b.
+        for i in 0..n {
+            let mut sum = y[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        // Back substitution Lᵀ x = y.
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l[(k, i)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Solve `A X = B` column-by-column.
+    pub fn solve(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.nrows() != n {
+            return Err(LinalgError::DimMismatch {
+                op: "Cholesky::solve",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.ncols());
+        for j in 0..b.ncols() {
+            let x = self.solve_vec(&b.col(j))?;
+            out.set_col(j, &x);
+        }
+        Ok(out)
+    }
+
+    /// Explicit inverse `A⁻¹` (solve against the identity). Use sparingly;
+    /// `solve` is cheaper and more accurate when a product is all that is
+    /// needed.
+    pub fn inverse(&self) -> Matrix {
+        let n = self.dim();
+        self.solve(&Matrix::identity(n)).expect("identity has matching dimension")
+    }
+
+    /// `log det A = 2 Σ log L[i][i]`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+/// Square-root-free factorization `A = L D Lᵀ` with unit lower-triangular `L`.
+#[derive(Debug, Clone)]
+pub struct Ldlt {
+    l: Matrix,
+    d: Vec<f64>,
+}
+
+impl Ldlt {
+    /// Factor a symmetric matrix. Pivots may be any nonzero value, so this
+    /// also handles indefinite (but still factorizable) matrices; a zero
+    /// pivot is reported as [`LinalgError::NotPositiveDefinite`].
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.nrows();
+        let mut l = Matrix::identity(n);
+        let mut d = vec![0.0; n];
+        for j in 0..n {
+            let mut dj = a[(j, j)];
+            for k in 0..j {
+                dj -= l[(j, k)] * l[(j, k)] * d[k];
+            }
+            if dj == 0.0 || !dj.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite(j));
+            }
+            d[j] = dj;
+            for i in (j + 1)..n {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)] * d[k];
+                }
+                l[(i, j)] = sum / dj;
+            }
+        }
+        Ok(Ldlt { l, d })
+    }
+
+    /// Borrow the unit lower-triangular factor.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Borrow the diagonal of `D`.
+    pub fn d(&self) -> &[f64] {
+        &self.d
+    }
+
+    /// Reassemble `L D Lᵀ` (diagnostics / tests).
+    pub fn reconstruct(&self) -> Matrix {
+        let n = self.d.len();
+        let mut ld = self.l.clone();
+        for j in 0..n {
+            for i in 0..n {
+                ld[(i, j)] *= self.d[j];
+            }
+        }
+        ld.matmul_tr(&self.l).expect("shapes agree by construction")
+    }
+
+    /// Solve `A x = b`.
+    pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.d.len();
+        if b.len() != n {
+            return Err(LinalgError::DimMismatch {
+                op: "Ldlt::solve_vec",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut y = b.to_vec();
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.l[(i, k)] * y[k];
+            }
+        }
+        for i in 0..n {
+            y[i] /= self.d[i];
+        }
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                y[i] -= self.l[(k, i)] * y[k];
+            }
+        }
+        Ok(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A well-conditioned SPD test matrix: A = M Mᵀ + n·I.
+    fn spd(n: usize) -> Matrix {
+        let m = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 13) as f64 / 13.0);
+        let mut a = m.matmul_tr(&m).unwrap();
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd(8);
+        let ch = Cholesky::factor(&a).unwrap();
+        let back = ch.l().matmul_tr(ch.l()).unwrap();
+        assert!(back.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn cholesky_rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Cholesky::factor(&a), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
+        assert!(matches!(Cholesky::factor(&a), Err(LinalgError::NotPositiveDefinite(1))));
+    }
+
+    #[test]
+    fn solve_vec_residual_small() {
+        let a = spd(10);
+        let ch = Cholesky::factor(&a).unwrap();
+        let b: Vec<f64> = (0..10).map(|i| (i as f64).sin()).collect();
+        let x = ch.solve_vec(&b).unwrap();
+        let r = a.matvec(&x).unwrap();
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn solve_matrix_matches_columnwise() {
+        let a = spd(6);
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = Matrix::from_fn(6, 3, |i, j| (i + j) as f64);
+        let x = ch.solve(&b).unwrap();
+        let back = a.matmul(&x).unwrap();
+        assert!(back.approx_eq(&b, 1e-9));
+    }
+
+    #[test]
+    fn inverse_times_a_is_identity() {
+        let a = spd(7);
+        let inv = Cholesky::factor(&a).unwrap().inverse();
+        let prod = inv.matmul(&a).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(7), 1e-8));
+    }
+
+    #[test]
+    fn log_det_of_diagonal() {
+        let a = Matrix::from_diag(&[2.0, 3.0, 4.0]);
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!((ch.log_det() - (24.0_f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ldlt_reconstructs_and_solves() {
+        let a = spd(9);
+        let f = Ldlt::factor(&a).unwrap();
+        assert!(f.reconstruct().approx_eq(&a, 1e-9));
+        let b: Vec<f64> = (0..9).map(|i| 1.0 + i as f64).collect();
+        let x = f.solve_vec(&b).unwrap();
+        let r = a.matvec(&x).unwrap();
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ldlt_unit_diagonal() {
+        let a = spd(5);
+        let f = Ldlt::factor(&a).unwrap();
+        for i in 0..5 {
+            assert_eq!(f.l()[(i, i)], 1.0);
+        }
+        assert!(f.d().iter().all(|&d| d > 0.0));
+    }
+
+    #[test]
+    fn ldlt_handles_indefinite() {
+        // Symmetric indefinite but LDLT-factorizable without pivoting.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 3.0, 3.0, 1.0]).unwrap();
+        let f = Ldlt::factor(&a).unwrap();
+        assert!(f.reconstruct().approx_eq(&a, 1e-12));
+        assert!(f.d()[1] < 0.0);
+    }
+}

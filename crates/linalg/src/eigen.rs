@@ -1,0 +1,250 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! The deterministic ensemble-space formulation of the EnKF (the LETKF of
+//! Ott et al. 2004, which the paper's L-EnKF baselines build on) needs the
+//! eigendecomposition of an `N × N` symmetric matrix in ensemble space —
+//! `N` is the ensemble size, so a simple, robust Jacobi sweep is entirely
+//! adequate and keeps the stack dependency-free.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Eigendecomposition `A = V diag(λ) Vᵀ` of a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues, ascending.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors as *columns* (`V`), ordered like `values`.
+    pub vectors: Matrix,
+}
+
+impl SymEigen {
+    /// Decompose a symmetric matrix with cyclic Jacobi rotations.
+    ///
+    /// Only the lower triangle is trusted; the matrix is symmetrized
+    /// internally. Converges quadratically; `max_sweeps` bounds the work
+    /// (15 sweeps are far more than small ensemble-space problems need).
+    pub fn decompose(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.nrows();
+        let mut m = a.clone();
+        m.symmetrize();
+        let mut v = Matrix::identity(n);
+        let max_sweeps = 30;
+        for _ in 0..max_sweeps {
+            let off: f64 = off_diagonal_norm(&m);
+            if off < 1e-14 * (1.0 + m.frobenius_norm()) {
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = m[(p, q)];
+                    if apq.abs() < 1e-300 {
+                        continue;
+                    }
+                    let app = m[(p, p)];
+                    let aqq = m[(q, q)];
+                    // Stable rotation computation (Golub & Van Loan).
+                    let tau = (aqq - app) / (2.0 * apq);
+                    let t = if tau >= 0.0 {
+                        1.0 / (tau + (1.0 + tau * tau).sqrt())
+                    } else {
+                        -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+                    apply_rotation(&mut m, p, q, c, s);
+                    rotate_columns(&mut v, p, q, c, s);
+                }
+            }
+        }
+        // Extract and sort ascending.
+        let mut order: Vec<usize> = (0..n).collect();
+        let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+        order.sort_by(|&i, &j| diag[i].partial_cmp(&diag[j]).expect("finite eigenvalues"));
+        let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+        let mut vectors = Matrix::zeros(n, n);
+        for (new_col, &old_col) in order.iter().enumerate() {
+            for r in 0..n {
+                vectors[(r, new_col)] = v[(r, old_col)];
+            }
+        }
+        Ok(SymEigen { values, vectors })
+    }
+
+    /// Reassemble `V diag(λ) Vᵀ` (diagnostics / tests).
+    pub fn reconstruct(&self) -> Matrix {
+        let n = self.values.len();
+        let mut scaled = self.vectors.clone();
+        for j in 0..n {
+            for i in 0..n {
+                scaled[(i, j)] *= self.values[j];
+            }
+        }
+        scaled.matmul_tr(&self.vectors).expect("square")
+    }
+
+    /// Apply `f` to the spectrum: `V diag(f(λ)) Vᵀ`. The workhorse for the
+    /// ETKF's inverse and symmetric square root.
+    pub fn map_spectrum(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        let n = self.values.len();
+        let mut scaled = self.vectors.clone();
+        for j in 0..n {
+            let fj = f(self.values[j]);
+            for i in 0..n {
+                scaled[(i, j)] *= fj;
+            }
+        }
+        let mut out = scaled.matmul_tr(&self.vectors).expect("square");
+        out.symmetrize();
+        out
+    }
+
+    /// Smallest eigenvalue.
+    pub fn min_eigenvalue(&self) -> f64 {
+        *self.values.first().expect("non-empty spectrum")
+    }
+}
+
+fn off_diagonal_norm(m: &Matrix) -> f64 {
+    let n = m.nrows();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            s += m[(i, j)] * m[(i, j)];
+        }
+    }
+    (2.0 * s).sqrt()
+}
+
+/// Two-sided Jacobi rotation on rows/columns `p`, `q`.
+fn apply_rotation(m: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = m.nrows();
+    for k in 0..n {
+        if k != p && k != q {
+            let mkp = m[(k, p)];
+            let mkq = m[(k, q)];
+            m[(k, p)] = c * mkp - s * mkq;
+            m[(p, k)] = m[(k, p)];
+            m[(k, q)] = s * mkp + c * mkq;
+            m[(q, k)] = m[(k, q)];
+        }
+    }
+    let app = m[(p, p)];
+    let aqq = m[(q, q)];
+    let apq = m[(p, q)];
+    m[(p, p)] = c * c * app - 2.0 * s * c * apq + s * s * aqq;
+    m[(q, q)] = s * s * app + 2.0 * s * c * apq + c * c * aqq;
+    m[(p, q)] = 0.0;
+    m[(q, p)] = 0.0;
+}
+
+fn rotate_columns(v: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = v.nrows();
+    for k in 0..n {
+        let vkp = v[(k, p)];
+        let vkq = v[(k, q)];
+        v[(k, p)] = c * vkp - s * vkq;
+        v[(k, q)] = s * vkp + c * vkq;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GaussianSampler;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_symmetric(n: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gs = GaussianSampler::new();
+        let mut m = Matrix::from_fn(n, n, |_, _| gs.sample(&mut rng));
+        m.symmetrize();
+        m
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_spectrum() {
+        let a = Matrix::from_diag(&[3.0, -1.0, 2.0]);
+        let e = SymEigen::decompose(&a).unwrap();
+        assert_eq!(e.values.len(), 3);
+        assert!((e.values[0] + 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 2.0).abs() < 1e-12);
+        assert!((e.values[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        for seed in [1, 7, 23] {
+            let a = random_symmetric(8, seed);
+            let e = SymEigen::decompose(&a).unwrap();
+            assert!(e.reconstruct().approx_eq(&a, 1e-9), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = random_symmetric(10, 5);
+        let e = SymEigen::decompose(&a).unwrap();
+        let vtv = e.vectors.tr_matmul(&e.vectors).unwrap();
+        assert!(vtv.approx_eq(&Matrix::identity(10), 1e-10));
+    }
+
+    #[test]
+    fn known_2x2_eigenvalues() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let e = SymEigen::decompose(&a).unwrap();
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_spectrum_inverse() {
+        // For SPD A, map_spectrum(1/λ) must equal A⁻¹.
+        let m = random_symmetric(6, 9);
+        let a = {
+            let mut spd = m.matmul_tr(&m).unwrap();
+            for i in 0..6 {
+                spd[(i, i)] += 6.0;
+            }
+            spd
+        };
+        let e = SymEigen::decompose(&a).unwrap();
+        let inv = e.map_spectrum(|l| 1.0 / l);
+        let prod = inv.matmul(&a).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(6), 1e-8));
+    }
+
+    #[test]
+    fn map_spectrum_square_root() {
+        let m = random_symmetric(5, 11);
+        let a = {
+            let mut spd = m.matmul_tr(&m).unwrap();
+            for i in 0..5 {
+                spd[(i, i)] += 5.0;
+            }
+            spd
+        };
+        let e = SymEigen::decompose(&a).unwrap();
+        let root = e.map_spectrum(f64::sqrt);
+        let back = root.matmul(&root).unwrap();
+        assert!(back.approx_eq(&a, 1e-8));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(SymEigen::decompose(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = random_symmetric(7, 13);
+        let e = SymEigen::decompose(&a).unwrap();
+        let trace: f64 = (0..7).map(|i| a[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+}

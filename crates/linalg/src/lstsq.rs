@@ -1,0 +1,98 @@
+//! Small ridge-regularized least-squares solves.
+//!
+//! The modified-Cholesky estimator regresses each model component's ensemble
+//! anomalies on the anomalies of its localization predecessors. Those
+//! regressions have tall-thin design matrices (N samples × a handful of
+//! predictors), and because the ensemble covariance is rank-deficient
+//! (`N ≪ n`) a small ridge term keeps the normal equations well posed —
+//! exactly the regularization used by Nino-Ruiz et al.
+
+use crate::{Cholesky, LinalgError, Matrix, Result};
+
+/// Solve `min_β ‖X β − y‖² + λ‖β‖²` via the normal equations
+/// `(Xᵀ X + λ I) β = Xᵀ y`.
+///
+/// `x` is `samples × predictors`, `y` has `samples` entries, and `lambda`
+/// must be non-negative (zero is accepted when `XᵀX` is well conditioned).
+pub fn ridge_least_squares(x: &Matrix, y: &[f64], lambda: f64) -> Result<Vec<f64>> {
+    if y.len() != x.nrows() {
+        return Err(LinalgError::DimMismatch {
+            op: "ridge_least_squares",
+            lhs: x.shape(),
+            rhs: (y.len(), 1),
+        });
+    }
+    let p = x.ncols();
+    if p == 0 {
+        return Ok(Vec::new());
+    }
+    let mut gram = x.tr_matmul(x)?;
+    for i in 0..p {
+        gram[(i, i)] += lambda;
+    }
+    gram.symmetrize();
+    // Xᵀ y.
+    let mut rhs = vec![0.0; p];
+    for (row, &yi) in (0..x.nrows()).map(|i| x.row(i)).zip(y) {
+        for (r, &xij) in rhs.iter_mut().zip(row) {
+            *r += xij * yi;
+        }
+    }
+    let ch = Cholesky::factor(&gram)?;
+    ch.solve_vec(&rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fit_recovers_coefficients() {
+        // y = 2 x1 - 3 x2 with independent columns and no noise.
+        let x = Matrix::from_vec(
+            4,
+            2,
+            vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, -1.0],
+        )
+        .unwrap();
+        let y: Vec<f64> = (0..4).map(|i| 2.0 * x[(i, 0)] - 3.0 * x[(i, 1)]).collect();
+        let beta = ridge_least_squares(&x, &y, 0.0).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-10);
+        assert!((beta[1] + 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ridge_shrinks_toward_zero() {
+        let x = Matrix::from_vec(3, 1, vec![1.0, 1.0, 1.0]).unwrap();
+        let y = vec![1.0, 1.0, 1.0];
+        let free = ridge_least_squares(&x, &y, 0.0).unwrap()[0];
+        let shrunk = ridge_least_squares(&x, &y, 10.0).unwrap()[0];
+        assert!((free - 1.0).abs() < 1e-12);
+        assert!(shrunk < free && shrunk > 0.0);
+    }
+
+    #[test]
+    fn rank_deficient_needs_ridge() {
+        // Two identical columns: XᵀX singular, lambda rescues it.
+        let x = Matrix::from_vec(3, 2, vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0]).unwrap();
+        let y = vec![2.0, 4.0, 6.0];
+        assert!(ridge_least_squares(&x, &y, 0.0).is_err());
+        let beta = ridge_least_squares(&x, &y, 1e-6).unwrap();
+        // Symmetric problem splits the coefficient evenly.
+        assert!((beta[0] - beta[1]).abs() < 1e-6);
+        assert!((beta[0] + beta[1] - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn empty_predictor_set() {
+        let x = Matrix::zeros(3, 0);
+        let beta = ridge_least_squares(&x, &[1.0, 2.0, 3.0], 0.1).unwrap();
+        assert!(beta.is_empty());
+    }
+
+    #[test]
+    fn mismatched_sample_count_errors() {
+        let x = Matrix::zeros(3, 2);
+        assert!(ridge_least_squares(&x, &[1.0], 0.1).is_err());
+    }
+}

@@ -1,0 +1,541 @@
+//! Dense row-major matrix type and blocked matrix products.
+
+use crate::{LinalgError, Result};
+use rayon::prelude::*;
+
+/// Cache block edge for the blocked GEMM. 64 doubles = 512 B per row block,
+/// small enough that three blocks fit comfortably in L1/L2.
+const GEMM_BLOCK: usize = 64;
+
+/// Row count above which the GEMM outer loop is parallelized with rayon.
+const PAR_THRESHOLD: usize = 256;
+
+/// A dense row-major matrix of `f64`.
+///
+/// All EnKF operands (ensembles, observation operators, covariance factors)
+/// are instances of this type. Storage is a single contiguous `Vec<f64>`;
+/// element `(i, j)` lives at `i * ncols + j`.
+///
+/// ```
+/// use enkf_linalg::Matrix;
+///
+/// let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+/// let x = a.matvec(&[1.0, 1.0]).unwrap();
+/// assert_eq!(x, vec![3.0, 7.0]);
+/// let b = a.matmul(&Matrix::identity(2)).unwrap();
+/// assert_eq!(b, a);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create an `nrows x ncols` matrix filled with zeros.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Matrix { nrows, ncols, data: vec![0.0; nrows * ncols] }
+    }
+
+    /// Create a matrix from a closure evaluated at every `(row, col)`.
+    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for i in 0..nrows {
+            for j in 0..ncols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { nrows, ncols, data }
+    }
+
+    /// Create a matrix that takes ownership of a row-major buffer.
+    ///
+    /// Returns an error if `data.len() != nrows * ncols`.
+    pub fn from_vec(nrows: usize, ncols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != nrows * ncols {
+            return Err(LinalgError::DimMismatch {
+                op: "Matrix::from_vec",
+                lhs: (nrows, ncols),
+                rhs: (data.len(), 1),
+            });
+        }
+        Ok(Matrix { nrows, ncols, data })
+    }
+
+    /// The `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build a diagonal matrix from the given diagonal entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `(nrows, ncols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// True when the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.nrows == self.ncols
+    }
+
+    /// Borrow the underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume the matrix and return its buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// Mutably borrow row `i` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// Copy column `j` into a new vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.nrows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Overwrite column `j` with the given values.
+    pub fn set_col(&mut self, j: usize, values: &[f64]) {
+        assert_eq!(values.len(), self.nrows, "set_col length mismatch");
+        for (i, &v) in values.iter().enumerate() {
+            self[(i, j)] = v;
+        }
+    }
+
+    /// Return the transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.ncols, self.nrows);
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Elementwise sum; errors on shape mismatch.
+    pub fn add(&self, other: &Matrix) -> Result<Matrix> {
+        self.zip_with(other, "Matrix::add", |a, b| a + b)
+    }
+
+    /// Elementwise difference; errors on shape mismatch.
+    pub fn sub(&self, other: &Matrix) -> Result<Matrix> {
+        self.zip_with(other, "Matrix::sub", |a, b| a - b)
+    }
+
+    /// In-place `self += alpha * other`; errors on shape mismatch.
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::DimMismatch {
+                op: "Matrix::axpy",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    fn zip_with(
+        &self,
+        other: &Matrix,
+        op: &'static str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Matrix> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::DimMismatch { op, lhs: self.shape(), rhs: other.shape() });
+        }
+        let data =
+            self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect::<Vec<_>>();
+        Ok(Matrix { nrows: self.nrows, ncols: self.ncols, data })
+    }
+
+    /// Return `alpha * self` as a new matrix.
+    pub fn scale(&self, alpha: f64) -> Matrix {
+        let data = self.data.iter().map(|&a| alpha * a).collect();
+        Matrix { nrows: self.nrows, ncols: self.ncols, data }
+    }
+
+    /// Matrix-vector product `self * x`; errors when `x.len() != ncols`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.ncols {
+            return Err(LinalgError::DimMismatch {
+                op: "Matrix::matvec",
+                lhs: self.shape(),
+                rhs: (x.len(), 1),
+            });
+        }
+        Ok((0..self.nrows)
+            .map(|i| self.row(i).iter().zip(x).map(|(&a, &b)| a * b).sum())
+            .collect())
+    }
+
+    /// Matrix product `self * other` using a cache-blocked kernel.
+    ///
+    /// The outer row loop is parallelized with rayon once the output has more
+    /// than a few hundred rows; below that the serial kernel is faster.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.ncols != other.nrows {
+            return Err(LinalgError::DimMismatch {
+                op: "Matrix::matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let (m, k, n) = (self.nrows, self.ncols, other.ncols);
+        let mut out = Matrix::zeros(m, n);
+        if m >= PAR_THRESHOLD && m * k * n >= 1 << 22 {
+            out.data
+                .par_chunks_mut(n * GEMM_BLOCK.min(m))
+                .enumerate()
+                .for_each(|(chunk_idx, chunk)| {
+                    let i0 = chunk_idx * GEMM_BLOCK.min(m);
+                    let rows = chunk.len() / n;
+                    gemm_block(&self.data, &other.data, chunk, i0, rows, k, n);
+                });
+        } else {
+            gemm_block(&self.data, &other.data, &mut out.data, 0, m, k, n);
+        }
+        Ok(out)
+    }
+
+    /// `selfᵀ * other` without materializing the transpose.
+    pub fn tr_matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.nrows != other.nrows {
+            return Err(LinalgError::DimMismatch {
+                op: "Matrix::tr_matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let (m, k, n) = (self.ncols, self.nrows, other.ncols);
+        let mut out = Matrix::zeros(m, n);
+        // out[i][j] = sum_l self[l][i] * other[l][j]: accumulate row-by-row of
+        // the inputs so every inner pass is a contiguous scan.
+        for l in 0..k {
+            let arow = self.row(l);
+            let brow = other.row(l);
+            for i in 0..m {
+                let a = arow[i];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `self * otherᵀ` without materializing the transpose.
+    pub fn matmul_tr(&self, other: &Matrix) -> Result<Matrix> {
+        if self.ncols != other.ncols {
+            return Err(LinalgError::DimMismatch {
+                op: "Matrix::matmul_tr",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let (m, n) = (self.nrows, other.nrows);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let arow = self.row(i);
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &other.data[j * other.ncols..(j + 1) * other.ncols];
+                *o = arow.iter().zip(brow).map(|(&a, &b)| a * b).sum();
+            }
+        }
+        Ok(out)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|&a| a * a).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry (∞-entrywise norm).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &a| m.max(a.abs()))
+    }
+
+    /// Mean of each row (used for the ensemble mean x̄ᵇ, Eq. 4).
+    pub fn row_means(&self) -> Vec<f64> {
+        let inv = 1.0 / self.ncols as f64;
+        (0..self.nrows).map(|i| self.row(i).iter().sum::<f64>() * inv).collect()
+    }
+
+    /// Subtract `v[i]` from every entry of row `i` (anomaly computation, Eq. 4).
+    pub fn subtract_row_vector(&mut self, v: &[f64]) {
+        assert_eq!(v.len(), self.nrows, "subtract_row_vector length mismatch");
+        for i in 0..self.nrows {
+            let vi = v[i];
+            for a in self.row_mut(i) {
+                *a -= vi;
+            }
+        }
+    }
+
+    /// Extract the sub-matrix of the given rows (gather), preserving order.
+    pub fn select_rows(&self, rows: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(rows.len(), self.ncols);
+        for (oi, &ri) in rows.iter().enumerate() {
+            out.row_mut(oi).copy_from_slice(self.row(ri));
+        }
+        out
+    }
+
+    /// True when `self` and `other` agree entrywise within `tol`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(&a, &b)| (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs())))
+    }
+
+    /// Symmetrize in place: `self = (self + selfᵀ) / 2`. Useful before a
+    /// Cholesky factorization of a product that is symmetric only up to
+    /// rounding.
+    pub fn symmetrize(&mut self) {
+        assert!(self.is_square(), "symmetrize requires a square matrix");
+        for i in 0..self.nrows {
+            for j in (i + 1)..self.ncols {
+                let avg = 0.5 * (self[(i, j)] + self[(j, i)]);
+                self[(i, j)] = avg;
+                self[(j, i)] = avg;
+            }
+        }
+    }
+}
+
+/// Blocked GEMM accumulating `out[i0..i0+rows] += a[i0..i0+rows] * b`.
+///
+/// `a` is `(>= i0+rows) x k`, `b` is `k x n`, `out` holds `rows` rows of
+/// width `n` starting at global row `i0`.
+fn gemm_block(a: &[f64], b: &[f64], out: &mut [f64], i0: usize, rows: usize, k: usize, n: usize) {
+    for jj in (0..n).step_by(GEMM_BLOCK) {
+        let jhi = (jj + GEMM_BLOCK).min(n);
+        for ll in (0..k).step_by(GEMM_BLOCK) {
+            let lhi = (ll + GEMM_BLOCK).min(k);
+            for i in 0..rows {
+                let arow = &a[(i0 + i) * k..(i0 + i) * k + k];
+                let orow = &mut out[i * n + jj..i * n + jhi];
+                for l in ll..lhi {
+                    let av = arow[l];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[l * n + jj..l * n + jhi];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &self.data[i * self.ncols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &mut self.data[i * self.ncols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Matrix {
+        Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap()
+    }
+
+    #[test]
+    fn zeros_shape_and_content() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn indexing_row_major() {
+        let m = small();
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m[(1, 0)], 4.0);
+        assert_eq!(m[(1, 2)], 6.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = small();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let m = small();
+        let i3 = Matrix::identity(3);
+        assert_eq!(m.matmul(&i3).unwrap(), m);
+        let i2 = Matrix::identity(2);
+        assert_eq!(i2.matmul(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = small();
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c[(0, 0)], 58.0);
+        assert_eq!(c[(0, 1)], 64.0);
+        assert_eq!(c[(1, 0)], 139.0);
+        assert_eq!(c[(1, 1)], 154.0);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_errors() {
+        let a = small();
+        assert!(a.matmul(&small()).is_err());
+    }
+
+    #[test]
+    fn tr_matmul_matches_explicit_transpose() {
+        let a = small();
+        let b = Matrix::from_vec(2, 4, (0..8).map(|x| x as f64).collect()).unwrap();
+        let expect = a.transpose().matmul(&b).unwrap();
+        let got = a.tr_matmul(&b).unwrap();
+        assert!(got.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn matmul_tr_matches_explicit_transpose() {
+        let a = small();
+        let b = Matrix::from_vec(4, 3, (0..12).map(|x| x as f64).collect()).unwrap();
+        let expect = a.matmul(&b.transpose()).unwrap();
+        let got = a.matmul_tr(&b).unwrap();
+        assert!(got.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn matvec_known() {
+        let a = small();
+        assert_eq!(a.matvec(&[1.0, 0.0, -1.0]).unwrap(), vec![-2.0, -2.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn row_means_and_anomalies() {
+        let mut m = Matrix::from_vec(2, 2, vec![1.0, 3.0, 10.0, 20.0]).unwrap();
+        let means = m.row_means();
+        assert_eq!(means, vec![2.0, 15.0]);
+        m.subtract_row_vector(&means);
+        assert_eq!(m.as_slice(), &[-1.0, 1.0, -5.0, 5.0]);
+    }
+
+    #[test]
+    fn select_rows_gathers_in_order() {
+        let m = small();
+        let s = m.select_rows(&[1, 0]);
+        assert_eq!(s.row(0), m.row(1));
+        assert_eq!(s.row(1), m.row(0));
+    }
+
+    #[test]
+    fn symmetrize_produces_symmetric() {
+        let mut m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 4.0, 3.0]).unwrap();
+        m.symmetrize();
+        assert_eq!(m[(0, 1)], 3.0);
+        assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn large_parallel_matmul_matches_serial() {
+        let n = 300;
+        let a = Matrix::from_fn(n, n, |i, j| ((i * 7 + j * 13) % 17) as f64 - 8.0);
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 3 + j * 5) % 11) as f64 - 5.0);
+        let big = a.matmul(&b).unwrap();
+        // Compare a few spot entries against a direct dot product.
+        for &(i, j) in &[(0, 0), (17, 250), (299, 299), (150, 3)] {
+            let direct: f64 = (0..n).map(|l| a[(i, l)] * b[(l, j)]).sum();
+            assert!((big[(i, j)] - direct).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Matrix::zeros(2, 2);
+        let b = Matrix::identity(2);
+        a.axpy(2.5, &b).unwrap();
+        assert_eq!(a[(0, 0)], 2.5);
+        assert_eq!(a[(0, 1)], 0.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Householder QR factorization and least squares.
+//!
+//! An orthogonalization-based alternative to the normal-equations ridge
+//! solver in [`crate::lstsq`]: numerically safer when a localization
+//! neighborhood produces an ill-conditioned design matrix, at roughly twice
+//! the flops. The modified-Cholesky estimator accepts either solver; QR is
+//! also reused by tests as an independent oracle.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// A compact Householder QR factorization of a tall (or square) matrix.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Householder vectors below the diagonal; `R` on and above it.
+    factors: Matrix,
+    /// Scaling coefficients `tau` of the reflectors.
+    tau: Vec<f64>,
+}
+
+impl Qr {
+    /// Factor `a` (`m × n`, requires `m ≥ n`).
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::DimMismatch {
+                op: "Qr::factor (needs rows >= cols)",
+                lhs: (m, n),
+                rhs: (n, n),
+            });
+        }
+        let mut f = a.clone();
+        let mut tau = vec![0.0; n];
+        for k in 0..n {
+            // Build the reflector for column k.
+            let mut norm2 = 0.0;
+            for i in k..m {
+                norm2 += f[(i, k)] * f[(i, k)];
+            }
+            let norm = norm2.sqrt();
+            if norm == 0.0 {
+                tau[k] = 0.0;
+                continue;
+            }
+            let alpha = if f[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = f[(k, k)] - alpha;
+            // Normalize so v[k] = 1 implicitly; store v[i]/v0 below diag.
+            for i in (k + 1)..m {
+                let scaled = f[(i, k)] / v0;
+                f[(i, k)] = scaled;
+            }
+            tau[k] = -v0 / alpha;
+            f[(k, k)] = alpha;
+            // Apply the reflector to the remaining columns.
+            for j in (k + 1)..n {
+                let mut dot = f[(k, j)];
+                for i in (k + 1)..m {
+                    dot += f[(i, k)] * f[(i, j)];
+                }
+                let t = tau[k] * dot;
+                f[(k, j)] -= t;
+                for i in (k + 1)..m {
+                    let vik = f[(i, k)];
+                    f[(i, j)] -= t * vik;
+                }
+            }
+        }
+        Ok(Qr { factors: f, tau })
+    }
+
+    /// Number of rows of the factored matrix.
+    pub fn nrows(&self) -> usize {
+        self.factors.nrows()
+    }
+
+    /// Number of columns of the factored matrix.
+    pub fn ncols(&self) -> usize {
+        self.factors.ncols()
+    }
+
+    /// Apply `Qᵀ` to a vector in place.
+    fn apply_qt(&self, x: &mut [f64]) {
+        let (m, n) = self.factors.shape();
+        for k in 0..n {
+            if self.tau[k] == 0.0 {
+                continue;
+            }
+            let mut dot = x[k];
+            for i in (k + 1)..m {
+                dot += self.factors[(i, k)] * x[i];
+            }
+            let t = self.tau[k] * dot;
+            x[k] -= t;
+            for i in (k + 1)..m {
+                x[i] -= t * self.factors[(i, k)];
+            }
+        }
+    }
+
+    /// Solve the least-squares problem `min ‖A x − b‖₂`.
+    ///
+    /// Fails with [`LinalgError::NotPositiveDefinite`] when `R` has a zero
+    /// diagonal entry (rank-deficient `A`).
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.factors.shape();
+        if b.len() != m {
+            return Err(LinalgError::DimMismatch {
+                op: "Qr::solve_least_squares",
+                lhs: (m, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut y = b.to_vec();
+        self.apply_qt(&mut y);
+        // Back substitution on R; a (numerically) zero pivot flags rank
+        // deficiency.
+        let rmax = (0..n).map(|i| self.factors[(i, i)].abs()).fold(0.0f64, f64::max);
+        let tol = 1e-12 * rmax.max(f64::MIN_POSITIVE);
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let rii = self.factors[(i, i)];
+            if rii.abs() <= tol {
+                return Err(LinalgError::NotPositiveDefinite(i));
+            }
+            let mut sum = y[i];
+            for j in (i + 1)..n {
+                sum -= self.factors[(i, j)] * x[j];
+            }
+            x[i] = sum / rii;
+        }
+        Ok(x)
+    }
+
+    /// The upper-triangular factor `R` (`n × n`).
+    pub fn r(&self) -> Matrix {
+        let n = self.ncols();
+        Matrix::from_fn(n, n, |i, j| if j >= i { self.factors[(i, j)] } else { 0.0 })
+    }
+}
+
+/// One-shot least squares `min ‖A x − b‖₂` via Householder QR.
+pub fn qr_least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Qr::factor(a)?.solve_least_squares(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ridge_least_squares, GaussianSampler};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random(m: usize, n: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gs = GaussianSampler::new();
+        Matrix::from_fn(m, n, |_, _| gs.sample(&mut rng))
+    }
+
+    #[test]
+    fn exact_solve_square_system() {
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 3.0]).unwrap();
+        let x_true = [1.0, -2.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = qr_least_squares(&a, &b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overdetermined_matches_normal_equations() {
+        let a = random(20, 5, 3);
+        let b: Vec<f64> = (0..20).map(|i| (i as f64 * 0.37).sin()).collect();
+        let qr = qr_least_squares(&a, &b).unwrap();
+        let ne = ridge_least_squares(&a, &b, 0.0).unwrap();
+        for (x, y) in qr.iter().zip(&ne) {
+            assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn residual_is_orthogonal_to_columns() {
+        let a = random(15, 4, 8);
+        let b: Vec<f64> = (0..15).map(|i| 1.0 + i as f64).collect();
+        let x = qr_least_squares(&a, &b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+        // Aᵀ r ≈ 0.
+        for j in 0..4 {
+            let dot: f64 = (0..15).map(|i| a[(i, j)] * r[i]).sum();
+            assert!(dot.abs() < 1e-9, "column {j}: {dot}");
+        }
+    }
+
+    #[test]
+    fn r_factor_is_upper_triangular_with_correct_gram() {
+        let a = random(12, 6, 4);
+        let qr = Qr::factor(&a).unwrap();
+        let r = qr.r();
+        for i in 0..6 {
+            for j in 0..i {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+        // RᵀR == AᵀA.
+        let rtr = r.tr_matmul(&r).unwrap();
+        let ata = a.tr_matmul(&a).unwrap();
+        assert!(rtr.approx_eq(&ata, 1e-9));
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        assert!(Qr::factor(&Matrix::zeros(2, 5)).is_err());
+    }
+
+    #[test]
+    fn rank_deficient_detected() {
+        // Two identical columns.
+        let a = Matrix::from_vec(4, 2, vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0]).unwrap();
+        let err = qr_least_squares(&a, &[1.0, 2.0, 3.0, 4.0]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let a = random(6, 2, 1);
+        let qr = Qr::factor(&a).unwrap();
+        assert!(qr.solve_least_squares(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use enkf_linalg::{Cholesky, GaussianSampler, Ldlt, Matrix, ModifiedCholesky};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random well-conditioned SPD matrix: A = M Mᵀ + (n+1)·I.
+fn spd_strategy(max_n: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_n, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gs = GaussianSampler::new();
+        let m = Matrix::from_fn(n, n, |_, _| gs.sample(&mut rng));
+        let mut a = m.matmul_tr(&m).unwrap().scale(1.0 / n as f64);
+        for i in 0..n {
+            a[(i, i)] += 1.0 + n as f64 * 0.1;
+        }
+        a
+    })
+}
+
+fn matrix_strategy(max_n: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_n, 1..=max_n, any::<u64>()).prop_map(|(r, c, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gs = GaussianSampler::new();
+        Matrix::from_fn(r, c, |_, _| gs.sample(&mut rng))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cholesky_roundtrips(a in spd_strategy(12)) {
+        let ch = Cholesky::factor(&a).unwrap();
+        let back = ch.l().matmul_tr(ch.l()).unwrap();
+        prop_assert!(back.approx_eq(&a, 1e-8));
+    }
+
+    #[test]
+    fn cholesky_solve_has_small_residual(a in spd_strategy(12), seed in any::<u64>()) {
+        let n = a.nrows();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gs = GaussianSampler::new();
+        let b = gs.vec(&mut rng, n);
+        let x = Cholesky::factor(&a).unwrap().solve_vec(&b).unwrap();
+        let r = a.matvec(&x).unwrap();
+        for (ri, bi) in r.iter().zip(&b) {
+            prop_assert!((ri - bi).abs() < 1e-7 * (1.0 + bi.abs()));
+        }
+    }
+
+    #[test]
+    fn ldlt_matches_cholesky_for_spd(a in spd_strategy(10)) {
+        let f = Ldlt::factor(&a).unwrap();
+        prop_assert!(f.d().iter().all(|&d| d > 0.0));
+        prop_assert!(f.reconstruct().approx_eq(&a, 1e-8));
+    }
+
+    #[test]
+    fn transpose_is_involution(m in matrix_strategy(16)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_associates_with_vector(m in matrix_strategy(10), seed in any::<u64>()) {
+        // (A B) x == A (B x) for random conforming B, x.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gs = GaussianSampler::new();
+        let k = m.ncols();
+        let b = Matrix::from_fn(k, 5, |_, _| gs.sample(&mut rng));
+        let x = gs.vec(&mut rng, 5);
+        let lhs = m.matmul(&b).unwrap().matvec(&x).unwrap();
+        let rhs = m.matvec(&b.matvec(&x).unwrap()).unwrap();
+        for (a, b) in lhs.iter().zip(&rhs) {
+            prop_assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn tr_matmul_agrees_with_naive(m in matrix_strategy(10), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gs = GaussianSampler::new();
+        let other = Matrix::from_fn(m.nrows(), 4, |_, _| gs.sample(&mut rng));
+        let fast = m.tr_matmul(&other).unwrap();
+        let slow = m.transpose().matmul(&other).unwrap();
+        prop_assert!(fast.approx_eq(&slow, 1e-10));
+    }
+
+    #[test]
+    fn modified_cholesky_inverse_is_spd(n in 2usize..10, nens in 4usize..24, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gs = GaussianSampler::new();
+        let mut u = Matrix::from_fn(n, nens, |_, _| gs.sample(&mut rng));
+        let means = u.row_means();
+        u.subtract_row_vector(&means);
+        let mc = ModifiedCholesky::estimate(&u, |i| (i.saturating_sub(3)..i).collect(), 1e-4).unwrap();
+        let binv = mc.inverse_covariance();
+        prop_assert!(Cholesky::factor(&binv).is_ok());
+    }
+
+    #[test]
+    fn modified_cholesky_apply_matches_dense(n in 2usize..9, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gs = GaussianSampler::new();
+        let u = Matrix::from_fn(n, 12, |_, _| gs.sample(&mut rng));
+        let mc = ModifiedCholesky::estimate(&u, |i| (i.saturating_sub(2)..i).collect(), 1e-5).unwrap();
+        let x = gs.vec(&mut rng, n);
+        let fast = mc.apply_inverse(&x).unwrap();
+        let slow = mc.inverse_covariance().matvec(&x).unwrap();
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((a - b).abs() < 1e-8 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn row_means_invariant_under_anomaly_subtraction(m in matrix_strategy(12)) {
+        let mut anomalies = m.clone();
+        let means = anomalies.row_means();
+        anomalies.subtract_row_vector(&means);
+        for mean in anomalies.row_means() {
+            prop_assert!(mean.abs() < 1e-10);
+        }
+    }
+}

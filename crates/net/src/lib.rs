@@ -1,0 +1,21 @@
+//! Message-passing substrate.
+//!
+//! The paper's implementation sits on a customized MPICH for the TH
+//! Express-2 interconnect. Rust has no mature MPI tooling (the repro band's
+//! `repro_why` calls this out), so this crate supplies the two halves the
+//! reproduction needs:
+//!
+//! * [`real`] — an in-process "cluster": ranks are OS threads connected by
+//!   crossbeam channels with MPI-ish semantics (typed point-to-point sends
+//!   with source/tag matching, barriers, broadcast/gather built on p2p).
+//!   A rank may hand its receive endpoint to a helper thread — exactly the
+//!   helper-thread communication offload of the paper's Figure 8.
+//! * [`model`] — the classic latency–bandwidth (the paper's `a`–`b`) cost
+//!   model with logarithmic tree factors for group communication, plus NIC
+//!   resources for the DES so receive-side serialization is captured.
+
+pub mod model;
+pub mod real;
+
+pub use model::{ModeledNet, NetParams};
+pub use real::{Cluster, Envelope, RankCtx};

@@ -1,0 +1,142 @@
+//! The latency–bandwidth communication cost model and modeled NICs.
+//!
+//! Point-to-point transfer of `s` bytes costs `a + b·s` (Table 1's startup
+//! time per message `a` and transfer time per byte `b`). Group operations
+//! over `p` participants take a logarithmic tree factor, the same form the
+//! paper borrows from the collective-communication literature for
+//! Eqs. (7)–(8).
+
+use enkf_sim::{ResourceId, Simulation};
+
+/// Parameters of the modeled interconnect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetParams {
+    /// Startup time per message, seconds (`a`).
+    pub alpha: f64,
+    /// Transfer time per byte, seconds (`b`).
+    pub beta: f64,
+}
+
+impl NetParams {
+    /// A TH Express-2-like configuration: ~200 µs effective startup (rendezvous under congestion), ~300 MB/s
+    /// effective per-endpoint bandwidth (the link shared across a node's 24
+    /// ranks under congestion), which makes the communication phase comparable to the
+    /// file-reading phase as the paper's Figure 9 reports.
+    pub fn tianhe2_like() -> Self {
+        NetParams { alpha: 2.0e-4, beta: 1.0 / 0.3e9 }
+    }
+
+    /// Cost of one point-to-point message of `bytes` bytes: `a + b·s`.
+    pub fn p2p(&self, bytes: u64) -> f64 {
+        self.alpha + self.beta * bytes as f64
+    }
+
+    /// Logarithmic tree factor over `p` participants: `log2(p + 1)`,
+    /// the `log(n_cg + 1)` shape of Eq. (8). Returns at least 1.
+    pub fn tree_factor(p: usize) -> f64 {
+        ((p + 1) as f64).log2().max(1.0)
+    }
+
+    /// Cost of distributing `bytes` to each of `fanout` receivers through a
+    /// tree: `fanout` sends serialized on the sender, scaled by the tree
+    /// factor over `groups` concurrent groups — the structure of Eq. (8).
+    pub fn group_scatter(&self, fanout: usize, groups: usize, bytes: u64) -> f64 {
+        fanout as f64 * Self::tree_factor(groups) * self.p2p(bytes)
+    }
+}
+
+/// Per-rank NIC resources for the DES: capacity 1 per endpoint, so a helper
+/// thread ingests one block at a time and concurrent senders to one rank
+/// serialize.
+#[derive(Debug, Clone)]
+pub struct ModeledNet {
+    params: NetParams,
+    nics: Vec<ResourceId>,
+}
+
+impl ModeledNet {
+    /// Register one NIC per rank in the simulation.
+    pub fn register(sim: &mut Simulation, params: NetParams, ranks: usize) -> Self {
+        let nics = (0..ranks).map(|_| sim.add_resource(1)).collect();
+        ModeledNet { params, nics }
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &NetParams {
+        &self.params
+    }
+
+    /// NIC resource of a rank.
+    pub fn nic(&self, rank: usize) -> ResourceId {
+        self.nics[rank]
+    }
+
+    /// Number of registered endpoints.
+    pub fn len(&self) -> usize {
+        self.nics.len()
+    }
+
+    /// True when no endpoint is registered.
+    pub fn is_empty(&self) -> bool {
+        self.nics.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enkf_sim::{Kind, Task};
+
+    #[test]
+    fn p2p_linear_in_bytes() {
+        let p = NetParams { alpha: 1e-6, beta: 1e-9 };
+        assert!((p.p2p(0) - 1e-6).abs() < 1e-18);
+        assert!((p.p2p(1_000_000) - (1e-6 + 1e-3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_factor_grows_logarithmically() {
+        assert_eq!(NetParams::tree_factor(1), 1.0);
+        assert!((NetParams::tree_factor(3) - 2.0).abs() < 1e-12);
+        assert!((NetParams::tree_factor(7) - 3.0).abs() < 1e-12);
+        assert!(NetParams::tree_factor(0) >= 1.0);
+    }
+
+    #[test]
+    fn group_scatter_matches_eq8_shape() {
+        let p = NetParams { alpha: 1e-6, beta: 1e-9 };
+        let t = p.group_scatter(10, 3, 500);
+        let expect = 10.0 * 2.0 * (1e-6 + 500.0e-9);
+        assert!((t - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn receiver_nic_serializes_concurrent_senders() {
+        let mut sim = Simulation::new();
+        let net = ModeledNet::register(&mut sim, NetParams::tianhe2_like(), 3);
+        // Ranks 0 and 1 send 1s-messages to rank 2 simultaneously.
+        for sender in 0..2 {
+            let a = sim.add_agent();
+            sim.add_task(Task::new(a, Kind::Comm, 1.0).with_resources(vec![net.nic(2)]))
+                .unwrap();
+            let _ = sender;
+        }
+        let rep = sim.run().unwrap();
+        assert!((rep.makespan - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distinct_receivers_in_parallel() {
+        let mut sim = Simulation::new();
+        let net = ModeledNet::register(&mut sim, NetParams::tianhe2_like(), 4);
+        for receiver in [2usize, 3] {
+            let a = sim.add_agent();
+            sim.add_task(Task::new(a, Kind::Comm, 1.0).with_resources(vec![net.nic(receiver)]))
+                .unwrap();
+        }
+        let rep = sim.run().unwrap();
+        assert!((rep.makespan - 1.0).abs() < 1e-9);
+        assert_eq!(net.len(), 4);
+        assert!(!net.is_empty());
+    }
+}

@@ -1,0 +1,347 @@
+//! Ranks as threads, messages as typed channel payloads.
+//!
+//! [`Cluster::run`] spawns one thread per rank and hands each a
+//! [`RankCtx`]: a sender to every peer plus its own receive endpoint.
+//! Matching (`recv_match`) buffers out-of-order arrivals, mirroring MPI's
+//! `(source, tag)` matching semantics that the EnKF planners rely on.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+
+/// A delivered message: source rank, tag, payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope<M> {
+    /// Sending rank.
+    pub from: usize,
+    /// Application-defined tag.
+    pub tag: u64,
+    /// The payload.
+    pub payload: M,
+}
+
+/// One rank's communication context.
+///
+/// Cloneable senders, single receive endpoint: to offload reception to a
+/// helper thread (Fig. 8), move the whole `RankCtx` into the helper and keep
+/// clones of what the main thread needs, or split with [`RankCtx::split_receiver`].
+pub struct RankCtx<M> {
+    rank: usize,
+    size: usize,
+    peers: Vec<Sender<Envelope<M>>>,
+    inbox: Receiver<Envelope<M>>,
+    stash: VecDeque<Envelope<M>>,
+}
+
+impl<M: Send> RankCtx<M> {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Send a payload to a peer (non-blocking, unbounded buffering).
+    pub fn send(&self, to: usize, tag: u64, payload: M) {
+        self.peers[to]
+            .send(Envelope { from: self.rank, tag, payload })
+            .expect("receiving rank hung up");
+    }
+
+    /// Receive the next message from any source (blocking). Messages
+    /// previously stashed by a non-matching [`RankCtx::recv_match`] are
+    /// delivered first, in arrival order.
+    pub fn recv(&mut self) -> Envelope<M> {
+        if let Some(env) = self.stash.pop_front() {
+            return env;
+        }
+        self.inbox.recv().expect("all senders hung up while receiving")
+    }
+
+    /// Receive the next message matching `(from, tag)`; non-matching
+    /// messages are stashed for later `recv`/`recv_match` calls.
+    pub fn recv_match(&mut self, from: usize, tag: u64) -> M {
+        if let Some(pos) =
+            self.stash.iter().position(|e| e.from == from && e.tag == tag)
+        {
+            return self.stash.remove(pos).expect("position is valid").payload;
+        }
+        loop {
+            let env = self.inbox.recv().expect("all senders hung up while matching");
+            if env.from == from && env.tag == tag {
+                return env.payload;
+            }
+            self.stash.push_back(env);
+        }
+    }
+
+    /// Split off the raw receive endpoint (for a helper thread) while
+    /// keeping the send side. Stashed messages are returned too; after the
+    /// split, `recv`/`recv_match` on this context panic.
+    pub fn split_receiver(&mut self) -> (Receiver<Envelope<M>>, VecDeque<Envelope<M>>) {
+        let (dead_tx, dead_rx) = unbounded();
+        drop(dead_tx);
+        let inbox = std::mem::replace(&mut self.inbox, dead_rx);
+        (inbox, std::mem::take(&mut self.stash))
+    }
+}
+
+impl<M: Send + Clone> RankCtx<M> {
+    /// Broadcast from `root` to all ranks (including delivering to self via
+    /// the return value). Internally p2p fan-out from the root.
+    pub fn broadcast(&mut self, root: usize, tag: u64, payload: Option<M>) -> M {
+        if self.rank == root {
+            let value = payload.expect("root must supply the broadcast payload");
+            for peer in 0..self.size {
+                if peer != root {
+                    self.send(peer, tag, value.clone());
+                }
+            }
+            value
+        } else {
+            self.recv_match(root, tag)
+        }
+    }
+
+    /// Gather one payload per rank at `root`. Non-root ranks return `None`;
+    /// the root returns all payloads indexed by rank.
+    pub fn gather(&mut self, root: usize, tag: u64, payload: M) -> Option<Vec<M>> {
+        if self.rank == root {
+            let mut out: Vec<Option<M>> = (0..self.size).map(|_| None).collect();
+            out[root] = Some(payload);
+            for _ in 0..self.size - 1 {
+                let env = self.recv();
+                assert_eq!(env.tag, tag, "unexpected tag during gather");
+                assert!(out[env.from].replace(env.payload).is_none(), "duplicate gather");
+            }
+            Some(out.into_iter().map(|o| o.expect("all ranks gathered")).collect())
+        } else {
+            self.send(root, tag, payload);
+            None
+        }
+    }
+
+    /// Barrier: gather-then-broadcast on rank 0 with an internal tag.
+    pub fn barrier(&mut self, tag: u64)
+    where
+        M: Default,
+    {
+        self.gather(0, tag, M::default());
+        self.broadcast(0, tag, if self.rank == 0 { Some(M::default()) } else { None });
+    }
+
+    /// Scatter: `root` holds one payload per rank and delivers each rank
+    /// its own; every rank (including the root) returns its payload.
+    pub fn scatter(&mut self, root: usize, tag: u64, payloads: Option<Vec<M>>) -> M {
+        if self.rank == root {
+            let payloads = payloads.expect("root must supply the scatter payloads");
+            assert_eq!(payloads.len(), self.size, "one payload per rank");
+            let mut mine = None;
+            for (peer, payload) in payloads.into_iter().enumerate() {
+                if peer == root {
+                    mine = Some(payload);
+                } else {
+                    self.send(peer, tag, payload);
+                }
+            }
+            mine.expect("root's own payload present")
+        } else {
+            self.recv_match(root, tag)
+        }
+    }
+
+    /// Reduce: combine one payload per rank at `root` with `op` in rank
+    /// order (deterministic). Non-root ranks return `None`.
+    pub fn reduce(
+        &mut self,
+        root: usize,
+        tag: u64,
+        payload: M,
+        op: impl Fn(M, M) -> M,
+    ) -> Option<M> {
+        let gathered = self.gather(root, tag, payload)?;
+        let mut it = gathered.into_iter();
+        let first = it.next().expect("at least one rank");
+        Some(it.fold(first, op))
+    }
+
+    /// All-reduce: reduce at rank 0, then broadcast the result to everyone.
+    pub fn all_reduce(&mut self, tag: u64, payload: M, op: impl Fn(M, M) -> M) -> M {
+        let reduced = self.reduce(0, tag, payload, op);
+        self.broadcast(0, tag.wrapping_add(1), reduced)
+    }
+}
+
+/// An in-process cluster of ranks.
+pub struct Cluster;
+
+impl Cluster {
+    /// Run `body` on `size` rank threads and collect their results in rank
+    /// order. Panics in any rank propagate.
+    pub fn run<M, T, F>(size: usize, body: F) -> Vec<T>
+    where
+        M: Send,
+        T: Send,
+        F: Fn(RankCtx<M>) -> T + Sync,
+    {
+        assert!(size > 0, "cluster needs at least one rank");
+        let mut senders = Vec::with_capacity(size);
+        let mut receivers = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let body = &body;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(size);
+            for (rank, inbox) in receivers.into_iter().enumerate() {
+                let peers = senders.clone();
+                handles.push(scope.spawn(move || {
+                    body(RankCtx { rank, size, peers, inbox, stash: VecDeque::new() })
+                }));
+            }
+            drop(senders);
+            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass() {
+        let results: Vec<u64> = Cluster::run(4, |mut ctx: RankCtx<u64>| {
+            let next = (ctx.rank() + 1) % ctx.size();
+            let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
+            ctx.send(next, 1, ctx.rank() as u64);
+            ctx.recv_match(prev, 1)
+        });
+        assert_eq!(results, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn recv_match_buffers_out_of_order() {
+        let results: Vec<(u64, u64)> = Cluster::run(2, |mut ctx: RankCtx<u64>| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 7, 70);
+                ctx.send(1, 8, 80);
+                (0, 0)
+            } else {
+                // Ask for tag 8 first even though 7 likely arrives first.
+                let b = ctx.recv_match(0, 8);
+                let a = ctx.recv_match(0, 7);
+                (a, b)
+            }
+        });
+        assert_eq!(results[1], (70, 80));
+    }
+
+    #[test]
+    fn broadcast_reaches_all() {
+        let results: Vec<String> = Cluster::run(5, |mut ctx: RankCtx<String>| {
+            let payload = (ctx.rank() == 2).then(|| "hello".to_string());
+            ctx.broadcast(2, 3, payload)
+        });
+        assert!(results.iter().all(|s| s == "hello"));
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let results: Vec<Option<Vec<usize>>> = Cluster::run(4, |mut ctx: RankCtx<usize>| {
+            ctx.gather(0, 9, ctx.rank() * 10)
+        });
+        assert_eq!(results[0], Some(vec![0, 10, 20, 30]));
+        assert!(results[1..].iter().all(|r| r.is_none()));
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let before = AtomicUsize::new(0);
+        let violations = AtomicUsize::new(0);
+        Cluster::run(6, |mut ctx: RankCtx<u8>| {
+            before.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier(0);
+            // After the barrier every rank must observe all 6 arrivals.
+            if before.load(Ordering::SeqCst) != 6 {
+                violations.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert_eq!(violations.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn helper_thread_receives_via_split() {
+        let results: Vec<u64> = Cluster::run(2, |mut ctx: RankCtx<u64>| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 5, 123);
+                0
+            } else {
+                let (inbox, stash) = ctx.split_receiver();
+                assert!(stash.is_empty());
+                // Helper thread ingests and forwards to the main thread.
+                let (tx, rx) = std::sync::mpsc::channel();
+                let helper = std::thread::spawn(move || {
+                    let env = inbox.recv().unwrap();
+                    tx.send(env.payload).unwrap();
+                });
+                let got = rx.recv().unwrap();
+                helper.join().unwrap();
+                got
+            }
+        });
+        assert_eq!(results[1], 123);
+    }
+
+    #[test]
+    fn single_rank_cluster() {
+        let results: Vec<usize> = Cluster::run(1, |ctx: RankCtx<u8>| ctx.size());
+        assert_eq!(results, vec![1]);
+    }
+
+    #[test]
+    fn scatter_delivers_per_rank_payloads() {
+        let results: Vec<u64> = Cluster::run(4, |mut ctx: RankCtx<u64>| {
+            let payloads =
+                (ctx.rank() == 1).then(|| vec![10, 11, 12, 13]);
+            ctx.scatter(1, 2, payloads)
+        });
+        assert_eq!(results, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn reduce_combines_in_rank_order() {
+        let results: Vec<Option<String>> = Cluster::run(3, |mut ctx: RankCtx<String>| {
+            ctx.reduce(0, 4, format!("r{}", ctx.rank()), |a, b| format!("{a},{b}"))
+        });
+        assert_eq!(results[0].as_deref(), Some("r0,r1,r2"), "deterministic order");
+        assert!(results[1].is_none() && results[2].is_none());
+    }
+
+    #[test]
+    fn all_reduce_reaches_every_rank() {
+        let results: Vec<u64> = Cluster::run(5, |mut ctx: RankCtx<u64>| {
+            ctx.all_reduce(6, ctx.rank() as u64 + 1, |a, b| a + b)
+        });
+        assert!(results.iter().all(|&s| s == 15), "{results:?}");
+    }
+
+    #[test]
+    fn collectives_compose_without_tag_collisions() {
+        // A realistic multi-phase exchange: scatter work, reduce partials,
+        // broadcast the final answer.
+        let results: Vec<u64> = Cluster::run(4, |mut ctx: RankCtx<u64>| {
+            let work = ctx.scatter(0, 10, (ctx.rank() == 0).then(|| vec![1, 2, 3, 4]));
+            let squared = work * work;
+            let total = ctx.all_reduce(20, squared, |a, b| a + b);
+            ctx.barrier(30);
+            total
+        });
+        assert!(results.iter().all(|&t| t == 1 + 4 + 9 + 16));
+    }
+}

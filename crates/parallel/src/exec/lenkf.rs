@@ -1,0 +1,199 @@
+//! L-EnKF: the single-reader baseline (real executor).
+//!
+//! Rank 0 reads the member files one after another and scatters each rank's
+//! expansion block over the network (§3.1, §6: "a single reader processor
+//! communicates the data to the other processors, which can not make full
+//! use of parallel file systems"). Every rank then runs the same local
+//! analysis as the other variants.
+
+use crate::exec::setup::AssimilationSetup;
+use crate::exec::{assemble_analysis, Msg};
+use crate::report::{ExecutionReport, PhaseBreakdown, PhaseTimer};
+use enkf_core::{Ensemble, Result};
+use enkf_data::region_to_matrix;
+use enkf_net::{Cluster, RankCtx};
+use enkf_pfs::RegionData;
+use std::time::Instant;
+
+/// The L-EnKF variant: `n_sdx × n_sdy` ranks, rank 0 is the only reader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LEnkf {
+    /// Sub-domains (= ranks) along longitude.
+    pub nsdx: usize,
+    /// Sub-domains (= ranks) along latitude.
+    pub nsdy: usize,
+}
+
+impl LEnkf {
+    /// Run the assimilation; returns the analysis ensemble and the phase
+    /// timings.
+    pub fn run(&self, setup: &AssimilationSetup<'_>) -> Result<(Ensemble, ExecutionReport)> {
+        setup.validate()?;
+        let decomp = setup.decomposition(self.nsdx, self.nsdy)?;
+        let mesh = setup.mesh();
+        let radius = setup.analysis.radius;
+        let nranks = decomp.num_subdomains();
+        let t0 = Instant::now();
+
+        type RankOut = (Result<(enkf_grid::RegionRect, enkf_linalg::Matrix)>, PhaseBreakdown);
+        let results: Vec<RankOut> = Cluster::run(nranks, |mut ctx: RankCtx<Msg>| {
+            let mut timer = PhaseTimer::new();
+            let id = decomp.id_of_rank(ctx.rank());
+            let target = decomp.subdomain(id);
+            let expansion = decomp.expansion(id, radius);
+            let mut per_member: Vec<Option<RegionData>> =
+                (0..setup.members).map(|_| None).collect();
+
+            if ctx.rank() == 0 {
+                // The single reader: read each full member, carve out every
+                // rank's expansion block, send (keep own block locally).
+                #[allow(clippy::needless_range_loop)]
+                for k in 0..setup.members {
+                    let full = match timer.measure(|p| &mut p.read, || setup.store.read_full(k)) {
+                        Ok(d) => d,
+                        Err(e) => {
+                            // Unblock every waiting rank before bailing out.
+                            for peer in 1..ctx.size() {
+                                ctx.send(
+                                    peer,
+                                    k as u64,
+                                    Msg::Abort { reason: format!("read failed: {e}") },
+                                );
+                            }
+                            return (
+                                Err(enkf_core::EnkfError::GeometryMismatch(format!(
+                                    "read failed: {e}"
+                                ))),
+                                timer.phases,
+                            );
+                        }
+                    };
+                    timer.measure(
+                        |p| &mut p.comm,
+                        || {
+                            for peer in 1..ctx.size() {
+                                let peer_id = decomp.id_of_rank(peer);
+                                let peer_exp = decomp.expansion(peer_id, radius);
+                                let block = full.extract(&peer_exp);
+                                ctx.send(
+                                    peer,
+                                    k as u64,
+                                    Msg::Blocks { stage: 0, members: vec![k], data: vec![block] },
+                                );
+                            }
+                        },
+                    );
+                    per_member[k] = Some(full.extract(&expansion));
+                }
+            } else {
+                // Receive the expansion blocks of all members from rank 0.
+                let received: std::result::Result<(), String> = timer.measure(
+                    |p| &mut p.wait,
+                    || {
+                        for _ in 0..setup.members {
+                            match ctx.recv().payload {
+                                Msg::Blocks { members, mut data, .. } => {
+                                    let k = members[0];
+                                    per_member[k] = Some(data.remove(0));
+                                }
+                                Msg::Abort { reason } => return Err(reason),
+                            }
+                        }
+                        Ok(())
+                    },
+                );
+                if let Err(reason) = received {
+                    return (
+                        Err(enkf_core::EnkfError::GeometryMismatch(format!(
+                            "reader aborted: {reason}"
+                        ))),
+                        timer.phases,
+                    );
+                }
+            }
+
+            let per_member: Vec<RegionData> =
+                per_member.into_iter().map(|o| o.expect("all members delivered")).collect();
+            let out = timer.measure(
+                |p| &mut p.compute,
+                || {
+                    let xb = region_to_matrix(&expansion, &per_member);
+                    let obs = setup.observations.localize(&expansion);
+                    setup.analysis.analyze(mesh, &target, &expansion, &xb, &obs)
+                },
+            );
+            (out.map(|m| (target, m)), timer.phases)
+        });
+
+        let mut compute_ranks = PhaseBreakdown::default();
+        let mut per_domain = Vec::with_capacity(nranks);
+        for (res, phases) in results {
+            compute_ranks.merge(&phases);
+            per_domain.push(res?);
+        }
+        let analysis = assemble_analysis(mesh, setup.members, &decomp, per_domain);
+        let report = ExecutionReport {
+            compute_ranks,
+            io_ranks: PhaseBreakdown::default(),
+            num_compute_ranks: nranks,
+            num_io_ranks: 0,
+            wall_time: t0.elapsed().as_secs_f64(),
+        };
+        Ok((analysis, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PEnkf;
+    use enkf_core::{serial_enkf, LocalAnalysis};
+    use enkf_data::{write_ensemble, ScenarioBuilder};
+    use enkf_grid::{FileLayout, LocalizationRadius, Mesh};
+    use enkf_pfs::{FileStore, ScratchDir};
+
+    #[test]
+    fn lenkf_matches_serial_and_penkf() {
+        let mesh = Mesh::new(12, 6);
+        let members = 5;
+        let scenario = ScenarioBuilder::new(mesh).members(members).seed(21).build();
+        let scratch = ScratchDir::new("lenkf").unwrap();
+        let store = FileStore::open(scratch.path(), FileLayout::new(mesh, 8)).unwrap();
+        write_ensemble(&store, &scenario.ensemble).unwrap();
+        let radius = LocalizationRadius { xi: 1, eta: 1 };
+        let setup = AssimilationSetup {
+            store: &store,
+            members,
+            observations: &scenario.observations,
+            analysis: LocalAnalysis::new(radius),
+        };
+        let (l_analysis, l_report) = LEnkf { nsdx: 4, nsdy: 2 }.run(&setup).unwrap();
+        let (p_analysis, _) = PEnkf { nsdx: 4, nsdy: 2 }.run(&setup).unwrap();
+        let reference = serial_enkf(&scenario.ensemble, &scenario.observations, radius).unwrap();
+        assert!(l_analysis.states().approx_eq(reference.states(), 1e-12));
+        assert!(l_analysis.states().approx_eq(p_analysis.states(), 1e-12));
+        // Rank 0 did all the reading and all the sending.
+        assert!(l_report.compute_ranks.read > 0.0);
+        assert!(l_report.compute_ranks.comm > 0.0);
+    }
+
+    #[test]
+    fn single_rank_degenerates_gracefully() {
+        let mesh = Mesh::new(6, 6);
+        let members = 4;
+        let scenario = ScenarioBuilder::new(mesh).members(members).seed(2).build();
+        let scratch = ScratchDir::new("lenkf1").unwrap();
+        let store = FileStore::open(scratch.path(), FileLayout::new(mesh, 8)).unwrap();
+        write_ensemble(&store, &scenario.ensemble).unwrap();
+        let radius = LocalizationRadius { xi: 1, eta: 1 };
+        let setup = AssimilationSetup {
+            store: &store,
+            members,
+            observations: &scenario.observations,
+            analysis: LocalAnalysis::new(radius),
+        };
+        let (analysis, _) = LEnkf { nsdx: 1, nsdy: 1 }.run(&setup).unwrap();
+        let reference = serial_enkf(&scenario.ensemble, &scenario.observations, radius).unwrap();
+        assert!(analysis.states().approx_eq(reference.states(), 1e-12));
+    }
+}

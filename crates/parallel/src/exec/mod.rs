@@ -1,0 +1,52 @@
+//! Real (threaded) executors for the three parallel EnKF variants.
+
+pub mod lenkf;
+pub mod penkf;
+pub mod senkf;
+pub mod setup;
+pub mod writeback;
+
+use enkf_core::Ensemble;
+use enkf_grid::{Decomposition, Mesh, RegionRect};
+use enkf_linalg::Matrix;
+
+/// The payload exchanged between ranks: a bundle of region blocks, one per
+/// carried ensemble member, for one stage of the multi-stage workflow
+/// (stage is always 0 for the single-stage variants).
+#[derive(Debug, Clone)]
+pub(crate) enum Msg {
+    /// Blocks of several members covering one region.
+    Blocks {
+        /// Multi-stage index (`l`), 0-based.
+        stage: usize,
+        /// Global member indices, parallel to `data`.
+        members: Vec<usize>,
+        /// One region payload per member.
+        data: Vec<enkf_pfs::RegionData>,
+    },
+    /// A sender hit a fatal error (e.g. an unreadable member file) and will
+    /// produce no further blocks: receivers must stop waiting. Without this
+    /// a failing reader would deadlock every rank blocked on its data.
+    Abort {
+        /// Human-readable failure description.
+        reason: String,
+    },
+}
+
+/// Assemble the per-sub-domain analysis results returned by compute ranks
+/// into a full analysis ensemble. `results` holds
+/// `(sub-domain target region, local analysis matrix)` pairs covering every
+/// sub-domain exactly once, so every point of the mesh is written.
+pub(crate) fn assemble_analysis(
+    mesh: Mesh,
+    members: usize,
+    decomp: &Decomposition,
+    results: Vec<(RegionRect, Matrix)>,
+) -> Ensemble {
+    assert_eq!(results.len(), decomp.num_subdomains(), "missing sub-domain results");
+    let mut out = Ensemble::new(mesh, Matrix::zeros(mesh.n(), members));
+    for (region, local) in results {
+        out.assign(&region, &local);
+    }
+    out
+}

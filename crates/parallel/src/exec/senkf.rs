@@ -1,0 +1,366 @@
+//! S-EnKF: the paper's co-designed scalable EnKF (real executor).
+//!
+//! Processor roles (Fig. 8): `C₂ = n_sdx·n_sdy` **compute ranks** own one
+//! sub-domain each; `C₁ = n_cg·n_sdy` **I/O ranks** form `n_cg` concurrent
+//! groups of `n_sdy` readers. Work proceeds in `L` stages:
+//!
+//! * I/O rank `(g, j)` reads, for every member file of its group, the
+//!   *small bar* of latitude-block `j`, stage `l` — a full-width band, one
+//!   contiguous segment, one disk addressing operation (§4.1.2) — and sends
+//!   each compute rank `(i, j)` its block (the layer expansion) bundled
+//!   over the group's files.
+//! * Compute rank `(i, j)` runs a **helper thread** that ingests blocks and
+//!   hands the main thread a fully assembled `X̄ᵇ` per stage; the main
+//!   thread analyzes layer `l` while the helper (and the I/O ranks) already
+//!   work on stage `l+1` — the overlap of Figs. 7–8.
+
+use crate::exec::setup::AssimilationSetup;
+use crate::exec::{assemble_analysis, Msg};
+use crate::report::{ExecutionReport, PhaseBreakdown, PhaseTimer};
+use enkf_core::{EnkfError, Ensemble, Result};
+use enkf_grid::RegionRect;
+use enkf_linalg::Matrix;
+use enkf_net::{Cluster, RankCtx};
+use enkf_tuning::Params;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// The S-EnKF variant, configured by the auto-tunable parameter set
+/// `(n_sdx, n_sdy, L, n_cg)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SEnkf {
+    /// Decomposition / overlap parameters (`enkf_tuning::Params`).
+    pub params: Params,
+}
+
+impl SEnkf {
+    /// Construct from a parameter set (e.g. the auto-tuner's output).
+    pub fn new(params: Params) -> Self {
+        SEnkf { params }
+    }
+
+    /// Run the assimilation; returns the analysis ensemble and the phase
+    /// timings (compute ranks and I/O ranks reported separately).
+    pub fn run(&self, setup: &AssimilationSetup<'_>) -> Result<(Ensemble, ExecutionReport)> {
+        setup.validate()?;
+        let p = self.params;
+        let decomp = setup.decomposition(p.nsdx, p.nsdy)?;
+        decomp
+            .check_layers(p.layers)
+            .map_err(|e| EnkfError::GeometryMismatch(e.to_string()))?;
+        if p.ncg == 0 || !setup.members.is_multiple_of(p.ncg) {
+            return Err(EnkfError::GeometryMismatch(format!(
+                "members {} not divisible by n_cg {}",
+                setup.members, p.ncg
+            )));
+        }
+        let mesh = setup.mesh();
+        let radius = setup.analysis.radius;
+        let c2 = decomp.num_subdomains();
+        let c1 = p.ncg * p.nsdy;
+        let nranks = c1 + c2;
+        let files_per_group = setup.members / p.ncg;
+        let t0 = Instant::now();
+
+        type RankOut =
+            (Result<Option<(RegionRect, Matrix)>>, PhaseBreakdown, /* is_io: */ bool);
+        let results: Vec<RankOut> = Cluster::run(nranks, |mut ctx: RankCtx<Msg>| {
+            let mut timer = PhaseTimer::new();
+            if ctx.rank() >= c2 {
+                // ---- I/O rank (group g, latitude block j) ----
+                let io_index = ctx.rank() - c2;
+                let group = io_index / p.nsdy;
+                let j = io_index % p.nsdy;
+                let files: Vec<usize> =
+                    (group * files_per_group..(group + 1) * files_per_group).collect();
+                for l in 0..p.layers {
+                    let bar = decomp.small_bar(j, l, p.layers, radius);
+                    let read: std::io::Result<Vec<enkf_pfs::RegionData>> = timer.measure(
+                        |ph| &mut ph.read,
+                        || files.iter().map(|&k| setup.store.read_region(k, &bar)).collect(),
+                    );
+                    let datas = match read {
+                        Ok(v) => v,
+                        Err(e) => {
+                            // Unblock this latitude block's compute ranks
+                            // before bailing out.
+                            for i in 0..p.nsdx {
+                                let id = enkf_grid::SubDomainId { i, j };
+                                ctx.send(
+                                    decomp.rank_of(id),
+                                    l as u64,
+                                    Msg::Abort { reason: format!("read failed: {e}") },
+                                );
+                            }
+                            return (
+                                Err(EnkfError::GeometryMismatch(format!("read failed: {e}"))),
+                                timer.phases,
+                                true,
+                            );
+                        }
+                    };
+                    timer.measure(
+                        |ph| &mut ph.comm,
+                        || {
+                            for i in 0..p.nsdx {
+                                let id = enkf_grid::SubDomainId { i, j };
+                                let block =
+                                    decomp.block_of_small_bar(id, l, p.layers, radius);
+                                let blocks: Vec<enkf_pfs::RegionData> =
+                                    datas.iter().map(|d| d.extract(&block)).collect();
+                                ctx.send(
+                                    decomp.rank_of(id),
+                                    l as u64,
+                                    Msg::Blocks {
+                                        stage: l,
+                                        members: files.clone(),
+                                        data: blocks,
+                                    },
+                                );
+                            }
+                        },
+                    );
+                }
+                return (Ok(None), timer.phases, true);
+            }
+
+            // ---- Compute rank (sub-domain id) ----
+            let id = decomp.id_of_rank(ctx.rank());
+            let target = decomp.subdomain(id);
+
+            // Offload reception to the helper thread (Fig. 8): it assembles
+            // X̄ᵇ for each stage and signals the main thread.
+            let (inbox, stash) = ctx.split_receiver();
+            debug_assert!(stash.is_empty(), "no traffic before the helper starts");
+            let (tx, rx) = std::sync::mpsc::channel::<(usize, Matrix)>();
+            let members_total = setup.members;
+            let layers = p.layers;
+            let ncg = p.ncg;
+            let helper = std::thread::spawn(move || {
+                struct Stage {
+                    matrix: Matrix,
+                    filled: usize,
+                }
+                let mut stages: BTreeMap<usize, Stage> = BTreeMap::new();
+                for _ in 0..layers * ncg {
+                    let Ok(env) = inbox.recv() else { return };
+                    let (stage, members, data) = match env.payload {
+                        Msg::Blocks { stage, members, data } => (stage, members, data),
+                        Msg::Abort { .. } => {
+                            // Signal the main thread with a sentinel stage
+                            // and stop ingesting.
+                            let _ = tx.send((usize::MAX, Matrix::zeros(0, 2)));
+                            return;
+                        }
+                    };
+                    let region = decomp.layer_expansion(id, stage, layers, radius);
+                    let entry = stages.entry(stage).or_insert_with(|| Stage {
+                        matrix: Matrix::zeros(region.npoints(), members_total),
+                        filled: 0,
+                    });
+                    for (&k, rd) in members.iter().zip(&data) {
+                        debug_assert_eq!(rd.region, region, "block region mismatch");
+                        for row in 0..region.npoints() {
+                            entry.matrix[(row, k)] = rd.value(row, 0);
+                        }
+                    }
+                    entry.filled += members.len();
+                    if entry.filled == members_total {
+                        let done = stages.remove(&stage).expect("stage present");
+                        if tx.send((stage, done.matrix)).is_err() {
+                            return; // main thread bailed out
+                        }
+                    }
+                }
+            });
+
+            // Multi-stage local analysis: stage l computes while the helper
+            // and the I/O ranks feed stage l+1.
+            let sub_width = target.width();
+            let layer_height = target.height() / p.layers;
+            let mut result = Matrix::zeros(target.npoints(), setup.members);
+            let mut ready: BTreeMap<usize, Matrix> = BTreeMap::new();
+            for l in 0..p.layers {
+                let xb = loop {
+                    if let Some(m) = ready.remove(&l) {
+                        break m;
+                    }
+                    match timer.measure(|ph| &mut ph.wait, || rx.recv()) {
+                        Ok((stage, m)) => {
+                            if stage == usize::MAX {
+                                return (
+                                    Err(EnkfError::GeometryMismatch(
+                                        "an I/O rank aborted (read failure)".into(),
+                                    )),
+                                    timer.phases,
+                                    false,
+                                );
+                            }
+                            ready.insert(stage, m);
+                        }
+                        Err(_) => {
+                            return (
+                                Err(EnkfError::GeometryMismatch(
+                                    "helper thread terminated early".into(),
+                                )),
+                                timer.phases,
+                                false,
+                            )
+                        }
+                    }
+                };
+                let layer = decomp.layer(id, l, p.layers);
+                let expansion = decomp.layer_expansion(id, l, p.layers, radius);
+                let analyzed = timer.measure(
+                    |ph| &mut ph.compute,
+                    || {
+                        let obs = setup.observations.localize(&expansion);
+                        setup.analysis.analyze(mesh, &layer, &expansion, &xb, &obs)
+                    },
+                );
+                match analyzed {
+                    Ok(xa) => {
+                        // Layer rows are contiguous within the sub-domain's
+                        // row-priority local ordering.
+                        let row0 = l * layer_height * sub_width;
+                        for r in 0..xa.nrows() {
+                            result
+                                .row_mut(row0 + r)
+                                .copy_from_slice(xa.row(r));
+                        }
+                    }
+                    Err(e) => return (Err(e), timer.phases, false),
+                }
+            }
+            helper.join().expect("helper thread panicked");
+            (Ok(Some((target, result))), timer.phases, false)
+        });
+
+        let mut compute_ranks = PhaseBreakdown::default();
+        let mut io_ranks = PhaseBreakdown::default();
+        let mut per_domain = Vec::with_capacity(c2);
+        for (res, phases, is_io) in results {
+            if is_io {
+                io_ranks.merge(&phases);
+                res?;
+            } else {
+                compute_ranks.merge(&phases);
+                if let Some(pair) = res? {
+                    per_domain.push(pair);
+                }
+            }
+        }
+        let analysis = assemble_analysis(mesh, setup.members, &decomp, per_domain);
+        let report = ExecutionReport {
+            compute_ranks,
+            io_ranks,
+            num_compute_ranks: c2,
+            num_io_ranks: c1,
+            wall_time: t0.elapsed().as_secs_f64(),
+        };
+        Ok((analysis, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PEnkf;
+    use enkf_core::{serial_enkf, LocalAnalysis};
+    use enkf_data::{write_ensemble, ScenarioBuilder};
+    use enkf_grid::{FileLayout, LocalizationRadius, Mesh};
+    use enkf_pfs::{FileStore, ScratchDir};
+
+    fn harness(
+        mesh: Mesh,
+        members: usize,
+        seed: u64,
+    ) -> (ScratchDir, FileStore, enkf_data::Scenario) {
+        let scenario = ScenarioBuilder::new(mesh).members(members).seed(seed).build();
+        let scratch = ScratchDir::new("senkf").unwrap();
+        let store = FileStore::open(scratch.path(), FileLayout::new(mesh, 8)).unwrap();
+        write_ensemble(&store, &scenario.ensemble).unwrap();
+        (scratch, store, scenario)
+    }
+
+    #[test]
+    fn matches_serial_reference_exactly() {
+        let mesh = Mesh::new(12, 8);
+        let members = 6;
+        let (_s, store, scenario) = harness(mesh, members, 31);
+        let radius = LocalizationRadius { xi: 1, eta: 1 };
+        let setup = AssimilationSetup {
+            store: &store,
+            members,
+            observations: &scenario.observations,
+            analysis: LocalAnalysis::new(radius),
+        };
+        let senkf = SEnkf::new(Params { nsdx: 3, nsdy: 2, layers: 2, ncg: 2 });
+        let (analysis, report) = senkf.run(&setup).unwrap();
+        let reference = serial_enkf(&scenario.ensemble, &scenario.observations, radius).unwrap();
+        assert!(
+            analysis.states().approx_eq(reference.states(), 1e-12),
+            "S-EnKF must equal the serial point-wise reference"
+        );
+        assert_eq!(report.num_compute_ranks, 6);
+        assert_eq!(report.num_io_ranks, 4);
+        assert!(report.io_ranks.read > 0.0, "I/O ranks must do the reading");
+        assert!(report.compute_ranks.compute > 0.0);
+        assert_eq!(report.compute_ranks.read, 0.0, "compute ranks never touch disk");
+    }
+
+    #[test]
+    fn senkf_equals_penkf_across_parameterizations() {
+        let mesh = Mesh::new(16, 12);
+        let members = 8;
+        let (_s, store, scenario) = harness(mesh, members, 5);
+        let radius = LocalizationRadius { xi: 2, eta: 1 };
+        let setup = AssimilationSetup {
+            store: &store,
+            members,
+            observations: &scenario.observations,
+            analysis: LocalAnalysis::new(radius),
+        };
+        let (p_analysis, _) = PEnkf { nsdx: 4, nsdy: 3 }.run(&setup).unwrap();
+        for (layers, ncg) in [(1, 1), (2, 2), (4, 4), (2, 8)] {
+            let senkf = SEnkf::new(Params { nsdx: 4, nsdy: 3, layers, ncg });
+            let (analysis, _) = senkf.run(&setup).unwrap();
+            assert!(
+                analysis.states().approx_eq(p_analysis.states(), 1e-12),
+                "S-EnKF(L={layers}, ncg={ncg}) differs from P-EnKF"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_indivisible_group_count() {
+        let mesh = Mesh::new(8, 8);
+        let members = 6;
+        let (_s, store, scenario) = harness(mesh, members, 7);
+        let setup = AssimilationSetup {
+            store: &store,
+            members,
+            observations: &scenario.observations,
+            analysis: LocalAnalysis::new(LocalizationRadius { xi: 1, eta: 1 }),
+        };
+        // 6 members cannot split into 4 groups.
+        let senkf = SEnkf::new(Params { nsdx: 2, nsdy: 2, layers: 2, ncg: 4 });
+        assert!(senkf.run(&setup).is_err());
+    }
+
+    #[test]
+    fn rejects_indivisible_layer_count() {
+        let mesh = Mesh::new(8, 8);
+        let members = 4;
+        let (_s, store, scenario) = harness(mesh, members, 8);
+        let setup = AssimilationSetup {
+            store: &store,
+            members,
+            observations: &scenario.observations,
+            analysis: LocalAnalysis::new(LocalizationRadius { xi: 1, eta: 1 }),
+        };
+        // Sub-domain height 4 does not divide into 3 layers.
+        let senkf = SEnkf::new(Params { nsdx: 2, nsdy: 2, layers: 3, ncg: 2 });
+        assert!(senkf.run(&setup).is_err());
+    }
+}

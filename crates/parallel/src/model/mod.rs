@@ -1,0 +1,91 @@
+//! Modeled (discrete-event) executors for paper-scale experiments.
+
+pub mod penkf;
+pub mod reading;
+pub mod senkf;
+
+use crate::report::PhaseBreakdown;
+use enkf_net::NetParams;
+use enkf_pfs::PfsParams;
+use enkf_tuning::Workload;
+
+/// Configuration of a modeled run: workload geometry plus substrate
+/// parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelConfig {
+    /// Problem geometry (mesh, members, bytes per point, radii).
+    pub workload: Workload,
+    /// The modeled parallel file system.
+    pub pfs: PfsParams,
+    /// The modeled interconnect.
+    pub net: NetParams,
+    /// Local-analysis cost per grid point, seconds (`c` in Table 1).
+    pub compute_cost_per_point: f64,
+}
+
+impl ModelConfig {
+    /// The paper-scale configuration: 0.1° ocean workload on the
+    /// Tianhe-2-like substrate.
+    pub fn paper() -> Self {
+        let machine = enkf_tuning::MachineParams::tianhe2_like();
+        ModelConfig {
+            workload: Workload::paper_ocean(),
+            pfs: PfsParams::tianhe2_like(),
+            net: NetParams { alpha: machine.a, beta: machine.b },
+            compute_cost_per_point: machine.c,
+        }
+    }
+
+    /// The equivalent closed-form cost parameters (for model-vs-DES
+    /// comparisons like Figure 12).
+    pub fn cost_params(&self) -> enkf_tuning::CostParams {
+        enkf_tuning::CostParams {
+            workload: self.workload,
+            machine: enkf_tuning::MachineParams {
+                a: self.net.alpha,
+                b: self.net.beta,
+                c: self.compute_cost_per_point,
+                theta: self.pfs.byte_time,
+            },
+        }
+    }
+}
+
+/// The result of one modeled run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelOutcome {
+    /// Virtual end-to-end runtime, seconds.
+    pub makespan: f64,
+    /// Mean phases per compute rank.
+    pub compute_mean: PhaseBreakdown,
+    /// Mean phases per I/O rank (zero for variants without I/O ranks).
+    pub io_mean: PhaseBreakdown,
+    /// Number of compute ranks.
+    pub num_compute_ranks: usize,
+    /// Number of dedicated I/O ranks.
+    pub num_io_ranks: usize,
+    /// Virtual time at which the first local-analysis task started — the
+    /// exposed (un-overlapped) read+comm prefix of Fig. 9/13's discussion.
+    pub first_compute_start: f64,
+}
+
+impl ModelOutcome {
+    /// Total processors used.
+    pub fn total_ranks(&self) -> usize {
+        self.num_compute_ranks + self.num_io_ranks
+    }
+
+    /// The fraction of the runtime during which data obtaining (reads,
+    /// communication, and the I/O side's waiting) is hidden behind local
+    /// computation — Figure 11's overlapped-time share. Only the first
+    /// stage's acquisition is exposed ("the only part in the algorithm that
+    /// could not be overlapped is the first file reading and data
+    /// communication", §5.4), so the share is
+    /// `1 − first_compute_start / makespan`.
+    pub fn overlapped_fraction(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.first_compute_start / self.makespan).clamp(0.0, 1.0)
+    }
+}

@@ -1,0 +1,123 @@
+//! Modeled P-EnKF: block reading then compute, at paper scale.
+
+use crate::model::{ModelConfig, ModelOutcome};
+use crate::report::PhaseBreakdown;
+use enkf_grid::{Decomposition, FileLayout, LocalizationRadius, Mesh};
+use enkf_pfs::ModeledPfs;
+use enkf_sim::{Kind, Simulation, Task};
+
+/// Build and run the DES for a P-EnKF assimilation with an
+/// `n_sdx × n_sdy` decomposition.
+///
+/// Every rank issues one block read per member file (partial-width region:
+/// one disk addressing operation per latitude row — the `O(n_y · n_sdx)`
+/// pattern of §4.1.1) and then a single local-analysis task.
+pub fn model_penkf(cfg: &ModelConfig, nsdx: usize, nsdy: usize) -> Result<ModelOutcome, String> {
+    let w = &cfg.workload;
+    let mesh = Mesh::new(w.nx, w.ny);
+    let decomp = Decomposition::new(mesh, nsdx, nsdy).map_err(|e| e.to_string())?;
+    let radius = LocalizationRadius { xi: w.xi, eta: w.eta };
+    let layout = FileLayout::new(mesh, w.h);
+
+    let mut sim = Simulation::new();
+    let pfs = ModeledPfs::register(&mut sim, cfg.pfs);
+    let ranks = decomp.num_subdomains();
+    let agents = sim.add_agents(ranks);
+    let mut compute_tasks = Vec::with_capacity(ranks);
+
+    for (r, id) in decomp.iter_ids().enumerate() {
+        let expansion = decomp.expansion(id, radius);
+        let seeks = layout.seek_count(&expansion) as u64;
+        let bytes = layout.region_bytes(&expansion);
+        let read_service = pfs.read_service(seeks, bytes);
+        for k in 0..w.members {
+            sim.add_task(
+                Task::new(agents[r], Kind::Read, read_service)
+                    .with_resources(vec![pfs.ost_of_file(k)]),
+            )
+            .map_err(|e| e.to_string())?;
+        }
+        let comp = cfg.compute_cost_per_point * decomp.subdomain(id).npoints() as f64;
+        let t = sim
+            .add_task(Task::new(agents[r], Kind::Compute, comp))
+            .map_err(|e| e.to_string())?;
+        compute_tasks.push(t);
+    }
+
+    let report = sim.run().map_err(|e| e.to_string())?;
+    let agg = report.aggregate((0..ranks).collect::<Vec<_>>().iter());
+    let compute_mean = PhaseBreakdown {
+        read: agg.busy.read / ranks as f64,
+        comm: agg.busy.comm / ranks as f64,
+        compute: agg.busy.compute / ranks as f64,
+        wait: agg.wait / ranks as f64,
+    };
+    let first_compute_start = compute_tasks
+        .iter()
+        .map(|&t| sim.task_times(t).1)
+        .fold(f64::INFINITY, f64::min);
+    Ok(ModelOutcome {
+        makespan: report.makespan,
+        compute_mean,
+        io_mean: PhaseBreakdown::default(),
+        num_compute_ranks: ranks,
+        num_io_ranks: 0,
+        first_compute_start,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enkf_tuning::Workload;
+
+    fn small_cfg() -> ModelConfig {
+        ModelConfig {
+            workload: Workload { nx: 240, ny: 120, members: 8, h: 80, xi: 2, eta: 2 },
+            ..ModelConfig::paper()
+        }
+    }
+
+    #[test]
+    fn produces_sane_phases() {
+        let cfg = small_cfg();
+        let out = model_penkf(&cfg, 8, 6).unwrap();
+        assert!(out.makespan > 0.0);
+        assert!(out.compute_mean.read > 0.0);
+        assert!(out.compute_mean.compute > 0.0);
+        assert_eq!(out.num_compute_ranks, 48);
+        assert_eq!(out.num_io_ranks, 0);
+        // Sequential phases: the first compute cannot start before every
+        // read of some rank finished, so it starts after the reads' span.
+        assert!(out.first_compute_start > 0.0);
+    }
+
+    #[test]
+    fn read_time_grows_with_nsdx() {
+        // The block-reading seek count is O(n_y · n_sdx): doubling nsdx at
+        // fixed rank count must increase the mean read time (Fig. 5).
+        let cfg = small_cfg();
+        let narrow = model_penkf(&cfg, 6, 8).unwrap();
+        let wide = model_penkf(&cfg, 24, 2).unwrap();
+        assert!(
+            wide.compute_mean.read > narrow.compute_mean.read,
+            "wide {} vs narrow {}",
+            wide.compute_mean.read,
+            narrow.compute_mean.read
+        );
+    }
+
+    #[test]
+    fn compute_shrinks_with_more_ranks() {
+        let cfg = small_cfg();
+        let few = model_penkf(&cfg, 4, 3).unwrap();
+        let many = model_penkf(&cfg, 8, 6).unwrap();
+        assert!(many.compute_mean.compute < few.compute_mean.compute);
+    }
+
+    #[test]
+    fn invalid_decomposition_errors() {
+        let cfg = small_cfg();
+        assert!(model_penkf(&cfg, 7, 6).is_err());
+    }
+}

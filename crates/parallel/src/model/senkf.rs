@@ -1,0 +1,255 @@
+//! Modeled S-EnKF: concurrent-group bar reading, multi-stage overlap.
+
+use crate::model::{ModelConfig, ModelOutcome};
+use crate::report::PhaseBreakdown;
+use enkf_grid::{Decomposition, FileLayout, LocalizationRadius, Mesh, SubDomainId};
+use enkf_net::ModeledNet;
+use enkf_pfs::ModeledPfs;
+use enkf_sim::{Kind, Simulation, Task, TaskId};
+use enkf_tuning::Params;
+
+/// Build and run the DES for an S-EnKF assimilation with parameters
+/// `(n_sdx, n_sdy, L, n_cg)`.
+///
+/// Agents: `C₂` compute ranks plus `C₁ = n_cg · n_sdy` I/O ranks. Per stage
+/// `l`, I/O rank `(g, j)` reads one single-seek small bar per group file and
+/// then sends each compute rank `(·, j)` its block bundle (serialized on the
+/// sender, queued on the receiver's NIC — the natural origin of Eq. 8's
+/// `n_sdx` and tree factors). Compute rank `(i, j)`'s stage-`l` analysis
+/// depends only on the `n_cg` bundles for stage `l`, so stage `l+1` I/O
+/// overlaps stage `l` computation exactly as in Fig. 7.
+pub fn model_senkf(cfg: &ModelConfig, params: Params) -> Result<ModelOutcome, String> {
+    model_senkf_opts(cfg, params, SEnkfModelOptions::default())
+}
+
+/// Ablation switches for the modeled S-EnKF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SEnkfModelOptions {
+    /// With the helper thread (the paper's design, default) block ingestion
+    /// proceeds concurrently with the main thread's local analyses. Without
+    /// it, each stage's communication is ingested *on the compute agent*
+    /// before that stage's analysis — communication is no longer hidden.
+    pub helper_thread: bool,
+}
+
+impl Default for SEnkfModelOptions {
+    fn default() -> Self {
+        SEnkfModelOptions { helper_thread: true }
+    }
+}
+
+/// [`model_senkf`] with ablation options.
+pub fn model_senkf_opts(
+    cfg: &ModelConfig,
+    params: Params,
+    opts: SEnkfModelOptions,
+) -> Result<ModelOutcome, String> {
+    let w = &cfg.workload;
+    let mesh = Mesh::new(w.nx, w.ny);
+    let decomp = Decomposition::new(mesh, params.nsdx, params.nsdy).map_err(|e| e.to_string())?;
+    decomp.check_layers(params.layers).map_err(|e| e.to_string())?;
+    if params.ncg == 0 || !w.members.is_multiple_of(params.ncg) {
+        return Err(format!("members {} not divisible by n_cg {}", w.members, params.ncg));
+    }
+    let radius = LocalizationRadius { xi: w.xi, eta: w.eta };
+    let layout = FileLayout::new(mesh, w.h);
+    let c2 = decomp.num_subdomains();
+    let c1 = params.ncg * params.nsdy;
+    let files_per_group = w.members / params.ncg;
+    // Guard the DES against degenerate parameterizations: the task graph
+    // has roughly ncg·C2·L send tasks plus reads and computes.
+    let est_tasks = params.ncg * c2 * params.layers
+        + c1 * params.layers * files_per_group
+        + c2 * params.layers;
+    const MAX_TASKS: usize = 30_000_000;
+    if est_tasks > MAX_TASKS {
+        return Err(format!(
+            "parameterization would create ~{est_tasks} DES tasks (> {MAX_TASKS}); \
+             choose smaller L / n_cg"
+        ));
+    }
+
+    let mut sim = Simulation::new();
+    let pfs = ModeledPfs::register(&mut sim, cfg.pfs);
+    let compute_agents = sim.add_agents(c2);
+    let io_agents = sim.add_agents(c1);
+    // NICs: one ingestion port per compute rank (the helper thread).
+    let net = ModeledNet::register(&mut sim, cfg.net, c2);
+
+    // sends[stage][compute rank] -> the send tasks the rank's stage needs.
+    let mut sends: Vec<Vec<Vec<TaskId>>> = vec![vec![Vec::new(); c2]; params.layers];
+
+    #[allow(clippy::needless_range_loop)] // `l` is the semantic stage number
+    for l in 0..params.layers {
+        for g in 0..params.ncg {
+            for j in 0..params.nsdy {
+                let io_agent = io_agents[g * params.nsdy + j];
+                let bar = decomp.small_bar(j, l, params.layers, radius);
+                let bar_bytes = layout.region_bytes(&bar);
+                let bar_seeks = layout.seek_count(&bar) as u64;
+                // One read per group file (program order serializes them on
+                // the I/O rank; the OST limits cross-rank concurrency).
+                for f in 0..files_per_group {
+                    let file = g * files_per_group + f;
+                    sim.add_task(
+                        Task::new(io_agent, Kind::Read, pfs.read_service(bar_seeks, bar_bytes))
+                            .with_resources(vec![pfs.ost_of_file(file)]),
+                    )
+                    .map_err(|e| e.to_string())?;
+                }
+                // One bundled send per compute rank in this latitude block.
+                for i in 0..params.nsdx {
+                    let id = SubDomainId { i, j };
+                    let block = decomp.block_of_small_bar(id, l, params.layers, radius);
+                    let bytes = layout.region_bytes(&block) * files_per_group as u64;
+                    let target = decomp.rank_of(id);
+                    let t = sim
+                        .add_task(
+                            Task::new(io_agent, Kind::Comm, cfg.net.p2p(bytes))
+                                .with_resources(vec![net.nic(target)]),
+                        )
+                        .map_err(|e| e.to_string())?;
+                    sends[l][target].push(t);
+                }
+            }
+        }
+    }
+
+    // Compute ranks: one analysis task per stage, gated on that stage's
+    // bundles only. Without the helper thread, an explicit ingestion task
+    // on the compute agent serializes communication with computation.
+    let mut compute_tasks = Vec::with_capacity(c2 * params.layers);
+    for (r, id) in decomp.iter_ids().enumerate() {
+        for (l, stage_sends) in sends.iter().enumerate() {
+            let layer = decomp.layer(id, l, params.layers);
+            let service = cfg.compute_cost_per_point * layer.npoints() as f64;
+            let deps = if opts.helper_thread {
+                stage_sends[r].clone()
+            } else {
+                let block = decomp.block_of_small_bar(id, l, params.layers, radius);
+                let bytes = layout.region_bytes(&block) * files_per_group as u64;
+                let ingest = params.ncg as f64 * cfg.net.p2p(bytes);
+                let t = sim
+                    .add_task(
+                        Task::new(compute_agents[r], Kind::Comm, ingest)
+                            .with_deps(stage_sends[r].clone()),
+                    )
+                    .map_err(|e| e.to_string())?;
+                vec![t]
+            };
+            let t = sim
+                .add_task(Task::new(compute_agents[r], Kind::Compute, service).with_deps(deps))
+                .map_err(|e| e.to_string())?;
+            compute_tasks.push(t);
+        }
+    }
+
+    let report = sim.run().map_err(|e| e.to_string())?;
+    let compute_ids: Vec<usize> = (0..c2).collect();
+    let io_ids: Vec<usize> = (c2..c2 + c1).collect();
+    let cagg = report.aggregate(compute_ids.iter());
+    let iagg = report.aggregate(io_ids.iter());
+    let compute_mean = PhaseBreakdown {
+        read: cagg.busy.read / c2 as f64,
+        comm: cagg.busy.comm / c2 as f64,
+        compute: cagg.busy.compute / c2 as f64,
+        wait: cagg.wait / c2 as f64,
+    };
+    let io_mean = PhaseBreakdown {
+        read: iagg.busy.read / c1 as f64,
+        comm: iagg.busy.comm / c1 as f64,
+        compute: iagg.busy.compute / c1 as f64,
+        wait: iagg.wait / c1 as f64,
+    };
+    let first_compute_start = compute_tasks
+        .iter()
+        .map(|&t| sim.task_times(t).1)
+        .fold(f64::INFINITY, f64::min);
+    Ok(ModelOutcome {
+        makespan: report.makespan,
+        compute_mean,
+        io_mean,
+        num_compute_ranks: c2,
+        num_io_ranks: c1,
+        first_compute_start,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::penkf::model_penkf;
+    use enkf_tuning::Workload;
+
+    fn small_cfg() -> ModelConfig {
+        ModelConfig {
+            workload: Workload { nx: 240, ny: 120, members: 8, h: 80, xi: 2, eta: 2 },
+            ..ModelConfig::paper()
+        }
+    }
+
+    #[test]
+    fn produces_sane_phases() {
+        let cfg = small_cfg();
+        let out =
+            model_senkf(&cfg, Params { nsdx: 8, nsdy: 6, layers: 4, ncg: 2 }).unwrap();
+        assert!(out.makespan > 0.0);
+        assert_eq!(out.num_compute_ranks, 48);
+        assert_eq!(out.num_io_ranks, 12);
+        assert!(out.io_mean.read > 0.0);
+        assert!(out.io_mean.comm > 0.0);
+        assert!(out.compute_mean.compute > 0.0);
+        assert_eq!(out.compute_mean.read, 0.0, "compute ranks never read");
+    }
+
+    #[test]
+    fn overlap_beats_penkf_at_scale() {
+        // With matched compute resources, S-EnKF's makespan must be well
+        // below P-EnKF's once reads dominate.
+        let cfg = small_cfg();
+        let p = model_penkf(&cfg, 24, 12).unwrap();
+        let s = model_senkf(&cfg, Params { nsdx: 24, nsdy: 12, layers: 5, ncg: 4 }).unwrap();
+        assert!(
+            s.makespan < p.makespan,
+            "S-EnKF {} vs P-EnKF {}",
+            s.makespan,
+            p.makespan
+        );
+    }
+
+    #[test]
+    fn multi_stage_overlaps_io_with_compute() {
+        // With L > 1, the first compute must start well before all reads
+        // finish (overlap); the exposed prefix is roughly 1/L of total I/O.
+        let cfg = small_cfg();
+        let out =
+            model_senkf(&cfg, Params { nsdx: 8, nsdy: 6, layers: 4, ncg: 2 }).unwrap();
+        assert!(
+            out.first_compute_start < out.makespan * 0.8,
+            "first compute at {} of {}",
+            out.first_compute_start,
+            out.makespan
+        );
+        assert!(out.overlapped_fraction() > 0.0);
+    }
+
+    #[test]
+    fn more_layers_reduce_exposed_prefix() {
+        let cfg = small_cfg();
+        let one = model_senkf(&cfg, Params { nsdx: 8, nsdy: 6, layers: 1, ncg: 2 }).unwrap();
+        let four = model_senkf(&cfg, Params { nsdx: 8, nsdy: 6, layers: 4, ncg: 2 }).unwrap();
+        assert!(
+            four.first_compute_start < one.first_compute_start,
+            "L=4 prefix {} vs L=1 prefix {}",
+            four.first_compute_start,
+            one.first_compute_start
+        );
+    }
+
+    #[test]
+    fn indivisible_parameters_rejected() {
+        let cfg = small_cfg();
+        assert!(model_senkf(&cfg, Params { nsdx: 8, nsdy: 6, layers: 3, ncg: 2 }).is_err());
+        assert!(model_senkf(&cfg, Params { nsdx: 8, nsdy: 6, layers: 2, ncg: 3 }).is_err());
+    }
+}

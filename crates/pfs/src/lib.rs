@@ -1,0 +1,27 @@
+//! Parallel file system substrate.
+//!
+//! The paper's evaluation ran against H2FS/Lustre: ensemble members are
+//! independent files distributed over object storage targets (OSTs); a
+//! region read costs one *disk addressing operation* (seek) per
+//! non-contiguous segment plus a per-byte transfer time θ; each OST serves a
+//! bounded number of concurrent streams, so excess readers queue.
+//!
+//! This crate provides both halves of the substitution described in
+//! DESIGN.md:
+//!
+//! * [`store`] — a **real backend**: ensemble members as actual files in a
+//!   directory, with region reads that issue exactly the seeks the layout
+//!   predicts and an accounting of seeks/bytes. Used by the real (threaded)
+//!   executor and by correctness tests.
+//! * [`model`] — a **modeled backend**: OSTs as finite-capacity DES
+//!   resources plus the seek/transfer service-time function. Used by the
+//!   12,000-core experiments.
+//! * [`scratch`] — self-cleaning scratch directories for tests and examples.
+
+pub mod model;
+pub mod scratch;
+pub mod store;
+
+pub use model::{ModeledPfs, PfsParams};
+pub use scratch::ScratchDir;
+pub use store::{FileStore, IoStats, RegionData};

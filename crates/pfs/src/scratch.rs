@@ -1,0 +1,65 @@
+//! Self-cleaning scratch directories for tests, examples and benchmarks.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named directory under the system temp dir, removed on drop.
+///
+/// Used wherever the real file backend needs a place to write ensemble
+/// member files without polluting the workspace.
+#[derive(Debug)]
+pub struct ScratchDir {
+    path: PathBuf,
+}
+
+impl ScratchDir {
+    /// Create a fresh scratch directory with the given name prefix.
+    pub fn new(prefix: &str) -> std::io::Result<Self> {
+        let unique = format!(
+            "{prefix}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        );
+        let path = std::env::temp_dir().join("s-enkf").join(unique);
+        std::fs::create_dir_all(&path)?;
+        Ok(ScratchDir { path })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        // Best-effort cleanup; leaking a temp dir is not worth a panic.
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_cleans_up() {
+        let kept_path;
+        {
+            let s = ScratchDir::new("unit").unwrap();
+            kept_path = s.path().to_path_buf();
+            assert!(kept_path.is_dir());
+            std::fs::write(kept_path.join("x.bin"), b"hello").unwrap();
+        }
+        assert!(!kept_path.exists(), "dropped scratch dir must be removed");
+    }
+
+    #[test]
+    fn two_scratch_dirs_are_distinct() {
+        let a = ScratchDir::new("unit").unwrap();
+        let b = ScratchDir::new("unit").unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}

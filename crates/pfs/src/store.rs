@@ -1,0 +1,360 @@
+//! The real file backend: ensemble members as files on local disk.
+//!
+//! Each background ensemble member `X^{b[k]}` is one file (`member_XXXX.bin`)
+//! holding the mesh row-priority with `h = 8·levels` bytes per grid point
+//! (little-endian `f64` per vertical level). Region reads are issued
+//! segment-by-segment exactly as [`enkf_grid::FileLayout`] predicts, so the
+//! seek/byte accounting of the real backend matches what the DES model
+//! charges for.
+
+use bytes::{Buf, BufMut, BytesMut};
+use enkf_grid::{FileLayout, RegionRect};
+use parking_lot::Mutex;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Cumulative I/O accounting for a store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Number of disk addressing operations (seeks) issued.
+    pub seeks: u64,
+    /// Bytes read from disk.
+    pub bytes_read: u64,
+    /// Bytes written to disk.
+    pub bytes_written: u64,
+}
+
+/// The values of one region of one ensemble member, in the region's
+/// row-priority local order, `levels` values per point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionData {
+    /// The region the values cover.
+    pub region: RegionRect,
+    /// Values per grid point (vertical levels).
+    pub levels: usize,
+    /// `region.npoints() * levels` values in local row-priority order.
+    pub values: Vec<f64>,
+}
+
+impl RegionData {
+    /// Value at a region-local point index and vertical level.
+    #[inline]
+    pub fn value(&self, local: usize, level: usize) -> f64 {
+        debug_assert!(level < self.levels);
+        self.values[local * self.levels + level]
+    }
+
+    /// Extract the sub-region `inner` (must be contained in `self.region`)
+    /// as a new `RegionData` — how a bar is split into the per-sub-domain
+    /// blocks that I/O processors send onward.
+    pub fn extract(&self, inner: &RegionRect) -> RegionData {
+        assert!(self.region.contains_rect(inner), "extract region escapes data");
+        let mut values = Vec::with_capacity(inner.npoints() * self.levels);
+        for p in inner.iter_points() {
+            let src = self.region.local_index(p) * self.levels;
+            values.extend_from_slice(&self.values[src..src + self.levels]);
+        }
+        RegionData { region: *inner, levels: self.levels, values }
+    }
+}
+
+/// A directory of ensemble-member files with a fixed layout.
+///
+/// ```
+/// use enkf_grid::{FileLayout, Mesh, RegionRect};
+/// use enkf_pfs::{FileStore, ScratchDir};
+///
+/// let scratch = ScratchDir::new("doc").unwrap();
+/// let mesh = Mesh::new(8, 4);
+/// let store = FileStore::open(scratch.path(), FileLayout::new(mesh, 8)).unwrap();
+/// store.write_member(0, &vec![1.5; mesh.n()]).unwrap();
+/// // A full-width bar reads with a single disk addressing operation.
+/// let bar = RegionRect::new(0, 8, 1, 3);
+/// let data = store.read_region(0, &bar).unwrap();
+/// assert_eq!(data.values.len(), bar.npoints());
+/// assert_eq!(store.stats().seeks, 1);
+/// ```
+#[derive(Debug)]
+pub struct FileStore {
+    root: PathBuf,
+    layout: FileLayout,
+    stats: Mutex<IoStats>,
+}
+
+impl FileStore {
+    /// Open (creating the directory if needed) a store rooted at `root`.
+    ///
+    /// `layout.bytes_per_point()` must be a multiple of 8 (whole `f64`
+    /// levels per point).
+    pub fn open(root: impl AsRef<Path>, layout: FileLayout) -> std::io::Result<Self> {
+        assert!(
+            layout.bytes_per_point().is_multiple_of(8) && layout.bytes_per_point() > 0,
+            "bytes per point must be a positive multiple of 8"
+        );
+        std::fs::create_dir_all(root.as_ref())?;
+        Ok(FileStore { root: root.as_ref().to_path_buf(), layout, stats: Mutex::new(IoStats::default()) })
+    }
+
+    /// The layout shared by every member file.
+    pub fn layout(&self) -> FileLayout {
+        self.layout
+    }
+
+    /// Vertical levels per point (`h / 8`).
+    pub fn levels(&self) -> usize {
+        (self.layout.bytes_per_point() / 8) as usize
+    }
+
+    /// Path of member `k`'s file.
+    pub fn member_path(&self, k: usize) -> PathBuf {
+        self.root.join(format!("member_{k:05}.bin"))
+    }
+
+    /// Number of member files present (contiguous from 0).
+    pub fn num_members(&self) -> usize {
+        (0..).take_while(|&k| self.member_path(k).is_file()).count()
+    }
+
+    /// Cumulative I/O statistics.
+    pub fn stats(&self) -> IoStats {
+        *self.stats.lock()
+    }
+
+    /// Reset the I/O statistics (e.g. between measured phases).
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = IoStats::default();
+    }
+
+    /// Write member `k` from mesh-ordered values (`n · levels` values,
+    /// `levels` consecutive values per point).
+    pub fn write_member(&self, k: usize, values: &[f64]) -> std::io::Result<()> {
+        let expect = self.layout.mesh().n() * self.levels();
+        assert_eq!(values.len(), expect, "member value count mismatch");
+        let mut buf = BytesMut::with_capacity(values.len() * 8);
+        for &v in values {
+            buf.put_f64_le(v);
+        }
+        let mut f = File::create(self.member_path(k))?;
+        f.write_all(&buf)?;
+        self.stats.lock().bytes_written += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Read one region of member `k`, issuing one seek + read per contiguous
+    /// segment (full-width regions are a single segment).
+    pub fn read_region(&self, k: usize, region: &RegionRect) -> std::io::Result<RegionData> {
+        let segments = self.layout.segments(region);
+        let mut f = File::open(self.member_path(k))?;
+        let levels = self.levels();
+        let total: usize = segments.iter().map(|s| s.len as usize).sum();
+        let mut raw = vec![0u8; total];
+        let mut cursor = 0usize;
+        let mut seeks = 0u64;
+        for seg in &segments {
+            f.seek(SeekFrom::Start(seg.offset))?;
+            f.read_exact(&mut raw[cursor..cursor + seg.len as usize])?;
+            cursor += seg.len as usize;
+            seeks += 1;
+        }
+        {
+            let mut st = self.stats.lock();
+            st.seeks += seeks;
+            st.bytes_read += total as u64;
+        }
+        let mut values = Vec::with_capacity(total / 8);
+        let mut slice = &raw[..];
+        while slice.remaining() >= 8 {
+            values.push(slice.get_f64_le());
+        }
+        Ok(RegionData { region: *region, levels, values })
+    }
+
+    /// Read an entire member file.
+    pub fn read_full(&self, k: usize) -> std::io::Result<RegionData> {
+        self.read_region(k, &RegionRect::full(self.layout.mesh()))
+    }
+
+    /// Write one region of member `k` in place (the file must already
+    /// exist), issuing one seek + write per contiguous segment — the
+    /// write-side mirror of [`FileStore::read_region`], used to write
+    /// analysis results back bar-by-bar.
+    pub fn write_region(&self, k: usize, data: &RegionData) -> std::io::Result<()> {
+        assert_eq!(data.levels, self.levels(), "level count mismatch");
+        assert_eq!(
+            data.values.len(),
+            data.region.npoints() * data.levels,
+            "value count mismatch"
+        );
+        let segments = self.layout.segments(&data.region);
+        let mut f = std::fs::OpenOptions::new().write(true).open(self.member_path(k))?;
+        let mut buf = BytesMut::with_capacity(data.values.len() * 8);
+        for &v in &data.values {
+            buf.put_f64_le(v);
+        }
+        let mut cursor = 0usize;
+        let mut seeks = 0u64;
+        for seg in &segments {
+            f.seek(SeekFrom::Start(seg.offset))?;
+            f.write_all(&buf[cursor..cursor + seg.len as usize])?;
+            cursor += seg.len as usize;
+            seeks += 1;
+        }
+        let mut st = self.stats.lock();
+        st.seeks += seeks;
+        st.bytes_written += cursor as u64;
+        Ok(())
+    }
+
+    /// Create member `k` as an all-zero file (a preallocation target for
+    /// region writes).
+    pub fn create_member(&self, k: usize) -> std::io::Result<()> {
+        let zeros = vec![0.0f64; self.layout.mesh().n() * self.levels()];
+        self.write_member(k, &zeros)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScratchDir;
+    use enkf_grid::Mesh;
+
+    fn store_with_member() -> (ScratchDir, FileStore, Vec<f64>) {
+        let scratch = ScratchDir::new("store").unwrap();
+        let mesh = Mesh::new(8, 4);
+        let layout = FileLayout::new(mesh, 16); // 2 levels
+        let store = FileStore::open(scratch.path(), layout).unwrap();
+        let values: Vec<f64> =
+            (0..mesh.n() * 2).map(|i| i as f64 * 0.5 - 3.0).collect();
+        store.write_member(0, &values).unwrap();
+        (scratch, store, values)
+    }
+
+    #[test]
+    fn roundtrip_full_member() {
+        let (_s, store, values) = store_with_member();
+        let data = store.read_full(0).unwrap();
+        assert_eq!(data.values, values);
+        assert_eq!(data.levels, 2);
+    }
+
+    #[test]
+    fn region_read_matches_mesh_indexing() {
+        let (_s, store, values) = store_with_member();
+        let region = RegionRect::new(2, 5, 1, 3);
+        let data = store.read_region(0, &region).unwrap();
+        assert_eq!(data.values.len(), region.npoints() * 2);
+        for (local, p) in region.iter_points().enumerate() {
+            let flat = store.layout().mesh().index(p);
+            for level in 0..2 {
+                assert_eq!(data.value(local, level), values[flat * 2 + level]);
+            }
+        }
+    }
+
+    #[test]
+    fn seek_accounting_matches_layout() {
+        let (_s, store, _) = store_with_member();
+        store.reset_stats();
+        let bar = RegionRect::new(0, 8, 1, 3); // full width: 1 seek
+        store.read_region(0, &bar).unwrap();
+        assert_eq!(store.stats().seeks, 1);
+        store.reset_stats();
+        let block = RegionRect::new(2, 5, 0, 4); // 4 rows: 4 seeks
+        store.read_region(0, &block).unwrap();
+        let st = store.stats();
+        assert_eq!(st.seeks, 4);
+        assert_eq!(st.bytes_read, (3 * 4 * 16) as u64);
+    }
+
+    #[test]
+    fn extract_sub_block() {
+        let (_s, store, _) = store_with_member();
+        let bar = store.read_region(0, &RegionRect::new(0, 8, 0, 4)).unwrap();
+        let inner = RegionRect::new(3, 6, 1, 3);
+        let block = bar.extract(&inner);
+        let direct = store.read_region(0, &inner).unwrap();
+        assert_eq!(block, direct);
+    }
+
+    #[test]
+    fn num_members_counts_contiguous_files() {
+        let (_s, store, values) = store_with_member();
+        assert_eq!(store.num_members(), 1);
+        store.write_member(1, &values).unwrap();
+        store.write_member(2, &values).unwrap();
+        assert_eq!(store.num_members(), 3);
+    }
+
+    #[test]
+    fn missing_member_errors() {
+        let (_s, store, _) = store_with_member();
+        assert!(store.read_full(7).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "member value count mismatch")]
+    fn write_wrong_length_panics() {
+        let (_s, store, _) = store_with_member();
+        store.write_member(1, &[1.0, 2.0]).unwrap();
+    }
+
+    #[test]
+    fn write_region_roundtrips() {
+        let (_s, store, original) = store_with_member();
+        let region = RegionRect::new(2, 6, 1, 3);
+        let mut data = store.read_region(0, &region).unwrap();
+        for v in &mut data.values {
+            *v += 100.0;
+        }
+        store.write_region(0, &data).unwrap();
+        // The region reads back modified; everything else is untouched.
+        let back = store.read_full(0).unwrap();
+        let mesh = store.layout().mesh();
+        for p in mesh.iter_points() {
+            let flat = mesh.index(p);
+            for level in 0..2 {
+                let expect = if region.contains(p) {
+                    original[flat * 2 + level] + 100.0
+                } else {
+                    original[flat * 2 + level]
+                };
+                assert_eq!(back.value(flat, level), expect, "point {p:?} level {level}");
+            }
+        }
+    }
+
+    #[test]
+    fn create_member_preallocates_zeros() {
+        let (_s, store, _) = store_with_member();
+        store.create_member(3).unwrap();
+        let data = store.read_full(3).unwrap();
+        assert!(data.values.iter().all(|&v| v == 0.0));
+        // Region writes into the fresh file work.
+        let region = RegionRect::new(0, 8, 0, 1);
+        let patch = RegionData {
+            region,
+            levels: 2,
+            values: vec![7.0; region.npoints() * 2],
+        };
+        store.write_region(3, &patch).unwrap();
+        assert_eq!(store.read_region(3, &region).unwrap(), patch);
+    }
+
+    #[test]
+    fn write_region_counts_seeks() {
+        let (_s, store, _) = store_with_member();
+        store.reset_stats();
+        let region = RegionRect::new(1, 4, 0, 3); // 3 rows, partial width
+        let data = RegionData {
+            region,
+            levels: 2,
+            values: vec![1.0; region.npoints() * 2],
+        };
+        store.write_region(0, &data).unwrap();
+        let st = store.stats();
+        assert_eq!(st.seeks, 3);
+        assert_eq!(st.bytes_written, (9 * 16) as u64);
+    }
+}

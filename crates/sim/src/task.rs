@@ -1,0 +1,62 @@
+//! Task, agent and resource identifiers for the DES.
+
+/// Index of a task within a simulation.
+pub type TaskId = usize;
+
+/// Index of an agent (serial execution context) within a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AgentId(pub usize);
+
+/// Index of a finite-capacity resource within a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(pub usize);
+
+/// Work classification used for phase accounting (Figures 1, 9, 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kind {
+    /// Parallel-file-system reads (occupies OST slots).
+    Read,
+    /// Message passing (occupies NIC slots).
+    Comm,
+    /// Local analysis computation.
+    Compute,
+    /// Synchronization / bookkeeping with no physical phase (barriers);
+    /// excluded from busy-time accounting.
+    Control,
+}
+
+/// One node of the simulated task DAG. Build via [`crate::Simulation::add_task`].
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Serial execution context this task runs on.
+    pub agent: AgentId,
+    /// Phase classification.
+    pub kind: Kind,
+    /// Virtual service duration in seconds once all resources are held.
+    pub service: f64,
+    /// Resources to hold for the duration of the service. Order does not
+    /// matter; the engine acquires in ascending id order.
+    pub resources: Vec<ResourceId>,
+    /// Explicit dependencies (in addition to the implicit program-order
+    /// dependency on the agent's previous task).
+    pub deps: Vec<TaskId>,
+}
+
+impl Task {
+    /// Convenience constructor for a task with no resources or deps.
+    pub fn new(agent: AgentId, kind: Kind, service: f64) -> Self {
+        Task { agent, kind, service, resources: Vec::new(), deps: Vec::new() }
+    }
+
+    /// Builder-style: add resource requirements.
+    pub fn with_resources(mut self, resources: Vec<ResourceId>) -> Self {
+        self.resources = resources;
+        self
+    }
+
+    /// Builder-style: add explicit dependencies.
+    pub fn with_deps(mut self, deps: Vec<TaskId>) -> Self {
+        self.deps = deps;
+        self
+    }
+}

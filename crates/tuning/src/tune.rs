@@ -1,0 +1,414 @@
+//! Algorithm 1, the earnings-rate economic choice, and Algorithm 2.
+
+use crate::model::{CostParams, Params};
+
+/// A solution found by the tuner: the parameters plus the model costs at
+/// those parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TunedParams {
+    /// The chosen decomposition/overlap parameters.
+    pub params: Params,
+    /// `T₁ = T_read + T_comm` at the chosen parameters.
+    pub t1: f64,
+    /// `T_total` (Eq. 10) at the chosen parameters.
+    pub t_total: f64,
+}
+
+/// One point of the `min T₁` vs `C₁` curve of Figure 12.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// The I/O-processor cost `C₁`.
+    pub c1: usize,
+    /// The minimal `T₁` achievable at that cost.
+    pub t1: f64,
+    /// The parameters achieving it.
+    pub params: Params,
+}
+
+/// **Algorithm 1** — solve optimization problem (11)–(12): minimize
+/// `T₁ = T_read + T_comm` over `(n_sdx, n_sdy, L, n_cg)` subject to
+/// `n_cg·n_sdy = C₁` and `n_sdx·n_sdy = C₂`, with the divisibility
+/// constraints of the decomposition (`n_sdy | n_y`, `n_sdx | n_x`,
+/// `n_cg | N`, `L | n_y/n_sdy`).
+///
+/// Returns `None` when no feasible parameter combination exists.
+///
+/// **Deviation from the paper (documented in DESIGN.md):** the feasible set
+/// additionally requires two *pipelining constraints*:
+///
+/// 1. `T₁ ≤ T_comp` — one stage's acquisition must fit behind one stage's
+///    computation; Eq. (10) charges only the first stage's read+comm, so
+///    without this the model degenerates to maximal `L` (hidden
+///    acquisitions look free even when their total exceeds the computation
+///    they are supposed to hide behind).
+/// 2. layer height `n_y/(n_sdy·L) ≥ 2η` — every stage re-reads its `2η`
+///    halo rows (the additive term of Eq. 7), so thinner layers spend more
+///    I/O on halo than on payload.
+///
+/// Parameter sets violating the constraints are used only as a fallback
+/// when nothing satisfies them.
+///
+/// ```
+/// use enkf_tuning::{algorithm1, CostParams};
+///
+/// let cost = CostParams::paper();
+/// let tuned = algorithm1(&cost, 120, 2000).expect("feasible");
+/// assert_eq!(tuned.params.c1(), 120);
+/// assert_eq!(tuned.params.c2(), 2000);
+/// assert!(tuned.t1 > 0.0 && tuned.t_total > tuned.t1);
+/// ```
+pub fn algorithm1(cost: &CostParams, c1: usize, c2: usize) -> Option<TunedParams> {
+    let w = &cost.workload;
+    let mut best: Option<TunedParams> = None;
+    let mut best_fallback: Option<TunedParams> = None;
+    // j = n_sdy must divide C1, C2 and n_y (paper's loop, restricted to
+    // actual divisors for efficiency).
+    for j in 1..=c1.min(c2).min(w.ny) {
+        if !c1.is_multiple_of(j) || !c2.is_multiple_of(j) || !w.ny.is_multiple_of(j) {
+            continue;
+        }
+        let ncg = c1 / j;
+        let nsdx = c2 / j;
+        if !w.nx.is_multiple_of(nsdx) || !w.members.is_multiple_of(ncg) {
+            continue;
+        }
+        let sub_height = w.ny / j;
+        for layers in 1..=sub_height {
+            if !sub_height.is_multiple_of(layers) {
+                continue;
+            }
+            let p = Params { nsdx, nsdy: j, layers, ncg };
+            let t1 = cost.t1(&p);
+            let entry = TunedParams { params: p, t1, t_total: cost.t_total(&p) };
+            if pipelining_ok(cost, &p, t1) {
+                if best.is_none_or(|b| t1 < b.t1) {
+                    best = Some(entry);
+                }
+            } else if best_fallback.is_none_or(|b| t1 < b.t1) {
+                best_fallback = Some(entry);
+            }
+        }
+    }
+    best.or(best_fallback)
+}
+
+/// The minimal-`T₁` curve over a set of `C₁` candidates at fixed `C₂`
+/// (Figure 12's solid line). Infeasible candidates are skipped.
+pub fn min_t1_curve(
+    cost: &CostParams,
+    c2: usize,
+    c1_candidates: impl IntoIterator<Item = usize>,
+) -> Vec<CurvePoint> {
+    let mut out = Vec::new();
+    for c1 in c1_candidates {
+        if let Some(t) = algorithm1(cost, c1, c2) {
+            out.push(CurvePoint { c1, t1: t.t1, params: t.params });
+        }
+    }
+    out
+}
+
+/// The economic choice (Eqs. 13–14): walk the curve in increasing `C₁`; the
+/// earnings rate of step `m → m+1` is
+/// `r_m = (t₁^m − t₁^{m+1}) / (c₁^{m+1} − c₁^m)`; choose the first point
+/// whose following step earns less than `ε` seconds per extra processor.
+/// Falls back to the last point when every step is still worth its cost.
+pub fn economic_choice(curve: &[CurvePoint], epsilon: f64) -> Option<CurvePoint> {
+    if curve.is_empty() {
+        return None;
+    }
+    for m in 0..curve.len() - 1 {
+        let dc = curve[m + 1].c1 as f64 - curve[m].c1 as f64;
+        if dc <= 0.0 {
+            continue;
+        }
+        let r = (curve[m].t1 - curve[m + 1].t1) / dc;
+        if r < epsilon {
+            return Some(curve[m]);
+        }
+    }
+    curve.last().copied()
+}
+
+/// **Algorithm 2** — full auto-tuning: for each compute cost `C₂` in the
+/// candidate set, find the economic `C₁ ≤ n_p − C₂` by the earnings-rate
+/// rule, then keep the candidate with the smallest `T_total`.
+///
+/// The paper iterates `C₂` over every value in `1..n_p`; that search is
+/// `O(n_p²)` invocations of Algorithm 1 and is unnecessary because only
+/// divisor-compatible `C₂` are feasible — this implementation accepts an
+/// explicit candidate list (see [`autotune`] for the default sweep).
+pub fn autotune_with_candidates(
+    cost: &CostParams,
+    np: usize,
+    epsilon: f64,
+    c2_candidates: impl IntoIterator<Item = usize>,
+) -> Option<TunedParams> {
+    let w = &cost.workload;
+    let mut best: Option<TunedParams> = None;
+    for c2 in c2_candidates {
+        if c2 == 0 || c2 >= np {
+            continue;
+        }
+        // Equivalent to scanning Algorithm 1 over every C1 in 1..=np-c2 but
+        // enumerating only the feasible (n_sdy, n_cg, L) triples: C1 values
+        // outside { j·k : j | C2, j | n_y, n_x | C2/j divisible, k | N }
+        // have no Algorithm-1 solution and the paper's loop skips them.
+        let mut by_c1: std::collections::BTreeMap<usize, TunedParams> =
+            std::collections::BTreeMap::new();
+        let mut fallback_by_c1: std::collections::BTreeMap<usize, TunedParams> =
+            std::collections::BTreeMap::new();
+        for j in divisors(c2) {
+            if !w.ny.is_multiple_of(j) || !w.nx.is_multiple_of(c2 / j) {
+                continue;
+            }
+            let nsdx = c2 / j;
+            let sub_height = w.ny / j;
+            for k in divisors(w.members) {
+                let c1 = j * k;
+                if c1 + c2 > np {
+                    continue;
+                }
+                for layers in divisors(sub_height) {
+                    let p = Params { nsdx, nsdy: j, layers, ncg: k };
+                    let t1 = cost.t1(&p);
+                    let entry = TunedParams { params: p, t1, t_total: cost.t_total(&p) };
+                    // Same pipelining constraints as `algorithm1`.
+                    let map =
+                        if pipelining_ok(cost, &p, t1) { &mut by_c1 } else { &mut fallback_by_c1 };
+                    map.entry(c1)
+                        .and_modify(|e| {
+                            if t1 < e.t1 {
+                                *e = entry;
+                            }
+                        })
+                        .or_insert(entry);
+                }
+            }
+        }
+        let by_c1 = if by_c1.is_empty() { fallback_by_c1 } else { by_c1 };
+        // Strictly-improving C1 points, as Algorithm 2 records them.
+        let mut curve: Vec<CurvePoint> = Vec::new();
+        for (c1, t) in by_c1 {
+            if curve.last().is_none_or(|last| t.t1 < last.t1) {
+                curve.push(CurvePoint { c1, t1: t.t1, params: t.params });
+            }
+        }
+        let Some(choice) = economic_choice(&curve, epsilon) else { continue };
+        let t_total = cost.t_total(&choice.params);
+        if best.is_none_or(|b| t_total < b.t_total) {
+            best = Some(TunedParams { params: choice.params, t1: choice.t1, t_total });
+        }
+    }
+    best
+}
+
+/// The pipelining feasibility constraints (see [`algorithm1`]'s docs).
+fn pipelining_ok(cost: &CostParams, p: &Params, t1: f64) -> bool {
+    let w = &cost.workload;
+    let layer_rows = w.ny / (p.nsdy * p.layers);
+    t1 <= cost.t_comp(p) && (w.eta == 0 || layer_rows >= 2 * w.eta)
+}
+
+/// All divisors of `n`, ascending.
+fn divisors(n: usize) -> Vec<usize> {
+    let mut small = Vec::new();
+    let mut large = Vec::new();
+    let mut d = 1;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            small.push(d);
+            if d != n / d {
+                large.push(n / d);
+            }
+        }
+        d += 1;
+    }
+    large.reverse();
+    small.extend(large);
+    small
+}
+
+/// Auto-tune over a default `C₂` sweep: every feasible
+/// `C₂ = n_sdx · n_sdy ≤ np` built from divisors of `n_x` and `n_y`
+/// (bounded to keep the sweep tractable at `n_p ~ 10⁴`).
+pub fn autotune(cost: &CostParams, np: usize, epsilon: f64) -> Option<TunedParams> {
+    let w = &cost.workload;
+    let divx: Vec<usize> = (1..=w.nx).filter(|d| w.nx.is_multiple_of(*d)).collect();
+    let divy: Vec<usize> = (1..=w.ny).filter(|d| w.ny.is_multiple_of(*d)).collect();
+    let mut c2s: Vec<usize> = Vec::new();
+    for &dx in &divx {
+        for &dy in &divy {
+            let c2 = dx * dy;
+            if c2 >= 1 && c2 < np {
+                c2s.push(c2);
+            }
+        }
+    }
+    c2s.sort_unstable();
+    c2s.dedup();
+    // Keep the largest few hundred candidates: small C2 never wins at scale
+    // because L·T_comp dominates.
+    if c2s.len() > 400 {
+        c2s = c2s.split_off(c2s.len() - 400);
+    }
+    autotune_with_candidates(cost, np, epsilon, c2s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{MachineParams, Workload};
+
+    fn small_cost() -> CostParams {
+        CostParams {
+            workload: Workload { nx: 240, ny: 120, members: 12, h: 80, xi: 2, eta: 2 },
+            machine: MachineParams::tianhe2_like(),
+        }
+    }
+
+    #[test]
+    fn algorithm1_respects_constraints() {
+        let cost = small_cost();
+        let (c1, c2) = (24, 120);
+        let t = algorithm1(&cost, c1, c2).expect("feasible");
+        let p = t.params;
+        assert_eq!(p.c1(), c1);
+        assert_eq!(p.c2(), c2);
+        assert_eq!(cost.workload.ny % p.nsdy, 0);
+        assert_eq!(cost.workload.nx % p.nsdx, 0);
+        assert_eq!(cost.workload.members % p.ncg, 0);
+        assert_eq!((cost.workload.ny / p.nsdy) % p.layers, 0);
+    }
+
+    #[test]
+    fn algorithm1_finds_the_minimum_over_feasible_space() {
+        // Brute-force the feasible space (with the same pipelining
+        // preference) and compare.
+        let cost = small_cost();
+        let (c1, c2) = (12, 60);
+        let got = algorithm1(&cost, c1, c2).unwrap();
+        let w = &cost.workload;
+        let mut best_ok = f64::INFINITY;
+        let mut best_any = f64::INFINITY;
+        for nsdy in 1..=c1.min(c2) {
+            if c1 % nsdy != 0 || c2 % nsdy != 0 || !w.ny.is_multiple_of(nsdy) {
+                continue;
+            }
+            let ncg = c1 / nsdy;
+            let nsdx = c2 / nsdy;
+            if !w.nx.is_multiple_of(nsdx) || !w.members.is_multiple_of(ncg) {
+                continue;
+            }
+            for layers in 1..=(w.ny / nsdy) {
+                if !(w.ny / nsdy).is_multiple_of(layers) {
+                    continue;
+                }
+                let p = Params { nsdx, nsdy, layers, ncg };
+                let t1 = cost.t1(&p);
+                if super::pipelining_ok(&cost, &p, t1) {
+                    best_ok = best_ok.min(t1);
+                } else {
+                    best_any = best_any.min(t1);
+                }
+            }
+        }
+        let best = if best_ok.is_finite() { best_ok } else { best_any };
+        assert!((got.t1 - best).abs() < 1e-12);
+    }
+
+    #[test]
+    fn algorithm1_infeasible_returns_none() {
+        let cost = small_cost();
+        // c1 = 7 (prime), c2 = 11 (prime): nsdy must divide both -> nsdy=1,
+        // then ncg=7 must divide members=12: infeasible.
+        assert!(algorithm1(&cost, 7, 11).is_none());
+    }
+
+    #[test]
+    fn min_t1_is_roughly_non_increasing_over_doubling_c1() {
+        // With the pipelining constraints the feasible sets at different C1
+        // no longer strictly nest, so allow a small (5%) slack on the
+        // paper's monotonicity claim.
+        let cost = small_cost();
+        let curve = min_t1_curve(&cost, 120, [6, 12, 24, 48]);
+        assert!(curve.len() >= 3);
+        for w in curve.windows(2) {
+            assert!(w[1].t1 <= w[0].t1 * 1.05, "{w:?}");
+        }
+        // And across the whole sweep the trend is clearly downward.
+        assert!(curve.last().unwrap().t1 < curve.first().unwrap().t1);
+    }
+
+    #[test]
+    fn economic_choice_stops_at_diminishing_returns() {
+        let mk = |c1: usize, t1: f64| CurvePoint {
+            c1,
+            t1,
+            params: Params { nsdx: 1, nsdy: 1, layers: 1, ncg: c1 },
+        };
+        // Steep then flat: rates are 1.0, 0.5, 0.001.
+        let curve = vec![mk(1, 10.0), mk(2, 9.0), mk(4, 8.0), mk(8, 7.996)];
+        let pick = economic_choice(&curve, 0.01).unwrap();
+        assert_eq!(pick.c1, 4, "stop before the step that earns < epsilon");
+        // With a tiny epsilon every step is worth it: take the last.
+        let greedy = economic_choice(&curve, 1e-9).unwrap();
+        assert_eq!(greedy.c1, 8);
+        assert!(economic_choice(&[], 0.1).is_none());
+    }
+
+    #[test]
+    fn autotune_fits_processor_budget() {
+        let cost = small_cost();
+        let np = 96;
+        let t = autotune(&cost, np, 1e-3).expect("tunable");
+        assert!(t.params.total_processors() <= np, "{:?}", t.params);
+        assert!(t.t_total > 0.0 && t.t_total.is_finite());
+    }
+
+    #[test]
+    fn autotune_uses_more_processors_when_given_more() {
+        let cost = small_cost();
+        let small = autotune(&cost, 48, 1e-4).unwrap();
+        let large = autotune(&cost, 192, 1e-4).unwrap();
+        assert!(
+            large.t_total <= small.t_total + 1e-12,
+            "more budget cannot be slower: {} vs {}",
+            large.t_total,
+            small.t_total
+        );
+    }
+
+    #[test]
+    fn paper_scale_autotune_runs() {
+        // The paper-scale sweep must complete quickly and produce a sane
+        // configuration (this also exercises the C2-candidate pruning).
+        let cost = CostParams::paper();
+        let t = autotune(&cost, 2400, 5e-4).expect("feasible at paper scale");
+        assert!(t.params.total_processors() <= 2400);
+        assert!(t.params.layers >= 1);
+        assert!(t.params.ncg >= 1);
+    }
+}
+
+#[cfg(test)]
+mod divisor_tests {
+    use super::divisors;
+
+    #[test]
+    fn divisors_of_small_numbers() {
+        assert_eq!(divisors(1), vec![1]);
+        assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+        assert_eq!(divisors(49), vec![1, 7, 49]);
+        assert_eq!(divisors(120).len(), 16);
+    }
+
+    #[test]
+    fn divisors_are_sorted_and_divide() {
+        let ds = divisors(1800);
+        assert!(ds.windows(2).all(|w| w[0] < w[1]));
+        assert!(ds.iter().all(|d| 1800 % d == 0));
+        assert_eq!(*ds.first().unwrap(), 1);
+        assert_eq!(*ds.last().unwrap(), 1800);
+    }
+}

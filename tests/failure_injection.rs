@@ -1,0 +1,115 @@
+//! Failure injection: the parallel executors must surface substrate
+//! failures (missing or truncated member files, inconsistent setups) as
+//! errors instead of panicking, deadlocking, or silently producing a wrong
+//! analysis.
+
+use s_enkf::core::{LocalAnalysis, PerturbedObservations};
+use s_enkf::data::{write_ensemble, ScenarioBuilder};
+use s_enkf::grid::{FileLayout, LocalizationRadius, Mesh};
+use s_enkf::parallel::{AssimilationSetup, LEnkf, PEnkf, SEnkf};
+use s_enkf::pfs::{FileStore, ScratchDir};
+use s_enkf::tuning::Params;
+
+fn radius() -> LocalizationRadius {
+    LocalizationRadius { xi: 1, eta: 1 }
+}
+
+#[test]
+fn missing_member_file_is_an_error_in_every_variant() {
+    let mesh = Mesh::new(8, 8);
+    let members = 4;
+    let scenario = ScenarioBuilder::new(mesh).members(members).seed(1).build();
+    let scratch = ScratchDir::new("fail-missing").unwrap();
+    let store = FileStore::open(scratch.path(), FileLayout::new(mesh, 8)).unwrap();
+    write_ensemble(&store, &scenario.ensemble).unwrap();
+    // Remove one member file.
+    std::fs::remove_file(store.member_path(2)).unwrap();
+
+    let setup = AssimilationSetup {
+        store: &store,
+        members,
+        observations: &scenario.observations,
+        analysis: LocalAnalysis::new(radius()),
+    };
+    assert!(PEnkf { nsdx: 2, nsdy: 2 }.run(&setup).is_err(), "P-EnKF must error");
+    assert!(LEnkf { nsdx: 2, nsdy: 2 }.run(&setup).is_err(), "L-EnKF must error");
+    let senkf = SEnkf::new(Params { nsdx: 2, nsdy: 2, layers: 2, ncg: 2 });
+    assert!(senkf.run(&setup).is_err(), "S-EnKF must error");
+}
+
+#[test]
+fn truncated_member_file_is_an_error() {
+    let mesh = Mesh::new(8, 8);
+    let members = 3;
+    let scenario = ScenarioBuilder::new(mesh).members(members).seed(2).build();
+    let scratch = ScratchDir::new("fail-truncated").unwrap();
+    let store = FileStore::open(scratch.path(), FileLayout::new(mesh, 8)).unwrap();
+    write_ensemble(&store, &scenario.ensemble).unwrap();
+    // Truncate the last member to half its size.
+    let path = store.member_path(2);
+    let full = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+
+    let setup = AssimilationSetup {
+        store: &store,
+        members,
+        observations: &scenario.observations,
+        analysis: LocalAnalysis::new(radius()),
+    };
+    assert!(PEnkf { nsdx: 2, nsdy: 2 }.run(&setup).is_err());
+}
+
+#[test]
+fn member_count_mismatch_with_perturbations_is_rejected() {
+    let mesh = Mesh::new(8, 8);
+    let scenario = ScenarioBuilder::new(mesh).members(4).seed(3).build();
+    let scratch = ScratchDir::new("fail-mismatch").unwrap();
+    let store = FileStore::open(scratch.path(), FileLayout::new(mesh, 8)).unwrap();
+    write_ensemble(&store, &scenario.ensemble).unwrap();
+    // Claim 3 members while the perturbation schema was built for 4.
+    let setup = AssimilationSetup {
+        store: &store,
+        members: 3,
+        observations: &scenario.observations,
+        analysis: LocalAnalysis::new(radius()),
+    };
+    assert!(PEnkf { nsdx: 2, nsdy: 2 }.run(&setup).is_err());
+}
+
+#[test]
+fn observation_mesh_mismatch_is_rejected() {
+    let mesh = Mesh::new(8, 8);
+    let members = 4;
+    let scenario = ScenarioBuilder::new(mesh).members(members).seed(4).build();
+    let scratch = ScratchDir::new("fail-mesh").unwrap();
+    let store = FileStore::open(scratch.path(), FileLayout::new(mesh, 8)).unwrap();
+    write_ensemble(&store, &scenario.ensemble).unwrap();
+    // Observations built on a different mesh.
+    let other = ScenarioBuilder::new(Mesh::new(12, 8)).members(members).seed(4).build();
+    let setup = AssimilationSetup {
+        store: &store,
+        members,
+        observations: &other.observations,
+        analysis: LocalAnalysis::new(radius()),
+    };
+    assert!(PEnkf { nsdx: 2, nsdy: 2 }.run(&setup).is_err());
+}
+
+#[test]
+fn too_few_members_is_rejected() {
+    let mesh = Mesh::new(8, 8);
+    let scenario = ScenarioBuilder::new(mesh).members(2).seed(5).build();
+    let scratch = ScratchDir::new("fail-few").unwrap();
+    let store = FileStore::open(scratch.path(), FileLayout::new(mesh, 8)).unwrap();
+    write_ensemble(&store, &scenario.ensemble).unwrap();
+    let obs = scenario.observations.clone();
+    // Rebuild a 1-member claim: validate() must reject it.
+    let setup = AssimilationSetup {
+        store: &store,
+        members: 1,
+        observations: &obs,
+        analysis: LocalAnalysis::new(radius()),
+    };
+    assert!(setup.validate().is_err());
+    let _ = PerturbedObservations::new(0, 2); // silence unused-import lints on feature churn
+}
