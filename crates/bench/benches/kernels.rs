@@ -7,7 +7,7 @@
 //! this reproduction executes.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use enkf_core::{LocalAnalysis, Observations, ObservationOperator, PerturbedObservations};
+use enkf_core::{LocalAnalysis, ObservationOperator, Observations, PerturbedObservations};
 use enkf_data::ScenarioBuilder;
 use enkf_grid::{
     Decomposition, FileLayout, LocalizationRadius, Mesh, ObservationNetwork, RegionRect,
@@ -52,12 +52,8 @@ fn bench_linalg(c: &mut Criterion) {
     let u = random_matrix(81, 40, 4);
     g.bench_function("modified_cholesky_81x40", |bench| {
         bench.iter(|| {
-            ModifiedCholesky::estimate(
-                &u,
-                enkf_core::local::box_predecessors(&rect, radius),
-                1e-4,
-            )
-            .unwrap()
+            ModifiedCholesky::estimate(&u, enkf_core::local::box_predecessors(&rect, radius), 1e-4)
+                .unwrap()
         });
     });
     g.finish();
@@ -75,17 +71,30 @@ fn bench_local_analysis(c: &mut Criterion) {
     let op = ObservationOperator::new(net);
     let m = op.len();
     let values = vec![0.1; m];
-    let obs = Observations::new(op, values, vec![0.04; m], PerturbedObservations::new(8, nens));
+    let obs = Observations::new(
+        op,
+        values,
+        vec![0.04; m],
+        PerturbedObservations::new(8, nens),
+    );
     let local = obs.localize(&expansion);
 
     let mut g = c.benchmark_group("local_analysis");
     let pointwise = LocalAnalysis::new(radius);
     g.bench_function("pointwise_12x12_subdomain", |bench| {
-        bench.iter(|| pointwise.analyze(mesh, &target, &expansion, &xb, &local).unwrap());
+        bench.iter(|| {
+            pointwise
+                .analyze(mesh, &target, &expansion, &xb, &local)
+                .unwrap()
+        });
     });
     let blocked = LocalAnalysis::blocked(radius);
     g.bench_function("blocked_12x12_subdomain", |bench| {
-        bench.iter(|| blocked.analyze(mesh, &target, &expansion, &xb, &local).unwrap());
+        bench.iter(|| {
+            blocked
+                .analyze(mesh, &target, &expansion, &xb, &local)
+                .unwrap()
+        });
     });
     g.finish();
 }
@@ -127,10 +136,8 @@ fn bench_des_engine(c: &mut Criterion) {
                 for _ in 0..100 {
                     let a = sim.add_agent();
                     for _ in 0..100 {
-                        sim.add_task(
-                            Task::new(a, Kind::Read, 0.001).with_resources(vec![r]),
-                        )
-                        .unwrap();
+                        sim.add_task(Task::new(a, Kind::Read, 0.001).with_resources(vec![r]))
+                            .unwrap();
                     }
                 }
                 sim
@@ -142,5 +149,11 @@ fn bench_des_engine(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_linalg, bench_local_analysis, bench_reading, bench_des_engine);
+criterion_group!(
+    benches,
+    bench_linalg,
+    bench_local_analysis,
+    bench_reading,
+    bench_des_engine
+);
 criterion_main!(benches);

@@ -25,13 +25,22 @@ fn main() {
     rows.push(vec!["block (10x10 ranks)".into(), secs(block)]);
     rows.push(vec!["bar (1 group x 100)".into(), secs(bar)]);
     rows.push(vec!["concurrent (5 groups x 20)".into(), secs(conc)]);
-    print_table("Ablation 1: reading strategy (120 members, 100 readers)", &["strategy", "read_s"], &rows);
+    print_table(
+        "Ablation 1: reading strategy (120 members, 100 readers)",
+        &["strategy", "read_s"],
+        &rows,
+    );
     write_csv("ablation_reading.csv", &["strategy", "read_s"], &rows);
 
     // 2. Layer count at fixed decomposition (C2 = 7,500).
     let mut rows = Vec::new();
     for layers in [1usize, 2, 3, 6, 9, 18] {
-        let p = Params { nsdx: 300, nsdy: 25, layers, ncg: 5 };
+        let p = Params {
+            nsdx: 300,
+            nsdy: 25,
+            layers,
+            ncg: 5,
+        };
         let out = model_senkf_opts(&cfg, p, SEnkfModelOptions::default()).expect("feasible");
         rows.push(vec![
             layers.to_string(),
@@ -45,28 +54,56 @@ fn main() {
         &["L", "exposed_s", "makespan_s", "overlapped"],
         &rows,
     );
-    write_csv("ablation_layers.csv", &["L", "exposed_s", "makespan_s", "overlapped"], &rows);
+    write_csv(
+        "ablation_layers.csv",
+        &["L", "exposed_s", "makespan_s", "overlapped"],
+        &rows,
+    );
 
     // 3. Concurrent group count at fixed decomposition.
     let mut rows = Vec::new();
     for ncg in [1usize, 2, 3, 5, 6, 10] {
-        let p = Params { nsdx: 300, nsdy: 25, layers: 6, ncg };
+        let p = Params {
+            nsdx: 300,
+            nsdy: 25,
+            layers: 6,
+            ncg,
+        };
         let out = model_senkf_opts(&cfg, p, SEnkfModelOptions::default()).expect("feasible");
-        rows.push(vec![ncg.to_string(), secs(out.first_compute_start), secs(out.makespan)]);
+        rows.push(vec![
+            ncg.to_string(),
+            secs(out.first_compute_start),
+            secs(out.makespan),
+        ]);
     }
     print_table(
         "Ablation 3: concurrent groups (nsdx=300, nsdy=25, L=6)",
         &["ncg", "exposed_s", "makespan_s"],
         &rows,
     );
-    write_csv("ablation_groups.csv", &["ncg", "exposed_s", "makespan_s"], &rows);
+    write_csv(
+        "ablation_groups.csv",
+        &["ncg", "exposed_s", "makespan_s"],
+        &rows,
+    );
 
     // 4. Helper thread on/off.
     let mut rows = Vec::new();
-    let p = Params { nsdx: 300, nsdy: 25, layers: 6, ncg: 5 };
+    let p = Params {
+        nsdx: 300,
+        nsdy: 25,
+        layers: 6,
+        ncg: 5,
+    };
     for (label, helper) in [("helper thread (paper)", true), ("no helper thread", false)] {
-        let out = model_senkf_opts(&cfg, p, SEnkfModelOptions { helper_thread: helper })
-            .expect("feasible");
+        let out = model_senkf_opts(
+            &cfg,
+            p,
+            SEnkfModelOptions {
+                helper_thread: helper,
+            },
+        )
+        .expect("feasible");
         rows.push(vec![
             label.into(),
             secs(out.compute_mean.comm),

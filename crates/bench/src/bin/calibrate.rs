@@ -9,16 +9,42 @@ use enkf_tuning::Params;
 
 fn main() {
     let cfg = ModelConfig::paper();
-    for (np, nsdx, nsdy) in [(2000usize, 50, 40), (4000, 100, 40), (6000, 100, 60), (8000, 80, 100), (10000, 100, 100), (12000, 120, 100)] {
+    for (np, nsdx, nsdy) in [
+        (2000usize, 50, 40),
+        (4000, 100, 40),
+        (6000, 100, 60),
+        (8000, 80, 100),
+        (10000, 100, 100),
+        (12000, 120, 100),
+    ] {
         let p = model_penkf(&cfg, nsdx, nsdy).unwrap();
         let io = p.compute_mean.read + p.compute_mean.comm + p.compute_mean.wait;
         println!(
             "P-EnKF np={np:>6}: makespan {:8.1}s io(r+w) {:8.1} comp {:8.1} iofrac {:.2}",
-            p.makespan, io, p.compute_mean.compute, io / (io + p.compute_mean.compute)
+            p.makespan,
+            io,
+            p.compute_mean.compute,
+            io / (io + p.compute_mean.compute)
         );
     }
-    for (c2, nsdx, nsdy, layers, ncg) in [(2000usize, 50, 40, 5, 6), (4000, 100, 40, 5, 6), (6000, 100, 60, 5, 6), (8000, 80, 100, 2, 6), (10000, 100, 100, 2, 6), (12000, 120, 100, 2, 6)] {
-        let s = model_senkf(&cfg, Params { nsdx, nsdy, layers, ncg }).unwrap();
+    for (c2, nsdx, nsdy, layers, ncg) in [
+        (2000usize, 50, 40, 5, 6),
+        (4000, 100, 40, 5, 6),
+        (6000, 100, 60, 5, 6),
+        (8000, 80, 100, 2, 6),
+        (10000, 100, 100, 2, 6),
+        (12000, 120, 100, 2, 6),
+    ] {
+        let s = model_senkf(
+            &cfg,
+            Params {
+                nsdx,
+                nsdy,
+                layers,
+                ncg,
+            },
+        )
+        .unwrap();
         println!(
             "S-EnKF c2={c2:>6}: makespan {:8.1}s ioread {:8.1} iocomm {:8.1} comp {:8.1} cwait {:8.1} first {:6.1} ovl {:.2}",
             s.makespan, s.io_mean.read, s.io_mean.comm, s.compute_mean.compute, s.compute_mean.wait,

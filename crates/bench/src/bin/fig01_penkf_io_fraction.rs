@@ -4,16 +4,31 @@
 //! 0.1°/120-member workload, the share of P-EnKF's runtime spent obtaining
 //! data (block reads plus the disk-queue waiting they cause) grows until it
 //! dominates. Regenerated on the modeled Tianhe-2-like substrate.
+//!
+//! Flags: `--tiny` runs the reduced smoke-test geometry; `--trace` exports
+//! a Chrome-trace JSON per point into `target/traces/`.
 
-use enkf_bench::{paper_scaling_points, pct, print_table, secs, write_csv};
-use enkf_parallel::model::penkf::model_penkf;
+use enkf_bench::{
+    has_flag, paper_scaling_points, pct, print_table, secs, tiny_scaling_points, tiny_workload,
+    traces_dir, write_csv,
+};
+use enkf_parallel::model::penkf::model_penkf_traced;
 use enkf_parallel::ModelConfig;
 
 fn main() {
-    let cfg = ModelConfig::paper();
+    let tiny = has_flag("--tiny");
+    let trace_on = has_flag("--trace");
+    let mut cfg = ModelConfig::paper();
+    let points = if tiny {
+        cfg.workload = tiny_workload();
+        tiny_scaling_points()
+    } else {
+        paper_scaling_points()
+    };
     let mut rows = Vec::new();
-    for (np, nsdx, nsdy) in paper_scaling_points() {
-        let out = model_penkf(&cfg, nsdx, nsdy).expect("feasible decomposition");
+    for (np, nsdx, nsdy) in points {
+        let (out, mut trace) =
+            model_penkf_traced(&cfg, nsdx, nsdy).expect("feasible decomposition");
         let m = out.compute_mean;
         // I/O time = read service + the waiting it induces (disk queues);
         // in P-EnKF every wait is a disk-queue wait.
@@ -25,13 +40,22 @@ fn main() {
             pct(m.compute / total),
             secs(out.makespan),
         ]);
+        if trace_on {
+            trace.set_label(format!("fig01-penkf-{np}"));
+            let path = trace.write_chrome_json(traces_dir()).expect("write trace");
+            println!("[trace {}]", path.display());
+        }
     }
     print_table(
         "Figure 1: P-EnKF I/O vs computation share",
         &["processors", "io_share", "compute_share", "runtime_s"],
         &rows,
     );
-    write_csv("fig01.csv", &["processors", "io_share", "compute_share", "runtime_s"], &rows);
+    write_csv(
+        "fig01.csv",
+        &["processors", "io_share", "compute_share", "runtime_s"],
+        &rows,
+    );
     println!(
         "\nPaper shape: I/O share grows monotonically with processor count and\n\
          dominates at high counts; computation share shrinks correspondingly."

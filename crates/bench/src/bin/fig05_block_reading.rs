@@ -27,8 +27,14 @@ fn main() {
     write_csv("fig05.csv", &["nsdx", "processors", "read_time_s"], &rows);
 
     // Linearity check: correlation of read time with n_sdx.
-    let first = rows.first().map(|r| r[2].parse::<f64>().unwrap()).unwrap_or(0.0);
-    let last = rows.last().map(|r| r[2].parse::<f64>().unwrap()).unwrap_or(0.0);
+    let first = rows
+        .first()
+        .map(|r| r[2].parse::<f64>().unwrap())
+        .unwrap_or(0.0);
+    let last = rows
+        .last()
+        .map(|r| r[2].parse::<f64>().unwrap())
+        .unwrap_or(0.0);
     println!(
         "\nPaper shape: near-linear growth with n_sdx. Measured growth factor over the\n\
          sweep: {:.2}x for a {:.2}x increase in n_sdx.",

@@ -5,23 +5,75 @@
 //! processors and computation processors are reported separately, as in the
 //! paper's stacked bars; the compute side's idle time (waiting for the
 //! exposed first stage plus any stage stalls) is `makespan − busy`.
+//!
+//! Flags: `--tiny` runs one reduced configuration (smoke tests); `--trace`
+//! exports a Chrome-trace JSON per run into `target/traces/` together with
+//! `target/figures/fig09_trace_check.csv`, the full-precision per-rank span
+//! sums the printed table is derived from (so external tooling can verify
+//! the JSON reproduces the phase breakdown to 1e-9 rather than to the three
+//! printed decimals).
 
-use enkf_bench::{paper_scaling_points, print_table, secs, write_csv};
-use enkf_parallel::model::penkf::model_penkf;
-use enkf_parallel::model::senkf::model_senkf;
+use enkf_bench::{
+    has_flag, paper_scaling_points, print_table, secs, secs_exact, tiny_workload, traces_dir,
+    write_csv,
+};
+use enkf_parallel::model::penkf::model_penkf_traced;
+use enkf_parallel::model::senkf::model_senkf_traced;
 use enkf_parallel::ModelConfig;
+use enkf_trace::Trace;
 use enkf_tuning::{autotune, Params};
 
 fn tuned_params(cfg: &ModelConfig, np: usize) -> Params {
-    autotune(&cfg.cost_params(), np, 2e-2).expect("tunable at paper scale").params
+    autotune(&cfg.cost_params(), np, 2e-2)
+        .expect("tunable at paper scale")
+        .params
+}
+
+/// One `(label, rank, read, comm, compute, wait)` row per rank, at full
+/// precision — the machine-checkable counterpart of the printed table.
+fn check_rows(trace: &Trace, rows: &mut Vec<Vec<String>>) {
+    for (rank, t) in trace.per_rank_phases() {
+        rows.push(vec![
+            trace.label().to_string(),
+            rank.to_string(),
+            secs_exact(t.read),
+            secs_exact(t.comm),
+            secs_exact(t.compute),
+            secs_exact(t.wait),
+        ]);
+    }
 }
 
 fn main() {
-    let cfg = ModelConfig::paper();
+    let tiny = has_flag("--tiny");
+    let trace_on = has_flag("--trace");
+    let mut cfg = ModelConfig::paper();
+    let points: Vec<(usize, usize, usize, Params)> = if tiny {
+        cfg.workload = tiny_workload();
+        // Fixed parameters: the auto-tuner targets paper scale.
+        vec![(
+            24,
+            6,
+            4,
+            Params {
+                nsdx: 6,
+                nsdy: 4,
+                layers: 2,
+                ncg: 2,
+            },
+        )]
+    } else {
+        paper_scaling_points()
+            .into_iter()
+            .map(|(np, nsdx, nsdy)| (np, nsdx, nsdy, tuned_params(&cfg, np)))
+            .collect()
+    };
+
     let mut rows = Vec::new();
-    for (np, nsdx, nsdy) in paper_scaling_points() {
+    let mut check = Vec::new();
+    for (np, nsdx, nsdy, params) in points {
         // P-EnKF at np ranks.
-        let p = model_penkf(&cfg, nsdx, nsdy).expect("feasible");
+        let (p, mut p_trace) = model_penkf_traced(&cfg, nsdx, nsdy).expect("feasible");
         rows.push(vec![
             format!("P-EnKF@{np}"),
             "compute".into(),
@@ -31,9 +83,8 @@ fn main() {
             secs(p.compute_mean.wait),
             secs(p.makespan),
         ]);
-        // S-EnKF with auto-tuned parameters within the same budget.
-        let params = tuned_params(&cfg, np);
-        let s = model_senkf(&cfg, params).expect("feasible");
+        // S-EnKF with parameters within the same budget.
+        let (s, mut s_trace) = model_senkf_traced(&cfg, params).expect("feasible");
         let compute_idle = (s.makespan - s.compute_mean.total()).max(0.0);
         rows.push(vec![
             format!("S-EnKF@{np}"),
@@ -54,11 +105,34 @@ fn main() {
             secs(s.io_mean.wait + io_idle),
             secs(s.makespan),
         ]);
+        if trace_on {
+            p_trace.set_label(format!("fig09-penkf-{np}"));
+            s_trace.set_label(format!("fig09-senkf-{np}"));
+            for trace in [&p_trace, &s_trace] {
+                let path = trace.write_chrome_json(traces_dir()).expect("write trace");
+                println!("[trace {}]", path.display());
+                check_rows(trace, &mut check);
+            }
+        }
     }
-    let header =
-        ["config", "rank class", "read_s", "comm_s", "compute_s", "wait_s", "runtime_s"];
+    let header = [
+        "config",
+        "rank class",
+        "read_s",
+        "comm_s",
+        "compute_s",
+        "wait_s",
+        "runtime_s",
+    ];
     print_table("Figure 9: per-rank phase breakdown", &header, &rows);
     write_csv("fig09.csv", &header, &rows);
+    if trace_on {
+        write_csv(
+            "fig09_trace_check.csv",
+            &["label", "rank", "read_s", "comm_s", "compute_s", "wait_s"],
+            &check,
+        );
+    }
     println!(
         "\nPaper shape: P-EnKF's read(+wait) share grows with processors while its\n\
          compute shrinks; in S-EnKF file reading and communication on the I/O side\n\

@@ -30,8 +30,17 @@ fn main() {
         row.push(util);
         rows.push(row);
     }
-    let header = ["ncg", "read_s (nsdy=10)", "read_s (nsdy=20)", "OST util (nsdy=10)"];
-    print_table("Figure 10: concurrent-access reading time vs n_cg (120 members)", &header, &rows);
+    let header = [
+        "ncg",
+        "read_s (nsdy=10)",
+        "read_s (nsdy=20)",
+        "OST util (nsdy=10)",
+    ];
+    print_table(
+        "Figure 10: concurrent-access reading time vs n_cg (120 members)",
+        &header,
+        &rows,
+    );
     write_csv("fig10.csv", &header, &rows);
     println!(
         "\nPaper shape: monotone decrease up to ~4 groups, little change beyond ~6\n\

@@ -26,7 +26,13 @@ fn main() {
             secs(s.makespan),
         ]);
     }
-    let header = ["processors", "tuned params", "overlapped", "exposed_s", "runtime_s"];
+    let header = [
+        "processors",
+        "tuned params",
+        "overlapped",
+        "exposed_s",
+        "runtime_s",
+    ];
     print_table("Figure 11: overlapped-time share in S-EnKF", &header, &rows);
     write_csv("fig11.csv", &header, &rows);
     println!(

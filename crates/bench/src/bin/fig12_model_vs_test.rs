@@ -27,25 +27,31 @@ fn main() {
     let mut rows = Vec::new();
     let mut cross_rows = Vec::new();
     for &c1 in &c1_values {
-        let Some(best) = algorithm1(&cost, c1, c2) else { continue };
+        let Some(best) = algorithm1(&cost, c1, c2) else {
+            continue;
+        };
         // Test data: run the DES at every feasible parameter combination
         // with this (C1, C2) and record the exposed acquisition time.
         let mut best_test: Option<(f64, Params)> = None;
         for combo in feasible_combos(&cost, c1, c2) {
             let out = model_senkf(&cfg, combo).expect("feasible");
             let t_test = out.first_compute_start;
-            cross_rows.push(vec![
-                c1.to_string(),
-                format!("{combo:?}"),
-                secs(t_test),
-            ]);
+            cross_rows.push(vec![c1.to_string(), format!("{combo:?}"), secs(t_test)]);
             if best_test.is_none_or(|(t, _)| t_test < t) {
                 best_test = Some((t_test, combo));
             }
         }
         let (t_test, test_params) = best_test.expect("at least one combo");
-        model_curve.push(CurvePoint { c1, t1: best.t1, params: best.params });
-        test_curve.push(CurvePoint { c1, t1: t_test, params: test_params });
+        model_curve.push(CurvePoint {
+            c1,
+            t1: best.t1,
+            params: best.params,
+        });
+        test_curve.push(CurvePoint {
+            c1,
+            t1: t_test,
+            params: test_params,
+        });
         rows.push(vec![
             c1.to_string(),
             secs(best.t1),
@@ -55,9 +61,17 @@ fn main() {
     }
 
     let header = ["C1", "model_minT1_s", "test_min_s", "model params"];
-    print_table("Figure 12: model min T1 vs DES test data (C2 = 2000)", &header, &rows);
+    print_table(
+        "Figure 12: model min T1 vs DES test data (C2 = 2000)",
+        &header,
+        &rows,
+    );
     write_csv("fig12.csv", &header, &rows);
-    write_csv("fig12_crosses.csv", &["C1", "params", "test_s"], &cross_rows);
+    write_csv(
+        "fig12_crosses.csv",
+        &["C1", "params", "test_s"],
+        &cross_rows,
+    );
 
     // Algorithm 2 walks only strictly-improving points; filter both curves
     // the same way before applying the earnings-rate rule.
@@ -100,7 +114,12 @@ fn feasible_combos(cost: &enkf_tuning::CostParams, c1: usize, c2: usize) -> Vec<
         // Keep the cross set plottable: a few representative layer counts.
         for layers in [1usize, 2, 3, 5, 6, 9, 10, 15].iter().copied() {
             if layers <= sub_height && sub_height.is_multiple_of(layers) {
-                out.push(Params { nsdx, nsdy, layers, ncg });
+                out.push(Params {
+                    nsdx,
+                    nsdy,
+                    layers,
+                    ncg,
+                });
             }
         }
     }

@@ -35,8 +35,19 @@ fn main() {
             ),
         ]);
     }
-    let header = ["processors", "P-EnKF_s", "S-EnKF_s", "S ideal_s", "speedup", "tuned params"];
-    print_table("Figure 13: strong scaling, P-EnKF vs S-EnKF", &header, &rows);
+    let header = [
+        "processors",
+        "P-EnKF_s",
+        "S-EnKF_s",
+        "S ideal_s",
+        "speedup",
+        "tuned params",
+    ];
+    print_table(
+        "Figure 13: strong scaling, P-EnKF vs S-EnKF",
+        &header,
+        &rows,
+    );
     write_csv("fig13.csv", &header, &rows);
     println!(
         "\nPaper shape: P-EnKF stops scaling near 8,000 processors and regresses\n\

@@ -8,7 +8,17 @@ fn main() {
     for np in [2000usize, 4000, 6000, 8000, 10000, 12000] {
         let t = autotune(&cost, np, 2e-2).unwrap();
         let p = t.params;
-        let tasks = p.ncg * p.c2() * p.layers + p.c1() * p.layers * (cost.workload.members / p.ncg) + p.c2() * p.layers;
-        println!("np={np}: {:?} c1={} c2={} t1={:.1} ttotal={:.1} est_tasks={}", p, p.c1(), p.c2(), t.t1, t.t_total, tasks);
+        let tasks = p.ncg * p.c2() * p.layers
+            + p.c1() * p.layers * (cost.workload.members / p.ncg)
+            + p.c2() * p.layers;
+        println!(
+            "np={np}: {:?} c1={} c2={} t1={:.1} ttotal={:.1} est_tasks={}",
+            p,
+            p.c1(),
+            p.c2(),
+            t.t1,
+            t.t_total,
+            tasks
+        );
     }
 }

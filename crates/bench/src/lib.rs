@@ -43,8 +43,18 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
-    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -63,6 +73,43 @@ pub fn paper_scaling_points() -> Vec<(usize, usize, usize)> {
         (10000, 100, 100),
         (12000, 120, 100),
     ]
+}
+
+/// True if the process was invoked with the given command-line flag.
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// Directory Chrome-trace exports are written to (`target/traces`).
+pub fn traces_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/traces");
+    std::fs::create_dir_all(&dir).expect("create traces dir");
+    dir
+}
+
+/// The `--tiny` workload: the same code paths as the paper-scale sweeps on
+/// a 240 × 120 mesh with 8 members, so smoke tests finish in seconds.
+pub fn tiny_workload() -> enkf_tuning::Workload {
+    enkf_tuning::Workload {
+        nx: 240,
+        ny: 120,
+        members: 8,
+        h: 80,
+        xi: 2,
+        eta: 2,
+    }
+}
+
+/// The `--tiny` strong-scaling points (divisor-compatible with the
+/// [`tiny_workload`] mesh): `(n_p, nsdx, nsdy)`.
+pub fn tiny_scaling_points() -> Vec<(usize, usize, usize)> {
+    vec![(12, 4, 3), (24, 6, 4), (48, 8, 6)]
+}
+
+/// Format seconds at full precision (shortest round-trip representation)
+/// for machine-checked CSV outputs.
+pub fn secs_exact(v: f64) -> String {
+    format!("{v}")
 }
 
 /// Format seconds with 3 significant decimals.

@@ -52,8 +52,13 @@ impl GlobalAnalysis {
         // A = B̂⁻¹ + Hᵀ R⁻¹ H (H is a selection: diagonal bumps).
         let mut a = binv.clone();
         let mesh = obs.operator().mesh();
-        let rows: Vec<usize> =
-            obs.operator().network().points().iter().map(|&p| mesh.index(p)).collect();
+        let rows: Vec<usize> = obs
+            .operator()
+            .network()
+            .points()
+            .iter()
+            .map(|&p| mesh.index(p))
+            .collect();
         for (k, &row) in rows.iter().enumerate() {
             a[(row, row)] += 1.0 / obs.error_var()[k];
         }

@@ -74,7 +74,9 @@ impl Ensemble {
     /// small test problems.
     pub fn covariance(&self) -> Matrix {
         let u = self.anomalies();
-        u.matmul_tr(&u).expect("square product").scale(1.0 / (self.size() - 1) as f64)
+        u.matmul_tr(&u)
+            .expect("square product")
+            .scale(1.0 / (self.size() - 1) as f64)
     }
 
     /// Restrict the ensemble to a region: the `n̄ × N` matrix `X̄ᵇ` of Eq. 6,
@@ -87,8 +89,16 @@ impl Ensemble {
     /// Overwrite the states on `region` from a `region.npoints() × N` local
     /// matrix (scatter of a local analysis result).
     pub fn assign(&mut self, region: &RegionRect, local: &Matrix) {
-        assert_eq!(local.nrows(), region.npoints(), "local rows must match region");
-        assert_eq!(local.ncols(), self.size(), "local cols must match ensemble size");
+        assert_eq!(
+            local.nrows(),
+            region.npoints(),
+            "local rows must match region"
+        );
+        assert_eq!(
+            local.ncols(),
+            self.size(),
+            "local cols must match ensemble size"
+        );
         for (li, p) in region.iter_points().enumerate() {
             let gi = self.mesh.index(p);
             for k in 0..self.size() {
@@ -102,7 +112,11 @@ impl Ensemble {
     pub fn rmse_against(&self, reference: &[f64]) -> f64 {
         assert_eq!(reference.len(), self.dim(), "reference length mismatch");
         let mean = self.mean();
-        let ss: f64 = mean.iter().zip(reference).map(|(m, r)| (m - r) * (m - r)).sum();
+        let ss: f64 = mean
+            .iter()
+            .zip(reference)
+            .map(|(m, r)| (m - r) * (m - r))
+            .sum();
         (ss / self.dim() as f64).sqrt()
     }
 }

@@ -11,7 +11,10 @@ use enkf_linalg::Matrix;
 
 /// Scale every member's deviation from the ensemble mean by `rho`.
 pub fn inflate_ensemble(ensemble: &mut Ensemble, rho: f64) {
-    assert!(rho > 0.0 && rho.is_finite(), "inflation factor must be positive");
+    assert!(
+        rho > 0.0 && rho.is_finite(),
+        "inflation factor must be positive"
+    );
     if rho == 1.0 {
         return;
     }
@@ -55,7 +58,10 @@ mod tests {
         let mesh = Mesh::new(6, 4);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut gs = GaussianSampler::new();
-        Ensemble::new(mesh, Matrix::from_fn(mesh.n(), 10, |_, _| gs.sample(&mut rng)))
+        Ensemble::new(
+            mesh,
+            Matrix::from_fn(mesh.n(), 10, |_, _| gs.sample(&mut rng)),
+        )
     }
 
     #[test]

@@ -51,9 +51,16 @@ impl LocalObservations {
         }
         let mut perturbed = Matrix::zeros(rows.len(), self.perturbed.ncols());
         for (out_r, &src_r) in rows.iter().enumerate() {
-            perturbed.row_mut(out_r).copy_from_slice(self.perturbed.row(src_r));
+            perturbed
+                .row_mut(out_r)
+                .copy_from_slice(self.perturbed.row(src_r));
         }
-        LocalObservations { local_rows, values, error_var, perturbed }
+        LocalObservations {
+            local_rows,
+            values,
+            error_var,
+            perturbed,
+        }
     }
 }
 
@@ -147,7 +154,9 @@ impl LocalAnalysis {
         }
         match self.granularity {
             AnalysisGranularity::Region => self.analyze_region(target, expansion, xb, obs),
-            AnalysisGranularity::PointWise => self.analyze_pointwise(mesh, target, expansion, xb, obs),
+            AnalysisGranularity::PointWise => {
+                self.analyze_pointwise(mesh, target, expansion, xb, obs)
+            }
         }
     }
 
@@ -177,11 +186,7 @@ impl LocalAnalysis {
         let denom = (nens - 1).max(1) as f64;
         let mean_var = u.as_slice().iter().map(|&v| v * v).sum::<f64>() / (denom * nbar as f64);
         let lambda = (self.ridge * mean_var).max(f64::MIN_POSITIVE);
-        let mc = ModifiedCholesky::estimate(
-            &u,
-            box_predecessors(expansion, self.radius),
-            lambda,
-        )?;
+        let mc = ModifiedCholesky::estimate(&u, box_predecessors(expansion, self.radius), lambda)?;
         let mut a = mc.inverse_covariance();
 
         // A = B̂⁻¹ + Hᵀ R⁻¹ H — the selection H adds 1/σ²ₖ at the observed
@@ -406,7 +411,9 @@ mod tests {
             let rows = full.local_indices_of(&expansion);
             let xb_local = xb_full.select_rows(&rows);
             let obs_local = obs_global.localize(&expansion);
-            let xa_local = la.analyze(mesh, &target, &expansion, &xb_local, &obs_local).unwrap();
+            let xa_local = la
+                .analyze(mesh, &target, &expansion, &xb_local, &obs_local)
+                .unwrap();
             // Compare against the full-domain result on the same points.
             let target_rows = full.local_indices_of(&target);
             let expect = xa_full.select_rows(&target_rows);

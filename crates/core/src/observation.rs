@@ -46,14 +46,22 @@ impl ObservationOperator {
     /// Apply `H` to a full state vector: the observed values.
     pub fn apply(&self, state: &[f64]) -> Vec<f64> {
         assert_eq!(state.len(), self.mesh().n(), "state length mismatch");
-        self.network.points().iter().map(|&p| state[self.mesh().index(p)]).collect()
+        self.network
+            .points()
+            .iter()
+            .map(|&p| state[self.mesh().index(p)])
+            .collect()
     }
 
     /// Apply `H` to an `n × N` ensemble matrix: the `m × N` matrix `H Xᵇ`.
     pub fn apply_ensemble(&self, states: &Matrix) -> Matrix {
         assert_eq!(states.nrows(), self.mesh().n(), "ensemble rows mismatch");
-        let rows: Vec<usize> =
-            self.network.points().iter().map(|&p| self.mesh().index(p)).collect();
+        let rows: Vec<usize> = self
+            .network
+            .points()
+            .iter()
+            .map(|&p| self.mesh().index(p))
+            .collect();
         states.select_rows(&rows)
     }
 
@@ -99,7 +107,9 @@ impl PerturbedObservations {
             .wrapping_add(0xD1B5_4A32_D192_ED03);
         let mut rng = StdRng::seed_from_u64(mixed);
         let mut gs = GaussianSampler::new();
-        (0..self.members).map(|_| value + std * gs.sample(&mut rng)).collect()
+        (0..self.members)
+            .map(|_| value + std * gs.sample(&mut rng))
+            .collect()
     }
 }
 
@@ -125,8 +135,16 @@ impl Observations {
     ) -> Self {
         assert_eq!(values.len(), operator.len(), "value count mismatch");
         assert_eq!(error_var.len(), operator.len(), "variance count mismatch");
-        assert!(error_var.iter().all(|&v| v > 0.0), "R must be positive definite");
-        Observations { operator, values, error_var, perturbed }
+        assert!(
+            error_var.iter().all(|&v| v > 0.0),
+            "R must be positive definite"
+        );
+        Observations {
+            operator,
+            values,
+            error_var,
+            perturbed,
+        }
     }
 
     /// The observation operator.
@@ -163,7 +181,9 @@ impl Observations {
     pub fn perturbed_matrix(&self) -> Matrix {
         let mut y = Matrix::zeros(self.len(), self.perturbed.members());
         for k in 0..self.len() {
-            let row = self.perturbed.row(k, self.values[k], self.error_var[k].sqrt());
+            let row = self
+                .perturbed
+                .row(k, self.values[k], self.error_var[k].sqrt());
             y.row_mut(k).copy_from_slice(&row);
         }
         y
@@ -187,10 +207,17 @@ impl Observations {
         }
         let mut perturbed = Matrix::zeros(values.len(), self.perturbed.members());
         for (r, &k) in global_indices.iter().enumerate() {
-            let row = self.perturbed.row(k, self.values[k], self.error_var[k].sqrt());
+            let row = self
+                .perturbed
+                .row(k, self.values[k], self.error_var[k].sqrt());
             perturbed.row_mut(r).copy_from_slice(&row);
         }
-        crate::local::LocalObservations { local_rows, values, error_var, perturbed }
+        crate::local::LocalObservations {
+            local_rows,
+            values,
+            error_var,
+            perturbed,
+        }
     }
 }
 
@@ -249,7 +276,9 @@ mod tests {
         let obs = obs_set();
         let y = obs.perturbed_matrix();
         for k in 0..obs.len() {
-            let row = obs.perturbed().row(k, obs.values()[k], obs.error_var()[k].sqrt());
+            let row = obs
+                .perturbed()
+                .row(k, obs.values()[k], obs.error_var()[k].sqrt());
             assert_eq!(y.row(k), &row[..]);
         }
     }

@@ -1,8 +1,8 @@
 //! Property-based tests of the analysis kernels' invariants.
 
 use enkf_core::{
-    serial_enkf, serial_enkf_decomposed, serial_letkf, LocalAnalysis, Observations,
-    ObservationOperator, PerturbedObservations,
+    serial_enkf, serial_enkf_decomposed, serial_letkf, LocalAnalysis, ObservationOperator,
+    Observations, PerturbedObservations,
 };
 use enkf_grid::{Decomposition, GridPoint, LocalizationRadius, Mesh, ObservationNetwork};
 use enkf_linalg::{GaussianSampler, Matrix};
@@ -18,7 +18,15 @@ struct Problem {
 }
 
 fn problem_strategy() -> impl Strategy<Value = Problem> {
-    (2usize..=4, 2usize..=3, 4usize..=10, 1usize..=2, 1usize..=2, 2usize..=3, any::<u64>())
+    (
+        2usize..=4,
+        2usize..=3,
+        4usize..=10,
+        1usize..=2,
+        1usize..=2,
+        2usize..=3,
+        any::<u64>(),
+    )
         .prop_map(|(mx, my, nens, xi, eta, stride, seed)| {
             let mesh = Mesh::new(mx * 3, my * 3);
             let mut rng = StdRng::seed_from_u64(seed);
@@ -38,7 +46,11 @@ fn problem_strategy() -> impl Strategy<Value = Problem> {
                 vec![0.1; m],
                 PerturbedObservations::new(seed ^ 0xBEEF, nens),
             );
-            Problem { ensemble, observations, radius: LocalizationRadius { xi, eta } }
+            Problem {
+                ensemble,
+                observations,
+                radius: LocalizationRadius { xi, eta },
+            }
         })
 }
 
@@ -50,8 +62,8 @@ proptest! {
         let mesh = p.ensemble.mesh();
         let reference = serial_enkf(&p.ensemble, &p.observations, p.radius).unwrap();
         // Any divisor-compatible decomposition must reproduce it.
-        let divx: Vec<usize> = (1..=mesh.nx()).filter(|d| mesh.nx() % d == 0).collect();
-        let divy: Vec<usize> = (1..=mesh.ny()).filter(|d| mesh.ny() % d == 0).collect();
+        let divx: Vec<usize> = (1..=mesh.nx()).filter(|d| mesh.nx().is_multiple_of(*d)).collect();
+        let divy: Vec<usize> = (1..=mesh.ny()).filter(|d| mesh.ny().is_multiple_of(*d)).collect();
         let sx = divx[divx.len() / 2];
         let sy = divy[divy.len() / 2];
         let d = Decomposition::new(mesh, sx, sy).unwrap();

@@ -12,7 +12,7 @@
 
 use crate::dynamics::AdvectionDiffusion;
 use crate::field::SmoothFieldGenerator;
-use enkf_core::{Ensemble, Observations, ObservationOperator, PerturbedObservations};
+use enkf_core::{Ensemble, ObservationOperator, Observations, PerturbedObservations};
 use enkf_grid::{Mesh, ObservationNetwork};
 use enkf_linalg::{GaussianSampler, Matrix};
 use rand::rngs::StdRng;
@@ -76,7 +76,10 @@ impl CycledExperiment {
     pub fn new(mesh: Mesh, members: usize, config: CycleConfig, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ 0xDA3E);
         let mut gs = GaussianSampler::new();
-        let gen = SmoothFieldGenerator { max_wavenumber: 2, ..Default::default() };
+        let gen = SmoothFieldGenerator {
+            max_wavenumber: 2,
+            ..Default::default()
+        };
         let truth = gen.generate(mesh, &mut rng);
         let members_vec: Vec<Vec<f64>> = (0..members)
             .map(|_| {
@@ -91,7 +94,16 @@ impl CycledExperiment {
         let states = Matrix::from_fn(mesh.n(), members, |i, k| members_vec[k][i]);
         let background = Ensemble::new(mesh, states);
         let free_run = background.clone();
-        CycledExperiment { mesh, config, truth, background, free_run, rng, cycle: 0, seed }
+        CycledExperiment {
+            mesh,
+            config,
+            truth,
+            background,
+            free_run,
+            rng,
+            cycle: 0,
+            seed,
+        }
     }
 
     /// The current truth state.
@@ -136,7 +148,9 @@ impl CycledExperiment {
         let c = &self.config;
         // Forecast phase: truth evolves deterministically; ensembles get
         // stochastic model error.
-        self.truth = c.dynamics.integrate(self.mesh, &self.truth, c.steps_per_cycle);
+        self.truth = c
+            .dynamics
+            .integrate(self.mesh, &self.truth, c.steps_per_cycle);
         self.background = c.dynamics.forecast_ensemble(
             &self.background,
             c.steps_per_cycle,
@@ -206,8 +220,12 @@ mod tests {
         let mesh = Mesh::new(12, 8);
         let mut exp = CycledExperiment::new(mesh, 8, CycleConfig::default(), 5);
         let radius = LocalizationRadius { xi: 1, eta: 1 };
-        let s0 = exp.run_cycle(|bg, obs| serial_enkf(bg, obs, radius)).unwrap();
-        let s1 = exp.run_cycle(|bg, obs| serial_enkf(bg, obs, radius)).unwrap();
+        let s0 = exp
+            .run_cycle(|bg, obs| serial_enkf(bg, obs, radius))
+            .unwrap();
+        let s1 = exp
+            .run_cycle(|bg, obs| serial_enkf(bg, obs, radius))
+            .unwrap();
         assert_eq!(s0.cycle, 0);
         assert_eq!(s1.cycle, 1);
         // The second forecast starts from the first analysis, so its error
@@ -220,7 +238,9 @@ mod tests {
         let mesh = Mesh::new(10, 6);
         let mk = || {
             let mut e = CycledExperiment::new(mesh, 6, CycleConfig::default(), 9);
-            let _ = e.run_cycle(|bg, _| Ok::<_, std::convert::Infallible>(bg.clone())).unwrap();
+            let _ = e
+                .run_cycle(|bg, _| Ok::<_, std::convert::Infallible>(bg.clone()))
+                .unwrap();
             e.observe().values().to_vec()
         };
         assert_eq!(mk(), mk());

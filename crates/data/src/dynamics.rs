@@ -33,7 +33,12 @@ pub struct AdvectionDiffusion {
 impl AdvectionDiffusion {
     /// A stable default: eastward drift with weak diffusion.
     pub fn gentle_drift() -> Self {
-        AdvectionDiffusion { u: 0.8, v: 0.1, kappa: 0.05, dt: 0.5 }
+        AdvectionDiffusion {
+            u: 0.8,
+            v: 0.1,
+            kappa: 0.05,
+            dt: 0.5,
+        }
     }
 
     /// The CFL-style stability number; must stay below 1.
@@ -44,7 +49,10 @@ impl AdvectionDiffusion {
     /// Advance one field by one time step.
     pub fn step(&self, mesh: Mesh, field: &[f64]) -> Vec<f64> {
         assert_eq!(field.len(), mesh.n(), "field length mismatch");
-        assert!(self.stability_number() < 1.0, "unstable configuration (CFL)");
+        assert!(
+            self.stability_number() < 1.0,
+            "unstable configuration (CFL)"
+        );
         let (nx, ny) = (mesh.nx(), mesh.ny());
         let idx = |ix: usize, iy: usize| mesh.index(GridPoint { ix, iy });
         let mut out = vec![0.0; field.len()];
@@ -61,10 +69,16 @@ impl AdvectionDiffusion {
                 let qn = field[idx(ix, up)];
                 let qs = field[idx(ix, down)];
                 // Upwind advection.
-                let adv_x =
-                    if self.u >= 0.0 { self.u * (q - qw) } else { self.u * (qe - q) };
-                let adv_y =
-                    if self.v >= 0.0 { self.v * (q - qs) } else { self.v * (qn - q) };
+                let adv_x = if self.u >= 0.0 {
+                    self.u * (q - qw)
+                } else {
+                    self.u * (qe - q)
+                };
+                let adv_y = if self.v >= 0.0 {
+                    self.v * (q - qs)
+                } else {
+                    self.v * (qn - q)
+                };
                 let lap = qe + qw + qn + qs - 4.0 * q;
                 out[idx(ix, iy)] = q + self.dt * (-adv_x - adv_y + self.kappa * lap);
             }
@@ -98,8 +112,11 @@ impl AdvectionDiffusion {
         for k in 0..ensemble.size() {
             let advanced = self.integrate(mesh, &ensemble.member(k), steps);
             for (i, &v) in advanced.iter().enumerate() {
-                let noise =
-                    if model_error_std > 0.0 { model_error_std * gs.sample(rng) } else { 0.0 };
+                let noise = if model_error_std > 0.0 {
+                    model_error_std * gs.sample(rng)
+                } else {
+                    0.0
+                };
                 states[(i, k)] = v + noise;
             }
         }
@@ -132,7 +149,12 @@ mod tests {
     fn mass_is_conserved_by_advection() {
         // Pure advection (periodic x, v=0): the field sum is invariant.
         let m = mesh();
-        let dyn_ = AdvectionDiffusion { u: 0.6, v: 0.0, kappa: 0.0, dt: 0.5 };
+        let dyn_ = AdvectionDiffusion {
+            u: 0.6,
+            v: 0.0,
+            kappa: 0.0,
+            dt: 0.5,
+        };
         let q: Vec<f64> = (0..m.n()).map(|i| (i as f64 * 0.7).sin()).collect();
         let before: f64 = q.iter().sum();
         let after: f64 = dyn_.integrate(m, &q, 10).iter().sum();
@@ -142,7 +164,12 @@ mod tests {
     #[test]
     fn diffusion_damps_extremes() {
         let m = mesh();
-        let dyn_ = AdvectionDiffusion { u: 0.0, v: 0.0, kappa: 0.2, dt: 0.5 };
+        let dyn_ = AdvectionDiffusion {
+            u: 0.0,
+            v: 0.0,
+            kappa: 0.2,
+            dt: 0.5,
+        };
         let mut q = vec![0.0; m.n()];
         q[m.index(GridPoint { ix: 8, iy: 4 })] = 10.0;
         let out = dyn_.integrate(m, &q, 20);
@@ -155,23 +182,39 @@ mod tests {
     #[test]
     fn advection_moves_a_blob_eastward() {
         let m = Mesh::new(32, 4);
-        let dyn_ = AdvectionDiffusion { u: 1.0, v: 0.0, kappa: 0.0, dt: 0.5 };
+        let dyn_ = AdvectionDiffusion {
+            u: 1.0,
+            v: 0.0,
+            kappa: 0.0,
+            dt: 0.5,
+        };
         let mut q = vec![0.0; m.n()];
         q[m.index(GridPoint { ix: 4, iy: 2 })] = 1.0;
         // 16 steps at u·dt = 0.5 cells/step → ~8 cells east.
         let out = dyn_.integrate(m, &q, 16);
         let centroid: f64 = {
             let total: f64 = out.iter().sum();
-            m.iter_points().map(|p| p.ix as f64 * out[m.index(p)]).sum::<f64>() / total
+            m.iter_points()
+                .map(|p| p.ix as f64 * out[m.index(p)])
+                .sum::<f64>()
+                / total
         };
-        assert!(centroid > 6.0, "centroid {centroid} should have moved east of 4");
+        assert!(
+            centroid > 6.0,
+            "centroid {centroid} should have moved east of 4"
+        );
     }
 
     #[test]
     #[should_panic(expected = "unstable configuration")]
     fn cfl_guard_trips() {
         let m = mesh();
-        let dyn_ = AdvectionDiffusion { u: 3.0, v: 0.0, kappa: 0.0, dt: 1.0 };
+        let dyn_ = AdvectionDiffusion {
+            u: 3.0,
+            v: 0.0,
+            kappa: 0.0,
+            dt: 1.0,
+        };
         dyn_.step(m, &vec![0.0; m.n()]);
     }
 

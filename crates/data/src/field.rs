@@ -25,7 +25,12 @@ pub struct SmoothFieldGenerator {
 
 impl Default for SmoothFieldGenerator {
     fn default() -> Self {
-        SmoothFieldGenerator { modes: 6, max_wavenumber: 4, amplitude: 1.0, nugget: 0.2 }
+        SmoothFieldGenerator {
+            modes: 6,
+            max_wavenumber: 4,
+            amplitude: 1.0,
+            nugget: 0.2,
+        }
     }
 }
 
@@ -55,7 +60,11 @@ impl SmoothFieldGenerator {
                         .sin()
                 })
                 .sum();
-            let noise = if self.nugget > 0.0 { self.nugget * gs.sample(rng) } else { 0.0 };
+            let noise = if self.nugget > 0.0 {
+                self.nugget * gs.sample(rng)
+            } else {
+                0.0
+            };
             out.push(smooth + noise);
         }
         out
@@ -72,7 +81,12 @@ mod tests {
         let n = a.len() as f64;
         let ma = a.iter().sum::<f64>() / n;
         let mb = b.iter().sum::<f64>() / n;
-        let cov: f64 = a.iter().zip(b).map(|(&x, &y)| (x - ma) * (y - mb)).sum::<f64>() / n;
+        let cov: f64 = a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| (x - ma) * (y - mb))
+            .sum::<f64>()
+            / n;
         let va: f64 = a.iter().map(|&x| (x - ma) * (x - ma)).sum::<f64>() / n;
         let vb: f64 = b.iter().map(|&y| (y - mb) * (y - mb)).sum::<f64>() / n;
         cov / (va * vb).sqrt()
@@ -95,7 +109,10 @@ mod tests {
         // correlated (smooth part dominates) while distant points are less
         // correlated.
         let mesh = Mesh::new(32, 16);
-        let g = SmoothFieldGenerator { nugget: 0.1, ..Default::default() };
+        let g = SmoothFieldGenerator {
+            nugget: 0.1,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(11);
         let fields: Vec<Vec<f64>> = (0..200).map(|_| g.generate(mesh, &mut rng)).collect();
         let at = |ix: usize, iy: usize| -> Vec<f64> {
@@ -116,18 +133,27 @@ mod tests {
         // With a nugget, 2 nearby fields sampled from one RNG never agree
         // exactly pointwise even on the smooth scale.
         let mesh = Mesh::new(8, 8);
-        let g = SmoothFieldGenerator { modes: 1, max_wavenumber: 1, amplitude: 1.0, nugget: 0.5 };
+        let g = SmoothFieldGenerator {
+            modes: 1,
+            max_wavenumber: 1,
+            amplitude: 1.0,
+            nugget: 0.5,
+        };
         let mut rng = StdRng::seed_from_u64(2);
         let f = g.generate(mesh, &mut rng);
         // Neighboring points differ by more than the smooth gradient alone.
-        let diffs: f64 = f.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (f.len() - 1) as f64;
+        let diffs: f64 =
+            f.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (f.len() - 1) as f64;
         assert!(diffs > 0.1, "mean neighbor diff {diffs}");
     }
 
     #[test]
     fn zero_nugget_is_pure_smooth() {
         let mesh = Mesh::new(8, 4);
-        let g = SmoothFieldGenerator { nugget: 0.0, ..Default::default() };
+        let g = SmoothFieldGenerator {
+            nugget: 0.0,
+            ..Default::default()
+        };
         let f = g.generate(mesh, &mut StdRng::seed_from_u64(3));
         assert_eq!(f.len(), mesh.n());
         assert!(f.iter().all(|v| v.is_finite()));

@@ -135,7 +135,12 @@ impl ScenarioBuilder {
             vec![self.obs_noise_std * self.obs_noise_std; m],
             PerturbedObservations::new(self.seed ^ 0xABCD_EF01, self.members),
         );
-        Scenario { mesh, truth, ensemble, observations }
+        Scenario {
+            mesh,
+            truth,
+            ensemble,
+            observations,
+        }
     }
 }
 
@@ -148,7 +153,11 @@ mod tests {
     #[test]
     fn builder_produces_consistent_geometry() {
         let mesh = Mesh::new(18, 12);
-        let s = ScenarioBuilder::new(mesh).members(12).observation_stride(3).seed(1).build();
+        let s = ScenarioBuilder::new(mesh)
+            .members(12)
+            .observation_stride(3)
+            .seed(1)
+            .build();
         assert_eq!(s.ensemble.size(), 12);
         assert_eq!(s.ensemble.dim(), mesh.n());
         assert_eq!(s.truth.len(), mesh.n());
@@ -170,8 +179,14 @@ mod tests {
     #[test]
     fn background_bias_shows_in_rmse() {
         let mesh = Mesh::new(12, 12);
-        let unbiased = ScenarioBuilder::new(mesh).background_bias(0.0).seed(3).build();
-        let biased = ScenarioBuilder::new(mesh).background_bias(2.0).seed(3).build();
+        let unbiased = ScenarioBuilder::new(mesh)
+            .background_bias(0.0)
+            .seed(3)
+            .build();
+        let biased = ScenarioBuilder::new(mesh)
+            .background_bias(2.0)
+            .seed(3)
+            .build();
         assert!(biased.rmse_background() > unbiased.rmse_background() + 1.0);
     }
 

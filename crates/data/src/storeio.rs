@@ -20,7 +20,11 @@ pub const LEVEL_LAPSE: f64 = 0.01;
 ///
 /// The store's layout must match the ensemble's mesh.
 pub fn write_ensemble(store: &FileStore, ensemble: &Ensemble) -> std::io::Result<()> {
-    assert_eq!(store.layout().mesh(), ensemble.mesh(), "layout/ensemble mesh mismatch");
+    assert_eq!(
+        store.layout().mesh(),
+        ensemble.mesh(),
+        "layout/ensemble mesh mismatch"
+    );
     let levels = store.levels();
     let n = ensemble.dim();
     let mut buf = vec![0.0f64; n * levels];
@@ -101,11 +105,15 @@ mod tests {
     fn region_matrix_matches_ensemble_restrict() {
         let (_s, store, ensemble) = setup(2);
         let region = RegionRect::new(3, 9, 1, 5);
-        let per_member: Vec<RegionData> =
-            (0..5).map(|k| store.read_region(k, &region).unwrap()).collect();
+        let per_member: Vec<RegionData> = (0..5)
+            .map(|k| store.read_region(k, &region).unwrap())
+            .collect();
         let m = region_to_matrix(&region, &per_member);
         let expect = ensemble.restrict(&region);
-        assert!(m.approx_eq(&expect, 0.0), "file-backed region must equal in-memory restrict");
+        assert!(
+            m.approx_eq(&expect, 0.0),
+            "file-backed region must equal in-memory restrict"
+        );
     }
 
     #[test]

@@ -64,7 +64,10 @@ impl std::fmt::Display for DecompError {
                 write!(f, "ny = {ny} is not divisible by n_sdy = {nsdy}")
             }
             DecompError::LayersNotDivisible { sub_height, layers } => {
-                write!(f, "sub-domain height {sub_height} is not divisible by L = {layers}")
+                write!(
+                    f,
+                    "sub-domain height {sub_height} is not divisible by L = {layers}"
+                )
             }
         }
     }
@@ -77,10 +80,16 @@ impl Decomposition {
     /// multiple of `n_sdx` (resp. `n_sdy`), and so do we.
     pub fn new(mesh: Mesh, nsdx: usize, nsdy: usize) -> Result<Self, DecompError> {
         if nsdx == 0 || !mesh.nx().is_multiple_of(nsdx) {
-            return Err(DecompError::LongitudeNotDivisible { nx: mesh.nx(), nsdx });
+            return Err(DecompError::LongitudeNotDivisible {
+                nx: mesh.nx(),
+                nsdx,
+            });
         }
         if nsdy == 0 || !mesh.ny().is_multiple_of(nsdy) {
-            return Err(DecompError::LatitudeNotDivisible { ny: mesh.ny(), nsdy });
+            return Err(DecompError::LatitudeNotDivisible {
+                ny: mesh.ny(),
+                nsdy,
+            });
         }
         Ok(Decomposition { mesh, nsdx, nsdy })
     }
@@ -122,7 +131,10 @@ impl Decomposition {
 
     /// The rectangle of sub-domain `D_{i,j}`.
     pub fn subdomain(&self, id: SubDomainId) -> RegionRect {
-        assert!(id.i < self.nsdx && id.j < self.nsdy, "sub-domain id out of range");
+        assert!(
+            id.i < self.nsdx && id.j < self.nsdy,
+            "sub-domain id out of range"
+        );
         let w = self.sub_width();
         let h = self.sub_height();
         RegionRect::new(id.i * w, (id.i + 1) * w, id.j * h, (id.j + 1) * h)
@@ -138,8 +150,10 @@ impl Decomposition {
     /// ranks are conventionally assigned in this order.
     pub fn iter_ids(&self) -> impl Iterator<Item = SubDomainId> + '_ {
         let nsdx = self.nsdx;
-        (0..self.num_subdomains())
-            .map(move |k| SubDomainId { i: k % nsdx, j: k / nsdx })
+        (0..self.num_subdomains()).map(move |k| SubDomainId {
+            i: k % nsdx,
+            j: k / nsdx,
+        })
     }
 
     /// Linear rank of a sub-domain under the `(j, i)` ordering.
@@ -150,13 +164,19 @@ impl Decomposition {
     /// Inverse of [`Decomposition::rank_of`].
     pub fn id_of_rank(&self, rank: usize) -> SubDomainId {
         assert!(rank < self.num_subdomains(), "rank out of range");
-        SubDomainId { i: rank % self.nsdx, j: rank / self.nsdx }
+        SubDomainId {
+            i: rank % self.nsdx,
+            j: rank / self.nsdx,
+        }
     }
 
     /// Which sub-domain owns a grid point.
     pub fn owner_of(&self, p: crate::GridPoint) -> SubDomainId {
         debug_assert!(self.mesh.contains(p));
-        SubDomainId { i: p.ix / self.sub_width(), j: p.iy / self.sub_height() }
+        SubDomainId {
+            i: p.ix / self.sub_width(),
+            j: p.iy / self.sub_height(),
+        }
     }
 
     /// Validate a layer count `L` against the sub-domain height (the
@@ -279,7 +299,10 @@ mod tests {
                 seen[d.mesh().index(p)] += 1;
             }
         }
-        assert!(seen.iter().all(|&c| c == 1), "every point covered exactly once");
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "every point covered exactly once"
+        );
     }
 
     #[test]
@@ -363,7 +386,10 @@ mod tests {
                 let sb = d.small_bar(j, l, layers, r);
                 for i in 0..d.nsdx() {
                     let blk = d.block_of_small_bar(SubDomainId { i, j }, l, layers, r);
-                    assert!(sb.contains_rect(&blk), "small bar must contain block (i={i})");
+                    assert!(
+                        sb.contains_rect(&blk),
+                        "small bar must contain block (i={i})"
+                    );
                 }
             }
         }
@@ -375,15 +401,26 @@ mod tests {
         let r = LocalizationRadius { xi: 1, eta: 2 };
         let id = SubDomainId { i: 0, j: 2 };
         for l in 0..2 {
-            assert!(d.layer_expansion(id, l, 2, r).contains_rect(&d.layer(id, l, 2)));
+            assert!(d
+                .layer_expansion(id, l, 2, r)
+                .contains_rect(&d.layer(id, l, 2)));
         }
     }
 
     #[test]
     fn owner_of_boundary_points() {
         let d = decomp();
-        assert_eq!(d.owner_of(GridPoint { ix: 0, iy: 0 }), SubDomainId { i: 0, j: 0 });
-        assert_eq!(d.owner_of(GridPoint { ix: 23, iy: 11 }), SubDomainId { i: 3, j: 2 });
-        assert_eq!(d.owner_of(GridPoint { ix: 6, iy: 4 }), SubDomainId { i: 1, j: 1 });
+        assert_eq!(
+            d.owner_of(GridPoint { ix: 0, iy: 0 }),
+            SubDomainId { i: 0, j: 0 }
+        );
+        assert_eq!(
+            d.owner_of(GridPoint { ix: 23, iy: 11 }),
+            SubDomainId { i: 3, j: 2 }
+        );
+        assert_eq!(
+            d.owner_of(GridPoint { ix: 6, iy: 4 }),
+            SubDomainId { i: 1, j: 1 }
+        );
     }
 }

@@ -33,7 +33,10 @@ impl FileLayout {
     /// Create a layout for the given mesh and per-point payload (`h`).
     pub fn new(mesh: Mesh, bytes_per_point: u64) -> Self {
         assert!(bytes_per_point > 0, "bytes_per_point must be positive");
-        FileLayout { mesh, bytes_per_point }
+        FileLayout {
+            mesh,
+            bytes_per_point,
+        }
     }
 
     /// The mesh this layout describes.
@@ -75,7 +78,10 @@ impl FileLayout {
             let offset = iy as u64 * row_bytes + region.x0 as u64 * h;
             match out.last_mut() {
                 Some(last) if last.offset + last.len == offset => last.len += seg_len,
-                _ => out.push(ByteSegment { offset, len: seg_len }),
+                _ => out.push(ByteSegment {
+                    offset,
+                    len: seg_len,
+                }),
             }
         }
         out
@@ -122,7 +128,13 @@ mod tests {
         let bar = RegionRect::new(0, 8, 1, 3);
         let segs = l.segments(&bar);
         assert_eq!(segs.len(), 1);
-        assert_eq!(segs[0], ByteSegment { offset: 8 * 16, len: 2 * 8 * 16 });
+        assert_eq!(
+            segs[0],
+            ByteSegment {
+                offset: 8 * 16,
+                len: 2 * 8 * 16
+            }
+        );
         assert_eq!(l.seek_count(&bar), 1);
     }
 
@@ -159,7 +171,13 @@ mod tests {
     fn whole_file_is_one_segment() {
         let l = layout();
         let segs = l.segments(&RegionRect::full(l.mesh()));
-        assert_eq!(segs, vec![ByteSegment { offset: 0, len: l.file_size() }]);
+        assert_eq!(
+            segs,
+            vec![ByteSegment {
+                offset: 0,
+                len: l.file_size()
+            }]
+        );
     }
 
     #[test]

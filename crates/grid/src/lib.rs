@@ -43,7 +43,10 @@ impl LocalizationRadius {
     /// given the (generally different) grid spacings along longitude and
     /// latitude. This is why `ξ` may differ from `η` on a `n_x ≫ n_y` mesh.
     pub fn from_physical(r_km: f64, dx_km: f64, dy_km: f64) -> Self {
-        assert!(r_km >= 0.0 && dx_km > 0.0 && dy_km > 0.0, "radii and spacings must be positive");
+        assert!(
+            r_km >= 0.0 && dx_km > 0.0 && dy_km > 0.0,
+            "radii and spacings must be positive"
+        );
         LocalizationRadius {
             xi: (r_km / dx_km).ceil() as usize,
             eta: (r_km / dy_km).ceil() as usize,

@@ -64,7 +64,10 @@ impl Mesh {
     #[inline]
     pub fn point(&self, index: usize) -> GridPoint {
         debug_assert!(index < self.n(), "flat index out of bounds");
-        GridPoint { ix: index % self.nx, iy: index / self.nx }
+        GridPoint {
+            ix: index % self.nx,
+            iy: index / self.nx,
+        }
     }
 
     /// Whether the point lies inside the mesh.
@@ -80,7 +83,12 @@ impl Mesh {
 
     /// Chebyshev-style anisotropic distance used by the local box test:
     /// `q` is inside the box of `p` iff `|Δx| ≤ ξ` and `|Δy| ≤ η`.
-    pub fn in_local_box(&self, p: GridPoint, q: GridPoint, radius: crate::LocalizationRadius) -> bool {
+    pub fn in_local_box(
+        &self,
+        p: GridPoint,
+        q: GridPoint,
+        radius: crate::LocalizationRadius,
+    ) -> bool {
         p.ix.abs_diff(q.ix) <= radius.xi && p.iy.abs_diff(q.iy) <= radius.eta
     }
 }

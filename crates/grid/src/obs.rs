@@ -20,7 +20,13 @@ pub struct ObservationNetwork {
 impl ObservationNetwork {
     /// A regular network observing every `stride_x`-th longitude and
     /// `stride_y`-th latitude point, starting at the given offsets.
-    pub fn strided(mesh: Mesh, stride_x: usize, stride_y: usize, offset_x: usize, offset_y: usize) -> Self {
+    pub fn strided(
+        mesh: Mesh,
+        stride_x: usize,
+        stride_y: usize,
+        offset_x: usize,
+        offset_y: usize,
+    ) -> Self {
         assert!(stride_x > 0 && stride_y > 0, "strides must be positive");
         let mut points = Vec::new();
         let mut iy = offset_y;
@@ -43,7 +49,10 @@ impl ObservationNetwork {
     /// Build a network from an explicit point list (e.g. a sparse irregular
     /// network). Points must lie inside the mesh.
     pub fn from_points(mesh: Mesh, points: Vec<GridPoint>) -> Self {
-        assert!(points.iter().all(|&p| mesh.contains(p)), "observation outside mesh");
+        assert!(
+            points.iter().all(|&p| mesh.contains(p)),
+            "observation outside mesh"
+        );
         ObservationNetwork { mesh, points }
     }
 
@@ -82,7 +91,11 @@ impl ObservationNetwork {
 
     /// The observed points inside a region (paired with [`Self::indices_in`]).
     pub fn points_in(&self, region: &RegionRect) -> Vec<GridPoint> {
-        self.points.iter().copied().filter(|&p| region.contains(p)).collect()
+        self.points
+            .iter()
+            .copied()
+            .filter(|&p| region.contains(p))
+            .collect()
     }
 }
 
@@ -103,7 +116,10 @@ mod tests {
     fn strided_offsets_respected() {
         let mesh = Mesh::new(10, 10);
         let net = ObservationNetwork::strided(mesh, 4, 5, 1, 2);
-        assert!(net.points().iter().all(|p| (p.ix - 1) % 4 == 0 && (p.iy - 2) % 5 == 0));
+        assert!(net
+            .points()
+            .iter()
+            .all(|p| (p.ix - 1) % 4 == 0 && (p.iy - 2) % 5 == 0));
         assert!(net.points().iter().all(|&p| mesh.contains(p)));
     }
 
@@ -115,7 +131,10 @@ mod tests {
         let idx = net.indices_in(&region);
         let pts = net.points_in(&region);
         assert_eq!(idx.len(), pts.len());
-        assert!(idx.windows(2).all(|w| w[0] < w[1]), "network order preserved");
+        assert!(
+            idx.windows(2).all(|w| w[0] < w[1]),
+            "network order preserved"
+        );
         for (&k, &p) in idx.iter().zip(pts.iter()) {
             assert_eq!(net.points()[k], p);
             assert!(region.contains(p));

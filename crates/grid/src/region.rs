@@ -65,7 +65,10 @@ impl RegionRect {
     /// Whether `self` contains every point of `other`.
     pub fn contains_rect(&self, other: &RegionRect) -> bool {
         other.is_empty()
-            || (self.x0 <= other.x0 && other.x1 <= self.x1 && self.y0 <= other.y0 && other.y1 <= self.y1)
+            || (self.x0 <= other.x0
+                && other.x1 <= self.x1
+                && self.y0 <= other.y0
+                && other.y1 <= self.y1)
     }
 
     /// Intersection (possibly empty).
@@ -109,7 +112,10 @@ impl RegionRect {
     #[inline]
     pub fn point_at(&self, local: usize) -> GridPoint {
         debug_assert!(local < self.npoints());
-        GridPoint { ix: self.x0 + local % self.width(), iy: self.y0 + local / self.width() }
+        GridPoint {
+            ix: self.x0 + local % self.width(),
+            iy: self.y0 + local / self.width(),
+        }
     }
 
     /// Local indices of the points of `inner` within `self` (row-priority

@@ -14,7 +14,10 @@ fn decomp_strategy() -> impl Strategy<Value = Decomposition> {
     mesh_strategy().prop_flat_map(|mesh| {
         let divx: Vec<usize> = (1..=mesh.nx()).filter(|d| mesh.nx() % d == 0).collect();
         let divy: Vec<usize> = (1..=mesh.ny()).filter(|d| mesh.ny() % d == 0).collect();
-        (proptest::sample::select(divx), proptest::sample::select(divy))
+        (
+            proptest::sample::select(divx),
+            proptest::sample::select(divy),
+        )
             .prop_map(move |(sx, sy)| Decomposition::new(mesh, sx, sy).unwrap())
     })
 }
@@ -72,7 +75,7 @@ proptest! {
     #[test]
     fn layers_partition_each_subdomain(decomp in decomp_strategy(), lseed in any::<u64>()) {
         let sub_h = decomp.sub_height();
-        let divisors: Vec<usize> = (1..=sub_h).filter(|l| sub_h % l == 0).collect();
+        let divisors: Vec<usize> = (1..=sub_h).filter(|l| sub_h.is_multiple_of(*l)).collect();
         let layers = divisors[(lseed as usize) % divisors.len()];
         for id in decomp.iter_ids() {
             let sub = decomp.subdomain(id);
@@ -99,7 +102,7 @@ proptest! {
     ) {
         let radius = LocalizationRadius { xi, eta };
         let sub_h = decomp.sub_height();
-        let divisors: Vec<usize> = (1..=sub_h).filter(|l| sub_h % l == 0).collect();
+        let divisors: Vec<usize> = (1..=sub_h).filter(|l| sub_h.is_multiple_of(*l)).collect();
         let layers = divisors[(lseed as usize) % divisors.len()];
         for j in 0..decomp.nsdy() {
             for l in 0..layers {

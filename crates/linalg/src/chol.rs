@@ -107,7 +107,8 @@ impl Cholesky {
     /// needed.
     pub fn inverse(&self) -> Matrix {
         let n = self.dim();
-        self.solve(&Matrix::identity(n)).expect("identity has matching dimension")
+        self.solve(&Matrix::identity(n))
+            .expect("identity has matching dimension")
     }
 
     /// `log det A = 2 Σ log L[i][i]`.
@@ -229,13 +230,19 @@ mod tests {
     #[test]
     fn cholesky_rejects_non_square() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(Cholesky::factor(&a), Err(LinalgError::NotSquare { .. })));
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
     }
 
     #[test]
     fn cholesky_rejects_indefinite() {
         let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
-        assert!(matches!(Cholesky::factor(&a), Err(LinalgError::NotPositiveDefinite(1))));
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotPositiveDefinite(1))
+        ));
     }
 
     #[test]

@@ -49,12 +49,7 @@ mod tests {
     #[test]
     fn exact_fit_recovers_coefficients() {
         // y = 2 x1 - 3 x2 with independent columns and no noise.
-        let x = Matrix::from_vec(
-            4,
-            2,
-            vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, -1.0],
-        )
-        .unwrap();
+        let x = Matrix::from_vec(4, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, -1.0]).unwrap();
         let y: Vec<f64> = (0..4).map(|i| 2.0 * x[(i, 0)] - 3.0 * x[(i, 1)]).collect();
         let beta = ridge_least_squares(&x, &y, 0.0).unwrap();
         assert!((beta[0] - 2.0).abs() < 1e-10);

@@ -35,7 +35,11 @@ pub struct Matrix {
 impl Matrix {
     /// Create an `nrows x ncols` matrix filled with zeros.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        Matrix { nrows, ncols, data: vec![0.0; nrows * ncols] }
+        Matrix {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
     }
 
     /// Create a matrix from a closure evaluated at every `(row, col)`.
@@ -191,17 +195,33 @@ impl Matrix {
         f: impl Fn(f64, f64) -> f64,
     ) -> Result<Matrix> {
         if self.shape() != other.shape() {
-            return Err(LinalgError::DimMismatch { op, lhs: self.shape(), rhs: other.shape() });
+            return Err(LinalgError::DimMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
         }
-        let data =
-            self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect::<Vec<_>>();
-        Ok(Matrix { nrows: self.nrows, ncols: self.ncols, data })
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect::<Vec<_>>();
+        Ok(Matrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            data,
+        })
     }
 
     /// Return `alpha * self` as a new matrix.
     pub fn scale(&self, alpha: f64) -> Matrix {
         let data = self.data.iter().map(|&a| alpha * a).collect();
-        Matrix { nrows: self.nrows, ncols: self.ncols, data }
+        Matrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            data,
+        }
     }
 
     /// Matrix-vector product `self * x`; errors when `x.len() != ncols`.
@@ -312,7 +332,9 @@ impl Matrix {
     /// Mean of each row (used for the ensemble mean x̄ᵇ, Eq. 4).
     pub fn row_means(&self) -> Vec<f64> {
         let inv = 1.0 / self.ncols as f64;
-        (0..self.nrows).map(|i| self.row(i).iter().sum::<f64>() * inv).collect()
+        (0..self.nrows)
+            .map(|i| self.row(i).iter().sum::<f64>() * inv)
+            .collect()
     }
 
     /// Subtract `v[i]` from every entry of row `i` (anomaly computation, Eq. 4).

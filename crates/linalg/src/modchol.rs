@@ -62,8 +62,7 @@ impl ModifiedCholesky {
         let mut l = Matrix::identity(n);
         let mut d = vec![0.0; n];
         for i in 0..n {
-            let preds: Vec<usize> =
-                predecessors(i).into_iter().filter(|&j| j < i).collect();
+            let preds: Vec<usize> = predecessors(i).into_iter().filter(|&j| j < i).collect();
             let yi = anomalies.row(i);
             if preds.is_empty() {
                 d[i] = variance(yi, denom).max(ridge.max(f64::MIN_POSITIVE));
@@ -195,7 +194,11 @@ mod tests {
                 assert_eq!(mc.l()[(i, j)], 0.0, "upper triangle must be zero");
             }
             for j in 0..i.saturating_sub(2) {
-                assert_eq!(mc.l()[(i, j)], 0.0, "outside band must be structurally zero");
+                assert_eq!(
+                    mc.l()[(i, j)],
+                    0.0,
+                    "outside band must be structurally zero"
+                );
             }
         }
         assert!(mc.d().iter().all(|&d| d > 0.0));
@@ -238,9 +241,18 @@ mod tests {
         u.subtract_row_vector(&means);
         let binv = modified_cholesky_inverse(&u, band_predecessors(2), 1e-8).unwrap();
         for i in 0..n {
-            assert!((binv[(i, i)] - 1.0).abs() < 0.15, "diag {} = {}", i, binv[(i, i)]);
+            assert!(
+                (binv[(i, i)] - 1.0).abs() < 0.15,
+                "diag {} = {}",
+                i,
+                binv[(i, i)]
+            );
             for j in 0..i {
-                assert!(binv[(i, j)].abs() < 0.15, "offdiag ({i},{j}) = {}", binv[(i, j)]);
+                assert!(
+                    binv[(i, j)].abs() < 0.15,
+                    "offdiag ({i},{j}) = {}",
+                    binv[(i, j)]
+                );
             }
         }
     }
@@ -262,7 +274,11 @@ mod tests {
         let means = u.row_means();
         u.subtract_row_vector(&means);
         let binv = modified_cholesky_inverse(&u, band_predecessors(1), 1e-8).unwrap();
-        assert!(binv[(1, 0)] < -1.0, "expected strong negative precision, got {}", binv[(1, 0)]);
+        assert!(
+            binv[(1, 0)] < -1.0,
+            "expected strong negative precision, got {}",
+            binv[(1, 0)]
+        );
     }
 
     #[test]

@@ -113,7 +113,9 @@ impl Qr {
         self.apply_qt(&mut y);
         // Back substitution on R; a (numerically) zero pivot flags rank
         // deficiency.
-        let rmax = (0..n).map(|i| self.factors[(i, i)].abs()).fold(0.0f64, f64::max);
+        let rmax = (0..n)
+            .map(|i| self.factors[(i, i)].abs())
+            .fold(0.0f64, f64::max);
         let tol = 1e-12 * rmax.max(f64::MIN_POSITIVE);
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {

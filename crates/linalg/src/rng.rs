@@ -84,7 +84,10 @@ mod tests {
         let beyond2: usize = (0..n).filter(|_| gs.sample(&mut rng).abs() > 2.0).count();
         let frac = beyond2 as f64 / n as f64;
         // P(|Z| > 2) ≈ 0.0455.
-        assert!((frac - 0.0455).abs() < 0.006, "two-sigma tail fraction {frac}");
+        assert!(
+            (frac - 0.0455).abs() < 0.006,
+            "two-sigma tail fraction {frac}"
+        );
     }
 
     #[test]

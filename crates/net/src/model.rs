@@ -23,7 +23,10 @@ impl NetParams {
     /// ranks under congestion), which makes the communication phase comparable to the
     /// file-reading phase as the paper's Figure 9 reports.
     pub fn tianhe2_like() -> Self {
-        NetParams { alpha: 2.0e-4, beta: 1.0 / 0.3e9 }
+        NetParams {
+            alpha: 2.0e-4,
+            beta: 1.0 / 0.3e9,
+        }
     }
 
     /// Cost of one point-to-point message of `bytes` bytes: `a + b·s`.
@@ -89,7 +92,10 @@ mod tests {
 
     #[test]
     fn p2p_linear_in_bytes() {
-        let p = NetParams { alpha: 1e-6, beta: 1e-9 };
+        let p = NetParams {
+            alpha: 1e-6,
+            beta: 1e-9,
+        };
         assert!((p.p2p(0) - 1e-6).abs() < 1e-18);
         assert!((p.p2p(1_000_000) - (1e-6 + 1e-3)).abs() < 1e-12);
     }
@@ -104,7 +110,10 @@ mod tests {
 
     #[test]
     fn group_scatter_matches_eq8_shape() {
-        let p = NetParams { alpha: 1e-6, beta: 1e-9 };
+        let p = NetParams {
+            alpha: 1e-6,
+            beta: 1e-9,
+        };
         let t = p.group_scatter(10, 3, 500);
         let expect = 10.0 * 2.0 * (1e-6 + 500.0e-9);
         assert!((t - expect).abs() < 1e-12);

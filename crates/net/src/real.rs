@@ -46,7 +46,11 @@ impl<M: Send> RankCtx<M> {
     /// Send a payload to a peer (non-blocking, unbounded buffering).
     pub fn send(&self, to: usize, tag: u64, payload: M) {
         self.peers[to]
-            .send(Envelope { from: self.rank, tag, payload })
+            .send(Envelope {
+                from: self.rank,
+                tag,
+                payload,
+            })
             .expect("receiving rank hung up");
     }
 
@@ -57,19 +61,26 @@ impl<M: Send> RankCtx<M> {
         if let Some(env) = self.stash.pop_front() {
             return env;
         }
-        self.inbox.recv().expect("all senders hung up while receiving")
+        self.inbox
+            .recv()
+            .expect("all senders hung up while receiving")
     }
 
     /// Receive the next message matching `(from, tag)`; non-matching
     /// messages are stashed for later `recv`/`recv_match` calls.
     pub fn recv_match(&mut self, from: usize, tag: u64) -> M {
-        if let Some(pos) =
-            self.stash.iter().position(|e| e.from == from && e.tag == tag)
+        if let Some(pos) = self
+            .stash
+            .iter()
+            .position(|e| e.from == from && e.tag == tag)
         {
             return self.stash.remove(pos).expect("position is valid").payload;
         }
         loop {
-            let env = self.inbox.recv().expect("all senders hung up while matching");
+            let env = self
+                .inbox
+                .recv()
+                .expect("all senders hung up while matching");
             if env.from == from && env.tag == tag {
                 return env.payload;
             }
@@ -114,9 +125,16 @@ impl<M: Send + Clone> RankCtx<M> {
             for _ in 0..self.size - 1 {
                 let env = self.recv();
                 assert_eq!(env.tag, tag, "unexpected tag during gather");
-                assert!(out[env.from].replace(env.payload).is_none(), "duplicate gather");
+                assert!(
+                    out[env.from].replace(env.payload).is_none(),
+                    "duplicate gather"
+                );
             }
-            Some(out.into_iter().map(|o| o.expect("all ranks gathered")).collect())
+            Some(
+                out.into_iter()
+                    .map(|o| o.expect("all ranks gathered"))
+                    .collect(),
+            )
         } else {
             self.send(root, tag, payload);
             None
@@ -129,7 +147,15 @@ impl<M: Send + Clone> RankCtx<M> {
         M: Default,
     {
         self.gather(0, tag, M::default());
-        self.broadcast(0, tag, if self.rank == 0 { Some(M::default()) } else { None });
+        self.broadcast(
+            0,
+            tag,
+            if self.rank == 0 {
+                Some(M::default())
+            } else {
+                None
+            },
+        );
     }
 
     /// Scatter: `root` holds one payload per rank and delivers each rank
@@ -200,11 +226,40 @@ impl Cluster {
             for (rank, inbox) in receivers.into_iter().enumerate() {
                 let peers = senders.clone();
                 handles.push(scope.spawn(move || {
-                    body(RankCtx { rank, size, peers, inbox, stash: VecDeque::new() })
+                    body(RankCtx {
+                        rank,
+                        size,
+                        peers,
+                        inbox,
+                        stash: VecDeque::new(),
+                    })
                 }));
             }
             drop(senders);
-            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
+        })
+    }
+
+    /// Like [`Cluster::run`], but each rank also receives a
+    /// [`enkf_trace::RankTracer`] anchored to a cluster-wide epoch taken just
+    /// before the threads spawn, so every rank's spans lie on one shared
+    /// wall-clock timeline. Returns `(result, spans)` per rank, in rank
+    /// order — concatenating the span vectors in that order gives a
+    /// deterministic-ordered trace regardless of thread scheduling.
+    pub fn run_traced<M, T, F>(size: usize, body: F) -> Vec<(T, Vec<enkf_trace::Span>)>
+    where
+        M: Send,
+        T: Send,
+        F: Fn(RankCtx<M>, &mut enkf_trace::RankTracer) -> T + Sync,
+    {
+        let epoch = std::time::Instant::now();
+        Self::run(size, move |ctx: RankCtx<M>| {
+            let mut tracer = enkf_trace::RankTracer::new(ctx.rank(), epoch);
+            let out = body(ctx, &mut tracer);
+            (out, tracer.into_spans())
         })
     }
 }
@@ -299,6 +354,30 @@ mod tests {
     }
 
     #[test]
+    fn run_traced_collects_spans_in_rank_order() {
+        let results = Cluster::run_traced(3, |mut ctx: RankCtx<u64>, tracer| {
+            if ctx.rank() == 0 {
+                for peer in 1..ctx.size() {
+                    tracer.send(None, peer, 8, || ctx.send(peer, 0, 99));
+                }
+            } else {
+                let rank = ctx.rank();
+                tracer.wait(None, || ctx.recv_match(0, 0));
+                let _ = rank;
+            }
+            ctx.rank()
+        });
+        assert_eq!(
+            results.iter().map(|(r, _)| *r).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(results[0].1.len(), 2, "rank 0 recorded two sends");
+        assert_eq!(results[0].1[0].peer, Some(1));
+        assert!(results[1].1.iter().all(|s| s.rank == 1));
+        assert!(results[0].1.iter().all(|s| s.start >= 0.0 && s.dur >= 0.0));
+    }
+
+    #[test]
     fn single_rank_cluster() {
         let results: Vec<usize> = Cluster::run(1, |ctx: RankCtx<u8>| ctx.size());
         assert_eq!(results, vec![1]);
@@ -307,8 +386,7 @@ mod tests {
     #[test]
     fn scatter_delivers_per_rank_payloads() {
         let results: Vec<u64> = Cluster::run(4, |mut ctx: RankCtx<u64>| {
-            let payloads =
-                (ctx.rank() == 1).then(|| vec![10, 11, 12, 13]);
+            let payloads = (ctx.rank() == 1).then(|| vec![10, 11, 12, 13]);
             ctx.scatter(1, 2, payloads)
         });
         assert_eq!(results, vec![10, 11, 12, 13]);
@@ -319,7 +397,11 @@ mod tests {
         let results: Vec<Option<String>> = Cluster::run(3, |mut ctx: RankCtx<String>| {
             ctx.reduce(0, 4, format!("r{}", ctx.rank()), |a, b| format!("{a},{b}"))
         });
-        assert_eq!(results[0].as_deref(), Some("r0,r1,r2"), "deterministic order");
+        assert_eq!(
+            results[0].as_deref(),
+            Some("r0,r1,r2"),
+            "deterministic order"
+        );
         assert!(results[1].is_none() && results[2].is_none());
     }
 

@@ -8,11 +8,13 @@
 
 use crate::exec::setup::AssimilationSetup;
 use crate::exec::{assemble_analysis, Msg};
-use crate::report::{ExecutionReport, PhaseBreakdown, PhaseTimer};
+use crate::report::{ExecutionReport, PhaseBreakdown};
 use enkf_core::{Ensemble, Result};
 use enkf_data::region_to_matrix;
+use enkf_grid::RegionRect;
 use enkf_net::{Cluster, RankCtx};
 use enkf_pfs::RegionData;
+use enkf_trace::Trace;
 use std::time::Instant;
 
 /// The L-EnKF variant: `n_sdx × n_sdy` ranks, rank 0 is the only reader.
@@ -28,6 +30,18 @@ impl LEnkf {
     /// Run the assimilation; returns the analysis ensemble and the phase
     /// timings.
     pub fn run(&self, setup: &AssimilationSetup<'_>) -> Result<(Ensemble, ExecutionReport)> {
+        self.run_traced(setup)
+            .map(|(analysis, report, _)| (analysis, report))
+    }
+
+    /// [`LEnkf::run`], additionally returning the execution trace: rank 0
+    /// emits one full-file read span per member plus one send span per
+    /// (member, peer) scatter; every other rank emits wait spans for the
+    /// blocked receives. The report is the per-rank projection of the spans.
+    pub fn run_traced(
+        &self,
+        setup: &AssimilationSetup<'_>,
+    ) -> Result<(Ensemble, ExecutionReport, Trace)> {
         setup.validate()?;
         let decomp = setup.decomposition(self.nsdx, self.nsdy)?;
         let mesh = setup.mesh();
@@ -35,64 +49,68 @@ impl LEnkf {
         let nranks = decomp.num_subdomains();
         let t0 = Instant::now();
 
-        type RankOut = (Result<(enkf_grid::RegionRect, enkf_linalg::Matrix)>, PhaseBreakdown);
-        let results: Vec<RankOut> = Cluster::run(nranks, |mut ctx: RankCtx<Msg>| {
-            let mut timer = PhaseTimer::new();
-            let id = decomp.id_of_rank(ctx.rank());
-            let target = decomp.subdomain(id);
-            let expansion = decomp.expansion(id, radius);
-            let mut per_member: Vec<Option<RegionData>> =
-                (0..setup.members).map(|_| None).collect();
+        type RankOut = Result<(enkf_grid::RegionRect, enkf_linalg::Matrix)>;
+        let results: Vec<(RankOut, Vec<enkf_trace::Span>)> =
+            Cluster::run_traced(nranks, |mut ctx: RankCtx<Msg>, tracer| {
+                let id = decomp.id_of_rank(ctx.rank());
+                let target = decomp.subdomain(id);
+                let expansion = decomp.expansion(id, radius);
+                let mut per_member: Vec<Option<RegionData>> =
+                    (0..setup.members).map(|_| None).collect();
 
-            if ctx.rank() == 0 {
-                // The single reader: read each full member, carve out every
-                // rank's expansion block, send (keep own block locally).
-                #[allow(clippy::needless_range_loop)]
-                for k in 0..setup.members {
-                    let full = match timer.measure(|p| &mut p.read, || setup.store.read_full(k)) {
-                        Ok(d) => d,
-                        Err(e) => {
-                            // Unblock every waiting rank before bailing out.
-                            for peer in 1..ctx.size() {
-                                ctx.send(
-                                    peer,
-                                    k as u64,
-                                    Msg::Abort { reason: format!("read failed: {e}") },
-                                );
-                            }
-                            return (
-                                Err(enkf_core::EnkfError::GeometryMismatch(format!(
+                if ctx.rank() == 0 {
+                    // The single reader: read each full member, carve out every
+                    // rank's expansion block, send (keep own block locally).
+                    let (full_seeks, full_bytes) = setup.store.op_cost(&RegionRect::full(mesh));
+                    #[allow(clippy::needless_range_loop)]
+                    for k in 0..setup.members {
+                        let full = match tracer.read(None, Some(k), full_bytes, full_seeks, || {
+                            setup.store.read_full(k)
+                        }) {
+                            Ok(d) => d,
+                            Err(e) => {
+                                // Unblock every waiting rank before bailing out.
+                                for peer in 1..ctx.size() {
+                                    ctx.send(
+                                        peer,
+                                        k as u64,
+                                        Msg::Abort {
+                                            reason: format!("read failed: {e}"),
+                                        },
+                                    );
+                                }
+                                return Err(enkf_core::EnkfError::GeometryMismatch(format!(
                                     "read failed: {e}"
-                                ))),
-                                timer.phases,
-                            );
-                        }
-                    };
-                    timer.measure(
-                        |p| &mut p.comm,
-                        || {
-                            for peer in 1..ctx.size() {
-                                let peer_id = decomp.id_of_rank(peer);
-                                let peer_exp = decomp.expansion(peer_id, radius);
+                                )));
+                            }
+                        };
+                        for peer in 1..ctx.size() {
+                            let peer_id = decomp.id_of_rank(peer);
+                            let peer_exp = decomp.expansion(peer_id, radius);
+                            let (_, block_bytes) = setup.store.op_cost(&peer_exp);
+                            tracer.send(None, peer, block_bytes, || {
                                 let block = full.extract(&peer_exp);
                                 ctx.send(
                                     peer,
                                     k as u64,
-                                    Msg::Blocks { stage: 0, members: vec![k], data: vec![block] },
+                                    Msg::Blocks {
+                                        stage: 0,
+                                        members: vec![k],
+                                        data: vec![block],
+                                    },
                                 );
-                            }
-                        },
-                    );
-                    per_member[k] = Some(full.extract(&expansion));
-                }
-            } else {
-                // Receive the expansion blocks of all members from rank 0.
-                let received: std::result::Result<(), String> = timer.measure(
-                    |p| &mut p.wait,
-                    || {
+                            });
+                        }
+                        per_member[k] = Some(full.extract(&expansion));
+                    }
+                } else {
+                    // Receive the expansion blocks of all members from rank 0.
+                    let received: std::result::Result<(), String> = tracer.wait(None, || {
                         for _ in 0..setup.members {
                             match ctx.recv().payload {
-                                Msg::Blocks { members, mut data, .. } => {
+                                Msg::Blocks {
+                                    members, mut data, ..
+                                } => {
                                     let k = members[0];
                                     per_member[k] = Some(data.remove(0));
                                 }
@@ -100,35 +118,32 @@ impl LEnkf {
                             }
                         }
                         Ok(())
-                    },
-                );
-                if let Err(reason) = received {
-                    return (
-                        Err(enkf_core::EnkfError::GeometryMismatch(format!(
+                    });
+                    if let Err(reason) = received {
+                        return Err(enkf_core::EnkfError::GeometryMismatch(format!(
                             "reader aborted: {reason}"
-                        ))),
-                        timer.phases,
-                    );
+                        )));
+                    }
                 }
-            }
 
-            let per_member: Vec<RegionData> =
-                per_member.into_iter().map(|o| o.expect("all members delivered")).collect();
-            let out = timer.measure(
-                |p| &mut p.compute,
-                || {
+                let per_member: Vec<RegionData> = per_member
+                    .into_iter()
+                    .map(|o| o.expect("all members delivered"))
+                    .collect();
+                let out = tracer.compute(None, || {
                     let xb = region_to_matrix(&expansion, &per_member);
                     let obs = setup.observations.localize(&expansion);
                     setup.analysis.analyze(mesh, &target, &expansion, &xb, &obs)
-                },
-            );
-            (out.map(|m| (target, m)), timer.phases)
-        });
+                });
+                out.map(|m| (target, m))
+            });
 
+        let mut trace = Trace::new("lenkf-real");
         let mut compute_ranks = PhaseBreakdown::default();
         let mut per_domain = Vec::with_capacity(nranks);
-        for (res, phases) in results {
-            compute_ranks.merge(&phases);
+        for (res, spans) in results {
+            compute_ranks.merge(&PhaseBreakdown::from_spans(&spans));
+            trace.extend(spans);
             per_domain.push(res?);
         }
         let analysis = assemble_analysis(mesh, setup.members, &decomp, per_domain);
@@ -139,7 +154,7 @@ impl LEnkf {
             num_io_ranks: 0,
             wall_time: t0.elapsed().as_secs_f64(),
         };
-        Ok((analysis, report))
+        Ok((analysis, report, trace))
     }
 }
 

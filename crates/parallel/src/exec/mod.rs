@@ -43,7 +43,11 @@ pub(crate) fn assemble_analysis(
     decomp: &Decomposition,
     results: Vec<(RegionRect, Matrix)>,
 ) -> Ensemble {
-    assert_eq!(results.len(), decomp.num_subdomains(), "missing sub-domain results");
+    assert_eq!(
+        results.len(),
+        decomp.num_subdomains(),
+        "missing sub-domain results"
+    );
     let mut out = Ensemble::new(mesh, Matrix::zeros(mesh.n(), members));
     for (region, local) in results {
         out.assign(&region, &local);

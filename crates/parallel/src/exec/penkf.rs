@@ -10,11 +10,12 @@
 
 use crate::exec::setup::AssimilationSetup;
 use crate::exec::{assemble_analysis, Msg};
-use crate::report::{ExecutionReport, PhaseBreakdown, PhaseTimer};
+use crate::report::{ExecutionReport, PhaseBreakdown};
 use enkf_core::{Ensemble, Result};
 use enkf_data::region_to_matrix;
 use enkf_net::{Cluster, RankCtx};
 use enkf_pfs::RegionData;
+use enkf_trace::Trace;
 use std::time::Instant;
 
 /// The P-EnKF variant: `n_sdx × n_sdy` ranks, block reading, sequential
@@ -31,6 +32,18 @@ impl PEnkf {
     /// Run the assimilation; returns the analysis ensemble and the phase
     /// timings.
     pub fn run(&self, setup: &AssimilationSetup<'_>) -> Result<(Ensemble, ExecutionReport)> {
+        self.run_traced(setup)
+            .map(|(analysis, report, _)| (analysis, report))
+    }
+
+    /// [`PEnkf::run`], additionally returning the execution trace: one read
+    /// span per member block (bytes/seeks from the file layout, matching
+    /// what the DES model charges) and one compute span per rank. The
+    /// report's `PhaseBreakdown` is the per-rank projection of these spans.
+    pub fn run_traced(
+        &self,
+        setup: &AssimilationSetup<'_>,
+    ) -> Result<(Ensemble, ExecutionReport, Trace)> {
         setup.validate()?;
         let decomp = setup.decomposition(self.nsdx, self.nsdy)?;
         let mesh = setup.mesh();
@@ -38,44 +51,44 @@ impl PEnkf {
         let nranks = decomp.num_subdomains();
         let t0 = Instant::now();
 
-        type RankOut = (Result<(enkf_grid::RegionRect, enkf_linalg::Matrix)>, PhaseBreakdown);
-        let results: Vec<RankOut> = Cluster::run(nranks, |ctx: RankCtx<Msg>| {
-            let mut timer = PhaseTimer::new();
-            let id = decomp.id_of_rank(ctx.rank());
-            let target = decomp.subdomain(id);
-            let expansion = decomp.expansion(id, radius);
+        type RankOut = Result<(enkf_grid::RegionRect, enkf_linalg::Matrix)>;
+        let results: Vec<(RankOut, Vec<enkf_trace::Span>)> =
+            Cluster::run_traced(nranks, |ctx: RankCtx<Msg>, tracer| {
+                let id = decomp.id_of_rank(ctx.rank());
+                let target = decomp.subdomain(id);
+                let expansion = decomp.expansion(id, radius);
+                let (seeks, bytes) = setup.store.op_cost(&expansion);
 
-            // Phase 1: block-read the expansion of every member file.
-            let read: std::io::Result<Vec<RegionData>> = timer.measure(
-                |p| &mut p.read,
-                || (0..setup.members).map(|k| setup.store.read_region(k, &expansion)).collect(),
-            );
-            let per_member = match read {
-                Ok(v) => v,
-                Err(e) => {
-                    return (
-                        Err(enkf_core::EnkfError::GeometryMismatch(format!("read failed: {e}"))),
-                        timer.phases,
-                    )
+                // Phase 1: block-read the expansion of every member file.
+                let mut per_member: Vec<RegionData> = Vec::with_capacity(setup.members);
+                for k in 0..setup.members {
+                    match tracer.read(None, Some(k), bytes, seeks, || {
+                        setup.store.read_region(k, &expansion)
+                    }) {
+                        Ok(d) => per_member.push(d),
+                        Err(e) => {
+                            return Err(enkf_core::EnkfError::GeometryMismatch(format!(
+                                "read failed: {e}"
+                            )))
+                        }
+                    }
                 }
-            };
 
-            // Phase 2: local analysis on the gathered data.
-            let out = timer.measure(
-                |p| &mut p.compute,
-                || {
+                // Phase 2: local analysis on the gathered data.
+                let out = tracer.compute(None, || {
                     let xb = region_to_matrix(&expansion, &per_member);
                     let obs = setup.observations.localize(&expansion);
                     setup.analysis.analyze(mesh, &target, &expansion, &xb, &obs)
-                },
-            );
-            (out.map(|m| (target, m)), timer.phases)
-        });
+                });
+                out.map(|m| (target, m))
+            });
 
+        let mut trace = Trace::new("penkf-real");
         let mut compute_ranks = PhaseBreakdown::default();
         let mut per_domain = Vec::with_capacity(nranks);
-        for (res, phases) in results {
-            compute_ranks.merge(&phases);
+        for (res, spans) in results {
+            compute_ranks.merge(&PhaseBreakdown::from_spans(&spans));
+            trace.extend(spans);
             per_domain.push(res?);
         }
         let analysis = assemble_analysis(mesh, setup.members, &decomp, per_domain);
@@ -86,7 +99,7 @@ impl PEnkf {
             num_io_ranks: 0,
             wall_time: t0.elapsed().as_secs_f64(),
         };
-        Ok((analysis, report))
+        Ok((analysis, report, trace))
     }
 }
 
@@ -103,7 +116,10 @@ mod tests {
         members: usize,
         seed: u64,
     ) -> (ScratchDir, FileStore, enkf_data::Scenario) {
-        let scenario = ScenarioBuilder::new(mesh).members(members).seed(seed).build();
+        let scenario = ScenarioBuilder::new(mesh)
+            .members(members)
+            .seed(seed)
+            .build();
         let scratch = ScratchDir::new("penkf").unwrap();
         let store = FileStore::open(scratch.path(), FileLayout::new(mesh, 8)).unwrap();
         write_ensemble(&store, &scenario.ensemble).unwrap();
@@ -130,7 +146,10 @@ mod tests {
         assert_eq!(report.num_compute_ranks, 6);
         assert!(report.compute_ranks.read > 0.0);
         assert!(report.compute_ranks.compute > 0.0);
-        assert_eq!(report.compute_ranks.comm, 0.0, "P-EnKF has no communication phase");
+        assert_eq!(
+            report.compute_ranks.comm, 0.0,
+            "P-EnKF has no communication phase"
+        );
     }
 
     #[test]

@@ -16,11 +16,12 @@
 
 use crate::exec::setup::AssimilationSetup;
 use crate::exec::{assemble_analysis, Msg};
-use crate::report::{ExecutionReport, PhaseBreakdown, PhaseTimer};
+use crate::report::{ExecutionReport, PhaseBreakdown};
 use enkf_core::{EnkfError, Ensemble, Result};
 use enkf_grid::RegionRect;
 use enkf_linalg::Matrix;
 use enkf_net::{Cluster, RankCtx};
+use enkf_trace::{Role, Trace};
 use enkf_tuning::Params;
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -42,6 +43,19 @@ impl SEnkf {
     /// Run the assimilation; returns the analysis ensemble and the phase
     /// timings (compute ranks and I/O ranks reported separately).
     pub fn run(&self, setup: &AssimilationSetup<'_>) -> Result<(Ensemble, ExecutionReport)> {
+        self.run_traced(setup)
+            .map(|(analysis, report, _)| (analysis, report))
+    }
+
+    /// [`SEnkf::run`], additionally returning the execution trace: per I/O
+    /// rank one read span per (stage, group file) — a single-seek bar — and
+    /// one send span per (stage, compute peer); per compute rank one wait
+    /// and one compute span per stage. The report's per-class
+    /// `PhaseBreakdown`s are projections of these spans.
+    pub fn run_traced(
+        &self,
+        setup: &AssimilationSetup<'_>,
+    ) -> Result<(Ensemble, ExecutionReport, Trace)> {
         setup.validate()?;
         let p = self.params;
         let decomp = setup.decomposition(p.nsdx, p.nsdy)?;
@@ -62,26 +76,34 @@ impl SEnkf {
         let files_per_group = setup.members / p.ncg;
         let t0 = Instant::now();
 
-        type RankOut =
-            (Result<Option<(RegionRect, Matrix)>>, PhaseBreakdown, /* is_io: */ bool);
-        let results: Vec<RankOut> = Cluster::run(nranks, |mut ctx: RankCtx<Msg>| {
-            let mut timer = PhaseTimer::new();
-            if ctx.rank() >= c2 {
-                // ---- I/O rank (group g, latitude block j) ----
-                let io_index = ctx.rank() - c2;
-                let group = io_index / p.nsdy;
-                let j = io_index % p.nsdy;
-                let files: Vec<usize> =
-                    (group * files_per_group..(group + 1) * files_per_group).collect();
-                for l in 0..p.layers {
-                    let bar = decomp.small_bar(j, l, p.layers, radius);
-                    let read: std::io::Result<Vec<enkf_pfs::RegionData>> = timer.measure(
-                        |ph| &mut ph.read,
-                        || files.iter().map(|&k| setup.store.read_region(k, &bar)).collect(),
-                    );
-                    let datas = match read {
-                        Ok(v) => v,
-                        Err(e) => {
+        type RankOut = (Result<Option<(RegionRect, Matrix)>>, /* is_io: */ bool);
+        let results: Vec<(RankOut, Vec<enkf_trace::Span>)> =
+            Cluster::run_traced(nranks, |mut ctx: RankCtx<Msg>, tracer| {
+                if ctx.rank() >= c2 {
+                    // ---- I/O rank (group g, latitude block j) ----
+                    tracer.set_role(Role::Io);
+                    let io_index = ctx.rank() - c2;
+                    let group = io_index / p.nsdy;
+                    let j = io_index % p.nsdy;
+                    let files: Vec<usize> =
+                        (group * files_per_group..(group + 1) * files_per_group).collect();
+                    for l in 0..p.layers {
+                        let bar = decomp.small_bar(j, l, p.layers, radius);
+                        let (bar_seeks, bar_bytes) = setup.store.op_cost(&bar);
+                        let mut datas: Vec<enkf_pfs::RegionData> = Vec::with_capacity(files.len());
+                        let mut failed = None;
+                        for &k in &files {
+                            match tracer.read(Some(l), Some(k), bar_bytes, bar_seeks, || {
+                                setup.store.read_region(k, &bar)
+                            }) {
+                                Ok(d) => datas.push(d),
+                                Err(e) => {
+                                    failed = Some(e);
+                                    break;
+                                }
+                            }
+                        }
+                        if let Some(e) = failed {
                             // Unblock this latitude block's compute ranks
                             // before bailing out.
                             for i in 0..p.nsdx {
@@ -89,27 +111,29 @@ impl SEnkf {
                                 ctx.send(
                                     decomp.rank_of(id),
                                     l as u64,
-                                    Msg::Abort { reason: format!("read failed: {e}") },
+                                    Msg::Abort {
+                                        reason: format!("read failed: {e}"),
+                                    },
                                 );
                             }
                             return (
                                 Err(EnkfError::GeometryMismatch(format!("read failed: {e}"))),
-                                timer.phases,
                                 true,
                             );
                         }
-                    };
-                    timer.measure(
-                        |ph| &mut ph.comm,
-                        || {
-                            for i in 0..p.nsdx {
-                                let id = enkf_grid::SubDomainId { i, j };
-                                let block =
-                                    decomp.block_of_small_bar(id, l, p.layers, radius);
+                        for i in 0..p.nsdx {
+                            let id = enkf_grid::SubDomainId { i, j };
+                            let block = decomp.block_of_small_bar(id, l, p.layers, radius);
+                            let (_, block_bytes) = setup.store.op_cost(&block);
+                            let bundle_bytes = block_bytes * files_per_group as u64;
+                            let target = decomp.rank_of(id);
+                            // Serialization (block extraction) is charged to the
+                            // send, mirroring the model's sender-side service.
+                            tracer.send(Some(l), target, bundle_bytes, || {
                                 let blocks: Vec<enkf_pfs::RegionData> =
                                     datas.iter().map(|d| d.extract(&block)).collect();
                                 ctx.send(
-                                    decomp.rank_of(id),
+                                    target,
                                     l as u64,
                                     Msg::Blocks {
                                         stage: l,
@@ -117,129 +141,128 @@ impl SEnkf {
                                         data: blocks,
                                     },
                                 );
+                            });
+                        }
+                    }
+                    return (Ok(None), true);
+                }
+
+                // ---- Compute rank (sub-domain id) ----
+                let id = decomp.id_of_rank(ctx.rank());
+                let target = decomp.subdomain(id);
+
+                // Offload reception to the helper thread (Fig. 8): it assembles
+                // X̄ᵇ for each stage and signals the main thread.
+                let (inbox, stash) = ctx.split_receiver();
+                debug_assert!(stash.is_empty(), "no traffic before the helper starts");
+                let (tx, rx) = std::sync::mpsc::channel::<(usize, Matrix)>();
+                let members_total = setup.members;
+                let layers = p.layers;
+                let ncg = p.ncg;
+                let helper = std::thread::spawn(move || {
+                    struct Stage {
+                        matrix: Matrix,
+                        filled: usize,
+                    }
+                    let mut stages: BTreeMap<usize, Stage> = BTreeMap::new();
+                    for _ in 0..layers * ncg {
+                        let Ok(env) = inbox.recv() else { return };
+                        let (stage, members, data) = match env.payload {
+                            Msg::Blocks {
+                                stage,
+                                members,
+                                data,
+                            } => (stage, members, data),
+                            Msg::Abort { .. } => {
+                                // Signal the main thread with a sentinel stage
+                                // and stop ingesting.
+                                let _ = tx.send((usize::MAX, Matrix::zeros(0, 2)));
+                                return;
                             }
-                        },
-                    );
-                }
-                return (Ok(None), timer.phases, true);
-            }
-
-            // ---- Compute rank (sub-domain id) ----
-            let id = decomp.id_of_rank(ctx.rank());
-            let target = decomp.subdomain(id);
-
-            // Offload reception to the helper thread (Fig. 8): it assembles
-            // X̄ᵇ for each stage and signals the main thread.
-            let (inbox, stash) = ctx.split_receiver();
-            debug_assert!(stash.is_empty(), "no traffic before the helper starts");
-            let (tx, rx) = std::sync::mpsc::channel::<(usize, Matrix)>();
-            let members_total = setup.members;
-            let layers = p.layers;
-            let ncg = p.ncg;
-            let helper = std::thread::spawn(move || {
-                struct Stage {
-                    matrix: Matrix,
-                    filled: usize,
-                }
-                let mut stages: BTreeMap<usize, Stage> = BTreeMap::new();
-                for _ in 0..layers * ncg {
-                    let Ok(env) = inbox.recv() else { return };
-                    let (stage, members, data) = match env.payload {
-                        Msg::Blocks { stage, members, data } => (stage, members, data),
-                        Msg::Abort { .. } => {
-                            // Signal the main thread with a sentinel stage
-                            // and stop ingesting.
-                            let _ = tx.send((usize::MAX, Matrix::zeros(0, 2)));
-                            return;
+                        };
+                        let region = decomp.layer_expansion(id, stage, layers, radius);
+                        let entry = stages.entry(stage).or_insert_with(|| Stage {
+                            matrix: Matrix::zeros(region.npoints(), members_total),
+                            filled: 0,
+                        });
+                        for (&k, rd) in members.iter().zip(&data) {
+                            debug_assert_eq!(rd.region, region, "block region mismatch");
+                            for row in 0..region.npoints() {
+                                entry.matrix[(row, k)] = rd.value(row, 0);
+                            }
                         }
-                    };
-                    let region = decomp.layer_expansion(id, stage, layers, radius);
-                    let entry = stages.entry(stage).or_insert_with(|| Stage {
-                        matrix: Matrix::zeros(region.npoints(), members_total),
-                        filled: 0,
-                    });
-                    for (&k, rd) in members.iter().zip(&data) {
-                        debug_assert_eq!(rd.region, region, "block region mismatch");
-                        for row in 0..region.npoints() {
-                            entry.matrix[(row, k)] = rd.value(row, 0);
+                        entry.filled += members.len();
+                        if entry.filled == members_total {
+                            let done = stages.remove(&stage).expect("stage present");
+                            if tx.send((stage, done.matrix)).is_err() {
+                                return; // main thread bailed out
+                            }
                         }
                     }
-                    entry.filled += members.len();
-                    if entry.filled == members_total {
-                        let done = stages.remove(&stage).expect("stage present");
-                        if tx.send((stage, done.matrix)).is_err() {
-                            return; // main thread bailed out
-                        }
-                    }
-                }
-            });
+                });
 
-            // Multi-stage local analysis: stage l computes while the helper
-            // and the I/O ranks feed stage l+1.
-            let sub_width = target.width();
-            let layer_height = target.height() / p.layers;
-            let mut result = Matrix::zeros(target.npoints(), setup.members);
-            let mut ready: BTreeMap<usize, Matrix> = BTreeMap::new();
-            for l in 0..p.layers {
-                let xb = loop {
-                    if let Some(m) = ready.remove(&l) {
-                        break m;
-                    }
-                    match timer.measure(|ph| &mut ph.wait, || rx.recv()) {
-                        Ok((stage, m)) => {
-                            if stage == usize::MAX {
+                // Multi-stage local analysis: stage l computes while the helper
+                // and the I/O ranks feed stage l+1.
+                let sub_width = target.width();
+                let layer_height = target.height() / p.layers;
+                let mut result = Matrix::zeros(target.npoints(), setup.members);
+                let mut ready: BTreeMap<usize, Matrix> = BTreeMap::new();
+                for l in 0..p.layers {
+                    let xb = loop {
+                        if let Some(m) = ready.remove(&l) {
+                            break m;
+                        }
+                        match tracer.wait(Some(l), || rx.recv()) {
+                            Ok((stage, m)) => {
+                                if stage == usize::MAX {
+                                    return (
+                                        Err(EnkfError::GeometryMismatch(
+                                            "an I/O rank aborted (read failure)".into(),
+                                        )),
+                                        false,
+                                    );
+                                }
+                                ready.insert(stage, m);
+                            }
+                            Err(_) => {
                                 return (
                                     Err(EnkfError::GeometryMismatch(
-                                        "an I/O rank aborted (read failure)".into(),
+                                        "helper thread terminated early".into(),
                                     )),
-                                    timer.phases,
                                     false,
-                                );
+                                )
                             }
-                            ready.insert(stage, m);
                         }
-                        Err(_) => {
-                            return (
-                                Err(EnkfError::GeometryMismatch(
-                                    "helper thread terminated early".into(),
-                                )),
-                                timer.phases,
-                                false,
-                            )
-                        }
-                    }
-                };
-                let layer = decomp.layer(id, l, p.layers);
-                let expansion = decomp.layer_expansion(id, l, p.layers, radius);
-                let analyzed = timer.measure(
-                    |ph| &mut ph.compute,
-                    || {
+                    };
+                    let layer = decomp.layer(id, l, p.layers);
+                    let expansion = decomp.layer_expansion(id, l, p.layers, radius);
+                    let analyzed = tracer.compute(Some(l), || {
                         let obs = setup.observations.localize(&expansion);
                         setup.analysis.analyze(mesh, &layer, &expansion, &xb, &obs)
-                    },
-                );
-                match analyzed {
-                    Ok(xa) => {
-                        // Layer rows are contiguous within the sub-domain's
-                        // row-priority local ordering.
-                        let row0 = l * layer_height * sub_width;
-                        for r in 0..xa.nrows() {
-                            result
-                                .row_mut(row0 + r)
-                                .copy_from_slice(xa.row(r));
+                    });
+                    match analyzed {
+                        Ok(xa) => {
+                            // Layer rows are contiguous within the sub-domain's
+                            // row-priority local ordering.
+                            let row0 = l * layer_height * sub_width;
+                            for r in 0..xa.nrows() {
+                                result.row_mut(row0 + r).copy_from_slice(xa.row(r));
+                            }
                         }
+                        Err(e) => return (Err(e), false),
                     }
-                    Err(e) => return (Err(e), timer.phases, false),
                 }
-            }
-            helper.join().expect("helper thread panicked");
-            (Ok(Some((target, result))), timer.phases, false)
-        });
+                helper.join().expect("helper thread panicked");
+                (Ok(Some((target, result))), false)
+            });
 
+        let mut trace = Trace::new("senkf-real");
         let mut compute_ranks = PhaseBreakdown::default();
         let mut io_ranks = PhaseBreakdown::default();
         let mut per_domain = Vec::with_capacity(c2);
-        for (res, phases, is_io) in results {
+        for ((res, is_io), spans) in results {
+            let phases = PhaseBreakdown::from_spans(&spans);
+            trace.extend(spans);
             if is_io {
                 io_ranks.merge(&phases);
                 res?;
@@ -258,7 +281,7 @@ impl SEnkf {
             num_io_ranks: c1,
             wall_time: t0.elapsed().as_secs_f64(),
         };
-        Ok((analysis, report))
+        Ok((analysis, report, trace))
     }
 }
 
@@ -276,7 +299,10 @@ mod tests {
         members: usize,
         seed: u64,
     ) -> (ScratchDir, FileStore, enkf_data::Scenario) {
-        let scenario = ScenarioBuilder::new(mesh).members(members).seed(seed).build();
+        let scenario = ScenarioBuilder::new(mesh)
+            .members(members)
+            .seed(seed)
+            .build();
         let scratch = ScratchDir::new("senkf").unwrap();
         let store = FileStore::open(scratch.path(), FileLayout::new(mesh, 8)).unwrap();
         write_ensemble(&store, &scenario.ensemble).unwrap();
@@ -295,7 +321,12 @@ mod tests {
             observations: &scenario.observations,
             analysis: LocalAnalysis::new(radius),
         };
-        let senkf = SEnkf::new(Params { nsdx: 3, nsdy: 2, layers: 2, ncg: 2 });
+        let senkf = SEnkf::new(Params {
+            nsdx: 3,
+            nsdy: 2,
+            layers: 2,
+            ncg: 2,
+        });
         let (analysis, report) = senkf.run(&setup).unwrap();
         let reference = serial_enkf(&scenario.ensemble, &scenario.observations, radius).unwrap();
         assert!(
@@ -306,7 +337,10 @@ mod tests {
         assert_eq!(report.num_io_ranks, 4);
         assert!(report.io_ranks.read > 0.0, "I/O ranks must do the reading");
         assert!(report.compute_ranks.compute > 0.0);
-        assert_eq!(report.compute_ranks.read, 0.0, "compute ranks never touch disk");
+        assert_eq!(
+            report.compute_ranks.read, 0.0,
+            "compute ranks never touch disk"
+        );
     }
 
     #[test]
@@ -323,7 +357,12 @@ mod tests {
         };
         let (p_analysis, _) = PEnkf { nsdx: 4, nsdy: 3 }.run(&setup).unwrap();
         for (layers, ncg) in [(1, 1), (2, 2), (4, 4), (2, 8)] {
-            let senkf = SEnkf::new(Params { nsdx: 4, nsdy: 3, layers, ncg });
+            let senkf = SEnkf::new(Params {
+                nsdx: 4,
+                nsdy: 3,
+                layers,
+                ncg,
+            });
             let (analysis, _) = senkf.run(&setup).unwrap();
             assert!(
                 analysis.states().approx_eq(p_analysis.states(), 1e-12),
@@ -344,7 +383,12 @@ mod tests {
             analysis: LocalAnalysis::new(LocalizationRadius { xi: 1, eta: 1 }),
         };
         // 6 members cannot split into 4 groups.
-        let senkf = SEnkf::new(Params { nsdx: 2, nsdy: 2, layers: 2, ncg: 4 });
+        let senkf = SEnkf::new(Params {
+            nsdx: 2,
+            nsdy: 2,
+            layers: 2,
+            ncg: 4,
+        });
         assert!(senkf.run(&setup).is_err());
     }
 
@@ -360,7 +404,12 @@ mod tests {
             analysis: LocalAnalysis::new(LocalizationRadius { xi: 1, eta: 1 }),
         };
         // Sub-domain height 4 does not divide into 3 layers.
-        let senkf = SEnkf::new(Params { nsdx: 2, nsdy: 2, layers: 3, ncg: 2 });
+        let senkf = SEnkf::new(Params {
+            nsdx: 2,
+            nsdy: 2,
+            layers: 3,
+            ncg: 2,
+        });
         assert!(senkf.run(&setup).is_err());
     }
 }

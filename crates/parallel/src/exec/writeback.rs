@@ -59,7 +59,11 @@ pub fn parallel_write_back(
                                 values.push(v - enkf_data::LEVEL_LAPSE * level as f64);
                             }
                         }
-                        let data = RegionData { region: bar, levels, values };
+                        let data = RegionData {
+                            region: bar,
+                            levels,
+                            values,
+                        };
                         if let Err(e) = store.write_region(k, &data) {
                             return Some(format!("bar {j}, member {k}: {e}"));
                         }
@@ -68,12 +72,22 @@ pub fn parallel_write_back(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("writer panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("writer panicked"))
+            .collect()
     });
     if let Some(msg) = errors.into_iter().flatten().next() {
-        return Err(EnkfError::GeometryMismatch(format!("write-back failed: {msg}")));
+        return Err(EnkfError::GeometryMismatch(format!(
+            "write-back failed: {msg}"
+        )));
     }
-    Ok(PhaseBreakdown { read: 0.0, comm: 0.0, compute: 0.0, wait: t0.elapsed().as_secs_f64() })
+    Ok(PhaseBreakdown {
+        read: 0.0,
+        comm: 0.0,
+        compute: 0.0,
+        wait: t0.elapsed().as_secs_f64(),
+    })
 }
 
 #[cfg(test)]
@@ -125,10 +139,12 @@ mod tests {
 
     #[test]
     fn mesh_mismatch_rejected() {
-        let scenario = ScenarioBuilder::new(Mesh::new(8, 8)).members(3).seed(1).build();
+        let scenario = ScenarioBuilder::new(Mesh::new(8, 8))
+            .members(3)
+            .seed(1)
+            .build();
         let scratch = ScratchDir::new("wb-mesh").unwrap();
-        let store =
-            FileStore::open(scratch.path(), FileLayout::new(Mesh::new(8, 4), 8)).unwrap();
+        let store = FileStore::open(scratch.path(), FileLayout::new(Mesh::new(8, 4), 8)).unwrap();
         assert!(parallel_write_back(&store, &scenario.ensemble, 2).is_err());
     }
 }

@@ -31,7 +31,10 @@ impl ModelConfig {
         ModelConfig {
             workload: Workload::paper_ocean(),
             pfs: PfsParams::tianhe2_like(),
-            net: NetParams { alpha: machine.a, beta: machine.b },
+            net: NetParams {
+                alpha: machine.a,
+                beta: machine.b,
+            },
             compute_cost_per_point: machine.c,
         }
     }

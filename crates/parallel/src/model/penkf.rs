@@ -5,6 +5,7 @@ use crate::report::PhaseBreakdown;
 use enkf_grid::{Decomposition, FileLayout, LocalizationRadius, Mesh};
 use enkf_pfs::ModeledPfs;
 use enkf_sim::{Kind, Simulation, Task};
+use enkf_trace::{OpTag, Trace};
 
 /// Build and run the DES for a P-EnKF assimilation with an
 /// `n_sdx × n_sdy` decomposition.
@@ -13,10 +14,27 @@ use enkf_sim::{Kind, Simulation, Task};
 /// one disk addressing operation per latitude row — the `O(n_y · n_sdx)`
 /// pattern of §4.1.1) and then a single local-analysis task.
 pub fn model_penkf(cfg: &ModelConfig, nsdx: usize, nsdy: usize) -> Result<ModelOutcome, String> {
+    model_penkf_traced(cfg, nsdx, nsdy).map(|(out, _)| out)
+}
+
+/// [`model_penkf`], additionally returning the virtual-time execution trace.
+///
+/// Every DES task carries an [`OpTag`] describing the operation it models
+/// (member read with its layout-derived bytes/seeks, or local analysis), so
+/// the exported trace is directly comparable with the real executor's: the
+/// operation digests must match line for line.
+pub fn model_penkf_traced(
+    cfg: &ModelConfig,
+    nsdx: usize,
+    nsdy: usize,
+) -> Result<(ModelOutcome, Trace), String> {
     let w = &cfg.workload;
     let mesh = Mesh::new(w.nx, w.ny);
     let decomp = Decomposition::new(mesh, nsdx, nsdy).map_err(|e| e.to_string())?;
-    let radius = LocalizationRadius { xi: w.xi, eta: w.eta };
+    let radius = LocalizationRadius {
+        xi: w.xi,
+        eta: w.eta,
+    };
     let layout = FileLayout::new(mesh, w.h);
 
     let mut sim = Simulation::new();
@@ -33,37 +51,51 @@ pub fn model_penkf(cfg: &ModelConfig, nsdx: usize, nsdy: usize) -> Result<ModelO
         for k in 0..w.members {
             sim.add_task(
                 Task::new(agents[r], Kind::Read, read_service)
-                    .with_resources(vec![pfs.ost_of_file(k)]),
+                    .with_resources(vec![pfs.ost_of_file(k)])
+                    .with_op(OpTag {
+                        bytes,
+                        seeks,
+                        member: Some(k),
+                        ..OpTag::default()
+                    }),
             )
             .map_err(|e| e.to_string())?;
         }
         let comp = cfg.compute_cost_per_point * decomp.subdomain(id).npoints() as f64;
         let t = sim
-            .add_task(Task::new(agents[r], Kind::Compute, comp))
+            .add_task(Task::new(agents[r], Kind::Compute, comp).with_op(OpTag::default()))
             .map_err(|e| e.to_string())?;
         compute_tasks.push(t);
     }
 
     let report = sim.run().map_err(|e| e.to_string())?;
-    let agg = report.aggregate((0..ranks).collect::<Vec<_>>().iter());
-    let compute_mean = PhaseBreakdown {
-        read: agg.busy.read / ranks as f64,
-        comm: agg.busy.comm / ranks as f64,
-        compute: agg.busy.compute / ranks as f64,
-        wait: agg.wait / ranks as f64,
-    };
+    let trace = sim.export_trace("penkf-model");
+    // The report is now *derived from* the trace: per-rank span sums are an
+    // exact projection of the DES busy/wait accounting (see `export_trace`).
+    let mut total = enkf_trace::PhaseTotals::default();
+    for t in trace.per_rank_phases().values() {
+        total.read += t.read;
+        total.comm += t.comm;
+        total.compute += t.compute;
+        total.wait += t.wait;
+    }
+    let compute_mean = PhaseBreakdown::from(total).scaled(1.0 / ranks as f64);
+    let makespan = report.makespan;
     let first_compute_start = compute_tasks
         .iter()
         .map(|&t| sim.task_times(t).1)
         .fold(f64::INFINITY, f64::min);
-    Ok(ModelOutcome {
-        makespan: report.makespan,
-        compute_mean,
-        io_mean: PhaseBreakdown::default(),
-        num_compute_ranks: ranks,
-        num_io_ranks: 0,
-        first_compute_start,
-    })
+    Ok((
+        ModelOutcome {
+            makespan,
+            compute_mean,
+            io_mean: PhaseBreakdown::default(),
+            num_compute_ranks: ranks,
+            num_io_ranks: 0,
+            first_compute_start,
+        },
+        trace,
+    ))
 }
 
 #[cfg(test)]
@@ -73,7 +105,14 @@ mod tests {
 
     fn small_cfg() -> ModelConfig {
         ModelConfig {
-            workload: Workload { nx: 240, ny: 120, members: 8, h: 80, xi: 2, eta: 2 },
+            workload: Workload {
+                nx: 240,
+                ny: 120,
+                members: 8,
+                h: 80,
+                xi: 2,
+                eta: 2,
+            },
             ..ModelConfig::paper()
         }
     }

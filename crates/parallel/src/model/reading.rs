@@ -18,15 +18,20 @@ pub fn model_block_read(
     let w = &cfg.workload;
     let mesh = Mesh::new(w.nx, w.ny);
     let decomp = Decomposition::new(mesh, nsdx, nsdy).map_err(|e| e.to_string())?;
-    let radius = LocalizationRadius { xi: w.xi, eta: w.eta };
+    let radius = LocalizationRadius {
+        xi: w.xi,
+        eta: w.eta,
+    };
     let layout = FileLayout::new(mesh, w.h);
     let mut sim = Simulation::new();
     let pfs = ModeledPfs::register(&mut sim, cfg.pfs);
     for id in decomp.iter_ids() {
         let agent = sim.add_agent();
         let expansion = decomp.expansion(id, radius);
-        let service =
-            pfs.read_service(layout.seek_count(&expansion) as u64, layout.region_bytes(&expansion));
+        let service = pfs.read_service(
+            layout.seek_count(&expansion) as u64,
+            layout.region_bytes(&expansion),
+        );
         for k in 0..files {
             sim.add_task(
                 Task::new(agent, Kind::Read, service).with_resources(vec![pfs.ost_of_file(k)]),
@@ -111,7 +116,10 @@ pub fn model_concurrent_read_detail(
         .iter()
         .map(|&r| report.resource_utilization(r.0, cfg.pfs.streams_per_ost))
         .collect();
-    Ok(ConcurrentReadDetail { makespan: report.makespan, ost_utilization })
+    Ok(ConcurrentReadDetail {
+        makespan: report.makespan,
+        ost_utilization,
+    })
 }
 
 #[cfg(test)]
@@ -121,7 +129,14 @@ mod tests {
 
     fn cfg() -> ModelConfig {
         ModelConfig {
-            workload: Workload { nx: 360, ny: 180, members: 12, h: 80, xi: 2, eta: 2 },
+            workload: Workload {
+                nx: 360,
+                ny: 180,
+                members: 12,
+                h: 80,
+                xi: 2,
+                eta: 2,
+            },
             ..ModelConfig::paper()
         }
     }

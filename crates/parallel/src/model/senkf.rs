@@ -6,6 +6,7 @@ use enkf_grid::{Decomposition, FileLayout, LocalizationRadius, Mesh, SubDomainId
 use enkf_net::ModeledNet;
 use enkf_pfs::ModeledPfs;
 use enkf_sim::{Kind, Simulation, Task, TaskId};
+use enkf_trace::{OpTag, Trace};
 use enkf_tuning::Params;
 
 /// Build and run the DES for an S-EnKF assimilation with parameters
@@ -34,7 +35,9 @@ pub struct SEnkfModelOptions {
 
 impl Default for SEnkfModelOptions {
     fn default() -> Self {
-        SEnkfModelOptions { helper_thread: true }
+        SEnkfModelOptions {
+            helper_thread: true,
+        }
     }
 }
 
@@ -44,23 +47,52 @@ pub fn model_senkf_opts(
     params: Params,
     opts: SEnkfModelOptions,
 ) -> Result<ModelOutcome, String> {
+    model_senkf_opts_traced(cfg, params, opts).map(|(out, _)| out)
+}
+
+/// [`model_senkf`] with the default options, additionally returning the
+/// virtual-time execution trace.
+pub fn model_senkf_traced(
+    cfg: &ModelConfig,
+    params: Params,
+) -> Result<(ModelOutcome, Trace), String> {
+    model_senkf_opts_traced(cfg, params, SEnkfModelOptions::default())
+}
+
+/// [`model_senkf_opts`], additionally returning the execution trace. Every
+/// DES task carries an [`OpTag`] (bar read with layout-derived bytes/seeks,
+/// bundled send with its destination rank, per-stage analysis), so the
+/// trace's operation digest is directly comparable with the real
+/// executor's.
+pub fn model_senkf_opts_traced(
+    cfg: &ModelConfig,
+    params: Params,
+    opts: SEnkfModelOptions,
+) -> Result<(ModelOutcome, Trace), String> {
     let w = &cfg.workload;
     let mesh = Mesh::new(w.nx, w.ny);
     let decomp = Decomposition::new(mesh, params.nsdx, params.nsdy).map_err(|e| e.to_string())?;
-    decomp.check_layers(params.layers).map_err(|e| e.to_string())?;
+    decomp
+        .check_layers(params.layers)
+        .map_err(|e| e.to_string())?;
     if params.ncg == 0 || !w.members.is_multiple_of(params.ncg) {
-        return Err(format!("members {} not divisible by n_cg {}", w.members, params.ncg));
+        return Err(format!(
+            "members {} not divisible by n_cg {}",
+            w.members, params.ncg
+        ));
     }
-    let radius = LocalizationRadius { xi: w.xi, eta: w.eta };
+    let radius = LocalizationRadius {
+        xi: w.xi,
+        eta: w.eta,
+    };
     let layout = FileLayout::new(mesh, w.h);
     let c2 = decomp.num_subdomains();
     let c1 = params.ncg * params.nsdy;
     let files_per_group = w.members / params.ncg;
     // Guard the DES against degenerate parameterizations: the task graph
     // has roughly ncg·C2·L send tasks plus reads and computes.
-    let est_tasks = params.ncg * c2 * params.layers
-        + c1 * params.layers * files_per_group
-        + c2 * params.layers;
+    let est_tasks =
+        params.ncg * c2 * params.layers + c1 * params.layers * files_per_group + c2 * params.layers;
     const MAX_TASKS: usize = 30_000_000;
     if est_tasks > MAX_TASKS {
         return Err(format!(
@@ -93,7 +125,15 @@ pub fn model_senkf_opts(
                     let file = g * files_per_group + f;
                     sim.add_task(
                         Task::new(io_agent, Kind::Read, pfs.read_service(bar_seeks, bar_bytes))
-                            .with_resources(vec![pfs.ost_of_file(file)]),
+                            .with_resources(vec![pfs.ost_of_file(file)])
+                            .with_op(OpTag {
+                                io: true,
+                                stage: Some(l),
+                                bytes: bar_bytes,
+                                seeks: bar_seeks,
+                                member: Some(file),
+                                ..OpTag::default()
+                            }),
                     )
                     .map_err(|e| e.to_string())?;
                 }
@@ -106,7 +146,14 @@ pub fn model_senkf_opts(
                     let t = sim
                         .add_task(
                             Task::new(io_agent, Kind::Comm, cfg.net.p2p(bytes))
-                                .with_resources(vec![net.nic(target)]),
+                                .with_resources(vec![net.nic(target)])
+                                .with_op(OpTag {
+                                    io: true,
+                                    stage: Some(l),
+                                    bytes,
+                                    peer: Some(target),
+                                    ..OpTag::default()
+                                }),
                         )
                         .map_err(|e| e.to_string())?;
                     sends[l][target].push(t);
@@ -132,47 +179,61 @@ pub fn model_senkf_opts(
                 let t = sim
                     .add_task(
                         Task::new(compute_agents[r], Kind::Comm, ingest)
-                            .with_deps(stage_sends[r].clone()),
+                            .with_deps(stage_sends[r].clone())
+                            .with_op(OpTag {
+                                stage: Some(l),
+                                bytes,
+                                ..OpTag::default()
+                            }),
                     )
                     .map_err(|e| e.to_string())?;
                 vec![t]
             };
             let t = sim
-                .add_task(Task::new(compute_agents[r], Kind::Compute, service).with_deps(deps))
+                .add_task(
+                    Task::new(compute_agents[r], Kind::Compute, service)
+                        .with_deps(deps)
+                        .with_op(OpTag {
+                            stage: Some(l),
+                            ..OpTag::default()
+                        }),
+                )
                 .map_err(|e| e.to_string())?;
             compute_tasks.push(t);
         }
     }
 
     let report = sim.run().map_err(|e| e.to_string())?;
-    let compute_ids: Vec<usize> = (0..c2).collect();
-    let io_ids: Vec<usize> = (c2..c2 + c1).collect();
-    let cagg = report.aggregate(compute_ids.iter());
-    let iagg = report.aggregate(io_ids.iter());
-    let compute_mean = PhaseBreakdown {
-        read: cagg.busy.read / c2 as f64,
-        comm: cagg.busy.comm / c2 as f64,
-        compute: cagg.busy.compute / c2 as f64,
-        wait: cagg.wait / c2 as f64,
-    };
-    let io_mean = PhaseBreakdown {
-        read: iagg.busy.read / c1 as f64,
-        comm: iagg.busy.comm / c1 as f64,
-        compute: iagg.busy.compute / c1 as f64,
-        wait: iagg.wait / c1 as f64,
-    };
+    let trace = sim.export_trace("senkf-model");
+    // The report is now *derived from* the trace: per-rank span sums are an
+    // exact projection of the DES busy/wait accounting (see `export_trace`).
+    let phases = trace.per_rank_phases();
+    let mut cagg = enkf_trace::PhaseTotals::default();
+    let mut iagg = enkf_trace::PhaseTotals::default();
+    for (rank, t) in &phases {
+        let agg = if *rank < c2 { &mut cagg } else { &mut iagg };
+        agg.read += t.read;
+        agg.comm += t.comm;
+        agg.compute += t.compute;
+        agg.wait += t.wait;
+    }
+    let compute_mean = PhaseBreakdown::from(cagg).scaled(1.0 / c2 as f64);
+    let io_mean = PhaseBreakdown::from(iagg).scaled(1.0 / c1 as f64);
     let first_compute_start = compute_tasks
         .iter()
         .map(|&t| sim.task_times(t).1)
         .fold(f64::INFINITY, f64::min);
-    Ok(ModelOutcome {
-        makespan: report.makespan,
-        compute_mean,
-        io_mean,
-        num_compute_ranks: c2,
-        num_io_ranks: c1,
-        first_compute_start,
-    })
+    Ok((
+        ModelOutcome {
+            makespan: report.makespan,
+            compute_mean,
+            io_mean,
+            num_compute_ranks: c2,
+            num_io_ranks: c1,
+            first_compute_start,
+        },
+        trace,
+    ))
 }
 
 #[cfg(test)]
@@ -183,7 +244,14 @@ mod tests {
 
     fn small_cfg() -> ModelConfig {
         ModelConfig {
-            workload: Workload { nx: 240, ny: 120, members: 8, h: 80, xi: 2, eta: 2 },
+            workload: Workload {
+                nx: 240,
+                ny: 120,
+                members: 8,
+                h: 80,
+                xi: 2,
+                eta: 2,
+            },
             ..ModelConfig::paper()
         }
     }
@@ -191,8 +259,16 @@ mod tests {
     #[test]
     fn produces_sane_phases() {
         let cfg = small_cfg();
-        let out =
-            model_senkf(&cfg, Params { nsdx: 8, nsdy: 6, layers: 4, ncg: 2 }).unwrap();
+        let out = model_senkf(
+            &cfg,
+            Params {
+                nsdx: 8,
+                nsdy: 6,
+                layers: 4,
+                ncg: 2,
+            },
+        )
+        .unwrap();
         assert!(out.makespan > 0.0);
         assert_eq!(out.num_compute_ranks, 48);
         assert_eq!(out.num_io_ranks, 12);
@@ -208,7 +284,16 @@ mod tests {
         // below P-EnKF's once reads dominate.
         let cfg = small_cfg();
         let p = model_penkf(&cfg, 24, 12).unwrap();
-        let s = model_senkf(&cfg, Params { nsdx: 24, nsdy: 12, layers: 5, ncg: 4 }).unwrap();
+        let s = model_senkf(
+            &cfg,
+            Params {
+                nsdx: 24,
+                nsdy: 12,
+                layers: 5,
+                ncg: 4,
+            },
+        )
+        .unwrap();
         assert!(
             s.makespan < p.makespan,
             "S-EnKF {} vs P-EnKF {}",
@@ -222,8 +307,16 @@ mod tests {
         // With L > 1, the first compute must start well before all reads
         // finish (overlap); the exposed prefix is roughly 1/L of total I/O.
         let cfg = small_cfg();
-        let out =
-            model_senkf(&cfg, Params { nsdx: 8, nsdy: 6, layers: 4, ncg: 2 }).unwrap();
+        let out = model_senkf(
+            &cfg,
+            Params {
+                nsdx: 8,
+                nsdy: 6,
+                layers: 4,
+                ncg: 2,
+            },
+        )
+        .unwrap();
         assert!(
             out.first_compute_start < out.makespan * 0.8,
             "first compute at {} of {}",
@@ -236,8 +329,26 @@ mod tests {
     #[test]
     fn more_layers_reduce_exposed_prefix() {
         let cfg = small_cfg();
-        let one = model_senkf(&cfg, Params { nsdx: 8, nsdy: 6, layers: 1, ncg: 2 }).unwrap();
-        let four = model_senkf(&cfg, Params { nsdx: 8, nsdy: 6, layers: 4, ncg: 2 }).unwrap();
+        let one = model_senkf(
+            &cfg,
+            Params {
+                nsdx: 8,
+                nsdy: 6,
+                layers: 1,
+                ncg: 2,
+            },
+        )
+        .unwrap();
+        let four = model_senkf(
+            &cfg,
+            Params {
+                nsdx: 8,
+                nsdy: 6,
+                layers: 4,
+                ncg: 2,
+            },
+        )
+        .unwrap();
         assert!(
             four.first_compute_start < one.first_compute_start,
             "L=4 prefix {} vs L=1 prefix {}",
@@ -249,7 +360,25 @@ mod tests {
     #[test]
     fn indivisible_parameters_rejected() {
         let cfg = small_cfg();
-        assert!(model_senkf(&cfg, Params { nsdx: 8, nsdy: 6, layers: 3, ncg: 2 }).is_err());
-        assert!(model_senkf(&cfg, Params { nsdx: 8, nsdy: 6, layers: 2, ncg: 3 }).is_err());
+        assert!(model_senkf(
+            &cfg,
+            Params {
+                nsdx: 8,
+                nsdy: 6,
+                layers: 3,
+                ncg: 2
+            }
+        )
+        .is_err());
+        assert!(model_senkf(
+            &cfg,
+            Params {
+                nsdx: 8,
+                nsdy: 6,
+                layers: 2,
+                ncg: 3
+            }
+        )
+        .is_err());
     }
 }

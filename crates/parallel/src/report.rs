@@ -51,6 +51,28 @@ impl PhaseBreakdown {
             (self.read + self.comm) / t
         }
     }
+
+    /// Project execution-trace spans into the four-phase breakdown by
+    /// summing durations per operation kind. Both executors' reports are
+    /// built this way, making the trace the single source of truth.
+    pub fn from_spans<'a>(spans: impl IntoIterator<Item = &'a enkf_trace::Span>) -> Self {
+        let mut totals = enkf_trace::PhaseTotals::default();
+        for s in spans {
+            totals.add(s);
+        }
+        totals.into()
+    }
+}
+
+impl From<enkf_trace::PhaseTotals> for PhaseBreakdown {
+    fn from(t: enkf_trace::PhaseTotals) -> Self {
+        PhaseBreakdown {
+            read: t.read,
+            comm: t.comm,
+            compute: t.compute,
+            wait: t.wait,
+        }
+    }
 }
 
 /// The result of one real (threaded) parallel run.
@@ -74,7 +96,8 @@ impl ExecutionReport {
         if self.num_compute_ranks == 0 {
             PhaseBreakdown::default()
         } else {
-            self.compute_ranks.scaled(1.0 / self.num_compute_ranks as f64)
+            self.compute_ranks
+                .scaled(1.0 / self.num_compute_ranks as f64)
         }
     }
 
@@ -105,7 +128,10 @@ impl Default for PhaseTimer {
 impl PhaseTimer {
     /// Start a fresh timer.
     pub fn new() -> Self {
-        PhaseTimer { phases: PhaseBreakdown::default(), started: Instant::now() }
+        PhaseTimer {
+            phases: PhaseBreakdown::default(),
+            started: Instant::now(),
+        }
     }
 
     /// Time a closure and charge it to the given accessor.
@@ -132,16 +158,31 @@ mod tests {
 
     #[test]
     fn totals_and_merge() {
-        let mut a = PhaseBreakdown { read: 1.0, comm: 2.0, compute: 3.0, wait: 4.0 };
+        let mut a = PhaseBreakdown {
+            read: 1.0,
+            comm: 2.0,
+            compute: 3.0,
+            wait: 4.0,
+        };
         assert_eq!(a.total(), 10.0);
-        a.merge(&PhaseBreakdown { read: 0.5, comm: 0.5, compute: 0.5, wait: 0.5 });
+        a.merge(&PhaseBreakdown {
+            read: 0.5,
+            comm: 0.5,
+            compute: 0.5,
+            wait: 0.5,
+        });
         assert_eq!(a.total(), 12.0);
         assert_eq!(a.read, 1.5);
     }
 
     #[test]
     fn io_fraction() {
-        let p = PhaseBreakdown { read: 3.0, comm: 1.0, compute: 4.0, wait: 0.0 };
+        let p = PhaseBreakdown {
+            read: 3.0,
+            comm: 1.0,
+            compute: 4.0,
+            wait: 0.0,
+        };
         assert!((p.io_fraction() - 0.5).abs() < 1e-12);
         assert_eq!(PhaseBreakdown::default().io_fraction(), 0.0);
     }
@@ -149,7 +190,12 @@ mod tests {
     #[test]
     fn report_means() {
         let rep = ExecutionReport {
-            compute_ranks: PhaseBreakdown { read: 8.0, comm: 0.0, compute: 4.0, wait: 0.0 },
+            compute_ranks: PhaseBreakdown {
+                read: 8.0,
+                comm: 0.0,
+                compute: 4.0,
+                wait: 0.0,
+            },
             io_ranks: PhaseBreakdown::default(),
             num_compute_ranks: 4,
             num_io_ranks: 0,
@@ -162,10 +208,13 @@ mod tests {
     #[test]
     fn timer_accumulates_into_slots() {
         let mut t = PhaseTimer::new();
-        let v = t.measure(|p| &mut p.compute, || {
-            std::thread::sleep(std::time::Duration::from_millis(5));
-            42
-        });
+        let v = t.measure(
+            |p| &mut p.compute,
+            || {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                42
+            },
+        );
         assert_eq!(v, 42);
         assert!(t.phases.compute >= 0.004, "compute {}", t.phases.compute);
         assert_eq!(t.phases.read, 0.0);

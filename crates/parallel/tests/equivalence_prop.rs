@@ -21,7 +21,16 @@ struct Case {
 
 fn case_strategy() -> impl Strategy<Value = Case> {
     // Mesh extents chosen with guaranteed divisors for (nsdx, nsdy, L).
-    (2usize..=4, 2usize..=3, 1usize..=2, 1usize..=2, 0usize..=2, 0usize..=2, 3usize..=6, any::<u64>())
+    (
+        2usize..=4,
+        2usize..=3,
+        1usize..=2,
+        1usize..=2,
+        0usize..=2,
+        0usize..=2,
+        3usize..=6,
+        any::<u64>(),
+    )
         .prop_map(|(nsdx, nsdy, layers, cells, xi, eta, members, seed)| {
             let mesh = Mesh::new(nsdx * 3, nsdy * layers * cells);
             // n_cg must divide members.
@@ -30,7 +39,12 @@ fn case_strategy() -> impl Strategy<Value = Case> {
                 mesh,
                 members,
                 radius: LocalizationRadius { xi, eta },
-                params: Params { nsdx, nsdy, layers, ncg },
+                params: Params {
+                    nsdx,
+                    nsdy,
+                    layers,
+                    ncg,
+                },
                 seed,
             }
         })

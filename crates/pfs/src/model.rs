@@ -60,7 +60,9 @@ impl ModeledPfs {
     /// Register the OSTs in a simulation.
     pub fn register(sim: &mut Simulation, params: PfsParams) -> Self {
         assert!(params.num_osts > 0 && params.streams_per_ost > 0);
-        let osts = (0..params.num_osts).map(|_| sim.add_resource(params.streams_per_ost)).collect();
+        let osts = (0..params.num_osts)
+            .map(|_| sim.add_resource(params.streams_per_ost))
+            .collect();
         ModeledPfs { params, osts }
     }
 
@@ -94,7 +96,12 @@ mod tests {
 
     #[test]
     fn read_service_combines_seek_and_transfer() {
-        let p = PfsParams { num_osts: 1, streams_per_ost: 1, seek_time: 0.01, byte_time: 1e-6 };
+        let p = PfsParams {
+            num_osts: 1,
+            streams_per_ost: 1,
+            seek_time: 0.01,
+            byte_time: 1e-6,
+        };
         assert!((p.read_service(3, 1000) - (0.03 + 0.001)).abs() < 1e-12);
         assert_eq!(p.read_service(0, 0), 0.0);
     }
@@ -102,7 +109,13 @@ mod tests {
     #[test]
     fn round_robin_placement() {
         let mut sim = Simulation::new();
-        let pfs = ModeledPfs::register(&mut sim, PfsParams { num_osts: 3, ..PfsParams::tianhe2_like() });
+        let pfs = ModeledPfs::register(
+            &mut sim,
+            PfsParams {
+                num_osts: 3,
+                ..PfsParams::tianhe2_like()
+            },
+        );
         assert_eq!(pfs.ost_of_file(0), pfs.ost_of_file(3));
         assert_ne!(pfs.ost_of_file(0), pfs.ost_of_file(1));
     }
@@ -110,7 +123,12 @@ mod tests {
     #[test]
     fn ost_contention_queues_excess_readers() {
         let mut sim = Simulation::new();
-        let params = PfsParams { num_osts: 1, streams_per_ost: 2, seek_time: 0.0, byte_time: 1e-6 };
+        let params = PfsParams {
+            num_osts: 1,
+            streams_per_ost: 2,
+            seek_time: 0.0,
+            byte_time: 1e-6,
+        };
         let pfs = ModeledPfs::register(&mut sim, params);
         // 4 readers of 1 MB each on a 2-stream OST: 2 waves of 1 s.
         for _ in 0..4 {
@@ -122,13 +140,22 @@ mod tests {
             .unwrap();
         }
         let rep = sim.run().unwrap();
-        assert!((rep.makespan - 2.0).abs() < 1e-9, "makespan {}", rep.makespan);
+        assert!(
+            (rep.makespan - 2.0).abs() < 1e-9,
+            "makespan {}",
+            rep.makespan
+        );
     }
 
     #[test]
     fn different_osts_do_not_contend() {
         let mut sim = Simulation::new();
-        let params = PfsParams { num_osts: 2, streams_per_ost: 1, seek_time: 0.0, byte_time: 1e-6 };
+        let params = PfsParams {
+            num_osts: 2,
+            streams_per_ost: 1,
+            seek_time: 0.0,
+            byte_time: 1e-6,
+        };
         let pfs = ModeledPfs::register(&mut sim, params);
         for file in 0..2 {
             let a = sim.add_agent();

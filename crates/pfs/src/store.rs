@@ -49,13 +49,20 @@ impl RegionData {
     /// as a new `RegionData` — how a bar is split into the per-sub-domain
     /// blocks that I/O processors send onward.
     pub fn extract(&self, inner: &RegionRect) -> RegionData {
-        assert!(self.region.contains_rect(inner), "extract region escapes data");
+        assert!(
+            self.region.contains_rect(inner),
+            "extract region escapes data"
+        );
         let mut values = Vec::with_capacity(inner.npoints() * self.levels);
         for p in inner.iter_points() {
             let src = self.region.local_index(p) * self.levels;
             values.extend_from_slice(&self.values[src..src + self.levels]);
         }
-        RegionData { region: *inner, levels: self.levels, values }
+        RegionData {
+            region: *inner,
+            levels: self.levels,
+            values,
+        }
     }
 }
 
@@ -93,7 +100,11 @@ impl FileStore {
             "bytes per point must be a positive multiple of 8"
         );
         std::fs::create_dir_all(root.as_ref())?;
-        Ok(FileStore { root: root.as_ref().to_path_buf(), layout, stats: Mutex::new(IoStats::default()) })
+        Ok(FileStore {
+            root: root.as_ref().to_path_buf(),
+            layout,
+            stats: Mutex::new(IoStats::default()),
+        })
     }
 
     /// The layout shared by every member file.
@@ -114,6 +125,18 @@ impl FileStore {
     /// Number of member files present (contiguous from 0).
     pub fn num_members(&self) -> usize {
         (0..).take_while(|&k| self.member_path(k).is_file()).count()
+    }
+
+    /// `(seeks, bytes)` a region access costs under this store's layout —
+    /// exactly what [`FileStore::read_region`]/[`FileStore::write_region`]
+    /// will add to [`FileStore::stats`], and exactly what the DES model
+    /// charges for the same region. Used to label execution-trace spans so
+    /// the real and modeled paths account operations identically.
+    pub fn op_cost(&self, region: &RegionRect) -> (u64, u64) {
+        (
+            self.layout.seek_count(region) as u64,
+            self.layout.region_bytes(region),
+        )
     }
 
     /// Cumulative I/O statistics.
@@ -167,7 +190,11 @@ impl FileStore {
         while slice.remaining() >= 8 {
             values.push(slice.get_f64_le());
         }
-        Ok(RegionData { region: *region, levels, values })
+        Ok(RegionData {
+            region: *region,
+            levels,
+            values,
+        })
     }
 
     /// Read an entire member file.
@@ -187,7 +214,9 @@ impl FileStore {
             "value count mismatch"
         );
         let segments = self.layout.segments(&data.region);
-        let mut f = std::fs::OpenOptions::new().write(true).open(self.member_path(k))?;
+        let mut f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(self.member_path(k))?;
         let mut buf = BytesMut::with_capacity(data.values.len() * 8);
         for &v in &data.values {
             buf.put_f64_le(v);
@@ -225,8 +254,7 @@ mod tests {
         let mesh = Mesh::new(8, 4);
         let layout = FileLayout::new(mesh, 16); // 2 levels
         let store = FileStore::open(scratch.path(), layout).unwrap();
-        let values: Vec<f64> =
-            (0..mesh.n() * 2).map(|i| i as f64 * 0.5 - 3.0).collect();
+        let values: Vec<f64> = (0..mesh.n() * 2).map(|i| i as f64 * 0.5 - 3.0).collect();
         store.write_member(0, &values).unwrap();
         (scratch, store, values)
     }
@@ -251,6 +279,18 @@ mod tests {
                 assert_eq!(data.value(local, level), values[flat * 2 + level]);
             }
         }
+    }
+
+    #[test]
+    fn op_cost_predicts_actual_stats() {
+        let (_s, store, _) = store_with_member();
+        let region = RegionRect::new(2, 5, 1, 3);
+        let (seeks, bytes) = store.op_cost(&region);
+        store.reset_stats();
+        store.read_region(0, &region).unwrap();
+        let st = store.stats();
+        assert_eq!(st.seeks, seeks, "trace labeling must match real accounting");
+        assert_eq!(st.bytes_read, bytes);
     }
 
     #[test]

@@ -58,6 +58,7 @@ struct TaskState {
     ready: f64,
     start: f64,
     finish: f64,
+    op: Option<enkf_trace::OpTag>,
 }
 
 struct ResourceState {
@@ -74,7 +75,8 @@ impl Eq for EventKey {}
 #[allow(clippy::derive_ord_xor_partial_ord)]
 impl Ord for EventKey {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.partial_cmp(other).expect("simulation times must be finite")
+        self.partial_cmp(other)
+            .expect("simulation times must be finite")
     }
 }
 
@@ -140,7 +142,11 @@ impl Simulation {
     pub fn add_resource(&mut self, capacity: usize) -> ResourceId {
         assert!(capacity > 0, "resource capacity must be positive");
         let id = ResourceId(self.resources.len());
-        self.resources.push(ResourceState { capacity, free: capacity, queue: VecDeque::new() });
+        self.resources.push(ResourceState {
+            capacity,
+            free: capacity,
+            queue: VecDeque::new(),
+        });
         id
     }
 
@@ -198,6 +204,7 @@ impl Simulation {
             ready: 0.0,
             start: 0.0,
             finish: 0.0,
+            op: task.op,
         });
         Ok(id)
     }
@@ -257,7 +264,9 @@ impl Simulation {
         }
 
         if finished != self.tasks.len() {
-            return Err(SimError::Stuck { unfinished: self.tasks.len() - finished });
+            return Err(SimError::Stuck {
+                unfinished: self.tasks.len() - finished,
+            });
         }
 
         let mut agents = vec![AgentReport::default(); self.num_agents];
@@ -271,13 +280,80 @@ impl Simulation {
                 resource_busy[r.0] += t.service;
             }
         }
-        Ok(SimReport { makespan, agents, tasks_executed: finished, resource_busy })
+        Ok(SimReport {
+            makespan,
+            agents,
+            tasks_executed: finished,
+            resource_busy,
+        })
     }
 
     /// `(ready, start, finish)` times of a task — valid after [`Simulation::run`].
     pub fn task_times(&self, id: TaskId) -> (f64, f64, f64) {
         let t = &self.tasks[id];
         (t.ready, t.start, t.finish)
+    }
+
+    /// Export the run as an execution trace — valid after
+    /// [`Simulation::run`]. Every task becomes one span in virtual time
+    /// (`Read` → read, `Comm` → send, `Compute` → compute; `Control` tasks
+    /// emit no operation span), plus a wait span covering `ready → start`
+    /// whenever the task stalled on program order, dependencies or resource
+    /// queues. [`SimReport`](crate::SimReport)'s busy/wait totals are exact
+    /// projections of these spans: per agent, busy time by kind equals the
+    /// span durations by operation and wait time equals the wait-span sum.
+    pub fn export_trace(&self, label: &str) -> enkf_trace::Trace {
+        use enkf_trace::{Op, Role, Span};
+        let mut trace = enkf_trace::Trace::new(label);
+        for t in &self.tasks {
+            debug_assert_eq!(
+                t.state,
+                State::Done,
+                "export_trace requires a completed run"
+            );
+            let tag = t.op.unwrap_or_default();
+            let rank = t.agent.0;
+            let role = if tag.io { Role::Io } else { Role::Compute };
+            let wait = t.start - t.ready;
+            if wait > 0.0 {
+                trace.push(Span {
+                    rank,
+                    role,
+                    stage: tag.stage,
+                    op: Op::Wait,
+                    start: t.ready,
+                    dur: wait,
+                    bytes: 0,
+                    seeks: 0,
+                    peer: None,
+                    member: None,
+                    res: None,
+                });
+            }
+            let op = match t.kind {
+                Kind::Read => Op::Read,
+                Kind::Comm => Op::Send,
+                Kind::Compute => Op::Compute,
+                Kind::Control => continue,
+            };
+            trace.push(Span {
+                rank,
+                role,
+                stage: tag.stage,
+                op,
+                start: t.start,
+                // The service, not `finish - start`: identical by
+                // construction, but the service is what busy accounting
+                // sums, keeping the projection exact.
+                dur: t.service,
+                bytes: tag.bytes,
+                seeks: tag.seeks,
+                peer: tag.peer,
+                member: tag.member,
+                res: t.resources.first().map(|r| r.0),
+            });
+        }
+        trace
     }
 
     fn mark_ready(&mut self, tid: TaskId, now: f64, started: &mut Vec<TaskId>) {
@@ -376,7 +452,9 @@ mod tests {
         let a = sim.add_agent();
         let b = sim.add_agent();
         let t1 = sim.add_task(Task::new(a, Kind::Read, 3.0)).unwrap();
-        let t2 = sim.add_task(Task::new(b, Kind::Compute, 1.0).with_deps(vec![t1])).unwrap();
+        let t2 = sim
+            .add_task(Task::new(b, Kind::Compute, 1.0).with_deps(vec![t1]))
+            .unwrap();
         let rep = sim.run().unwrap();
         assert_eq!(sim.task_times(t2).0, 3.0, "ready when dep finishes");
         assert_eq!(rep.makespan, 4.0);
@@ -389,7 +467,8 @@ mod tests {
         let r = sim.add_resource(1);
         for _ in 0..3 {
             let a = sim.add_agent();
-            sim.add_task(Task::new(a, Kind::Read, 2.0).with_resources(vec![r])).unwrap();
+            sim.add_task(Task::new(a, Kind::Read, 2.0).with_resources(vec![r]))
+                .unwrap();
         }
         let rep = sim.run().unwrap();
         assert_eq!(rep.makespan, 6.0);
@@ -404,7 +483,8 @@ mod tests {
         let r = sim.add_resource(2);
         for _ in 0..4 {
             let a = sim.add_agent();
-            sim.add_task(Task::new(a, Kind::Read, 2.0).with_resources(vec![r])).unwrap();
+            sim.add_task(Task::new(a, Kind::Read, 2.0).with_resources(vec![r]))
+                .unwrap();
         }
         let rep = sim.run().unwrap();
         assert_eq!(rep.makespan, 4.0);
@@ -417,7 +497,10 @@ mod tests {
         let mut ids = Vec::new();
         for _ in 0..3 {
             let a = sim.add_agent();
-            ids.push(sim.add_task(Task::new(a, Kind::Read, 1.0).with_resources(vec![r])).unwrap());
+            ids.push(
+                sim.add_task(Task::new(a, Kind::Read, 1.0).with_resources(vec![r]))
+                    .unwrap(),
+            );
         }
         sim.run().unwrap();
         let starts: Vec<f64> = ids.iter().map(|&t| sim.task_times(t).1).collect();
@@ -433,9 +516,14 @@ mod tests {
         let b = sim.add_agent();
         let c = sim.add_agent();
         // Task A holds both for 2s; B wants r1, C wants r2: both must wait.
-        sim.add_task(Task::new(a, Kind::Comm, 2.0).with_resources(vec![r1, r2])).unwrap();
-        let tb = sim.add_task(Task::new(b, Kind::Read, 1.0).with_resources(vec![r1])).unwrap();
-        let tc = sim.add_task(Task::new(c, Kind::Read, 1.0).with_resources(vec![r2])).unwrap();
+        sim.add_task(Task::new(a, Kind::Comm, 2.0).with_resources(vec![r1, r2]))
+            .unwrap();
+        let tb = sim
+            .add_task(Task::new(b, Kind::Read, 1.0).with_resources(vec![r1]))
+            .unwrap();
+        let tc = sim
+            .add_task(Task::new(c, Kind::Read, 1.0).with_resources(vec![r2]))
+            .unwrap();
         sim.run().unwrap();
         assert_eq!(sim.task_times(tb).1, 2.0);
         assert_eq!(sim.task_times(tc).1, 2.0);
@@ -449,12 +537,18 @@ mod tests {
         let ost = sim.add_resource(1);
         let io = sim.add_agent();
         let cpu = sim.add_agent();
-        let read0 = sim.add_task(Task::new(io, Kind::Read, 1.0).with_resources(vec![ost])).unwrap();
-        let read1 = sim.add_task(Task::new(io, Kind::Read, 1.0).with_resources(vec![ost])).unwrap();
-        let _comp0 =
-            sim.add_task(Task::new(cpu, Kind::Compute, 1.5).with_deps(vec![read0])).unwrap();
-        let comp1 =
-            sim.add_task(Task::new(cpu, Kind::Compute, 1.5).with_deps(vec![read1])).unwrap();
+        let read0 = sim
+            .add_task(Task::new(io, Kind::Read, 1.0).with_resources(vec![ost]))
+            .unwrap();
+        let read1 = sim
+            .add_task(Task::new(io, Kind::Read, 1.0).with_resources(vec![ost]))
+            .unwrap();
+        let _comp0 = sim
+            .add_task(Task::new(cpu, Kind::Compute, 1.5).with_deps(vec![read0]))
+            .unwrap();
+        let comp1 = sim
+            .add_task(Task::new(cpu, Kind::Compute, 1.5).with_deps(vec![read1]))
+            .unwrap();
         let rep = sim.run().unwrap();
         // read1 (1..2) overlaps comp0 (1..2.5); comp1 runs 2.5..4.
         assert_eq!(sim.task_times(comp1).1, 2.5);
@@ -469,19 +563,29 @@ mod tests {
         let ctrl = sim.add_agent();
         let t1 = sim.add_task(Task::new(a, Kind::Compute, 1.0)).unwrap();
         let t2 = sim.add_task(Task::new(b, Kind::Compute, 2.0)).unwrap();
-        let bar = sim.add_task(Task::new(ctrl, Kind::Control, 0.0).with_deps(vec![t1, t2])).unwrap();
-        let after = sim.add_task(Task::new(a, Kind::Compute, 1.0).with_deps(vec![bar])).unwrap();
+        let bar = sim
+            .add_task(Task::new(ctrl, Kind::Control, 0.0).with_deps(vec![t1, t2]))
+            .unwrap();
+        let after = sim
+            .add_task(Task::new(a, Kind::Compute, 1.0).with_deps(vec![bar]))
+            .unwrap();
         let rep = sim.run().unwrap();
         assert_eq!(sim.task_times(after).1, 2.0);
         assert_eq!(rep.makespan, 3.0);
-        assert_eq!(rep.agents[ctrl.0].busy.total(), 0.0, "control excluded from busy totals");
+        assert_eq!(
+            rep.agents[ctrl.0].busy.total(),
+            0.0,
+            "control excluded from busy totals"
+        );
     }
 
     #[test]
     fn forward_dependency_rejected() {
         let mut sim = Simulation::new();
         let a = sim.add_agent();
-        let err = sim.add_task(Task::new(a, Kind::Compute, 1.0).with_deps(vec![5])).unwrap_err();
+        let err = sim
+            .add_task(Task::new(a, Kind::Compute, 1.0).with_deps(vec![5]))
+            .unwrap_err();
         assert!(matches!(err, SimError::UnknownDependency(5)));
     }
 
@@ -515,14 +619,66 @@ mod tests {
         let r = sim.add_resource(1);
         let a = sim.add_agent();
         let b = sim.add_agent();
-        sim.add_task(Task::new(a, Kind::Read, 4.0).with_resources(vec![r])).unwrap();
-        let t = sim.add_task(Task::new(b, Kind::Read, 1.0).with_resources(vec![r])).unwrap();
+        sim.add_task(Task::new(a, Kind::Read, 4.0).with_resources(vec![r]))
+            .unwrap();
+        let t = sim
+            .add_task(Task::new(b, Kind::Read, 1.0).with_resources(vec![r]))
+            .unwrap();
         let rep = sim.run().unwrap();
         let (ready, start, finish) = sim.task_times(t);
         assert_eq!(ready, 0.0);
         assert_eq!(start, 4.0);
         assert_eq!(finish, 5.0);
         assert_eq!(rep.agents[b.0].wait, 4.0);
+    }
+
+    #[test]
+    fn exported_trace_projects_report_exactly() {
+        use enkf_trace::OpTag;
+        let mut sim = Simulation::new();
+        let r = sim.add_resource(1);
+        let a = sim.add_agent();
+        let b = sim.add_agent();
+        sim.add_task(
+            Task::new(a, Kind::Read, 2.0)
+                .with_resources(vec![r])
+                .with_op(OpTag {
+                    io: true,
+                    bytes: 64,
+                    seeks: 4,
+                    ..OpTag::default()
+                }),
+        )
+        .unwrap();
+        sim.add_task(
+            Task::new(b, Kind::Read, 1.0)
+                .with_resources(vec![r])
+                .with_op(OpTag {
+                    bytes: 32,
+                    seeks: 2,
+                    ..OpTag::default()
+                }),
+        )
+        .unwrap();
+        sim.add_task(Task::new(b, Kind::Compute, 0.5)).unwrap();
+        let rep = sim.run().unwrap();
+        let trace = sim.export_trace("unit");
+        let phases = trace.per_rank_phases();
+        for (agent, report) in rep.agents.iter().enumerate() {
+            let p = phases[&agent];
+            assert_eq!(p.read, report.busy.read);
+            assert_eq!(p.comm, report.busy.comm);
+            assert_eq!(p.compute, report.busy.compute);
+            assert_eq!(p.wait, report.wait);
+        }
+        // Rank b queued 2.0s on the disk: a wait span precedes its read.
+        assert!(trace
+            .spans()
+            .iter()
+            .any(|s| s.rank == 1 && s.op == enkf_trace::Op::Wait && s.dur == 2.0));
+        // Tags survive into spans; the digest sees both reads.
+        assert!(trace.digest().contains("role=io"));
+        assert!(trace.digest().contains("bytes=32 seeks=2"));
     }
 
     #[test]
@@ -535,7 +691,8 @@ mod tests {
             for _ in 0..6 {
                 let a = sim.add_agent();
                 ids.push(
-                    sim.add_task(Task::new(a, Kind::Read, 1.0).with_resources(vec![r])).unwrap(),
+                    sim.add_task(Task::new(a, Kind::Read, 1.0).with_resources(vec![r]))
+                        .unwrap(),
                 );
             }
             sim.run().unwrap();

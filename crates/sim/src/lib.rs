@@ -24,6 +24,11 @@
 //!
 //! The engine is deterministic: ties in the event queue are broken by
 //! insertion sequence.
+//!
+//! After a run, [`Simulation::export_trace`](engine::Simulation::export_trace)
+//! yields the execution as `enkf_trace` spans in virtual time — the same
+//! vocabulary the real executors record in wall time — so real-vs-modeled
+//! operation structure can be compared digest-for-digest.
 
 pub mod engine;
 pub mod report;

@@ -131,8 +131,16 @@ mod tests {
 
     #[test]
     fn merged_adds_elementwise() {
-        let a = KindTotals { read: 1.0, comm: 2.0, compute: 3.0 };
-        let b = KindTotals { read: 0.5, comm: 0.5, compute: 0.5 };
+        let a = KindTotals {
+            read: 1.0,
+            comm: 2.0,
+            compute: 3.0,
+        };
+        let b = KindTotals {
+            read: 0.5,
+            comm: 0.5,
+            compute: 0.5,
+        };
         let m = a.merged(&b);
         assert_eq!(m.read, 1.5);
         assert_eq!(m.total(), 7.5);
@@ -144,12 +152,18 @@ mod tests {
             makespan: 10.0,
             agents: vec![
                 AgentReport {
-                    busy: KindTotals { read: 1.0, ..Default::default() },
+                    busy: KindTotals {
+                        read: 1.0,
+                        ..Default::default()
+                    },
                     wait: 1.0,
                     finish: 5.0,
                 },
                 AgentReport {
-                    busy: KindTotals { compute: 2.0, ..Default::default() },
+                    busy: KindTotals {
+                        compute: 2.0,
+                        ..Default::default()
+                    },
                     wait: 0.5,
                     finish: 10.0,
                 },
@@ -178,7 +192,8 @@ mod utilization_tests {
         // 4 tasks x 1s on a 2-slot resource: makespan 2, busy 4 -> 100%.
         for _ in 0..4 {
             let a = sim.add_agent();
-            sim.add_task(Task::new(a, Kind::Read, 1.0).with_resources(vec![r])).unwrap();
+            sim.add_task(Task::new(a, Kind::Read, 1.0).with_resources(vec![r]))
+                .unwrap();
         }
         let rep = sim.run().unwrap();
         assert!((rep.resource_utilization(0, 2) - 1.0).abs() < 1e-12);

@@ -40,12 +40,24 @@ pub struct Task {
     /// Explicit dependencies (in addition to the implicit program-order
     /// dependency on the agent's previous task).
     pub deps: Vec<TaskId>,
+    /// Operation metadata (role, stage, bytes, seeks, peer, member) carried
+    /// into the exported execution trace
+    /// ([`crate::Simulation::export_trace`]). Untagged tasks still appear
+    /// in the trace with defaults derived from their kind.
+    pub op: Option<enkf_trace::OpTag>,
 }
 
 impl Task {
     /// Convenience constructor for a task with no resources or deps.
     pub fn new(agent: AgentId, kind: Kind, service: f64) -> Self {
-        Task { agent, kind, service, resources: Vec::new(), deps: Vec::new() }
+        Task {
+            agent,
+            kind,
+            service,
+            resources: Vec::new(),
+            deps: Vec::new(),
+            op: None,
+        }
     }
 
     /// Builder-style: add resource requirements.
@@ -57,6 +69,12 @@ impl Task {
     /// Builder-style: add explicit dependencies.
     pub fn with_deps(mut self, deps: Vec<TaskId>) -> Self {
         self.deps = deps;
+        self
+    }
+
+    /// Builder-style: attach operation metadata for the execution trace.
+    pub fn with_op(mut self, op: enkf_trace::OpTag) -> Self {
+        self.op = Some(op);
         self
     }
 }

@@ -6,30 +6,28 @@ use proptest::prelude::*;
 #[derive(Debug, Clone)]
 struct RandomWorkload {
     agents: usize,
-    resources: Vec<usize>,          // capacities
+    resources: Vec<usize>,                       // capacities
     tasks: Vec<(usize, usize, f64, Vec<usize>)>, // (agent, resource?, service, dep offsets)
 }
 
 fn workload_strategy() -> impl Strategy<Value = RandomWorkload> {
-    (1usize..6, proptest::collection::vec(1usize..4, 1..4)).prop_flat_map(
-        |(agents, resources)| {
-            let nres = resources.len();
-            proptest::collection::vec(
-                (
-                    0..agents,
-                    0..=nres, // == nres means "no resource"
-                    0.0f64..2.0,
-                    proptest::collection::vec(1usize..8, 0..3),
-                ),
-                1..40,
-            )
-            .prop_map(move |tasks| RandomWorkload {
-                agents,
-                resources: resources.clone(),
-                tasks,
-            })
-        },
-    )
+    (1usize..6, proptest::collection::vec(1usize..4, 1..4)).prop_flat_map(|(agents, resources)| {
+        let nres = resources.len();
+        proptest::collection::vec(
+            (
+                0..agents,
+                0..=nres, // == nres means "no resource"
+                0.0f64..2.0,
+                proptest::collection::vec(1usize..8, 0..3),
+            ),
+            1..40,
+        )
+        .prop_map(move |tasks| RandomWorkload {
+            agents,
+            resources: resources.clone(),
+            tasks,
+        })
+    })
 }
 
 fn build_and_run(w: &RandomWorkload) -> (Simulation, Vec<TaskId>, enkf_sim::SimReport) {

@@ -1,0 +1,587 @@
+//! Unified execution tracing across the real and modeled executors.
+//!
+//! Both execution paths of every variant emit the same span vocabulary —
+//! reads (member, bytes, disk addressing operations), sends (destination,
+//! bytes), local-analysis batches, waits — stamped with the rank, the rank's
+//! role, the stage (layer) and a start/duration. The real executors stamp
+//! wall time relative to a shared epoch ([`RankTracer`]); the modeled
+//! executors stamp virtual DES time (`enkf_sim::Simulation::export_trace`).
+//!
+//! Because the *operations* are identical even though the *times* are not,
+//! a [`Trace::digest`] — the deterministic, time-free multiset of operations
+//! (count, total bytes, total seeks per rank/role/stage/kind/peer) — must be
+//! byte-identical between a real run and a modeled run of the same
+//! configuration. That digest is the conformance artifact checked by
+//! `tests/trace_conformance.rs`.
+//!
+//! Two exporters:
+//! * [`Trace::write_chrome_json`] — Chrome-trace (`chrome://tracing`,
+//!   Perfetto) JSON, one lane per rank;
+//! * [`Trace::digest`] — the sorted text digest above.
+//!
+//! The phase reports the repo always had (`PhaseBreakdown` in
+//! `enkf-parallel`) are projections of these spans: [`Trace::per_rank_phases`]
+//! sums durations by operation kind.
+
+pub mod json;
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// What a rank *is* in the variant's processor-role split (Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Role {
+    /// Owns a sub-domain and runs local analyses.
+    Compute,
+    /// Dedicated I/O processor (S-EnKF's `C₁` side).
+    Io,
+}
+
+impl Role {
+    /// Lower-case label used in digests and Chrome-trace args.
+    pub fn label(self) -> &'static str {
+        match self {
+            Role::Compute => "compute",
+            Role::Io => "io",
+        }
+    }
+}
+
+/// The operation a span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Op {
+    /// A file-system read (bytes + disk addressing operations).
+    Read,
+    /// A file-system write.
+    Write,
+    /// A message transmission to `peer`.
+    Send,
+    /// A local-analysis batch.
+    Compute,
+    /// A dependency/receive/resource stall. Excluded from digests: wait
+    /// placement is scheduling, not operation structure.
+    Wait,
+}
+
+impl Op {
+    /// Lower-case label used in digests and Chrome-trace event names.
+    pub fn label(self) -> &'static str {
+        match self {
+            Op::Read => "read",
+            Op::Write => "write",
+            Op::Send => "send",
+            Op::Compute => "compute",
+            Op::Wait => "wait",
+        }
+    }
+}
+
+/// One recorded operation. Times are seconds — wall time since the cluster
+/// epoch on the real path, virtual DES time on the modeled path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Rank that performed the operation.
+    pub rank: usize,
+    /// The rank's role.
+    pub role: Role,
+    /// Stage (layer) index for multi-stage variants, `None` otherwise.
+    pub stage: Option<usize>,
+    /// Operation kind.
+    pub op: Op,
+    /// Start time, seconds.
+    pub start: f64,
+    /// Duration, seconds (non-negative).
+    pub dur: f64,
+    /// Bytes moved (reads, writes, sends); 0 otherwise.
+    pub bytes: u64,
+    /// Disk addressing operations issued (reads/writes); 0 otherwise.
+    pub seeks: u64,
+    /// Destination rank for sends.
+    pub peer: Option<usize>,
+    /// Ensemble member / file index for reads and writes.
+    pub member: Option<usize>,
+    /// Modeled resource index (OST, NIC) the operation held, if any.
+    pub res: Option<usize>,
+}
+
+/// Operation metadata attached to a modeled task so the DES can emit the
+/// same spans the real executors record (`enkf_sim::Task::with_op`).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpTag {
+    /// Role of the agent's rank (`None` → compute).
+    pub io: bool,
+    /// Stage (layer) index.
+    pub stage: Option<usize>,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Disk addressing operations.
+    pub seeks: u64,
+    /// Destination rank for sends.
+    pub peer: Option<usize>,
+    /// Member / file index.
+    pub member: Option<usize>,
+}
+
+/// Span durations summed by kind — the projection the phase reports are
+/// built from. `Write` durations count toward `read` (both are file I/O in
+/// the paper's four-phase accounting).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTotals {
+    /// File I/O (reads + writes).
+    pub read: f64,
+    /// Communication (sends).
+    pub comm: f64,
+    /// Local analysis.
+    pub compute: f64,
+    /// Stalls.
+    pub wait: f64,
+}
+
+impl PhaseTotals {
+    /// Accumulate one span's duration into the matching slot.
+    pub fn add(&mut self, span: &Span) {
+        match span.op {
+            Op::Read | Op::Write => self.read += span.dur,
+            Op::Send => self.comm += span.dur,
+            Op::Compute => self.compute += span.dur,
+            Op::Wait => self.wait += span.dur,
+        }
+    }
+
+    /// Sum of all four slots.
+    pub fn total(&self) -> f64 {
+        self.read + self.comm + self.compute + self.wait
+    }
+}
+
+/// A completed execution's spans, with a label naming the run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    label: String,
+    spans: Vec<Span>,
+}
+
+impl Trace {
+    /// An empty trace with the given label (used in exporter file names).
+    pub fn new(label: impl Into<String>) -> Self {
+        Trace {
+            label: label.into(),
+            spans: Vec::new(),
+        }
+    }
+
+    /// The run label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Rename the trace (exporter file names derive from the label, so
+    /// callers writing several runs disambiguate them here).
+    pub fn set_label(&mut self, label: impl Into<String>) {
+        self.label = label.into();
+    }
+
+    /// All recorded spans.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Record one span.
+    pub fn push(&mut self, span: Span) {
+        self.spans.push(span);
+    }
+
+    /// Record many spans (e.g. one rank's collected output, merged in rank
+    /// order for determinism).
+    pub fn extend(&mut self, spans: impl IntoIterator<Item = Span>) {
+        self.spans.extend(spans);
+    }
+
+    /// Per-rank phase totals — the projection `PhaseBreakdown` is derived
+    /// from. Ranks are keyed by id; absent ranks recorded nothing.
+    pub fn per_rank_phases(&self) -> BTreeMap<usize, PhaseTotals> {
+        let mut out: BTreeMap<usize, PhaseTotals> = BTreeMap::new();
+        for s in &self.spans {
+            out.entry(s.rank).or_default().add(s);
+        }
+        out
+    }
+
+    /// Total disk addressing operations across all read/write spans.
+    pub fn total_seeks(&self) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| matches!(s.op, Op::Read | Op::Write))
+            .map(|s| s.seeks)
+            .sum()
+    }
+
+    /// The deterministic, time-free operation digest: one sorted line per
+    /// `(rank, role, stage, op, peer)` group with the group's count, total
+    /// bytes and total seeks. Wait spans are excluded (their placement is
+    /// scheduling, not operation structure), as are all durations — so a
+    /// real run and a modeled run of the same configuration produce
+    /// byte-identical digests.
+    pub fn digest(&self) -> String {
+        type Key = (usize, Role, i64, Op, i64);
+        let mut groups: BTreeMap<Key, (u64, u64, u64)> = BTreeMap::new();
+        let opt = |v: Option<usize>| v.map_or(-1, |x| x as i64);
+        for s in &self.spans {
+            if s.op == Op::Wait {
+                continue;
+            }
+            let key = (s.rank, s.role, opt(s.stage), s.op, opt(s.peer));
+            let g = groups.entry(key).or_insert((0, 0, 0));
+            g.0 += 1;
+            g.1 += s.bytes;
+            g.2 += s.seeks;
+        }
+        let fmt_opt = |v: i64| {
+            if v < 0 {
+                "-".to_string()
+            } else {
+                v.to_string()
+            }
+        };
+        let mut out = String::new();
+        for ((rank, role, stage, op, peer), (count, bytes, seeks)) in groups {
+            writeln!(
+                out,
+                "rank={rank} role={} stage={} op={} peer={} count={count} bytes={bytes} seeks={seeks}",
+                role.label(),
+                fmt_opt(stage),
+                op.label(),
+                fmt_opt(peer),
+            )
+            .expect("writing to a String cannot fail");
+        }
+        out
+    }
+
+    /// Serialize as Chrome-trace JSON (`chrome://tracing` / Perfetto):
+    /// complete (`"ph":"X"`) events in microseconds, one lane (`tid`) per
+    /// rank, with bytes/seeks/stage in `args`.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let name = match s.stage {
+                Some(l) => format!("{} L{l}", s.op.label()),
+                None => s.op.label().to_string(),
+            };
+            write!(
+                out,
+                "{{\"name\":\"{name}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":0,\"tid\":{},\"args\":{{\"role\":\"{}\",\"bytes\":{},\"seeks\":{}",
+                s.role.label(),
+                fmt_json_f64(s.start * 1e6),
+                fmt_json_f64(s.dur * 1e6),
+                s.rank,
+                s.role.label(),
+                s.bytes,
+                s.seeks,
+            )
+            .expect("writing to a String cannot fail");
+            if let Some(l) = s.stage {
+                write!(out, ",\"stage\":{l}").expect("write to String");
+            }
+            if let Some(p) = s.peer {
+                write!(out, ",\"peer\":{p}").expect("write to String");
+            }
+            if let Some(m) = s.member {
+                write!(out, ",\"member\":{m}").expect("write to String");
+            }
+            if let Some(r) = s.res {
+                write!(out, ",\"res\":{r}").expect("write to String");
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Write the Chrome-trace JSON as `<dir>/<label>.json`, creating the
+    /// directory if needed; returns the path written.
+    pub fn write_chrome_json(&self, dir: impl AsRef<Path>) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir.as_ref())?;
+        let path = dir.as_ref().join(format!("{}.json", self.label));
+        std::fs::write(&path, self.to_chrome_json())?;
+        Ok(path)
+    }
+}
+
+/// Shortest-roundtrip decimal for finite `f64` (Rust's `Display` never emits
+/// `inf`/`NaN`-style tokens for the finite values traces hold).
+fn fmt_json_f64(v: f64) -> String {
+    debug_assert!(v.is_finite(), "trace times must be finite");
+    format!("{v}")
+}
+
+/// Per-rank wall-clock span recorder for the real executors. All ranks of
+/// one run share an epoch `Instant` so their spans lie on a common timeline.
+#[derive(Debug)]
+pub struct RankTracer {
+    rank: usize,
+    role: Role,
+    epoch: Instant,
+    spans: Vec<Span>,
+}
+
+impl RankTracer {
+    /// A recorder for `rank`, starting as a compute rank.
+    pub fn new(rank: usize, epoch: Instant) -> Self {
+        RankTracer {
+            rank,
+            role: Role::Compute,
+            epoch,
+            spans: Vec::new(),
+        }
+    }
+
+    /// Reclassify this rank (an S-EnKF rank learns it is an I/O rank from
+    /// its position).
+    pub fn set_role(&mut self, role: Role) {
+        self.role = role;
+    }
+
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn record<T>(&mut self, op: Op, tag: OpTag, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        let dur = t0.elapsed().as_secs_f64();
+        let start = t0.duration_since(self.epoch).as_secs_f64();
+        self.spans.push(Span {
+            rank: self.rank,
+            role: self.role,
+            stage: tag.stage,
+            op,
+            start,
+            dur,
+            bytes: tag.bytes,
+            seeks: tag.seeks,
+            peer: tag.peer,
+            member: tag.member,
+            res: None,
+        });
+        out
+    }
+
+    /// Time a file read of `bytes` bytes / `seeks` addressing operations.
+    pub fn read<T>(
+        &mut self,
+        stage: Option<usize>,
+        member: Option<usize>,
+        bytes: u64,
+        seeks: u64,
+        f: impl FnOnce() -> T,
+    ) -> T {
+        let tag = OpTag {
+            stage,
+            bytes,
+            seeks,
+            member,
+            ..OpTag::default()
+        };
+        self.record(Op::Read, tag, f)
+    }
+
+    /// Time a file write.
+    pub fn write<T>(
+        &mut self,
+        stage: Option<usize>,
+        member: Option<usize>,
+        bytes: u64,
+        seeks: u64,
+        f: impl FnOnce() -> T,
+    ) -> T {
+        let tag = OpTag {
+            stage,
+            bytes,
+            seeks,
+            member,
+            ..OpTag::default()
+        };
+        self.record(Op::Write, tag, f)
+    }
+
+    /// Time a message transmission of `bytes` bytes to `peer`.
+    pub fn send<T>(
+        &mut self,
+        stage: Option<usize>,
+        peer: usize,
+        bytes: u64,
+        f: impl FnOnce() -> T,
+    ) -> T {
+        let tag = OpTag {
+            stage,
+            bytes,
+            peer: Some(peer),
+            ..OpTag::default()
+        };
+        self.record(Op::Send, tag, f)
+    }
+
+    /// Time a local-analysis batch.
+    pub fn compute<T>(&mut self, stage: Option<usize>, f: impl FnOnce() -> T) -> T {
+        self.record(
+            Op::Compute,
+            OpTag {
+                stage,
+                ..OpTag::default()
+            },
+            f,
+        )
+    }
+
+    /// Time a blocking wait (receive, join).
+    pub fn wait<T>(&mut self, stage: Option<usize>, f: impl FnOnce() -> T) -> T {
+        self.record(
+            Op::Wait,
+            OpTag {
+                stage,
+                ..OpTag::default()
+            },
+            f,
+        )
+    }
+
+    /// The phase projection of everything recorded so far.
+    pub fn phases(&self) -> PhaseTotals {
+        let mut t = PhaseTotals::default();
+        for s in &self.spans {
+            t.add(s);
+        }
+        t
+    }
+
+    /// Consume the recorder, yielding its spans.
+    pub fn into_spans(self) -> Vec<Span> {
+        self.spans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(rank: usize, op: Op, stage: Option<usize>, bytes: u64, seeks: u64) -> Span {
+        Span {
+            rank,
+            role: Role::Compute,
+            stage,
+            op,
+            start: 0.5,
+            dur: 0.25,
+            bytes,
+            seeks,
+            peer: None,
+            member: None,
+            res: None,
+        }
+    }
+
+    #[test]
+    fn digest_is_order_independent_and_excludes_waits() {
+        let mut a = Trace::new("a");
+        a.push(span(0, Op::Read, Some(1), 64, 2));
+        a.push(span(0, Op::Read, Some(1), 64, 2));
+        a.push(span(1, Op::Compute, None, 0, 0));
+        a.push(span(0, Op::Wait, Some(1), 0, 0));
+        let mut b = Trace::new("b");
+        b.push(span(1, Op::Compute, None, 0, 0));
+        b.push(span(0, Op::Read, Some(1), 64, 2));
+        b.push(span(0, Op::Read, Some(1), 64, 2));
+        assert_eq!(
+            a.digest(),
+            b.digest(),
+            "sorted aggregation ignores order and waits"
+        );
+        assert!(a.digest().contains("count=2 bytes=128 seeks=4"));
+        assert!(!a.digest().contains("wait"));
+    }
+
+    #[test]
+    fn digest_distinguishes_peers() {
+        let mut a = Trace::new("a");
+        let mut s = span(0, Op::Send, None, 10, 0);
+        s.peer = Some(1);
+        a.push(s.clone());
+        let mut b = Trace::new("b");
+        s.peer = Some(2);
+        b.push(s);
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn phases_project_spans_by_kind() {
+        let mut t = Trace::new("t");
+        t.push(span(0, Op::Read, None, 8, 1));
+        t.push(span(0, Op::Compute, None, 0, 0));
+        t.push(span(0, Op::Wait, None, 0, 0));
+        let phases = t.per_rank_phases();
+        let p = phases[&0];
+        assert_eq!(p.read, 0.25);
+        assert_eq!(p.compute, 0.25);
+        assert_eq!(p.wait, 0.25);
+        assert_eq!(p.comm, 0.0);
+        assert_eq!(p.total(), 0.75);
+    }
+
+    #[test]
+    fn chrome_json_parses_and_roundtrips_times() {
+        let mut t = Trace::new("roundtrip");
+        let mut s = span(3, Op::Send, Some(2), 1024, 0);
+        s.peer = Some(7);
+        s.start = 0.001234567891;
+        s.dur = 0.000000789;
+        t.push(s);
+        let doc = json::parse(&t.to_chrome_json()).expect("valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(|e| e.as_array())
+            .expect("events array");
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.get("tid").and_then(|v| v.as_f64()), Some(3.0));
+        assert_eq!(e.get("ph").and_then(|v| v.as_str()), Some("X"));
+        let dur_s = e.get("dur").and_then(|v| v.as_f64()).unwrap() / 1e6;
+        assert!((dur_s - 0.000000789).abs() < 1e-12);
+        let args = e.get("args").expect("args");
+        assert_eq!(args.get("peer").and_then(|v| v.as_f64()), Some(7.0));
+        assert_eq!(args.get("bytes").and_then(|v| v.as_f64()), Some(1024.0));
+    }
+
+    #[test]
+    fn tracer_records_wall_spans_on_a_shared_epoch() {
+        let epoch = Instant::now();
+        let mut tr = RankTracer::new(5, epoch);
+        tr.set_role(Role::Io);
+        let v = tr.read(Some(0), Some(2), 100, 3, || {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            17
+        });
+        assert_eq!(v, 17);
+        tr.compute(Some(0), || ());
+        let spans = tr.into_spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].role, Role::Io);
+        assert_eq!(spans[0].member, Some(2));
+        assert!(
+            spans[0].dur >= 0.002,
+            "slept 2ms, recorded {}",
+            spans[0].dur
+        );
+        assert!(
+            spans[1].start >= spans[0].start + spans[0].dur - 1e-9,
+            "ordered on one rank"
+        );
+    }
+}

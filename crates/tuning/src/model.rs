@@ -23,7 +23,14 @@ impl Workload {
     /// The paper's evaluation workload: 0.1° ocean data, `3600 × 1800`
     /// mesh, 120 members, 30 vertical `f64` levels (`h = 240`).
     pub fn paper_ocean() -> Self {
-        Workload { nx: 3600, ny: 1800, members: 120, h: 240, xi: 2, eta: 2 }
+        Workload {
+            nx: 3600,
+            ny: 1800,
+            members: 120,
+            h: 240,
+            xi: 2,
+            eta: 2,
+        }
     }
 
     /// Total model components `n = n_x · n_y`.
@@ -59,7 +66,12 @@ impl MachineParams {
     /// N = 120 members) that puts the P-EnKF compute/IO crossover near
     /// 8,000 processors.
     pub fn tianhe2_like() -> Self {
-        MachineParams { a: 2.0e-4, b: 1.0 / 0.3e9, c: 0.2, theta: 1.0 / 300.0e6 }
+        MachineParams {
+            a: 2.0e-4,
+            b: 1.0 / 0.3e9,
+            c: 0.2,
+            theta: 1.0 / 300.0e6,
+        }
     }
 }
 
@@ -105,7 +117,10 @@ pub struct CostParams {
 impl CostParams {
     /// Paper workload on the Tianhe-2-like machine model.
     pub fn paper() -> Self {
-        CostParams { workload: Workload::paper_ocean(), machine: MachineParams::tianhe2_like() }
+        CostParams {
+            workload: Workload::paper_ocean(),
+            machine: MachineParams::tianhe2_like(),
+        }
     }
 
     /// Eq. (7): per-stage read cost.
@@ -132,17 +147,14 @@ impl CostParams {
         let rows = w.ny as f64 / (p.nsdy * p.layers) as f64 + 2.0 * w.eta as f64;
         let cols = w.nx as f64 / p.nsdx as f64 + 2.0 * w.xi as f64;
         let block_bytes = rows * cols * w.members as f64 / p.ncg as f64 * w.h as f64;
-        p.nsdx as f64
-            * log_factor(p.ncg + 1)
-            * (self.machine.a + self.machine.b * block_bytes)
+        p.nsdx as f64 * log_factor(p.ncg + 1) * (self.machine.a + self.machine.b * block_bytes)
     }
 
     /// Eq. (9): per-stage computation cost — `c` per grid point over one
     /// layer of one sub-domain.
     pub fn t_comp(&self, p: &Params) -> f64 {
         let w = &self.workload;
-        self.machine.c * (w.ny as f64 / (p.nsdy * p.layers) as f64)
-            * (w.nx as f64 / p.nsdx as f64)
+        self.machine.c * (w.ny as f64 / (p.nsdy * p.layers) as f64) * (w.nx as f64 / p.nsdx as f64)
     }
 
     /// `T₁ = T_read + T_comm`, the objective of optimization problem (11).
@@ -177,7 +189,12 @@ mod tests {
     use super::*;
 
     fn params() -> Params {
-        Params { nsdx: 50, nsdy: 40, layers: 5, ncg: 6 }
+        Params {
+            nsdx: 50,
+            nsdy: 40,
+            layers: 5,
+            ncg: 6,
+        }
     }
 
     #[test]
@@ -207,18 +224,40 @@ mod tests {
     #[test]
     fn t_read_decreases_with_more_layers() {
         let cost = CostParams::paper();
-        let few = Params { layers: 1, ..params() };
-        let many = Params { layers: 10, ..params() };
-        assert!(cost.t_read(&many) < cost.t_read(&few), "per-stage reads shrink with L");
+        let few = Params {
+            layers: 1,
+            ..params()
+        };
+        let many = Params {
+            layers: 10,
+            ..params()
+        };
+        assert!(
+            cost.t_read(&many) < cost.t_read(&few),
+            "per-stage reads shrink with L"
+        );
     }
 
     #[test]
     fn t_comp_scales_inversely_with_compute_processors() {
         let cost = CostParams::paper();
-        let small = Params { nsdx: 25, nsdy: 20, layers: 1, ncg: 4 };
-        let large = Params { nsdx: 50, nsdy: 40, layers: 1, ncg: 4 };
+        let small = Params {
+            nsdx: 25,
+            nsdy: 20,
+            layers: 1,
+            ncg: 4,
+        };
+        let large = Params {
+            nsdx: 50,
+            nsdy: 40,
+            layers: 1,
+            ncg: 4,
+        };
         let ratio = cost.t_comp(&small) / cost.t_comp(&large);
-        assert!((ratio - 4.0).abs() < 1e-9, "4x processors -> 1/4 per-stage compute");
+        assert!(
+            (ratio - 4.0).abs() < 1e-9,
+            "4x processors -> 1/4 per-stage compute"
+        );
     }
 
     #[test]
@@ -234,11 +273,20 @@ mod tests {
     #[test]
     fn all_costs_finite_and_positive() {
         let cost = CostParams::paper();
-        for &(nsdx, nsdy, layers, ncg) in
-            &[(1, 1, 1, 1), (120, 100, 10, 12), (3600, 1800, 1, 120)]
+        for &(nsdx, nsdy, layers, ncg) in &[(1, 1, 1, 1), (120, 100, 10, 12), (3600, 1800, 1, 120)]
         {
-            let p = Params { nsdx, nsdy, layers, ncg };
-            for v in [cost.t_read(&p), cost.t_comm(&p), cost.t_comp(&p), cost.t_total(&p)] {
+            let p = Params {
+                nsdx,
+                nsdy,
+                layers,
+                ncg,
+            };
+            for v in [
+                cost.t_read(&p),
+                cost.t_comm(&p),
+                cost.t_comp(&p),
+                cost.t_total(&p),
+            ] {
                 assert!(v.is_finite() && v > 0.0, "{p:?} gave {v}");
             }
         }

@@ -39,8 +39,7 @@ pub fn epsilon_sensitivity(
     epsilons
         .into_iter()
         .filter_map(|epsilon| {
-            economic_choice(&filtered, epsilon)
-                .map(|choice| SensitivityPoint { epsilon, choice })
+            economic_choice(&filtered, epsilon).map(|choice| SensitivityPoint { epsilon, choice })
         })
         .collect()
 }
@@ -52,7 +51,14 @@ mod tests {
 
     fn cost() -> CostParams {
         CostParams {
-            workload: Workload { nx: 240, ny: 120, members: 12, h: 80, xi: 2, eta: 2 },
+            workload: Workload {
+                nx: 240,
+                ny: 120,
+                members: 12,
+                h: 80,
+                xi: 2,
+                eta: 2,
+            },
             machine: MachineParams::tianhe2_like(),
         }
     }

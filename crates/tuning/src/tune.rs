@@ -77,9 +77,18 @@ pub fn algorithm1(cost: &CostParams, c1: usize, c2: usize) -> Option<TunedParams
             if !sub_height.is_multiple_of(layers) {
                 continue;
             }
-            let p = Params { nsdx, nsdy: j, layers, ncg };
+            let p = Params {
+                nsdx,
+                nsdy: j,
+                layers,
+                ncg,
+            };
             let t1 = cost.t1(&p);
-            let entry = TunedParams { params: p, t1, t_total: cost.t_total(&p) };
+            let entry = TunedParams {
+                params: p,
+                t1,
+                t_total: cost.t_total(&p),
+            };
             if pipelining_ok(cost, &p, t1) {
                 if best.is_none_or(|b| t1 < b.t1) {
                     best = Some(entry);
@@ -102,7 +111,11 @@ pub fn min_t1_curve(
     let mut out = Vec::new();
     for c1 in c1_candidates {
         if let Some(t) = algorithm1(cost, c1, c2) {
-            out.push(CurvePoint { c1, t1: t.t1, params: t.params });
+            out.push(CurvePoint {
+                c1,
+                t1: t.t1,
+                params: t.params,
+            });
         }
     }
     out
@@ -170,12 +183,24 @@ pub fn autotune_with_candidates(
                     continue;
                 }
                 for layers in divisors(sub_height) {
-                    let p = Params { nsdx, nsdy: j, layers, ncg: k };
+                    let p = Params {
+                        nsdx,
+                        nsdy: j,
+                        layers,
+                        ncg: k,
+                    };
                     let t1 = cost.t1(&p);
-                    let entry = TunedParams { params: p, t1, t_total: cost.t_total(&p) };
+                    let entry = TunedParams {
+                        params: p,
+                        t1,
+                        t_total: cost.t_total(&p),
+                    };
                     // Same pipelining constraints as `algorithm1`.
-                    let map =
-                        if pipelining_ok(cost, &p, t1) { &mut by_c1 } else { &mut fallback_by_c1 };
+                    let map = if pipelining_ok(cost, &p, t1) {
+                        &mut by_c1
+                    } else {
+                        &mut fallback_by_c1
+                    };
                     map.entry(c1)
                         .and_modify(|e| {
                             if t1 < e.t1 {
@@ -186,18 +211,32 @@ pub fn autotune_with_candidates(
                 }
             }
         }
-        let by_c1 = if by_c1.is_empty() { fallback_by_c1 } else { by_c1 };
+        let by_c1 = if by_c1.is_empty() {
+            fallback_by_c1
+        } else {
+            by_c1
+        };
         // Strictly-improving C1 points, as Algorithm 2 records them.
         let mut curve: Vec<CurvePoint> = Vec::new();
         for (c1, t) in by_c1 {
             if curve.last().is_none_or(|last| t.t1 < last.t1) {
-                curve.push(CurvePoint { c1, t1: t.t1, params: t.params });
+                curve.push(CurvePoint {
+                    c1,
+                    t1: t.t1,
+                    params: t.params,
+                });
             }
         }
-        let Some(choice) = economic_choice(&curve, epsilon) else { continue };
+        let Some(choice) = economic_choice(&curve, epsilon) else {
+            continue;
+        };
         let t_total = cost.t_total(&choice.params);
         if best.is_none_or(|b| t_total < b.t_total) {
-            best = Some(TunedParams { params: choice.params, t1: choice.t1, t_total });
+            best = Some(TunedParams {
+                params: choice.params,
+                t1: choice.t1,
+                t_total,
+            });
         }
     }
     best
@@ -262,7 +301,14 @@ mod tests {
 
     fn small_cost() -> CostParams {
         CostParams {
-            workload: Workload { nx: 240, ny: 120, members: 12, h: 80, xi: 2, eta: 2 },
+            workload: Workload {
+                nx: 240,
+                ny: 120,
+                members: 12,
+                h: 80,
+                xi: 2,
+                eta: 2,
+            },
             machine: MachineParams::tianhe2_like(),
         }
     }
@@ -304,7 +350,12 @@ mod tests {
                 if !(w.ny / nsdy).is_multiple_of(layers) {
                     continue;
                 }
-                let p = Params { nsdx, nsdy, layers, ncg };
+                let p = Params {
+                    nsdx,
+                    nsdy,
+                    layers,
+                    ncg,
+                };
                 let t1 = cost.t1(&p);
                 if super::pipelining_ok(&cost, &p, t1) {
                     best_ok = best_ok.min(t1);
@@ -313,7 +364,11 @@ mod tests {
                 }
             }
         }
-        let best = if best_ok.is_finite() { best_ok } else { best_any };
+        let best = if best_ok.is_finite() {
+            best_ok
+        } else {
+            best_any
+        };
         assert!((got.t1 - best).abs() < 1e-12);
     }
 
@@ -345,7 +400,12 @@ mod tests {
         let mk = |c1: usize, t1: f64| CurvePoint {
             c1,
             t1,
-            params: Params { nsdx: 1, nsdy: 1, layers: 1, ncg: c1 },
+            params: Params {
+                nsdx: 1,
+                nsdy: 1,
+                layers: 1,
+                ncg: c1,
+            },
         };
         // Steep then flat: rates are 1.0, 0.5, 0.001.
         let curve = vec![mk(1, 10.0), mk(2, 9.0), mk(4, 8.0), mk(8, 7.996)];

@@ -4,16 +4,22 @@ use enkf_tuning::{algorithm1, autotune, CostParams, MachineParams, Params, Workl
 use proptest::prelude::*;
 
 fn workload_strategy() -> impl Strategy<Value = Workload> {
-    (1usize..=5, 1usize..=5, 1usize..=4, 1usize..=3, 0usize..=3, 0usize..=3).prop_map(
-        |(ax, ay, am, h, xi, eta)| Workload {
+    (
+        1usize..=5,
+        1usize..=5,
+        1usize..=4,
+        1usize..=3,
+        0usize..=3,
+        0usize..=3,
+    )
+        .prop_map(|(ax, ay, am, h, xi, eta)| Workload {
             nx: ax * 60,
             ny: ay * 60,
             members: am * 12,
             h: h as u64 * 8,
             xi,
             eta,
-        },
-    )
+        })
 }
 
 fn cost_strategy() -> impl Strategy<Value = CostParams> {
@@ -30,14 +36,14 @@ proptest! {
     fn costs_are_positive_and_finite(cost in cost_strategy(), seed in any::<u64>()) {
         // Evaluate the model at a random feasible parameter set.
         let w = &cost.workload;
-        let divy: Vec<usize> = (1..=w.ny).filter(|d| w.ny % d == 0).collect();
+        let divy: Vec<usize> = (1..=w.ny).filter(|d| w.ny.is_multiple_of(*d)).collect();
         let nsdy = divy[(seed as usize) % divy.len()];
-        let divx: Vec<usize> = (1..=w.nx).filter(|d| w.nx % d == 0).collect();
+        let divx: Vec<usize> = (1..=w.nx).filter(|d| w.nx.is_multiple_of(*d)).collect();
         let nsdx = divx[(seed as usize / 7) % divx.len()];
         let sub_h = w.ny / nsdy;
-        let divl: Vec<usize> = (1..=sub_h).filter(|d| sub_h % d == 0).collect();
+        let divl: Vec<usize> = (1..=sub_h).filter(|d| sub_h.is_multiple_of(*d)).collect();
         let layers = divl[(seed as usize / 13) % divl.len()];
-        let divm: Vec<usize> = (1..=w.members).filter(|d| w.members % d == 0).collect();
+        let divm: Vec<usize> = (1..=w.members).filter(|d| w.members.is_multiple_of(*d)).collect();
         let ncg = divm[(seed as usize / 29) % divm.len()];
         let p = Params { nsdx, nsdy, layers, ncg };
         for v in [cost.t_read(&p), cost.t_comm(&p), cost.t_comp(&p), cost.t1(&p), cost.t_total(&p)] {
@@ -84,12 +90,12 @@ proptest! {
     fn t_comp_conserves_total_work(cost in cost_strategy(), seed in any::<u64>()) {
         // L * C2 * t_comp == c * n regardless of the parameter choice.
         let w = &cost.workload;
-        let divy: Vec<usize> = (1..=w.ny).filter(|d| w.ny % d == 0).collect();
+        let divy: Vec<usize> = (1..=w.ny).filter(|d| w.ny.is_multiple_of(*d)).collect();
         let nsdy = divy[(seed as usize) % divy.len()];
-        let divx: Vec<usize> = (1..=w.nx).filter(|d| w.nx % d == 0).collect();
+        let divx: Vec<usize> = (1..=w.nx).filter(|d| w.nx.is_multiple_of(*d)).collect();
         let nsdx = divx[(seed as usize / 3) % divx.len()];
         let sub_h = w.ny / nsdy;
-        let divl: Vec<usize> = (1..=sub_h).filter(|d| sub_h % d == 0).collect();
+        let divl: Vec<usize> = (1..=sub_h).filter(|d| sub_h.is_multiple_of(*d)).collect();
         let layers = divl[(seed as usize / 11) % divl.len()];
         let p = Params { nsdx, nsdy, layers, ncg: 1 };
         let total = p.layers as f64 * p.c2() as f64 * cost.t_comp(&p);

@@ -29,7 +29,10 @@ fn main() {
         println!("  C1 = {:>4}: T1 = {:.3}s  {:?}", pt.c1, pt.t1, pt.params);
     }
     let pick = economic_choice(&curve, 5e-2).expect("non-empty curve");
-    println!("economic choice (eps = 0.05): C1 = {} -> {:?}", pick.c1, pick.params);
+    println!(
+        "economic choice (eps = 0.05): C1 = {} -> {:?}",
+        pick.c1, pick.params
+    );
 
     // Step 3: the full auto-tuner over a 12,000-processor budget.
     let np = 12_000;

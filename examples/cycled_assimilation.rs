@@ -56,7 +56,10 @@ fn run(label: &str, use_letkf: bool) {
 }
 
 fn main() {
-    run("stochastic EnKF (perturbed observations, modified Cholesky)", false);
+    run(
+        "stochastic EnKF (perturbed observations, modified Cholesky)",
+        false,
+    );
     run("deterministic LETKF (ensemble-space square root)", true);
     println!(
         "\nThe assimilating runs hold their error near the observation level while\n\

@@ -52,12 +52,19 @@ fn main() {
     // P-EnKF: every rank block-reads its own expansion.
     let (p_analysis, p_report) = PEnkf { nsdx: 4, nsdy: 3 }.run(&setup).expect("P-EnKF");
     // S-EnKF: 12 compute ranks + 2 groups x 3 bar readers, 2 layers.
-    let senkf = SEnkf::new(Params { nsdx: 4, nsdy: 3, layers: 2, ncg: 2 });
+    let senkf = SEnkf::new(Params {
+        nsdx: 4,
+        nsdy: 3,
+        layers: 2,
+        ncg: 2,
+    });
     let (s_analysis, s_report) = senkf.run(&setup).expect("S-EnKF");
 
-    for (name, analysis) in
-        [("L-EnKF", &l_analysis), ("P-EnKF", &p_analysis), ("S-EnKF", &s_analysis)]
-    {
+    for (name, analysis) in [
+        ("L-EnKF", &l_analysis),
+        ("P-EnKF", &p_analysis),
+        ("S-EnKF", &s_analysis),
+    ] {
         assert!(
             analysis.states().approx_eq(reference.states(), 1e-12),
             "{name} diverged from the serial reference"
@@ -69,8 +76,10 @@ fn main() {
         );
     }
 
-    println!("\nwall times: L-EnKF {:.3}s | P-EnKF {:.3}s | S-EnKF {:.3}s",
-        l_report.wall_time, p_report.wall_time, s_report.wall_time);
+    println!(
+        "\nwall times: L-EnKF {:.3}s | P-EnKF {:.3}s | S-EnKF {:.3}s",
+        l_report.wall_time, p_report.wall_time, s_report.wall_time
+    );
     println!(
         "S-EnKF phases: io ranks read {:.3}s, comm {:.3}s; compute ranks analyse {:.3}s, wait {:.3}s",
         s_report.io_mean().read,
@@ -91,6 +100,13 @@ fn main() {
     let out_store = FileStore::open(&out_dir, store.layout()).expect("output store");
     s_enkf::parallel::parallel_write_back(&out_store, &s_analysis, 3).expect("write-back");
     let reread = read_ensemble(&out_store, members).expect("re-read analysis");
-    assert_eq!(reread.states(), s_analysis.states(), "write-back roundtrip must be exact");
-    println!("analysis written back to {} and verified", out_dir.display());
+    assert_eq!(
+        reread.states(),
+        s_analysis.states(),
+        "write-back roundtrip must be exact"
+    );
+    println!(
+        "analysis written back to {} and verified",
+        out_dir.display()
+    );
 }

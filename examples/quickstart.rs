@@ -27,7 +27,10 @@ fn main() {
         scenario.ensemble.size(),
         scenario.observations.len()
     );
-    println!("background RMSE vs truth: {:.4}", scenario.rmse_background());
+    println!(
+        "background RMSE vs truth: {:.4}",
+        scenario.rmse_background()
+    );
 
     // Domain localization: each point is updated from its (2ξ+1)x(2η+1)
     // local box (Fig. 2 of the paper).

@@ -7,13 +7,18 @@
 //! fig13_strong_scaling`).
 //!
 //! ```text
-//! cargo run --release --example scaling_study
+//! cargo run --release --example scaling_study [-- --trace]
 //! ```
+//!
+//! With `--trace`, each configuration's wall-clock execution trace is
+//! exported as Chrome-trace JSON under `target/traces/` (open in
+//! `chrome://tracing` or Perfetto).
 
 use s_enkf::parallel::AssimilationSetup;
 use s_enkf::prelude::*;
 
 fn main() {
+    let trace_on = std::env::args().any(|a| a == "--trace");
     let mesh = Mesh::new(64, 32);
     let members = 8;
     let scenario = ScenarioBuilder::new(mesh)
@@ -37,12 +42,31 @@ fn main() {
     let reference =
         serial_enkf(&scenario.ensemble, &scenario.observations, radius).expect("serial");
 
-    println!("{:>18}  {:>9}  {:>9}  {:>8}", "configuration", "P-EnKF s", "S-EnKF s", "match");
+    println!(
+        "{:>18}  {:>9}  {:>9}  {:>8}",
+        "configuration", "P-EnKF s", "S-EnKF s", "match"
+    );
     let mut last: Option<(f64, f64)> = None;
     for (nsdx, nsdy, layers, ncg) in [(2, 2, 2, 2), (4, 2, 2, 2), (4, 4, 2, 4), (8, 4, 4, 4)] {
-        let (p_analysis, p_rep) = PEnkf { nsdx, nsdy }.run(&setup).expect("P-EnKF");
-        let senkf = SEnkf::new(Params { nsdx, nsdy, layers, ncg });
-        let (s_analysis, s_rep) = senkf.run(&setup).expect("S-EnKF");
+        let (p_analysis, p_rep, mut p_trace) =
+            PEnkf { nsdx, nsdy }.run_traced(&setup).expect("P-EnKF");
+        let senkf = SEnkf::new(Params {
+            nsdx,
+            nsdy,
+            layers,
+            ncg,
+        });
+        let (s_analysis, s_rep, mut s_trace) = senkf.run_traced(&setup).expect("S-EnKF");
+        if trace_on {
+            let dir = std::path::Path::new("target/traces");
+            std::fs::create_dir_all(dir).expect("create traces dir");
+            p_trace.set_label(format!("scaling-penkf-{nsdx}x{nsdy}"));
+            s_trace.set_label(format!("scaling-senkf-{nsdx}x{nsdy}-L{layers}"));
+            for t in [&p_trace, &s_trace] {
+                let path = t.write_chrome_json(dir).expect("write trace");
+                println!("[trace {}]", path.display());
+            }
+        }
         let ok = p_analysis.states().approx_eq(reference.states(), 1e-12)
             && s_analysis.states().approx_eq(reference.states(), 1e-12);
         println!(

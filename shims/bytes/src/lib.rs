@@ -1,0 +1,115 @@
+//! Offline stand-in for `bytes`, covering the `BytesMut`/`BufMut`/`Buf`
+//! subset used by the PFS file codec (little-endian f64 put/get).
+
+use std::ops::{Deref, DerefMut};
+
+/// Growable byte buffer backed by `Vec<u8>`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Write-side trait: append primitive values.
+pub trait BufMut {
+    fn put_f64_le(&mut self, v: f64);
+    fn put_u64_le(&mut self, v: u64);
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_f64_le(&mut self, v: f64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+/// Read-side trait: consume primitive values from the front.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn get_f64_le(&mut self) -> f64;
+    fn get_u64_le(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        assert!(self.len() >= 8, "buffer underflow");
+        let (head, rest) = self.split_at(8);
+        let mut b = [0u8; 8];
+        b.copy_from_slice(head);
+        *self = rest;
+        u64::from_le_bytes(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Buf, BufMut, BytesMut};
+
+    #[test]
+    fn f64_roundtrip_advances_cursor() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_f64_le(1.5);
+        buf.put_f64_le(-2.25);
+        assert_eq!(buf.len(), 16);
+        let mut slice: &[u8] = &buf;
+        assert_eq!(slice.remaining(), 16);
+        assert_eq!(slice.get_f64_le(), 1.5);
+        assert_eq!(slice.get_f64_le(), -2.25);
+        assert_eq!(slice.remaining(), 0);
+    }
+}

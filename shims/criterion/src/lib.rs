@@ -1,0 +1,115 @@
+//! Offline stand-in for `criterion`. No statistics engine: each benchmark is
+//! warmed up once and then timed over a small fixed number of iterations,
+//! printing mean wall time per iteration. API-compatible with the
+//! `criterion_group!`/`criterion_main!`/`benchmark_group` subset this
+//! workspace's benches use.
+
+use std::time::{Duration, Instant};
+
+const ITERS: u32 = 20;
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup {}
+    }
+
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id.as_ref(), f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup {}
+
+impl BenchmarkGroup {
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id.as_ref(), f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut bencher);
+    let per_iter = if bencher.iters == 0 {
+        Duration::ZERO
+    } else {
+        bencher.elapsed / bencher.iters
+    };
+    println!("  {id}: {per_iter:?}/iter over {} iters", bencher.iters);
+}
+
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up iteration outside the timed window.
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += ITERS;
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        for _ in 0..ITERS {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

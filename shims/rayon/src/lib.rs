@@ -1,0 +1,208 @@
+//! Offline stand-in for `rayon`, providing *real* shared-memory parallelism
+//! via `std::thread::scope` for the call shapes this workspace uses:
+//!
+//! - `slice.par_iter().map(f).collect::<C>()`
+//! - `slice.par_chunks_mut(n).enumerate().for_each(f)`
+//!
+//! Work is split into one contiguous chunk per worker thread (bounded by
+//! `std::thread::available_parallelism`), preserving input order on collect.
+
+use std::num::NonZeroUsize;
+
+fn workers(len: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    hw.min(len).max(1)
+}
+
+pub mod prelude {
+    pub use crate::{ParallelIterator, ParallelSliceExt};
+}
+
+/// Entry points on slices, mirroring rayon's `par_iter`/`par_chunks_mut`.
+pub trait ParallelSliceExt<T> {
+    fn par_iter(&self) -> ParIter<'_, T>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Sync + Send> ParallelSliceExt<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunksMut {
+            items: self,
+            chunk_size,
+        }
+    }
+}
+
+impl<T: Sync + Send> ParallelSliceExt<T> for Vec<T> {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        self.as_slice().par_iter()
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        self.as_mut_slice().par_chunks_mut(chunk_size)
+    }
+}
+
+/// Minimal parallel-iterator facade: `map` then `collect`/`for_each`.
+pub trait ParallelIterator: Sized {
+    type Item;
+
+    fn map<U, F>(self, f: F) -> ParMap<Self, F>
+    where
+        F: Fn(Self::Item) -> U + Sync,
+        U: Send,
+    {
+        ParMap { inner: self, f }
+    }
+}
+
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+}
+
+pub struct ParMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<'a, T, U, F> ParMap<ParIter<'a, T>, F>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&'a T) -> U + Sync,
+{
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        let items = self.inner.items;
+        let f = &self.f;
+        let n = items.len();
+        if n == 0 {
+            return std::iter::empty().collect();
+        }
+        let nw = workers(n);
+        if nw == 1 {
+            return items.iter().map(f).collect();
+        }
+        let per = n.div_ceil(nw);
+        let mut parts: Vec<Vec<U>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(per)
+                .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<U>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon-shim worker panicked"))
+                .collect()
+        });
+        parts.drain(..).flatten().collect()
+    }
+}
+
+pub struct ParChunksMut<'a, T> {
+    items: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate { inner: self }
+    }
+}
+
+pub struct ParChunksMutEnumerate<'a, T> {
+    inner: ParChunksMut<'a, T>,
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Sync,
+    {
+        let chunk_size = self.inner.chunk_size;
+        let chunks: Vec<(usize, &'a mut [T])> = self
+            .inner
+            .items
+            .chunks_mut(chunk_size)
+            .enumerate()
+            .collect();
+        let n = chunks.len();
+        if n == 0 {
+            return;
+        }
+        let nw = workers(n);
+        let f = &f;
+        if nw == 1 {
+            for item in chunks {
+                f(item);
+            }
+            return;
+        }
+        let per = n.div_ceil(nw);
+        let mut groups: Vec<Vec<(usize, &'a mut [T])>> = Vec::with_capacity(nw);
+        let mut it = chunks.into_iter();
+        loop {
+            let group: Vec<_> = it.by_ref().take(per).collect();
+            if group.is_empty() {
+                break;
+            }
+            groups.push(group);
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .into_iter()
+                .map(|group| {
+                    scope.spawn(move || {
+                        for item in group {
+                            f(item);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("rayon-shim worker panicked");
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_touches_every_chunk() {
+        let mut v = vec![0usize; 100];
+        v.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x = i + 1;
+            }
+        });
+        assert!(v.iter().all(|&x| x > 0));
+        assert_eq!(v[0], 1);
+        assert_eq!(v[99], 100usize.div_ceil(7));
+    }
+
+    #[test]
+    fn collect_into_result_vec() {
+        let v: Vec<i32> = (0..64).collect();
+        let out: Result<Vec<i32>, String> = v.par_iter().map(|&x| Ok(x)).collect();
+        assert_eq!(out.unwrap().len(), 64);
+    }
+}

@@ -1,0 +1,9 @@
+//! Offline stand-in for `serde`. The workspace derives
+//! `Serialize`/`Deserialize` on a handful of config types but never actually
+//! serializes them, so marker traits plus no-op derive macros suffice.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}

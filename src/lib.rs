@@ -10,6 +10,8 @@
 //! * [`grid`] — lat–lon meshes, domain decomposition, localization boxes,
 //!   layers, bars, and file-layout regions.
 //! * [`sim`] — the discrete-event engine that models the 12,000-core runs.
+//! * [`trace`] — execution spans and operation digests shared by the real
+//!   and modeled executors (Chrome-trace export, conformance checking).
 //! * [`pfs`] — the parallel file system substrate (OSTs, striping, seek and
 //!   transfer costs; real local-disk backend plus a DES-modeled backend).
 //! * [`net`] — the message-passing substrate (threads + channels for real
@@ -49,6 +51,7 @@ pub use enkf_net as net;
 pub use enkf_parallel as parallel;
 pub use enkf_pfs as pfs;
 pub use enkf_sim as sim;
+pub use enkf_trace as trace;
 pub use enkf_tuning as tuning;
 
 /// Everything a typical application needs, importable in one line.
@@ -59,8 +62,8 @@ pub mod prelude {
         LocalAnalysis, ObservationOperator, Observations, PerturbedObservations,
     };
     pub use enkf_data::{
-        read_ensemble, write_ensemble, AdvectionDiffusion, CycleConfig, CycledExperiment,
-        Scenario, ScenarioBuilder, SmoothFieldGenerator,
+        read_ensemble, write_ensemble, AdvectionDiffusion, CycleConfig, CycledExperiment, Scenario,
+        ScenarioBuilder, SmoothFieldGenerator,
     };
     pub use enkf_grid::{
         Decomposition, FileLayout, LocalizationRadius, Mesh, RegionRect, SubDomainId,
@@ -68,9 +71,10 @@ pub mod prelude {
     pub use enkf_linalg::Matrix;
     pub use enkf_net::NetParams;
     pub use enkf_parallel::{
-        parallel_write_back, AssimilationSetup, ExecutionReport, LEnkf, ModelConfig,
-        ModelOutcome, PEnkf, PhaseBreakdown, SEnkf,
+        model_penkf_traced, model_senkf_traced, parallel_write_back, AssimilationSetup,
+        ExecutionReport, LEnkf, ModelConfig, ModelOutcome, PEnkf, PhaseBreakdown, SEnkf,
     };
     pub use enkf_pfs::{FileStore, PfsParams, ScratchDir};
+    pub use enkf_trace::{RankTracer, Span, Trace};
     pub use enkf_tuning::{autotune, CostParams, MachineParams, Params, TunedParams, Workload};
 }

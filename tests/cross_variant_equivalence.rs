@@ -17,11 +17,18 @@ struct Harness {
 }
 
 fn harness(mesh: Mesh, members: usize, seed: u64, levels: u64) -> Harness {
-    let scenario = ScenarioBuilder::new(mesh).members(members).seed(seed).build();
+    let scenario = ScenarioBuilder::new(mesh)
+        .members(members)
+        .seed(seed)
+        .build();
     let scratch = ScratchDir::new("integration").unwrap();
     let store = FileStore::open(scratch.path(), FileLayout::new(mesh, 8 * levels)).unwrap();
     write_ensemble(&store, &scenario.ensemble).unwrap();
-    Harness { _scratch: scratch, store, scenario }
+    Harness {
+        _scratch: scratch,
+        store,
+        scenario,
+    }
 }
 
 #[test]
@@ -36,8 +43,7 @@ fn all_variants_match_serial_reference() {
         observations: &h.scenario.observations,
         analysis: LocalAnalysis::new(radius),
     };
-    let reference =
-        serial_enkf(&h.scenario.ensemble, &h.scenario.observations, radius).unwrap();
+    let reference = serial_enkf(&h.scenario.ensemble, &h.scenario.observations, radius).unwrap();
 
     let (l, _) = LEnkf { nsdx: 3, nsdy: 2 }.run(&setup).unwrap();
     assert!(l.states().approx_eq(reference.states(), 1e-12), "L-EnKF");
@@ -46,10 +52,30 @@ fn all_variants_match_serial_reference() {
     assert!(p.states().approx_eq(reference.states(), 1e-12), "P-EnKF");
 
     for params in [
-        Params { nsdx: 2, nsdy: 2, layers: 1, ncg: 1 },
-        Params { nsdx: 3, nsdy: 2, layers: 2, ncg: 2 },
-        Params { nsdx: 4, nsdy: 3, layers: 4, ncg: 3 },
-        Params { nsdx: 6, nsdy: 4, layers: 3, ncg: 6 },
+        Params {
+            nsdx: 2,
+            nsdy: 2,
+            layers: 1,
+            ncg: 1,
+        },
+        Params {
+            nsdx: 3,
+            nsdy: 2,
+            layers: 2,
+            ncg: 2,
+        },
+        Params {
+            nsdx: 4,
+            nsdy: 3,
+            layers: 4,
+            ncg: 3,
+        },
+        Params {
+            nsdx: 6,
+            nsdy: 4,
+            layers: 3,
+            ncg: 6,
+        },
     ] {
         let (s, _) = SEnkf::new(params).run(&setup).unwrap();
         assert!(
@@ -73,10 +99,16 @@ fn equivalence_holds_with_multi_level_files() {
         observations: &h.scenario.observations,
         analysis: LocalAnalysis::new(radius),
     };
-    let reference =
-        serial_enkf(&h.scenario.ensemble, &h.scenario.observations, radius).unwrap();
+    let reference = serial_enkf(&h.scenario.ensemble, &h.scenario.observations, radius).unwrap();
     let (p, _) = PEnkf { nsdx: 2, nsdy: 2 }.run(&setup).unwrap();
-    let (s, _) = SEnkf::new(Params { nsdx: 2, nsdy: 2, layers: 2, ncg: 1 }).run(&setup).unwrap();
+    let (s, _) = SEnkf::new(Params {
+        nsdx: 2,
+        nsdy: 2,
+        layers: 2,
+        ncg: 1,
+    })
+    .run(&setup)
+    .unwrap();
     assert!(p.states().approx_eq(reference.states(), 1e-12));
     assert!(s.states().approx_eq(reference.states(), 1e-12));
 }
@@ -97,9 +129,13 @@ fn blocked_granularity_matches_serial_blocked() {
         analysis,
     };
     let decomp = Decomposition::new(mesh, 4, 2).unwrap();
-    let reference =
-        serial_enkf_decomposed(&h.scenario.ensemble, &h.scenario.observations, analysis, &decomp)
-            .unwrap();
+    let reference = serial_enkf_decomposed(
+        &h.scenario.ensemble,
+        &h.scenario.observations,
+        analysis,
+        &decomp,
+    )
+    .unwrap();
     let (p, _) = PEnkf { nsdx: 4, nsdy: 2 }.run(&setup).unwrap();
     assert!(p.states().approx_eq(reference.states(), 1e-12));
 }
@@ -116,8 +152,17 @@ fn repeated_runs_are_deterministic() {
         observations: &h.scenario.observations,
         analysis: LocalAnalysis::new(radius),
     };
-    let senkf = SEnkf::new(Params { nsdx: 2, nsdy: 2, layers: 2, ncg: 2 });
+    let senkf = SEnkf::new(Params {
+        nsdx: 2,
+        nsdy: 2,
+        layers: 2,
+        ncg: 2,
+    });
     let (a, _) = senkf.run(&setup).unwrap();
     let (b, _) = senkf.run(&setup).unwrap();
-    assert_eq!(a.states(), b.states(), "same inputs, same threads, same analysis");
+    assert_eq!(
+        a.states(),
+        b.states(),
+        "same inputs, same threads, same analysis"
+    );
 }

@@ -36,7 +36,12 @@ fn parallel_assimilation_reduces_error_against_truth() {
         observations: &scenario.observations,
         analysis: LocalAnalysis::new(radius),
     };
-    let senkf = SEnkf::new(Params { nsdx: 3, nsdy: 3, layers: 2, ncg: 2 });
+    let senkf = SEnkf::new(Params {
+        nsdx: 3,
+        nsdy: 3,
+        layers: 2,
+        ncg: 2,
+    });
     let (analysis, report) = senkf.run(&setup).unwrap();
 
     let before = scenario.rmse_background();
@@ -53,8 +58,11 @@ fn analysis_tightens_ensemble_spread_at_observed_points() {
     // injected.
     let mesh = Mesh::new(20, 12);
     let members = 16;
-    let scenario =
-        ScenarioBuilder::new(mesh).members(members).observation_stride(2).seed(13).build();
+    let scenario = ScenarioBuilder::new(mesh)
+        .members(members)
+        .observation_stride(2)
+        .seed(13)
+        .build();
     let radius = LocalizationRadius { xi: 2, eta: 2 };
     let analysis = serial_enkf(&scenario.ensemble, &scenario.observations, radius).unwrap();
 
@@ -90,7 +98,11 @@ fn file_roundtrip_preserves_background_exactly() {
     let store = FileStore::open(scratch.path(), FileLayout::new(mesh, 16)).unwrap();
     write_ensemble(&store, &scenario.ensemble).unwrap();
     let back = read_ensemble(&store, members).unwrap();
-    assert_eq!(back.states(), scenario.ensemble.states(), "bit-exact roundtrip");
+    assert_eq!(
+        back.states(),
+        scenario.ensemble.states(),
+        "bit-exact roundtrip"
+    );
     assert_eq!(store.num_members(), members);
 }
 

@@ -31,9 +31,20 @@ fn missing_member_file_is_an_error_in_every_variant() {
         observations: &scenario.observations,
         analysis: LocalAnalysis::new(radius()),
     };
-    assert!(PEnkf { nsdx: 2, nsdy: 2 }.run(&setup).is_err(), "P-EnKF must error");
-    assert!(LEnkf { nsdx: 2, nsdy: 2 }.run(&setup).is_err(), "L-EnKF must error");
-    let senkf = SEnkf::new(Params { nsdx: 2, nsdy: 2, layers: 2, ncg: 2 });
+    assert!(
+        PEnkf { nsdx: 2, nsdy: 2 }.run(&setup).is_err(),
+        "P-EnKF must error"
+    );
+    assert!(
+        LEnkf { nsdx: 2, nsdy: 2 }.run(&setup).is_err(),
+        "L-EnKF must error"
+    );
+    let senkf = SEnkf::new(Params {
+        nsdx: 2,
+        nsdy: 2,
+        layers: 2,
+        ncg: 2,
+    });
     assert!(senkf.run(&setup).is_err(), "S-EnKF must error");
 }
 
@@ -85,7 +96,10 @@ fn observation_mesh_mismatch_is_rejected() {
     let store = FileStore::open(scratch.path(), FileLayout::new(mesh, 8)).unwrap();
     write_ensemble(&store, &scenario.ensemble).unwrap();
     // Observations built on a different mesh.
-    let other = ScenarioBuilder::new(Mesh::new(12, 8)).members(members).seed(4).build();
+    let other = ScenarioBuilder::new(Mesh::new(12, 8))
+        .members(members)
+        .seed(4)
+        .build();
     let setup = AssimilationSetup {
         store: &store,
         members,

@@ -11,7 +11,14 @@ use s_enkf::tuning::{autotune, Params, Workload};
 
 fn small_cfg() -> ModelConfig {
     ModelConfig {
-        workload: Workload { nx: 360, ny: 180, members: 12, h: 80, xi: 2, eta: 2 },
+        workload: Workload {
+            nx: 360,
+            ny: 180,
+            members: 12,
+            h: 80,
+            xi: 2,
+            eta: 2,
+        },
         ..ModelConfig::paper()
     }
 }
@@ -20,8 +27,22 @@ fn small_cfg() -> ModelConfig {
 fn senkf_beats_penkf_when_reads_dominate() {
     let cfg = small_cfg();
     let p = model_penkf(&cfg, 36, 18).unwrap();
-    let s = model_senkf(&cfg, Params { nsdx: 36, nsdy: 18, layers: 2, ncg: 4 }).unwrap();
-    assert!(s.makespan < p.makespan, "S {} vs P {}", s.makespan, p.makespan);
+    let s = model_senkf(
+        &cfg,
+        Params {
+            nsdx: 36,
+            nsdy: 18,
+            layers: 2,
+            ncg: 4,
+        },
+    )
+    .unwrap();
+    assert!(
+        s.makespan < p.makespan,
+        "S {} vs P {}",
+        s.makespan,
+        p.makespan
+    );
 }
 
 #[test]
@@ -83,10 +104,36 @@ fn penkf_io_share_grows_with_ranks() {
 fn overlap_fraction_is_sustained_across_scales() {
     // Figure 11's shape: overlapped share stays high as ranks grow.
     let cfg = small_cfg();
-    let a = model_senkf(&cfg, Params { nsdx: 12, nsdy: 6, layers: 3, ncg: 2 }).unwrap();
-    let b = model_senkf(&cfg, Params { nsdx: 36, nsdy: 18, layers: 2, ncg: 4 }).unwrap();
-    assert!(a.overlapped_fraction() > 0.5, "small: {}", a.overlapped_fraction());
-    assert!(b.overlapped_fraction() > 0.5, "large: {}", b.overlapped_fraction());
+    let a = model_senkf(
+        &cfg,
+        Params {
+            nsdx: 12,
+            nsdy: 6,
+            layers: 3,
+            ncg: 2,
+        },
+    )
+    .unwrap();
+    let b = model_senkf(
+        &cfg,
+        Params {
+            nsdx: 36,
+            nsdy: 18,
+            layers: 2,
+            ncg: 4,
+        },
+    )
+    .unwrap();
+    assert!(
+        a.overlapped_fraction() > 0.5,
+        "small: {}",
+        a.overlapped_fraction()
+    );
+    assert!(
+        b.overlapped_fraction() > 0.5,
+        "large: {}",
+        b.overlapped_fraction()
+    );
 }
 
 #[test]
@@ -99,7 +146,16 @@ fn autotuned_configuration_is_competitive_on_the_des() {
     let tuned = autotune(&cost, np, 2e-2).expect("tunable");
     let good = model_senkf(&cfg, tuned.params).unwrap();
     // Poor choice: no layering, single group, skewed decomposition.
-    let poor = model_senkf(&cfg, Params { nsdx: 120, nsdy: 5, layers: 1, ncg: 1 }).unwrap();
+    let poor = model_senkf(
+        &cfg,
+        Params {
+            nsdx: 120,
+            nsdy: 5,
+            layers: 1,
+            ncg: 1,
+        },
+    )
+    .unwrap();
     assert!(
         good.makespan < poor.makespan,
         "tuned {} vs poor {}",
