@@ -1,0 +1,53 @@
+//! Point-wise LETKF kernel microbenchmark over a mesh-size × obs-density
+//! grid — the workload behind the PR 2 `BENCH_PR2.json` perf-trajectory
+//! entry. Each case runs the full pointwise analysis (per-point local box,
+//! observation sub-localization, ensemble-space eigensolve) on one
+//! sub-domain-sized target.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enkf_core::{LetkfAnalysis, ObservationOperator, Observations, PerturbedObservations};
+use enkf_grid::{LocalizationRadius, Mesh, ObservationNetwork, RegionRect};
+use enkf_linalg::{GaussianSampler, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_matrix(n: usize, m: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gs = GaussianSampler::new();
+    Matrix::from_fn(n, m, |_, _| gs.sample(&mut rng))
+}
+
+fn bench_letkf_pointwise(c: &mut Criterion) {
+    let mut g = c.benchmark_group("letkf_pointwise");
+    let nens = 20;
+    let radius = LocalizationRadius { xi: 2, eta: 2 };
+    for (side, stride) in [(16usize, 2usize), (16, 4), (32, 2), (32, 4)] {
+        let mesh = Mesh::new(side, side);
+        let target = RegionRect::full(mesh);
+        let expansion = target;
+        let xb = random_matrix(expansion.npoints(), nens, 11);
+        let net = ObservationNetwork::uniform(mesh, stride);
+        let op = ObservationOperator::new(net);
+        let m = op.len();
+        let values: Vec<f64> = (0..m).map(|k| (k as f64 * 0.17).sin()).collect();
+        let obs = Observations::new(
+            op,
+            values,
+            vec![0.04; m],
+            PerturbedObservations::new(3, nens),
+        );
+        let local = obs.localize(&expansion);
+        let letkf = LetkfAnalysis::new(radius);
+        g.bench_function(format!("mesh{side}x{side}_stride{stride}"), |bench| {
+            bench.iter(|| {
+                letkf
+                    .analyze(mesh, &target, &expansion, &xb, &local)
+                    .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_letkf_pointwise);
+criterion_main!(benches);

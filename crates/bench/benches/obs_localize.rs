@@ -1,0 +1,87 @@
+//! Observation-localization microbenchmark: restricting the global network
+//! to an expansion (`Observations::localize`) and re-restricting an
+//! expansion's observations to a point's local box
+//! (`LocalObservations::sub_localize`) — the per-grid-point localization
+//! cost the bucket-grid spatial index attacks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enkf_core::{
+    LocalObsIndex, LocalObservations, ObservationOperator, Observations, PerturbedObservations,
+};
+use enkf_grid::{LocalizationRadius, Mesh, ObservationNetwork, RegionRect};
+
+fn obs_set(mesh: Mesh, stride: usize, nens: usize) -> Observations {
+    let net = ObservationNetwork::uniform(mesh, stride);
+    let op = ObservationOperator::new(net);
+    let m = op.len();
+    let values: Vec<f64> = (0..m).map(|k| (k as f64 * 0.31).cos()).collect();
+    Observations::new(
+        op,
+        values,
+        vec![0.09; m],
+        PerturbedObservations::new(5, nens),
+    )
+}
+
+fn bench_localize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_localize");
+    let nens = 20;
+    for (side, stride) in [(64usize, 2usize), (64, 4), (128, 2)] {
+        let mesh = Mesh::new(side, side);
+        let obs = obs_set(mesh, stride, nens);
+        // A sub-domain-sized expansion in the interior.
+        let expansion = RegionRect::new(side / 4, 3 * side / 4, side / 4, 3 * side / 4);
+        g.bench_function(format!("localize_mesh{side}_stride{stride}"), |bench| {
+            bench.iter(|| obs.localize(&expansion));
+        });
+
+        let local = obs.localize(&expansion);
+        let radius = LocalizationRadius { xi: 2, eta: 2 };
+        let boxes: Vec<RegionRect> = expansion
+            .iter_points()
+            .map(|p| {
+                RegionRect::new(p.ix, p.ix + 1, p.iy, p.iy + 1)
+                    .expand(radius, mesh)
+                    .intersect(&expansion)
+            })
+            .collect();
+        g.bench_function(format!("sub_localize_mesh{side}_stride{stride}"), |bench| {
+            bench.iter(|| {
+                let mut total = 0usize;
+                for b in &boxes {
+                    total += local.sub_localize(&expansion, b).len();
+                }
+                total
+            });
+        });
+
+        // The bucket-indexed variant the per-point LETKF hot loop uses,
+        // including the once-per-cycle index build.
+        let cell = radius.xi.max(radius.eta).max(1);
+        g.bench_function(
+            format!("sub_localize_indexed_mesh{side}_stride{stride}"),
+            |bench| {
+                bench.iter(|| {
+                    let index = LocalObsIndex::build(&local, &expansion, cell);
+                    let mut scratch = Vec::new();
+                    let mut out = LocalObservations {
+                        local_rows: Vec::new(),
+                        values: Vec::new(),
+                        error_var: Vec::new(),
+                        perturbed: enkf_linalg::Matrix::zeros(0, 0),
+                    };
+                    let mut total = 0usize;
+                    for b in &boxes {
+                        index.sub_localize_into(&local, b, &mut scratch, &mut out);
+                        total += out.len();
+                    }
+                    total
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_localize);
+criterion_main!(benches);

@@ -31,8 +31,10 @@ pub mod serial;
 pub use analysis::GlobalAnalysis;
 pub use ensemble::Ensemble;
 pub use inflation::{inflate_ensemble, inflated, mean_variance};
-pub use letkf::{serial_letkf, serial_letkf_decomposed, LetkfAnalysis};
-pub use local::{AnalysisGranularity, LocalAnalysis, LocalObservations};
+pub use letkf::{serial_letkf, serial_letkf_decomposed, LetkfAnalysis, LetkfWorkspace};
+pub use local::{
+    AnalysisGranularity, LocalAnalysis, LocalAnalysisWorkspace, LocalObsIndex, LocalObservations,
+};
 pub use observation::{ObservationOperator, Observations, PerturbedObservations};
 pub use serial::{serial_enkf, serial_enkf_decomposed};
 

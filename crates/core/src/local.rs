@@ -1,9 +1,10 @@
 //! The domain-localized analysis (Eq. 6) on a sub-domain, layer, or point.
 
 use crate::{EnkfError, Result};
-use enkf_grid::{LocalizationRadius, Mesh, RegionRect};
-use enkf_linalg::{Cholesky, Matrix, ModifiedCholesky};
+use enkf_grid::{GridPoint, LocalizationRadius, Mesh, RegionRect};
+use enkf_linalg::{CholWorkspace, Cholesky, Matrix, ModifiedCholesky};
 use rayon::prelude::*;
+use std::sync::Mutex;
 
 /// Observations restricted to an expansion region: the local pieces
 /// `H_{[i,j]}`, `Yˢ_{[i,j]}`, `R_{[i,j]}` of Eq. 6. Built by
@@ -60,6 +61,110 @@ impl LocalObservations {
             values,
             error_var,
             perturbed,
+        }
+    }
+}
+
+/// Bucket-grid index over an expansion's local observations.
+///
+/// Built once per `analyze_pointwise` call (or per assimilation cycle by a
+/// caller that keeps it around), it makes the per-grid-point
+/// re-localization — "which of the expansion's observations fall inside
+/// this point's box" — cost O(obs in box) instead of O(obs in expansion).
+/// Query results are byte-identical to
+/// [`LocalObservations::sub_localize`].
+#[derive(Debug, Clone)]
+pub struct LocalObsIndex {
+    outer: RegionRect,
+    cell: usize,
+    ncx: usize,
+    ncy: usize,
+    /// CSR bucket offsets into `items`, length `ncx * ncy + 1`.
+    starts: Vec<usize>,
+    /// Local observation row numbers grouped by bucket.
+    items: Vec<usize>,
+}
+
+impl LocalObsIndex {
+    /// Index `obs` (localized to `outer`) with square buckets of `cell`
+    /// grid points per edge. Pick `cell` on the order of the localization
+    /// radius so a box query touches O(1) buckets.
+    pub fn build(obs: &LocalObservations, outer: &RegionRect, cell: usize) -> Self {
+        assert!(cell > 0, "bucket edge must be positive");
+        let ncx = outer.width().div_ceil(cell).max(1);
+        let ncy = outer.height().div_ceil(cell).max(1);
+        let nb = ncx * ncy;
+        let bucket = |outer_idx: usize| {
+            let p = outer.point_at(outer_idx);
+            ((p.iy - outer.y0) / cell) * ncx + (p.ix - outer.x0) / cell
+        };
+        let mut starts = vec![0usize; nb + 1];
+        for &idx in &obs.local_rows {
+            starts[bucket(idx) + 1] += 1;
+        }
+        for b in 0..nb {
+            starts[b + 1] += starts[b];
+        }
+        let mut fill = starts.clone();
+        let mut items = vec![0usize; obs.local_rows.len()];
+        for (r, &idx) in obs.local_rows.iter().enumerate() {
+            let b = bucket(idx);
+            items[fill[b]] = r;
+            fill[b] += 1;
+        }
+        LocalObsIndex {
+            outer: *outer,
+            cell,
+            ncx,
+            ncy,
+            starts,
+            items,
+        }
+    }
+
+    /// Indexed [`LocalObservations::sub_localize`] into caller-owned
+    /// buffers: byte-identical output, O(obs in `inner`) cost, and no
+    /// allocation once `scratch`/`out` reach steady-state capacity.
+    pub fn sub_localize_into(
+        &self,
+        obs: &LocalObservations,
+        inner: &RegionRect,
+        scratch: &mut Vec<usize>,
+        out: &mut LocalObservations,
+    ) {
+        debug_assert!(self.outer.contains_rect(inner));
+        out.local_rows.clear();
+        out.values.clear();
+        out.error_var.clear();
+        scratch.clear();
+        if !inner.is_empty() && !self.items.is_empty() {
+            let bx0 = (inner.x0 - self.outer.x0) / self.cell;
+            let bx1 = ((inner.x1 - 1 - self.outer.x0) / self.cell).min(self.ncx - 1);
+            let by0 = (inner.y0 - self.outer.y0) / self.cell;
+            let by1 = ((inner.y1 - 1 - self.outer.y0) / self.cell).min(self.ncy - 1);
+            for by in by0..=by1 {
+                for bx in bx0..=bx1 {
+                    let b = by * self.ncx + bx;
+                    for &r in &self.items[self.starts[b]..self.starts[b + 1]] {
+                        if inner.contains(self.outer.point_at(obs.local_rows[r])) {
+                            scratch.push(r);
+                        }
+                    }
+                }
+            }
+            // Buckets are visited in bucket order; the linear scan emits
+            // rows in ascending source order — restore it.
+            scratch.sort_unstable();
+        }
+        out.perturbed.resize(scratch.len(), obs.perturbed.ncols());
+        for (out_r, &r) in scratch.iter().enumerate() {
+            let p = self.outer.point_at(obs.local_rows[r]);
+            out.local_rows.push(inner.local_index(p));
+            out.values.push(obs.values[r]);
+            out.error_var.push(obs.error_var[r]);
+            out.perturbed
+                .row_mut(out_r)
+                .copy_from_slice(obs.perturbed.row(r));
         }
     }
 }
@@ -214,6 +319,10 @@ impl LocalAnalysis {
     }
 
     /// Point-wise Eq. 6: each target point analyzed from its own local box.
+    ///
+    /// Parallelized with `par_chunks_mut` directly over the output matrix
+    /// rows; each worker allocates one [`LocalAnalysisWorkspace`] and reuses
+    /// it across all its grid points.
     fn analyze_pointwise(
         &self,
         mesh: Mesh,
@@ -223,29 +332,148 @@ impl LocalAnalysis {
         obs: &LocalObservations,
     ) -> Result<Matrix> {
         let nens = xb.ncols();
-        let points: Vec<_> = target.iter_points().collect();
-        let rows: Vec<Result<Vec<f64>>> = points
-            .par_iter()
-            .map(|&p| {
-                let single = RegionRect::new(p.ix, p.ix + 1, p.iy, p.iy + 1);
-                let boxr = single.expand(self.radius, mesh);
-                debug_assert!(expansion.contains_rect(&boxr));
-                let box_rows = expansion.local_indices_of(&boxr);
-                let xb_box = xb.select_rows(&box_rows);
-                let obs_box = obs.sub_localize(expansion, &boxr);
-                let blocked = LocalAnalysis {
-                    granularity: AnalysisGranularity::Region,
-                    ..*self
-                };
-                let xa = blocked.analyze_region(&single, &boxr, &xb_box, &obs_box)?;
-                Ok(xa.row(0).to_vec())
-            })
-            .collect();
-        let mut out = Matrix::zeros(points.len(), nens);
-        for (i, row) in rows.into_iter().enumerate() {
-            out.row_mut(i).copy_from_slice(&row?);
+        let npoints = target.npoints();
+        let mut out = Matrix::zeros(npoints, nens);
+        if npoints == 0 || nens == 0 {
+            return Ok(out);
+        }
+        let cell = self.radius.xi.max(self.radius.eta).max(1);
+        let index = LocalObsIndex::build(obs, expansion, cell);
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let chunk_rows = npoints.div_ceil(workers).max(1);
+        let first_err: Mutex<Option<EnkfError>> = Mutex::new(None);
+        out.as_mut_slice()
+            .par_chunks_mut(chunk_rows * nens)
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                let mut ws = LocalAnalysisWorkspace::new();
+                let base = ci * chunk_rows;
+                for (i, row) in chunk.chunks_mut(nens).enumerate() {
+                    let p = target.point_at(base + i);
+                    if let Err(e) =
+                        self.analyze_point_into(mesh, p, expansion, xb, obs, &index, &mut ws, row)
+                    {
+                        let mut slot = first_err.lock().unwrap();
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                        return;
+                    }
+                }
+            });
+        if let Some(e) = first_err.lock().unwrap().take() {
+            return Err(e);
         }
         Ok(out)
+    }
+
+    /// One grid point's local analysis written into its output row.
+    ///
+    /// Equivalent to running [`LocalAnalysis::analyze_region`] on the
+    /// point's box, but only the target row of `δX = A⁻¹ Z` is formed:
+    /// since `A` is symmetric, `δX[t,·] = (A⁻¹ eₜ)ᵀ Z`, so a single
+    /// triangular solve replaces one per ensemble member and `Z` is never
+    /// materialized.
+    #[allow(clippy::too_many_arguments)]
+    fn analyze_point_into(
+        &self,
+        mesh: Mesh,
+        p: GridPoint,
+        expansion: &RegionRect,
+        xb: &Matrix,
+        obs: &LocalObservations,
+        index: &LocalObsIndex,
+        ws: &mut LocalAnalysisWorkspace,
+        out_row: &mut [f64],
+    ) -> Result<()> {
+        let single = RegionRect::new(p.ix, p.ix + 1, p.iy, p.iy + 1);
+        let boxr = single.expand(self.radius, mesh);
+        debug_assert!(expansion.contains_rect(&boxr));
+        ws.box_rows.clear();
+        for q in boxr.iter_points() {
+            ws.box_rows.push(expansion.local_index(q));
+        }
+        xb.select_rows_into(&ws.box_rows, &mut ws.xb_box);
+        index.sub_localize_into(obs, &boxr, &mut ws.obs_scratch, &mut ws.obs_box);
+        let t = boxr.local_index(p);
+        if ws.obs_box.is_empty() {
+            out_row.copy_from_slice(ws.xb_box.row(t));
+            return Ok(());
+        }
+        let nbar = boxr.npoints();
+        let nens = ws.xb_box.ncols();
+        // Anomalies and the adaptive ridge, as in `analyze_region`.
+        ws.u.copy_from(&ws.xb_box);
+        ws.u.row_means_into(&mut ws.means);
+        ws.u.subtract_row_vector(&ws.means);
+        let denom = (nens - 1).max(1) as f64;
+        let mean_var = ws.u.as_slice().iter().map(|&v| v * v).sum::<f64>() / (denom * nbar as f64);
+        let lambda = (self.ridge * mean_var).max(f64::MIN_POSITIVE);
+        let mc = ModifiedCholesky::estimate(&ws.u, box_predecessors(&boxr, self.radius), lambda)?;
+        let mut a = mc.inverse_covariance();
+        for (r, &row) in ws.obs_box.local_rows.iter().enumerate() {
+            a[(row, row)] += 1.0 / ws.obs_box.error_var[r];
+        }
+        ws.chol.factor(&a)?;
+        ws.w.clear();
+        ws.w.resize(nbar, 0.0);
+        ws.w[t] = 1.0;
+        ws.chol.solve_in_place(&mut ws.w)?;
+        // X^a[t,·] = X^b[t,·] + wᵀ Z with Z's rows formed on the fly.
+        out_row.copy_from_slice(ws.xb_box.row(t));
+        for (r, &row) in ws.obs_box.local_rows.iter().enumerate() {
+            let c = ws.w[row] / ws.obs_box.error_var[r];
+            for (k, o) in out_row.iter_mut().enumerate() {
+                *o += c * (ws.obs_box.perturbed[(r, k)] - ws.xb_box[(row, k)]);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-thread scratch buffers for the point-wise local analysis.
+///
+/// One instance per worker, reused across every grid point the worker
+/// analyzes; at steady state the per-point loop performs no heap
+/// allocation outside the modified-Cholesky estimator.
+#[derive(Debug, Clone)]
+pub struct LocalAnalysisWorkspace {
+    box_rows: Vec<usize>,
+    xb_box: Matrix,
+    u: Matrix,
+    means: Vec<f64>,
+    obs_box: LocalObservations,
+    obs_scratch: Vec<usize>,
+    chol: CholWorkspace,
+    w: Vec<f64>,
+}
+
+impl Default for LocalAnalysisWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocalAnalysisWorkspace {
+    /// An empty workspace; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        LocalAnalysisWorkspace {
+            box_rows: Vec::new(),
+            xb_box: Matrix::zeros(0, 0),
+            u: Matrix::zeros(0, 0),
+            means: Vec::new(),
+            obs_box: LocalObservations {
+                local_rows: Vec::new(),
+                values: Vec::new(),
+                error_var: Vec::new(),
+                perturbed: Matrix::zeros(0, 0),
+            },
+            obs_scratch: Vec::new(),
+            chol: CholWorkspace::new(),
+            w: Vec::new(),
+        }
     }
 }
 
@@ -444,6 +672,38 @@ mod tests {
         let expansion = target.expand(radius, mesh);
         let err2 = la.analyze(mesh, &target, &expansion, &xb, &empty);
         assert!(matches!(err2, Err(EnkfError::GeometryMismatch(_))));
+    }
+
+    #[test]
+    fn indexed_sub_localize_is_byte_identical_to_linear() {
+        let mesh = Mesh::new(9, 7);
+        let outer = RegionRect::new(2, 9, 1, 7);
+        let obs = make_obs(mesh, 2, &outer, 5, 4);
+        assert!(!obs.is_empty());
+        let mut scratch = vec![3usize; 2];
+        let mut out = LocalObservations {
+            local_rows: vec![9],
+            values: vec![1.0],
+            error_var: vec![1.0],
+            perturbed: Matrix::zeros(1, 1),
+        };
+        for cell in [1usize, 2, 3, 8] {
+            let index = LocalObsIndex::build(&obs, &outer, cell);
+            for inner in [
+                RegionRect::new(3, 6, 2, 5),
+                outer,
+                RegionRect::new(4, 4, 1, 7),
+                RegionRect::new(8, 9, 6, 7),
+                RegionRect::new(2, 3, 1, 2),
+            ] {
+                index.sub_localize_into(&obs, &inner, &mut scratch, &mut out);
+                assert_eq!(
+                    out,
+                    obs.sub_localize(&outer, &inner),
+                    "cell {cell}, inner {inner:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Observation operators, data-error statistics and perturbed observations.
 
-use enkf_grid::{Mesh, ObservationNetwork, RegionRect};
+use enkf_grid::{Mesh, ObsIndex, ObservationNetwork, RegionRect};
 use enkf_linalg::{GaussianSampler, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::OnceLock;
 
 /// The linear observational operator `H ∈ R^{m×n}` as a point-selection
 /// operator over an observation network: row `k` of `H` picks the model
@@ -113,15 +114,38 @@ impl PerturbedObservations {
     }
 }
 
+/// Per-cycle derived data: the bucket-grid spatial index over the network
+/// and the fully materialized perturbed-observation matrix. Built lazily on
+/// first localization (or eagerly via [`Observations::prepare`]) and shared
+/// by every rank thread of a cycle, so per-observation perturbed rows are
+/// generated exactly once instead of once per localization.
+#[derive(Debug, Clone)]
+struct ObsCache {
+    index: ObsIndex,
+    perturbed: Matrix,
+}
+
 /// A complete observation set: operator, observed values `y`, diagonal
 /// data-error covariance `R` (per-row variances), and the perturbation
 /// schema.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Observations {
     operator: ObservationOperator,
     values: Vec<f64>,
     error_var: Vec<f64>,
     perturbed: PerturbedObservations,
+    cache: OnceLock<ObsCache>,
+}
+
+/// Equality ignores the derived cache: two observation sets are equal when
+/// the data defining them is.
+impl PartialEq for Observations {
+    fn eq(&self, other: &Self) -> bool {
+        self.operator == other.operator
+            && self.values == other.values
+            && self.error_var == other.error_var
+            && self.perturbed == other.perturbed
+    }
 }
 
 impl Observations {
@@ -144,7 +168,34 @@ impl Observations {
             values,
             error_var,
             perturbed,
+            cache: OnceLock::new(),
         }
+    }
+
+    /// Build (or fetch) the per-cycle cache: the spatial index and the
+    /// cached perturbed rows.
+    fn cache(&self) -> &ObsCache {
+        self.cache.get_or_init(|| {
+            // Bucket edge ≈ the mean observation spacing, so a localization
+            // box query touches O(1) buckets holding O(obs in box) entries.
+            let mesh = self.operator.mesh();
+            let m = self.len().max(1);
+            let spacing = (mesh.n() as f64 / m as f64).sqrt().ceil() as usize;
+            ObsCache {
+                index: ObsIndex::build(self.operator.network(), spacing.clamp(2, 64)),
+                perturbed: self.perturbed_matrix(),
+            }
+        })
+    }
+
+    /// Eagerly build the per-cycle spatial index and perturbed-row cache.
+    ///
+    /// Executors call this once before fanning out rank threads so the
+    /// one-time construction cost does not land inside a traced compute
+    /// span; any thread may still trigger it lazily through
+    /// [`Observations::localize`].
+    pub fn prepare(&self) {
+        let _ = self.cache();
     }
 
     /// The observation operator.
@@ -192,7 +243,38 @@ impl Observations {
     /// Restrict to the observations inside a region, producing the local
     /// pieces of Eq. 6: `H_{[i,j]}` (as expansion-local row indices),
     /// `Yˢ_{[i,j]}` and `R_{[i,j]}`.
+    ///
+    /// Served from the bucket-grid index and the cached perturbed rows, so
+    /// the cost is O(obs in region) after the first call of a cycle. The
+    /// result is byte-identical to [`Observations::localize_linear`].
     pub fn localize(&self, region: &RegionRect) -> crate::local::LocalObservations {
+        let cache = self.cache();
+        let idx = cache.index.indices_in(region);
+        let points = self.operator.network().points();
+        let mut local_rows = Vec::with_capacity(idx.len());
+        let mut values = Vec::with_capacity(idx.len());
+        let mut error_var = Vec::with_capacity(idx.len());
+        for &k in &idx {
+            local_rows.push(region.local_index(points[k]));
+            values.push(self.values[k]);
+            error_var.push(self.error_var[k]);
+        }
+        let mut perturbed = Matrix::zeros(idx.len(), self.perturbed.members());
+        for (r, &k) in idx.iter().enumerate() {
+            perturbed.row_mut(r).copy_from_slice(cache.perturbed.row(k));
+        }
+        crate::local::LocalObservations {
+            local_rows,
+            values,
+            error_var,
+            perturbed,
+        }
+    }
+
+    /// Reference implementation of [`Observations::localize`]: a linear
+    /// scan of the whole network with per-row perturbation regeneration.
+    /// Kept as the oracle for the index/cache equivalence property tests.
+    pub fn localize_linear(&self, region: &RegionRect) -> crate::local::LocalObservations {
         let mut local_rows = Vec::new();
         let mut values = Vec::new();
         let mut error_var = Vec::new();
@@ -308,6 +390,36 @@ mod tests {
         let region = RegionRect::new(1, 2, 1, 2); // contains no stride-2 point
         let local = obs.localize(&region);
         assert!(local.is_empty());
+    }
+
+    #[test]
+    fn indexed_localize_is_byte_identical_to_linear() {
+        let obs = obs_set();
+        let mesh = obs.operator().mesh();
+        obs.prepare();
+        for region in [
+            RegionRect::new(1, 5, 1, 4),
+            RegionRect::new(0, 6, 0, 4),
+            RegionRect::new(2, 2, 0, 4),
+            RegionRect::new(5, 6, 3, 4),
+            RegionRect::full(mesh),
+        ] {
+            assert_eq!(
+                obs.localize(&region),
+                obs.localize_linear(&region),
+                "region {region:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn equality_ignores_cache_state() {
+        let a = obs_set();
+        let b = obs_set();
+        a.prepare();
+        assert_eq!(a, b);
+        let c = a.clone();
+        assert_eq!(a, c);
     }
 
     #[test]

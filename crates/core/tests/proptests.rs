@@ -1,10 +1,12 @@
 //! Property-based tests of the analysis kernels' invariants.
 
 use enkf_core::{
-    serial_enkf, serial_enkf_decomposed, serial_letkf, LocalAnalysis, ObservationOperator,
-    Observations, PerturbedObservations,
+    serial_enkf, serial_enkf_decomposed, serial_letkf, AnalysisGranularity, LetkfAnalysis,
+    LocalAnalysis, ObservationOperator, Observations, PerturbedObservations,
 };
-use enkf_grid::{Decomposition, GridPoint, LocalizationRadius, Mesh, ObservationNetwork};
+use enkf_grid::{
+    Decomposition, GridPoint, LocalizationRadius, Mesh, ObservationNetwork, RegionRect,
+};
 use enkf_linalg::{GaussianSampler, Matrix};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -114,6 +116,85 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn indexed_localize_matches_linear_scan_on_random_networks(
+        mx in 2usize..=5,
+        my in 2usize..=5,
+        mask in proptest::collection::vec(any::<bool>(), 1..200),
+        rect in (any::<usize>(), any::<usize>(), any::<usize>(), any::<usize>()),
+        seed in any::<u64>(),
+    ) {
+        // A random sparse network: keep point k iff mask[k % mask.len()].
+        let mesh = Mesh::new(mx * 3, my * 3);
+        let points: Vec<GridPoint> = RegionRect::full(mesh)
+            .iter_points()
+            .enumerate()
+            .filter(|(k, _)| mask[k % mask.len()])
+            .map(|(_, p)| p)
+            .collect();
+        let net = ObservationNetwork::from_points(mesh, points);
+        let op = ObservationOperator::new(net);
+        let m = op.len();
+        let values: Vec<f64> = (0..m).map(|k| (k as f64 * 0.31).sin()).collect();
+        let observations = Observations::new(
+            op,
+            values,
+            vec![0.2; m],
+            PerturbedObservations::new(seed, 4),
+        );
+        // A random (possibly empty) region plus the edge cases: degenerate
+        // and full-mesh.
+        let x0 = rect.0 % (mesh.nx() + 1);
+        let x1 = x0 + rect.1 % (mesh.nx() + 1 - x0);
+        let y0 = rect.2 % (mesh.ny() + 1);
+        let y1 = y0 + rect.3 % (mesh.ny() + 1 - y0);
+        for region in [
+            RegionRect::new(x0, x1, y0, y1),
+            RegionRect::new(x0, x0, y0, y1),
+            RegionRect::full(mesh),
+        ] {
+            prop_assert_eq!(
+                observations.localize(&region),
+                observations.localize_linear(&region),
+                "region {:?}", region
+            );
+        }
+    }
+
+    #[test]
+    fn pointwise_letkf_matches_per_point_region_kernel(p in problem_strategy()) {
+        // Before/after bit-identity for the workspace rewrite: the batched
+        // point-wise driver must reproduce, bit for bit, the old
+        // implementation's path — one Region-granularity solve per grid
+        // point's local box.
+        let mesh = p.ensemble.mesh();
+        let full = RegionRect::full(mesh);
+        let obs = p.observations.localize(&full);
+        let pointwise = LetkfAnalysis::new(p.radius);
+        let xa = pointwise
+            .analyze(mesh, &full, &full, p.ensemble.states(), &obs)
+            .unwrap();
+        let blocked = LetkfAnalysis {
+            granularity: AnalysisGranularity::Region,
+            ..pointwise
+        };
+        for gp in full.iter_points() {
+            let single = RegionRect::new(gp.ix, gp.ix + 1, gp.iy, gp.iy + 1);
+            let boxr = single.expand(p.radius, mesh);
+            let box_rows = full.local_indices_of(&boxr);
+            let xb_box = p.ensemble.states().select_rows(&box_rows);
+            let obs_box = obs.sub_localize(&full, &boxr);
+            let row = blocked
+                .analyze(mesh, &single, &boxr, &xb_box, &obs_box)
+                .unwrap();
+            prop_assert_eq!(
+                xa.row(full.local_index(gp)),
+                row.row(0),
+                "point {:?} diverged from the per-point kernel", gp
+            );
         }
     }
 

@@ -22,7 +22,7 @@ pub mod region;
 pub use decomp::{Decomposition, SubDomainId};
 pub use layout::FileLayout;
 pub use mesh::{GridPoint, Mesh};
-pub use obs::ObservationNetwork;
+pub use obs::{ObsIndex, ObservationNetwork};
 pub use region::RegionRect;
 
 use serde::{Deserialize, Serialize};

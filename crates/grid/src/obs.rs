@@ -99,6 +99,115 @@ impl ObservationNetwork {
     }
 }
 
+/// Bucket-grid spatial index over an observation network.
+///
+/// Built once per assimilation cycle, it answers "which observations fall
+/// inside this rectangle" in O(obs in box) instead of O(all obs) — the query
+/// every localization box issues per grid point. Results are byte-identical
+/// to [`ObservationNetwork::indices_in`]: the same indices, ascending.
+#[derive(Debug, Clone)]
+pub struct ObsIndex {
+    cell: usize,
+    ncx: usize,
+    ncy: usize,
+    /// CSR bucket offsets into `items`, length `ncx * ncy + 1`.
+    starts: Vec<usize>,
+    /// Observation indices grouped by bucket (network order within each).
+    items: Vec<usize>,
+    /// Copy of the network's points for the partial-bucket filter.
+    points: Vec<GridPoint>,
+}
+
+impl ObsIndex {
+    /// Index a network with square buckets of `cell` grid points per edge.
+    ///
+    /// Pick `cell` on the order of the localization radius so a typical box
+    /// query touches O(1) buckets.
+    pub fn build(net: &ObservationNetwork, cell: usize) -> Self {
+        assert!(cell > 0, "bucket edge must be positive");
+        let mesh = net.mesh();
+        let ncx = mesh.nx().div_ceil(cell).max(1);
+        let ncy = mesh.ny().div_ceil(cell).max(1);
+        let nb = ncx * ncy;
+        let bucket = |p: GridPoint| (p.iy / cell) * ncx + p.ix / cell;
+        // Counting sort into CSR layout; network order survives per bucket.
+        let mut starts = vec![0usize; nb + 1];
+        for &p in net.points() {
+            starts[bucket(p) + 1] += 1;
+        }
+        for b in 0..nb {
+            starts[b + 1] += starts[b];
+        }
+        let mut fill = starts.clone();
+        let mut items = vec![0usize; net.len()];
+        for (k, &p) in net.points().iter().enumerate() {
+            let b = bucket(p);
+            items[fill[b]] = k;
+            fill[b] += 1;
+        }
+        ObsIndex {
+            cell,
+            ncx,
+            ncy,
+            starts,
+            items,
+            points: net.points().to_vec(),
+        }
+    }
+
+    /// Number of indexed observations.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the indexed network is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Observation indices inside `region`, ascending, written into a
+    /// caller-owned buffer (allocation-free at steady state).
+    pub fn indices_in_into(&self, region: &RegionRect, out: &mut Vec<usize>) {
+        out.clear();
+        if region.is_empty() || self.points.is_empty() {
+            return;
+        }
+        let bx0 = region.x0 / self.cell;
+        let bx1 = ((region.x1 - 1) / self.cell).min(self.ncx - 1);
+        let by0 = region.y0 / self.cell;
+        let by1 = ((region.y1 - 1) / self.cell).min(self.ncy - 1);
+        for by in by0..=by1 {
+            for bx in bx0..=bx1 {
+                let b = by * self.ncx + bx;
+                let seg = &self.items[self.starts[b]..self.starts[b + 1]];
+                let bucket_inside = bx * self.cell >= region.x0
+                    && (bx + 1) * self.cell <= region.x1
+                    && by * self.cell >= region.y0
+                    && (by + 1) * self.cell <= region.y1;
+                if bucket_inside {
+                    out.extend_from_slice(seg);
+                } else {
+                    out.extend(
+                        seg.iter()
+                            .copied()
+                            .filter(|&k| region.contains(self.points[k])),
+                    );
+                }
+            }
+        }
+        // Buckets are visited in row-major bucket order, not network order;
+        // restore the ascending order the linear scan produces.
+        out.sort_unstable();
+    }
+
+    /// Observation indices inside `region`, ascending (allocating variant).
+    pub fn indices_in(&self, region: &RegionRect) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.indices_in_into(region, &mut out);
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,5 +271,49 @@ mod tests {
         let net = ObservationNetwork::uniform(mesh, 2);
         let empty = RegionRect::new(3, 3, 0, 8);
         assert!(net.indices_in(&empty).is_empty());
+    }
+
+    #[test]
+    fn obs_index_matches_linear_scan() {
+        let mesh = Mesh::new(13, 9);
+        let net = ObservationNetwork::strided(mesh, 2, 3, 1, 0);
+        for cell in [1usize, 2, 4, 16] {
+            let index = ObsIndex::build(&net, cell);
+            assert_eq!(index.len(), net.len());
+            for region in [
+                RegionRect::new(0, 13, 0, 9),
+                RegionRect::new(3, 8, 2, 7),
+                RegionRect::new(5, 5, 0, 9),
+                RegionRect::new(0, 1, 8, 9),
+                RegionRect::new(12, 13, 0, 1),
+            ] {
+                assert_eq!(
+                    index.indices_in(&region),
+                    net.indices_in(&region),
+                    "cell {cell}, region {region:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn obs_index_reuses_query_buffer() {
+        let mesh = Mesh::new(8, 8);
+        let net = ObservationNetwork::uniform(mesh, 2);
+        let index = ObsIndex::build(&net, 3);
+        let mut out = vec![42; 7];
+        index.indices_in_into(&RegionRect::new(0, 4, 0, 4), &mut out);
+        assert_eq!(out, net.indices_in(&RegionRect::new(0, 4, 0, 4)));
+        index.indices_in_into(&RegionRect::new(4, 4, 0, 8), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn obs_index_on_empty_network() {
+        let mesh = Mesh::new(4, 4);
+        let net = ObservationNetwork::from_points(mesh, Vec::new());
+        let index = ObsIndex::build(&net, 2);
+        assert!(index.is_empty());
+        assert!(index.indices_in(&RegionRect::full(mesh)).is_empty());
     }
 }

@@ -1,7 +1,9 @@
 //! Property-based tests for the grid geometry invariants the parallel
 //! implementations rely on.
 
-use enkf_grid::{Decomposition, FileLayout, LocalizationRadius, Mesh, RegionRect};
+use enkf_grid::{
+    Decomposition, FileLayout, LocalizationRadius, Mesh, ObsIndex, ObservationNetwork, RegionRect,
+};
 use proptest::prelude::*;
 
 /// A mesh whose extents have useful divisors.
@@ -161,6 +163,37 @@ proptest! {
     fn rank_mapping_roundtrips(decomp in decomp_strategy()) {
         for rank in 0..decomp.num_subdomains() {
             prop_assert_eq!(decomp.rank_of(decomp.id_of_rank(rank)), rank);
+        }
+    }
+
+    #[test]
+    fn obs_index_matches_linear_scan_on_random_networks(
+        mesh in mesh_strategy(),
+        mask in proptest::collection::vec(any::<bool>(), 1..400),
+        cell in 1usize..9,
+        rect in (any::<usize>(), any::<usize>(), any::<usize>(), any::<usize>()),
+    ) {
+        // A random sparse network: keep point k iff mask[k % mask.len()].
+        let points: Vec<_> = RegionRect::full(mesh)
+            .iter_points()
+            .enumerate()
+            .filter(|(k, _)| mask[k % mask.len()])
+            .map(|(_, p)| p)
+            .collect();
+        let net = ObservationNetwork::from_points(mesh, points);
+        let index = ObsIndex::build(&net, cell);
+        // A random (possibly empty) region inside the mesh, plus the edge
+        // cases: empty and full-mesh.
+        let x0 = rect.0 % (mesh.nx() + 1);
+        let x1 = x0 + rect.1 % (mesh.nx() + 1 - x0);
+        let y0 = rect.2 % (mesh.ny() + 1);
+        let y1 = y0 + rect.3 % (mesh.ny() + 1 - y0);
+        for region in [
+            RegionRect::new(x0, x1, y0, y1),
+            RegionRect::new(x0, x0, y0, y1),
+            RegionRect::full(mesh),
+        ] {
+            prop_assert_eq!(index.indices_in(&region), net.indices_in(&region));
         }
     }
 }

@@ -117,6 +117,102 @@ impl Cholesky {
     }
 }
 
+/// Reusable buffer for repeated Cholesky factorizations and solves.
+///
+/// The local analysis factors one SPD system per grid point; with a
+/// workspace the factor storage is reused across points and the solve runs
+/// in place on a caller-owned right-hand side, so the steady-state path
+/// never allocates. The arithmetic is identical to [`Cholesky`], entry for
+/// entry.
+#[derive(Debug, Clone)]
+pub struct CholWorkspace {
+    l: Matrix,
+}
+
+impl Default for CholWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CholWorkspace {
+    /// An empty workspace; the factor buffer grows on first use.
+    pub fn new() -> Self {
+        CholWorkspace {
+            l: Matrix::zeros(0, 0),
+        }
+    }
+
+    /// Factor a symmetric positive-definite matrix into the reused buffer.
+    ///
+    /// Same algorithm and error behavior as [`Cholesky::factor`]; only the
+    /// lower triangle of `a` is read.
+    pub fn factor(&mut self, a: &Matrix) -> Result<()> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.nrows();
+        self.l.resize(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= self.l[(i, k)] * self.l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite(i));
+                    }
+                    self.l[(i, j)] = sum.sqrt();
+                } else {
+                    self.l[(i, j)] = sum / self.l[(j, j)];
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Dimension of the last factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.nrows()
+    }
+
+    /// Borrow the lower-triangular factor of the last factorization.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solve `A x = b` in place: `x` holds `b` on entry, the solution on
+    /// exit. Same substitution order as [`Cholesky::solve_vec`].
+    pub fn solve_in_place(&self, x: &mut [f64]) -> Result<()> {
+        let n = self.dim();
+        if x.len() != n {
+            return Err(LinalgError::DimMismatch {
+                op: "CholWorkspace::solve_in_place",
+                lhs: (n, n),
+                rhs: (x.len(), 1),
+            });
+        }
+        // Forward substitution L y = b.
+        for i in 0..n {
+            let mut sum = x[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        // Back substitution Lᵀ x = y.
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for k in (i + 1)..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        Ok(())
+    }
+}
+
 /// Square-root-free factorization `A = L D Lᵀ` with unit lower-triangular `L`.
 #[derive(Debug, Clone)]
 pub struct Ldlt {
@@ -280,6 +376,36 @@ mod tests {
         let a = Matrix::from_diag(&[2.0, 3.0, 4.0]);
         let ch = Cholesky::factor(&a).unwrap();
         assert!((ch.log_det() - (24.0_f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chol_workspace_matches_cholesky_bitwise_across_reuse() {
+        let mut ws = CholWorkspace::new();
+        for n in [8usize, 3, 10, 6] {
+            let a = spd(n);
+            let ch = Cholesky::factor(&a).unwrap();
+            ws.factor(&a).unwrap();
+            assert_eq!(ws.l(), ch.l());
+            assert_eq!(ws.dim(), n);
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+            let mut x = b.clone();
+            ws.solve_in_place(&mut x).unwrap();
+            assert_eq!(x, ch.solve_vec(&b).unwrap());
+        }
+    }
+
+    #[test]
+    fn chol_workspace_rejects_bad_inputs() {
+        let mut ws = CholWorkspace::new();
+        assert!(ws.factor(&Matrix::zeros(2, 3)).is_err());
+        let indefinite = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
+        assert!(matches!(
+            ws.factor(&indefinite),
+            Err(LinalgError::NotPositiveDefinite(1))
+        ));
+        ws.factor(&spd(4)).unwrap();
+        let mut wrong = vec![0.0; 3];
+        assert!(ws.solve_in_place(&mut wrong).is_err());
     }
 
     #[test]

@@ -25,8 +25,8 @@ pub mod modchol;
 pub mod qr;
 pub mod rng;
 
-pub use chol::{Cholesky, Ldlt};
-pub use eigen::SymEigen;
+pub use chol::{CholWorkspace, Cholesky, Ldlt};
+pub use eigen::{EigenWorkspace, SymEigen};
 pub use lstsq::ridge_least_squares;
 pub use matrix::Matrix;
 pub use modchol::{modified_cholesky_inverse, ModifiedCholesky};

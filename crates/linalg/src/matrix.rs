@@ -127,6 +127,34 @@ impl Matrix {
         self.data
     }
 
+    /// Reshape to `nrows x ncols` and zero-fill, reusing the allocation.
+    ///
+    /// This is the workspace-reuse primitive behind the `_into` product
+    /// variants: once a buffer has grown to its steady-state size, repeated
+    /// `resize` calls never touch the allocator.
+    pub fn resize(&mut self, nrows: usize, ncols: usize) {
+        self.nrows = nrows;
+        self.ncols = ncols;
+        self.data.clear();
+        self.data.resize(nrows * ncols, 0.0);
+    }
+
+    /// Become an elementwise copy of `other`, reusing the allocation.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.nrows = other.nrows;
+        self.ncols = other.ncols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// Reset to the `n x n` identity, reusing the allocation.
+    pub fn resize_identity(&mut self, n: usize) {
+        self.resize(n, n);
+        for i in 0..n {
+            self.data[i * n + i] = 1.0;
+        }
+    }
+
     /// Borrow row `i` as a slice.
     #[inline]
     pub fn row(&self, i: usize) -> &[f64] {
@@ -226,6 +254,15 @@ impl Matrix {
 
     /// Matrix-vector product `self * x`; errors when `x.len() != ncols`.
     pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.matvec_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * x` written into a caller-owned buffer.
+    ///
+    /// `out` is cleared and refilled; at steady state no allocation occurs.
+    pub fn matvec_into(&self, x: &[f64], out: &mut Vec<f64>) -> Result<()> {
         if x.len() != self.ncols {
             return Err(LinalgError::DimMismatch {
                 op: "Matrix::matvec",
@@ -233,9 +270,11 @@ impl Matrix {
                 rhs: (x.len(), 1),
             });
         }
-        Ok((0..self.nrows)
-            .map(|i| self.row(i).iter().zip(x).map(|(&a, &b)| a * b).sum())
-            .collect())
+        out.clear();
+        out.extend(
+            (0..self.nrows).map(|i| self.row(i).iter().zip(x).map(|(&a, &b)| a * b).sum::<f64>()),
+        );
+        Ok(())
     }
 
     /// Matrix product `self * other` using a cache-blocked kernel.
@@ -243,6 +282,17 @@ impl Matrix {
     /// The outer row loop is parallelized with rayon once the output has more
     /// than a few hundred rows; below that the serial kernel is faster.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// `self * other` written into a caller-owned matrix.
+    ///
+    /// `out` is resized (allocation-free at steady state) and overwritten.
+    /// Same kernel and accumulation order as [`Matrix::matmul`], so results
+    /// are bit-identical.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.ncols != other.nrows {
             return Err(LinalgError::DimMismatch {
                 op: "Matrix::matmul",
@@ -251,7 +301,7 @@ impl Matrix {
             });
         }
         let (m, k, n) = (self.nrows, self.ncols, other.ncols);
-        let mut out = Matrix::zeros(m, n);
+        out.resize(m, n);
         if m >= PAR_THRESHOLD && m * k * n >= 1 << 22 {
             out.data
                 .par_chunks_mut(n * GEMM_BLOCK.min(m))
@@ -264,11 +314,23 @@ impl Matrix {
         } else {
             gemm_block(&self.data, &other.data, &mut out.data, 0, m, k, n);
         }
-        Ok(out)
+        Ok(())
     }
 
     /// `selfᵀ * other` without materializing the transpose.
     pub fn tr_matmul(&self, other: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(0, 0);
+        self.tr_matmul_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// `selfᵀ * other` written into a caller-owned matrix.
+    ///
+    /// Cache-blocked and parallelized over output rows behind the same
+    /// `PAR_THRESHOLD` heuristic as `matmul`. The per-element accumulation
+    /// order (ascending shared index) is independent of the chunking, so the
+    /// serial and parallel paths produce bit-identical results.
+    pub fn tr_matmul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.nrows != other.nrows {
             return Err(LinalgError::DimMismatch {
                 op: "Matrix::tr_matmul",
@@ -277,28 +339,35 @@ impl Matrix {
             });
         }
         let (m, k, n) = (self.ncols, self.nrows, other.ncols);
-        let mut out = Matrix::zeros(m, n);
-        // out[i][j] = sum_l self[l][i] * other[l][j]: accumulate row-by-row of
-        // the inputs so every inner pass is a contiguous scan.
-        for l in 0..k {
-            let arow = self.row(l);
-            let brow = other.row(l);
-            for i in 0..m {
-                let a = arow[i];
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
+        out.resize(m, n);
+        if m >= PAR_THRESHOLD && m * k * n >= 1 << 22 {
+            out.data
+                .par_chunks_mut(n * GEMM_BLOCK.min(m))
+                .enumerate()
+                .for_each(|(chunk_idx, chunk)| {
+                    let i0 = chunk_idx * GEMM_BLOCK.min(m);
+                    let rows = chunk.len() / n;
+                    tr_gemm_block(&self.data, &other.data, chunk, i0, rows, k, n, m);
+                });
+        } else {
+            tr_gemm_block(&self.data, &other.data, &mut out.data, 0, m, k, n, m);
         }
-        Ok(out)
+        Ok(())
     }
 
     /// `self * otherᵀ` without materializing the transpose.
     pub fn matmul_tr(&self, other: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_tr_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// `self * otherᵀ` written into a caller-owned matrix.
+    ///
+    /// Cache-blocked over the shared (contraction) dimension and parallelized
+    /// over output rows behind the `matmul` heuristic; accumulation order per
+    /// element is deterministic regardless of thread count.
+    pub fn matmul_tr_into(&self, other: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.ncols != other.ncols {
             return Err(LinalgError::DimMismatch {
                 op: "Matrix::matmul_tr",
@@ -306,17 +375,21 @@ impl Matrix {
                 rhs: other.shape(),
             });
         }
-        let (m, n) = (self.nrows, other.nrows);
-        let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let arow = self.row(i);
-            let orow = &mut out.data[i * n..(i + 1) * n];
-            for (j, o) in orow.iter_mut().enumerate() {
-                let brow = &other.data[j * other.ncols..(j + 1) * other.ncols];
-                *o = arow.iter().zip(brow).map(|(&a, &b)| a * b).sum();
-            }
+        let (m, k, n) = (self.nrows, self.ncols, other.nrows);
+        out.resize(m, n);
+        if m >= PAR_THRESHOLD && m * k * n >= 1 << 22 {
+            out.data
+                .par_chunks_mut(n * GEMM_BLOCK.min(m))
+                .enumerate()
+                .for_each(|(chunk_idx, chunk)| {
+                    let i0 = chunk_idx * GEMM_BLOCK.min(m);
+                    let rows = chunk.len() / n;
+                    nt_gemm_block(&self.data, &other.data, chunk, i0, rows, k, n);
+                });
+        } else {
+            nt_gemm_block(&self.data, &other.data, &mut out.data, 0, m, k, n);
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Frobenius norm.
@@ -331,10 +404,16 @@ impl Matrix {
 
     /// Mean of each row (used for the ensemble mean x̄ᵇ, Eq. 4).
     pub fn row_means(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.row_means_into(&mut out);
+        out
+    }
+
+    /// Mean of each row written into a caller-owned buffer.
+    pub fn row_means_into(&self, out: &mut Vec<f64>) {
         let inv = 1.0 / self.ncols as f64;
-        (0..self.nrows)
-            .map(|i| self.row(i).iter().sum::<f64>() * inv)
-            .collect()
+        out.clear();
+        out.extend((0..self.nrows).map(|i| self.row(i).iter().sum::<f64>() * inv));
     }
 
     /// Subtract `v[i]` from every entry of row `i` (anomaly computation, Eq. 4).
@@ -350,11 +429,17 @@ impl Matrix {
 
     /// Extract the sub-matrix of the given rows (gather), preserving order.
     pub fn select_rows(&self, rows: &[usize]) -> Matrix {
-        let mut out = Matrix::zeros(rows.len(), self.ncols);
+        let mut out = Matrix::zeros(0, 0);
+        self.select_rows_into(rows, &mut out);
+        out
+    }
+
+    /// Row gather written into a caller-owned matrix.
+    pub fn select_rows_into(&self, rows: &[usize], out: &mut Matrix) {
+        out.resize(rows.len(), self.ncols);
         for (oi, &ri) in rows.iter().enumerate() {
             out.row_mut(oi).copy_from_slice(self.row(ri));
         }
-        out
     }
 
     /// True when `self` and `other` agree entrywise within `tol`.
@@ -404,6 +489,72 @@ fn gemm_block(a: &[f64], b: &[f64], out: &mut [f64], i0: usize, rows: usize, k: 
                         *o += av * bv;
                     }
                 }
+            }
+        }
+    }
+}
+
+/// Blocked transpose-GEMM accumulating `out[i0..i0+rows] += aᵀ[i0..] * b`.
+///
+/// `a` is `k x m` (row-major; its *columns* are the logical left-hand rows),
+/// `b` is `k x n`, `out` holds `rows` rows of width `n` covering global
+/// output rows `i0..i0+rows`. Every inner pass scans contiguous rows of `a`,
+/// `b` and `out`; there is deliberately no zero-skip branch — on dense
+/// inputs the branch is a mispredict trap that costs more than the FMA it
+/// saves. Accumulation per output element is ascending in the shared index
+/// `l` no matter how the output rows are chunked.
+#[allow(clippy::too_many_arguments)]
+fn tr_gemm_block(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    i0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+    m: usize,
+) {
+    for jj in (0..n).step_by(GEMM_BLOCK) {
+        let jhi = (jj + GEMM_BLOCK).min(n);
+        for ll in (0..k).step_by(GEMM_BLOCK) {
+            let lhi = (ll + GEMM_BLOCK).min(k);
+            for l in ll..lhi {
+                let arow = &a[l * m..(l + 1) * m];
+                let brow = &b[l * n + jj..l * n + jhi];
+                for i in 0..rows {
+                    let av = arow[i0 + i];
+                    let orow = &mut out[i * n + jj..i * n + jhi];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Blocked NT-GEMM accumulating `out[i0..i0+rows] += a[i0..] * bᵀ`.
+///
+/// `a` is `(>= i0+rows) x k`, `b` is `n x k`, `out` holds `rows` rows of
+/// width `n` starting at global row `i0`. The contraction dimension is
+/// blocked so both row operands stay resident in cache across the `j` sweep.
+fn nt_gemm_block(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    i0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
+    for ll in (0..k).step_by(GEMM_BLOCK) {
+        let lhi = (ll + GEMM_BLOCK).min(k);
+        for i in 0..rows {
+            let arow = &a[(i0 + i) * k + ll..(i0 + i) * k + lhi];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &b[j * k + ll..j * k + lhi];
+                *o += arow.iter().zip(brow).map(|(&a, &b)| a * b).sum::<f64>();
             }
         }
     }
@@ -549,6 +700,73 @@ mod tests {
         for &(i, j) in &[(0, 0), (17, 250), (299, 299), (150, 3)] {
             let direct: f64 = (0..n).map(|l| a[(i, l)] * b[(l, j)]).sum();
             assert!((big[(i, j)] - direct).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_counterparts() {
+        let a = Matrix::from_fn(7, 5, |i, j| (i * 5 + j) as f64 * 0.25 - 4.0);
+        let b = Matrix::from_fn(5, 9, |i, j| ((i * 9 + j) % 13) as f64 - 6.0);
+        let c = Matrix::from_fn(7, 5, |i, j| ((i + 2 * j) % 7) as f64 - 3.0);
+        // Pre-dirty the outputs with wrong shapes to exercise resize.
+        let mut out = Matrix::from_fn(2, 2, |_, _| 99.0);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b).unwrap());
+        a.tr_matmul_into(&c, &mut out).unwrap();
+        assert_eq!(out, a.tr_matmul(&c).unwrap());
+        a.matmul_tr_into(&c, &mut out).unwrap();
+        assert_eq!(out, a.matmul_tr(&c).unwrap());
+        let x: Vec<f64> = (0..5).map(|i| i as f64 - 2.0).collect();
+        let mut v = vec![7.0; 3];
+        a.matvec_into(&x, &mut v).unwrap();
+        assert_eq!(v, a.matvec(&x).unwrap());
+        let mut means = vec![1.0];
+        a.row_means_into(&mut means);
+        assert_eq!(means, a.row_means());
+        let mut sel = Matrix::zeros(1, 1);
+        a.select_rows_into(&[6, 0, 3], &mut sel);
+        assert_eq!(sel, a.select_rows(&[6, 0, 3]));
+    }
+
+    #[test]
+    fn resize_and_copy_from_reuse_buffers() {
+        let mut m = Matrix::from_fn(4, 4, |_, _| 5.0);
+        let cap = m.data.capacity();
+        m.resize(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+        assert_eq!(m.data.capacity(), cap);
+        let src = small();
+        m.copy_from(&src);
+        assert_eq!(m, src);
+        assert_eq!(m.data.capacity(), cap);
+        m.resize_identity(3);
+        assert_eq!(m, Matrix::identity(3));
+    }
+
+    #[test]
+    fn large_parallel_tr_matmul_matches_transpose() {
+        // Large enough to cross PAR_THRESHOLD and the flop cutoff; includes
+        // exact zeros to cover the removed skip branch.
+        let n = 300;
+        let a = Matrix::from_fn(n, n, |i, j| (((i * 7 + j * 13) % 17) as f64 - 8.0).max(0.0));
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 3 + j * 5) % 11) as f64 - 5.0);
+        let got = a.tr_matmul(&b).unwrap();
+        for &(i, j) in &[(0, 0), (17, 250), (299, 299), (150, 3)] {
+            let direct: f64 = (0..n).map(|l| a[(l, i)] * b[(l, j)]).sum();
+            assert!((got[(i, j)] - direct).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn large_parallel_matmul_tr_matches_transpose() {
+        let n = 300;
+        let a = Matrix::from_fn(n, n, |i, j| ((i * 7 + j * 13) % 17) as f64 - 8.0);
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 3 + j * 5) % 11) as f64 - 5.0);
+        let got = a.matmul_tr(&b).unwrap();
+        for &(i, j) in &[(0, 0), (17, 250), (299, 299), (150, 3)] {
+            let direct: f64 = (0..n).map(|l| a[(i, l)] * b[(j, l)]).sum();
+            assert!((got[(i, j)] - direct).abs() < 1e-9);
         }
     }
 

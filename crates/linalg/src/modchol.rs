@@ -105,17 +105,36 @@ impl ModifiedCholesky {
     }
 
     /// Materialize `B̂⁻¹ = Lᵀ D⁻¹ L` as a dense symmetric matrix.
+    ///
+    /// `B̂⁻¹ = Gᵀ G` with `G = D^{−1/2} L`, and row `i` of `L` is zero
+    /// outside `predecessors(i) ∪ {i}` by construction — so instead of a
+    /// dense `n³` product, each row contributes a rank-1 update confined to
+    /// its `O(|preds|²)` support. The per-term products and the ascending
+    /// row-accumulation order match the dense zero-skipping product this
+    /// replaces.
     pub fn inverse_covariance(&self) -> Matrix {
         let n = self.dim();
-        // Scale rows of L by 1/sqrt(D) and form Gᵀ G with G = D^{-1/2} L.
-        let mut g = self.l.clone();
+        let mut binv = Matrix::zeros(n, n);
+        let mut idx: Vec<usize> = Vec::new();
+        let mut val: Vec<f64> = Vec::new();
         for i in 0..n {
             let s = 1.0 / self.d[i].sqrt();
-            for v in g.row_mut(i) {
-                *v *= s;
+            let row = self.l.row(i);
+            idx.clear();
+            val.clear();
+            for (j, &x) in row.iter().enumerate().take(i + 1) {
+                if x != 0.0 {
+                    idx.push(j);
+                    val.push(x * s);
+                }
+            }
+            for (a, &ja) in idx.iter().enumerate() {
+                let fa = val[a];
+                for (b, &jb) in idx.iter().enumerate() {
+                    binv[(ja, jb)] += fa * val[b];
+                }
             }
         }
-        let mut binv = g.tr_matmul(&g).expect("square by construction");
         binv.symmetrize();
         binv
     }

@@ -47,6 +47,9 @@ impl LEnkf {
         let mesh = setup.mesh();
         let radius = setup.analysis.radius;
         let nranks = decomp.num_subdomains();
+        // Build the spatial observation index and perturbation cache once
+        // per cycle, before the worker ranks start querying it.
+        setup.observations.prepare();
         let t0 = Instant::now();
 
         type RankOut = Result<(enkf_grid::RegionRect, enkf_linalg::Matrix)>;

@@ -74,6 +74,9 @@ impl SEnkf {
         let c1 = p.ncg * p.nsdy;
         let nranks = c1 + c2;
         let files_per_group = setup.members / p.ncg;
+        // Build the spatial observation index and perturbation cache once
+        // per cycle, before the worker ranks start querying it.
+        setup.observations.prepare();
         let t0 = Instant::now();
 
         type RankOut = (Result<Option<(RegionRect, Matrix)>>, /* is_io: */ bool);

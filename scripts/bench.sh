@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Microbenchmark runner emitting BENCH_PR2.json at the repo root.
+#
+# Runs the criterion microbenches (letkf_pointwise, obs_localize, and the
+# local_analysis cases of kernels) plus the fig09 --tiny end-to-end smoke
+# workload, and records the results next to the frozen "before" numbers
+# captured immediately before the batched-LETKF / observation-index work,
+# so the perf trajectory lives in the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=BENCH_PR2.json
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+for b in letkf_pointwise obs_localize kernels; do
+  echo "==> cargo bench -p enkf-bench --bench $b"
+  cargo bench -q -p enkf-bench --bench "$b" | tee -a "$tmp/bench.txt"
+done
+
+echo "==> fig09 --tiny"
+t0=$SECONDS
+cargo run -q --release -p enkf-bench --bin fig09_phase_breakdown -- --tiny \
+  >"$tmp/fig09.txt"
+fig09_secs=$((SECONDS - t0))
+
+# The criterion shim prints "group: <g>" then "  <id>: <duration>/iter over
+# N iters" per case; flatten to "group/id": "duration" JSON entries.
+awk '
+  /^group: / { group = $2; next }
+  /\/iter over / {
+    id = $1; sub(/:$/, "", id)
+    val = $2; sub(/\/iter$/, "", val)
+    printf "    \"%s/%s\": \"%s\",\n", group, id, val
+  }
+' "$tmp/bench.txt" >"$tmp/after.txt"
+sed -i '$ s/,$//' "$tmp/after.txt"
+
+{
+  cat <<'HEADER'
+{
+  "benchmark": "PR2: allocation-free batched LETKF kernel + spatially-indexed observation localization",
+  "iterations_per_case": 20,
+  "before": {
+    "letkf_pointwise/mesh16x16_stride2": "34.870379ms",
+    "letkf_pointwise/mesh16x16_stride4": "13.640705ms",
+    "letkf_pointwise/mesh32x32_stride2": "150.826905ms",
+    "letkf_pointwise/mesh32x32_stride4": "60.008587ms",
+    "obs_localize/localize_mesh64_stride2": "95.755µs",
+    "obs_localize/sub_localize_mesh64_stride2": "957.54µs",
+    "obs_localize/localize_mesh64_stride4": "21.637µs",
+    "obs_localize/sub_localize_mesh64_stride4": "272.954µs",
+    "obs_localize/localize_mesh128_stride2": "448.994µs",
+    "obs_localize/sub_localize_mesh128_stride2": "11.101655ms",
+    "local_analysis/pointwise_12x12_subdomain": "13.836046ms",
+    "local_analysis/blocked_12x12_subdomain": "3.078175ms"
+  },
+  "after": {
+HEADER
+  cat "$tmp/after.txt"
+  cat <<FOOTER
+  },
+  "fig09_tiny_seconds": $fig09_secs
+}
+FOOTER
+} >"$out"
+
+echo "wrote $out"

@@ -12,4 +12,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> cargo bench --workspace --no-run"
+cargo bench --workspace --no-run
+
 echo "All checks passed."
