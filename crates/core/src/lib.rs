@@ -46,6 +46,9 @@ pub enum EnkfError {
     Linalg(enkf_linalg::LinalgError),
     /// The ensemble and observation geometries disagree.
     GeometryMismatch(String),
+    /// The execution substrate failed: an unreadable member file, an
+    /// exhausted retry budget, a receive timeout or a crashed rank.
+    Substrate(enkf_fault::SubstrateError),
 }
 
 impl From<enkf_linalg::LinalgError> for EnkfError {
@@ -54,11 +57,18 @@ impl From<enkf_linalg::LinalgError> for EnkfError {
     }
 }
 
+impl From<enkf_fault::SubstrateError> for EnkfError {
+    fn from(e: enkf_fault::SubstrateError) -> Self {
+        EnkfError::Substrate(e)
+    }
+}
+
 impl std::fmt::Display for EnkfError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EnkfError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
             EnkfError::GeometryMismatch(s) => write!(f, "geometry mismatch: {s}"),
+            EnkfError::Substrate(e) => write!(f, "substrate failure: {e}"),
         }
     }
 }

@@ -32,6 +32,25 @@ impl LocalObservations {
         self.values.is_empty()
     }
 
+    /// Restrict the perturbed observations to the given ensemble-member
+    /// columns (ascending global member indices). Degraded-mode executors
+    /// use this to drop the perturbation columns of lost members so the
+    /// local analysis sees a consistent `m̄ × N_alive` system.
+    pub fn select_members(&self, members: &[usize]) -> LocalObservations {
+        let mut perturbed = Matrix::zeros(self.perturbed.nrows(), members.len());
+        for r in 0..self.perturbed.nrows() {
+            for (c, &k) in members.iter().enumerate() {
+                perturbed[(r, c)] = self.perturbed[(r, k)];
+            }
+        }
+        LocalObservations {
+            local_rows: self.local_rows.clone(),
+            values: self.values.clone(),
+            error_var: self.error_var.clone(),
+            perturbed,
+        }
+    }
+
     /// Re-localize from an expansion to a sub-rectangle of it (e.g. a grid
     /// point's local box), remapping the row indices into `inner`-local
     /// coordinates.

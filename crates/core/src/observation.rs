@@ -99,6 +99,11 @@ impl PerturbedObservations {
         self.members
     }
 
+    /// The base seed of the per-row streams.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// The perturbed row for global observation index `k`:
     /// `y_k + std_k · z` with `z` from the row's deterministic stream.
     pub fn row(&self, k: usize, value: f64, std: f64) -> Vec<f64> {
@@ -240,6 +245,23 @@ impl Observations {
         y
     }
 
+    /// The same observation set for a smaller ensemble of `members`
+    /// members.
+    ///
+    /// Because each row's perturbations are drawn sequentially from that
+    /// row's own stream, the reduced set's perturbed matrix equals the
+    /// first `members` columns of the original — so a from-scratch
+    /// `members`-member run sees exactly the observations a degraded run
+    /// keeps after dropping the trailing members.
+    pub fn with_members(&self, members: usize) -> Observations {
+        Observations::new(
+            self.operator.clone(),
+            self.values.clone(),
+            self.error_var.clone(),
+            PerturbedObservations::new(self.perturbed.seed(), members),
+        )
+    }
+
     /// Restrict to the observations inside a region, producing the local
     /// pieces of Eq. 6: `H_{[i,j]}` (as expansion-local row indices),
     /// `Yˢ_{[i,j]}` and `R_{[i,j]}`.
@@ -362,6 +384,39 @@ mod tests {
                 .perturbed()
                 .row(k, obs.values()[k], obs.error_var()[k].sqrt());
             assert_eq!(y.row(k), &row[..]);
+        }
+    }
+
+    #[test]
+    fn reduced_member_set_is_a_column_prefix() {
+        let obs = obs_set();
+        let reduced = obs.with_members(3);
+        assert_eq!(reduced.perturbed().members(), 3);
+        assert_eq!(reduced.perturbed().seed(), obs.perturbed().seed());
+        let full = obs.perturbed_matrix();
+        let small = reduced.perturbed_matrix();
+        for k in 0..obs.len() {
+            assert_eq!(&full.row(k)[..3], small.row(k));
+        }
+        // Column selection of the localized set agrees with localizing the
+        // reduced set directly.
+        let region = RegionRect::new(0, 6, 0, 4);
+        let selected = obs.localize(&region).select_members(&[0, 1, 2]);
+        assert_eq!(selected, reduced.localize(&region));
+    }
+
+    #[test]
+    fn select_members_picks_arbitrary_columns() {
+        let obs = obs_set();
+        let region = RegionRect::new(0, 6, 0, 4);
+        let local = obs.localize(&region);
+        let picked = local.select_members(&[0, 2, 4]);
+        assert_eq!(picked.perturbed.ncols(), 3);
+        assert_eq!(picked.values, local.values);
+        for r in 0..local.len() {
+            for (c, &k) in [0usize, 2, 4].iter().enumerate() {
+                assert_eq!(picked.perturbed[(r, c)], local.perturbed[(r, k)]);
+            }
         }
     }
 

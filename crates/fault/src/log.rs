@@ -1,0 +1,213 @@
+//! The shared record of injected faults and recovery actions.
+
+use std::sync::Mutex;
+
+/// What happened. Ordered so sorted record lists read naturally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultEvent {
+    /// An injected read failure consumed an attempt.
+    ReadFaultInjected,
+    /// The retry policy slept a backoff before re-issuing.
+    RetryBackoff,
+    /// A faulted read finally succeeded (at attempt `attempt`).
+    ReadRecovered,
+    /// Degraded mode dropped the member from the cycle.
+    MemberDropped,
+    /// The fault plan killed the rank.
+    RankCrashed,
+}
+
+impl FaultEvent {
+    /// Lower-case label used in digests.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultEvent::ReadFaultInjected => "injected",
+            FaultEvent::RetryBackoff => "backoff",
+            FaultEvent::ReadRecovered => "recovered",
+            FaultEvent::MemberDropped => "dropped",
+            FaultEvent::RankCrashed => "crashed",
+        }
+    }
+}
+
+/// One fault or recovery action. The derived `Ord` (rank, stage, member,
+/// attempt, event) is the canonical sort used by [`FaultLog::digest`], so
+/// multi-threaded real runs and single-threaded model construction produce
+/// the same digest for the same plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FaultRecord {
+    /// Rank the event occurred on (`None` for run-level events such as the
+    /// dropout decision, which no single rank owns).
+    pub rank: Option<usize>,
+    /// Stage (layer) for multi-stage variants.
+    pub stage: Option<usize>,
+    /// Ensemble member involved.
+    pub member: Option<usize>,
+    /// Attempt index for read faults / backoffs.
+    pub attempt: Option<u32>,
+    /// The event.
+    pub event: FaultEvent,
+}
+
+/// Append-only, thread-shared log of fault events. Both executors feed one:
+/// the real executor from its rank threads as faults fire, the modeled
+/// executor while weaving fault tasks into the DES graph. The sorted
+/// [`FaultLog::digest`] must be identical for the same plan on both sides.
+#[derive(Debug, Default)]
+pub struct FaultLog {
+    records: Mutex<Vec<FaultRecord>>,
+}
+
+impl FaultLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        FaultLog::default()
+    }
+
+    /// Append a record.
+    pub fn push(&self, rec: FaultRecord) {
+        self.records.lock().expect("fault log poisoned").push(rec);
+    }
+
+    /// Record an injected read failure.
+    pub fn injected(&self, rank: usize, stage: Option<usize>, member: usize, attempt: u32) {
+        self.push(FaultRecord {
+            rank: Some(rank),
+            stage,
+            member: Some(member),
+            attempt: Some(attempt),
+            event: FaultEvent::ReadFaultInjected,
+        });
+    }
+
+    /// Record a retry backoff after failed attempt `attempt`.
+    pub fn backoff(&self, rank: usize, stage: Option<usize>, member: usize, attempt: u32) {
+        self.push(FaultRecord {
+            rank: Some(rank),
+            stage,
+            member: Some(member),
+            attempt: Some(attempt),
+            event: FaultEvent::RetryBackoff,
+        });
+    }
+
+    /// Record a successful read after `attempt` failed attempts.
+    pub fn recovered(&self, rank: usize, stage: Option<usize>, member: usize, attempt: u32) {
+        self.push(FaultRecord {
+            rank: Some(rank),
+            stage,
+            member: Some(member),
+            attempt: Some(attempt),
+            event: FaultEvent::ReadRecovered,
+        });
+    }
+
+    /// Record the run-level decision to drop a member.
+    pub fn dropped(&self, member: usize) {
+        self.push(FaultRecord {
+            rank: None,
+            stage: None,
+            member: Some(member),
+            attempt: None,
+            event: FaultEvent::MemberDropped,
+        });
+    }
+
+    /// Record a rank crash.
+    pub fn crashed(&self, rank: usize, stage: usize) {
+        self.push(FaultRecord {
+            rank: Some(rank),
+            stage: Some(stage),
+            member: None,
+            attempt: None,
+            event: FaultEvent::RankCrashed,
+        });
+    }
+
+    /// Snapshot of the records in insertion order.
+    pub fn records(&self) -> Vec<FaultRecord> {
+        self.records.lock().expect("fault log poisoned").clone()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.lock().expect("fault log poisoned").len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The canonical event-sequence digest: records sorted by (rank, stage,
+    /// member, attempt, event), one text line each. Sorting removes the
+    /// thread-interleaving nondeterminism of real runs while preserving
+    /// per-(rank, member) program order, so real-vs-model comparison is a
+    /// string equality.
+    pub fn digest(&self) -> String {
+        let mut recs = self.records();
+        recs.sort_unstable();
+        let opt = |v: Option<usize>| v.map_or("-".to_string(), |x| x.to_string());
+        let mut out = String::new();
+        for r in recs {
+            use std::fmt::Write as _;
+            writeln!(
+                out,
+                "rank={} stage={} member={} attempt={} event={}",
+                opt(r.rank),
+                opt(r.stage),
+                opt(r.member),
+                r.attempt.map_or("-".to_string(), |a| a.to_string()),
+                r.event.label()
+            )
+            .expect("writing to a String cannot fail");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_insertion_order_independent() {
+        let a = FaultLog::new();
+        a.injected(0, Some(1), 3, 0);
+        a.backoff(0, Some(1), 3, 0);
+        a.recovered(0, Some(1), 3, 1);
+        a.dropped(5);
+        let b = FaultLog::new();
+        b.dropped(5);
+        b.recovered(0, Some(1), 3, 1);
+        b.injected(0, Some(1), 3, 0);
+        b.backoff(0, Some(1), 3, 0);
+        assert_eq!(a.digest(), b.digest());
+        assert!(a.digest().contains("event=dropped"));
+        assert!(a.digest().contains("rank=- stage=- member=5"));
+    }
+
+    #[test]
+    fn digest_distinguishes_members_and_attempts() {
+        let a = FaultLog::new();
+        a.injected(0, None, 1, 0);
+        let b = FaultLog::new();
+        b.injected(0, None, 2, 0);
+        assert_ne!(a.digest(), b.digest());
+        let c = FaultLog::new();
+        c.injected(0, None, 1, 1);
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn log_is_shareable_across_threads() {
+        let log = FaultLog::new();
+        std::thread::scope(|s| {
+            for rank in 0..4 {
+                let log = &log;
+                s.spawn(move || log.injected(rank, None, rank, 0));
+            }
+        });
+        assert_eq!(log.len(), 4);
+    }
+}

@@ -1,0 +1,284 @@
+//! The typed, deterministic schedule of injectable faults.
+
+/// `fail_attempts` value meaning "never succeeds": the member is
+/// unrecoverable under any finite retry budget.
+pub const UNRECOVERABLE: u32 = u32::MAX;
+
+/// How an injected read failure presents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadFaultKind {
+    /// The read fails outright (I/O error).
+    Fail,
+    /// The read returns fewer bytes than requested (truncation).
+    ShortRead,
+}
+
+/// Reads of `member` fail for the first `fail_attempts` attempts of every
+/// read operation, then succeed. `fail_attempts > RetryPolicy::max_retries`
+/// (in particular [`UNRECOVERABLE`]) makes the member unrecoverable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadFault {
+    /// Ensemble member whose file misbehaves.
+    pub member: usize,
+    /// Failure presentation.
+    pub kind: ReadFaultKind,
+    /// Attempts that fail before a read of this member succeeds.
+    pub fail_attempts: u32,
+}
+
+/// Every operation on OST `ost` is slowed by `factor` (≥ 1). Member files
+/// stripe to OSTs as `member % num_osts`, matching `ModeledPfs`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OstSlowdown {
+    /// OST index in `0..num_osts`.
+    pub ost: usize,
+    /// Service-time multiplier (1.0 = healthy).
+    pub factor: f64,
+}
+
+/// Messages from `from` to `to` are delayed by `delay` seconds, or silently
+/// dropped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MsgFault {
+    /// Sender rank.
+    pub from: usize,
+    /// Receiver rank.
+    pub to: usize,
+    /// Added latency in seconds.
+    pub delay: f64,
+    /// The message never arrives (surfaces as a receive timeout).
+    pub dropped: bool,
+}
+
+/// Rank `rank` computes `dilation` times slower than its peers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Straggler {
+    /// The slow rank.
+    pub rank: usize,
+    /// Compute-time multiplier (1.0 = healthy).
+    pub dilation: f64,
+}
+
+/// Rank `rank` dies silently at the start of stage `stage`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankCrash {
+    /// The crashing rank.
+    pub rank: usize,
+    /// Stage (layer) index at which it stops responding.
+    pub stage: usize,
+}
+
+/// A deterministic, seeded fault plan: plain data describing which faults
+/// fire where. The same plan drives both executors — decisions are pure
+/// functions of the plan (see `FaultInjector`), never of runtime state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed this plan was generated from (recorded for reproducibility; the
+    /// schedule below is already fully expanded).
+    pub seed: u64,
+    /// File→OST striping modulus used to resolve which member files land on
+    /// a slowed OST. Must match the modeled PFS's `num_osts` when comparing
+    /// executors.
+    pub num_osts: usize,
+    /// Injected read failures.
+    pub read_faults: Vec<ReadFault>,
+    /// Degraded OSTs.
+    pub ost_slowdowns: Vec<OstSlowdown>,
+    /// Delayed / dropped messages.
+    pub msg_faults: Vec<MsgFault>,
+    /// Ranks with dilated compute.
+    pub stragglers: Vec<Straggler>,
+    /// Ranks that die mid-run.
+    pub crashes: Vec<RankCrash>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            num_osts: 6, // PfsParams::tianhe2_like striping
+            read_faults: Vec::new(),
+            ost_slowdowns: Vec::new(),
+            msg_faults: Vec::new(),
+            stragglers: Vec::new(),
+            crashes: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan carrying `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// No faults scheduled at all.
+    pub fn is_empty(&self) -> bool {
+        self.read_faults.is_empty()
+            && self.ost_slowdowns.is_empty()
+            && self.msg_faults.is_empty()
+            && self.stragglers.is_empty()
+            && self.crashes.is_empty()
+    }
+
+    /// Override the file→OST striping modulus.
+    pub fn with_num_osts(mut self, num_osts: usize) -> Self {
+        assert!(num_osts > 0, "num_osts must be positive");
+        self.num_osts = num_osts;
+        self
+    }
+
+    /// Reads of `member` fail `fail_attempts` times, then recover.
+    pub fn with_read_fault(mut self, member: usize, fail_attempts: u32) -> Self {
+        self.read_faults.push(ReadFault {
+            member,
+            kind: ReadFaultKind::Fail,
+            fail_attempts,
+        });
+        self
+    }
+
+    /// Reads of `member` come back short `fail_attempts` times, then
+    /// recover.
+    pub fn with_short_read(mut self, member: usize, fail_attempts: u32) -> Self {
+        self.read_faults.push(ReadFault {
+            member,
+            kind: ReadFaultKind::ShortRead,
+            fail_attempts,
+        });
+        self
+    }
+
+    /// `member` never reads successfully.
+    pub fn with_unrecoverable_member(mut self, member: usize) -> Self {
+        self.read_faults.push(ReadFault {
+            member,
+            kind: ReadFaultKind::Fail,
+            fail_attempts: UNRECOVERABLE,
+        });
+        self
+    }
+
+    /// OST `ost` serves every operation `factor`× slower.
+    pub fn with_ost_slowdown(mut self, ost: usize, factor: f64) -> Self {
+        assert!(factor >= 1.0, "slowdown factor must be >= 1");
+        self.ost_slowdowns.push(OstSlowdown { ost, factor });
+        self
+    }
+
+    /// Messages `from → to` arrive `delay` seconds late.
+    pub fn with_msg_delay(mut self, from: usize, to: usize, delay: f64) -> Self {
+        assert!(delay >= 0.0, "delay must be non-negative");
+        self.msg_faults.push(MsgFault {
+            from,
+            to,
+            delay,
+            dropped: false,
+        });
+        self
+    }
+
+    /// Messages `from → to` never arrive.
+    pub fn with_msg_drop(mut self, from: usize, to: usize) -> Self {
+        self.msg_faults.push(MsgFault {
+            from,
+            to,
+            delay: 0.0,
+            dropped: true,
+        });
+        self
+    }
+
+    /// Rank `rank` computes `dilation`× slower.
+    pub fn with_straggler(mut self, rank: usize, dilation: f64) -> Self {
+        assert!(dilation >= 1.0, "dilation must be >= 1");
+        self.stragglers.push(Straggler { rank, dilation });
+        self
+    }
+
+    /// Rank `rank` dies at stage `stage`.
+    pub fn with_crash(mut self, rank: usize, stage: usize) -> Self {
+        self.crashes.push(RankCrash { rank, stage });
+        self
+    }
+
+    /// A seeded jitter plan for severity sweeps (fig. 14): every rank in
+    /// `0..ranks` gets a deterministic pseudo-random compute dilation in
+    /// `[1, max_dilation]`. `severity = max_dilation − 1` is the knob the
+    /// sweep turns.
+    pub fn jitter(seed: u64, ranks: usize, max_dilation: f64) -> Self {
+        assert!(max_dilation >= 1.0, "max_dilation must be >= 1");
+        let mut plan = FaultPlan::new(seed);
+        for rank in 0..ranks {
+            let u = unit_from(seed, rank as u64);
+            plan.stragglers.push(Straggler {
+                rank,
+                dilation: 1.0 + u * (max_dilation - 1.0),
+            });
+        }
+        plan
+    }
+}
+
+/// SplitMix64-derived uniform in `[0, 1)` for `(seed, index)` — the same
+/// keyed-stream construction the perturbed observations use, so jitter
+/// plans are reproducible without an RNG dependency.
+fn unit_from(seed: u64, index: u64) -> f64 {
+    let mut z =
+        (seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_add(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::default().is_empty());
+        assert!(FaultPlan::new(42).is_empty());
+        assert!(!FaultPlan::new(42).with_straggler(0, 2.0).is_empty());
+    }
+
+    #[test]
+    fn builders_accumulate() {
+        let plan = FaultPlan::new(7)
+            .with_read_fault(3, 2)
+            .with_unrecoverable_member(5)
+            .with_ost_slowdown(1, 4.0)
+            .with_msg_delay(0, 2, 0.01)
+            .with_msg_drop(1, 3)
+            .with_straggler(2, 1.5)
+            .with_crash(4, 1);
+        assert_eq!(plan.read_faults.len(), 2);
+        assert_eq!(plan.read_faults[1].fail_attempts, UNRECOVERABLE);
+        assert_eq!(plan.ost_slowdowns.len(), 1);
+        assert_eq!(plan.msg_faults.len(), 2);
+        assert!(plan.msg_faults[1].dropped);
+        assert_eq!(plan.stragglers.len(), 1);
+        assert_eq!(plan.crashes, vec![RankCrash { rank: 4, stage: 1 }]);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let a = FaultPlan::jitter(11, 32, 3.0);
+        let b = FaultPlan::jitter(11, 32, 3.0);
+        assert_eq!(a, b, "same seed, same plan");
+        let c = FaultPlan::jitter(12, 32, 3.0);
+        assert_ne!(a, c, "different seed, different plan");
+        assert_eq!(a.stragglers.len(), 32);
+        for s in &a.stragglers {
+            assert!((1.0..=3.0).contains(&s.dilation));
+        }
+        // Dilation 1.0 for everyone when severity is zero.
+        for s in &FaultPlan::jitter(11, 8, 1.0).stragglers {
+            assert_eq!(s.dilation, 1.0);
+        }
+    }
+}

@@ -7,15 +7,15 @@
 //! analysis as the other variants.
 
 use crate::exec::setup::AssimilationSetup;
-use crate::exec::{assemble_analysis, Msg};
+use crate::exec::{assemble_analysis, dilate, prepare_faults, Msg};
 use crate::report::{ExecutionReport, PhaseBreakdown};
 use enkf_core::{Ensemble, Result};
 use enkf_data::region_to_matrix;
-use enkf_grid::RegionRect;
+use enkf_fault::{FaultConfig, FaultLog, SubstrateError};
 use enkf_net::{Cluster, RankCtx};
-use enkf_pfs::RegionData;
+use enkf_pfs::{read_full_resilient, RegionData};
 use enkf_trace::Trace;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The L-EnKF variant: `n_sdx × n_sdy` ranks, rank 0 is the only reader.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,11 +42,33 @@ impl LEnkf {
         &self,
         setup: &AssimilationSetup<'_>,
     ) -> Result<(Ensemble, ExecutionReport, Trace)> {
+        self.run_faulted(setup, &FaultConfig::none())
+            .map(|(analysis, report, trace, _)| (analysis, report, trace))
+    }
+
+    /// [`LEnkf::run_traced`] under a fault plan. With `FaultConfig::none()`
+    /// this is behaviourally identical to `run_traced`. Under a seeded
+    /// plan, rank 0's reads retry with backoff, unrecoverable members are
+    /// dropped in degraded mode (peers then expect one bundle fewer),
+    /// scheduled message delays stall the scatter sends, and crashes or
+    /// message drops make peers receive with a timeout so they surface a
+    /// typed error instead of hanging.
+    pub fn run_faulted(
+        &self,
+        setup: &AssimilationSetup<'_>,
+        cfg: &FaultConfig,
+    ) -> Result<(Ensemble, ExecutionReport, Trace, FaultLog)> {
         setup.validate()?;
         let decomp = setup.decomposition(self.nsdx, self.nsdy)?;
         let mesh = setup.mesh();
         let radius = setup.analysis.radius;
         let nranks = decomp.num_subdomains();
+        let prep = prepare_faults(cfg, setup.members)?;
+        let injector = &prep.injector;
+        let dropped = &prep.dropped;
+        let alive = &prep.alive;
+        let use_timeout = prep.use_timeout;
+        let recv_timeout = cfg.recv_timeout;
         // Build the spatial observation index and perturbation cache once
         // per cycle, before the worker ranks start querying it.
         setup.observations.prepare();
@@ -55,22 +77,27 @@ impl LEnkf {
         type RankOut = Result<(enkf_grid::RegionRect, enkf_linalg::Matrix)>;
         let results: Vec<(RankOut, Vec<enkf_trace::Span>)> =
             Cluster::run_traced(nranks, |mut ctx: RankCtx<Msg>, tracer| {
-                let id = decomp.id_of_rank(ctx.rank());
+                let rank = ctx.rank();
+                if let Some(stage) = injector.crash_stage(rank) {
+                    injector.log().crashed(rank, stage);
+                    return Err(SubstrateError::RankCrashed { rank, stage }.into());
+                }
+                let id = decomp.id_of_rank(rank);
                 let target = decomp.subdomain(id);
                 let expansion = decomp.expansion(id, radius);
                 let mut per_member: Vec<Option<RegionData>> =
                     (0..setup.members).map(|_| None).collect();
 
-                if ctx.rank() == 0 {
+                if rank == 0 {
                     // The single reader: read each full member, carve out every
                     // rank's expansion block, send (keep own block locally).
-                    let (full_seeks, full_bytes) = setup.store.op_cost(&RegionRect::full(mesh));
-                    #[allow(clippy::needless_range_loop)]
-                    for k in 0..setup.members {
-                        let full = match tracer.read(None, Some(k), full_bytes, full_seeks, || {
-                            setup.store.read_full(k)
-                        }) {
+                    // Dropped members burn their injected-failure spans but
+                    // produce no scatter.
+                    for (k, slot) in per_member.iter_mut().enumerate() {
+                        let full = match read_full_resilient(setup.store, tracer, None, k, injector)
+                        {
                             Ok(d) => d,
+                            Err(_) if dropped.contains(&k) => continue,
                             Err(e) => {
                                 // Unblock every waiting rank before bailing out.
                                 for peer in 1..ctx.size() {
@@ -82,61 +109,87 @@ impl LEnkf {
                                         },
                                     );
                                 }
-                                return Err(enkf_core::EnkfError::GeometryMismatch(format!(
-                                    "read failed: {e}"
-                                )));
+                                return Err(e.into());
                             }
                         };
                         for peer in 1..ctx.size() {
                             let peer_id = decomp.id_of_rank(peer);
                             let peer_exp = decomp.expansion(peer_id, radius);
                             let (_, block_bytes) = setup.store.op_cost(&peer_exp);
+                            let delay = injector.send_delay(0, peer);
+                            let drop_msg = injector.message_dropped(0, peer);
                             tracer.send(None, peer, block_bytes, || {
+                                if delay > 0.0 {
+                                    std::thread::sleep(Duration::from_secs_f64(delay));
+                                }
                                 let block = full.extract(&peer_exp);
-                                ctx.send(
-                                    peer,
-                                    k as u64,
-                                    Msg::Blocks {
-                                        stage: 0,
-                                        members: vec![k],
-                                        data: vec![block],
-                                    },
-                                );
+                                if !drop_msg {
+                                    ctx.send(
+                                        peer,
+                                        k as u64,
+                                        Msg::Blocks {
+                                            stage: 0,
+                                            members: vec![k],
+                                            data: vec![block],
+                                        },
+                                    );
+                                }
                             });
                         }
-                        per_member[k] = Some(full.extract(&expansion));
+                        *slot = Some(full.extract(&expansion));
                     }
                 } else {
-                    // Receive the expansion blocks of all members from rank 0.
-                    let received: std::result::Result<(), String> = tracer.wait(None, || {
-                        for _ in 0..setup.members {
-                            match ctx.recv().payload {
-                                Msg::Blocks {
-                                    members, mut data, ..
-                                } => {
-                                    let k = members[0];
-                                    per_member[k] = Some(data.remove(0));
+                    // Receive the expansion blocks of all surviving members
+                    // from rank 0.
+                    let received: std::result::Result<(), enkf_core::EnkfError> =
+                        tracer.wait(None, || {
+                            for _ in 0..alive.len() {
+                                let envelope = if use_timeout {
+                                    match ctx.recv_timeout(recv_timeout) {
+                                        Ok(env) => env,
+                                        Err(e) => return Err(e.into()),
+                                    }
+                                } else {
+                                    ctx.recv()
+                                };
+                                match envelope.payload {
+                                    Msg::Blocks {
+                                        members, mut data, ..
+                                    } => {
+                                        let k = members[0];
+                                        per_member[k] = Some(data.remove(0));
+                                    }
+                                    Msg::Abort { reason } => {
+                                        return Err(enkf_core::EnkfError::GeometryMismatch(
+                                            format!("reader aborted: {reason}"),
+                                        ))
+                                    }
                                 }
-                                Msg::Abort { reason } => return Err(reason),
                             }
-                        }
-                        Ok(())
-                    });
-                    if let Err(reason) = received {
-                        return Err(enkf_core::EnkfError::GeometryMismatch(format!(
-                            "reader aborted: {reason}"
-                        )));
-                    }
+                            Ok(())
+                        });
+                    received?;
                 }
 
-                let per_member: Vec<RegionData> = per_member
-                    .into_iter()
-                    .map(|o| o.expect("all members delivered"))
+                let per_member: Vec<RegionData> = alive
+                    .iter()
+                    .map(|&k| {
+                        per_member[k]
+                            .take()
+                            .expect("all surviving members delivered")
+                    })
                     .collect();
+                let dilation = injector.compute_dilation(rank);
                 let out = tracer.compute(None, || {
+                    let start = Instant::now();
                     let xb = region_to_matrix(&expansion, &per_member);
-                    let obs = setup.observations.localize(&expansion);
-                    setup.analysis.analyze(mesh, &target, &expansion, &xb, &obs)
+                    let mut obs = setup.observations.localize(&expansion);
+                    if !dropped.is_empty() {
+                        obs = obs.select_members(alive);
+                    }
+                    let r = setup.analysis.analyze(mesh, &target, &expansion, &xb, &obs);
+                    dilate(start, dilation);
+                    r
                 });
                 out.map(|m| (target, m))
             });
@@ -149,15 +202,16 @@ impl LEnkf {
             trace.extend(spans);
             per_domain.push(res?);
         }
-        let analysis = assemble_analysis(mesh, setup.members, &decomp, per_domain);
+        let analysis = assemble_analysis(mesh, alive.len(), &decomp, per_domain);
         let report = ExecutionReport {
             compute_ranks,
             io_ranks: PhaseBreakdown::default(),
             num_compute_ranks: nranks,
             num_io_ranks: 0,
             wall_time: t0.elapsed().as_secs_f64(),
+            dropped_members: dropped.clone(),
         };
-        Ok((analysis, report, trace))
+        Ok((analysis, report, trace, prep.injector.into_log()))
     }
 }
 

@@ -9,12 +9,13 @@
 //! attacks.
 
 use crate::exec::setup::AssimilationSetup;
-use crate::exec::{assemble_analysis, Msg};
+use crate::exec::{assemble_analysis, dilate, prepare_faults, Msg};
 use crate::report::{ExecutionReport, PhaseBreakdown};
 use enkf_core::{Ensemble, Result};
 use enkf_data::region_to_matrix;
+use enkf_fault::{FaultConfig, FaultLog, SubstrateError};
 use enkf_net::{Cluster, RankCtx};
-use enkf_pfs::RegionData;
+use enkf_pfs::{read_region_resilient, RegionData};
 use enkf_trace::Trace;
 use std::time::Instant;
 
@@ -44,11 +45,30 @@ impl PEnkf {
         &self,
         setup: &AssimilationSetup<'_>,
     ) -> Result<(Ensemble, ExecutionReport, Trace)> {
+        self.run_faulted(setup, &FaultConfig::none())
+            .map(|(analysis, report, trace, _)| (analysis, report, trace))
+    }
+
+    /// [`PEnkf::run_traced`] under a fault plan. With `FaultConfig::none()`
+    /// this is behaviourally identical to `run_traced` (byte-identical
+    /// trace digests); under a seeded plan, reads retry with backoff,
+    /// unrecoverable members are dropped when `cfg.degraded` is set (the
+    /// cycle completes on the survivors), stragglers dilate compute, and
+    /// every injected fault lands in the returned [`FaultLog`].
+    pub fn run_faulted(
+        &self,
+        setup: &AssimilationSetup<'_>,
+        cfg: &FaultConfig,
+    ) -> Result<(Ensemble, ExecutionReport, Trace, FaultLog)> {
         setup.validate()?;
         let decomp = setup.decomposition(self.nsdx, self.nsdy)?;
         let mesh = setup.mesh();
         let radius = setup.analysis.radius;
         let nranks = decomp.num_subdomains();
+        let prep = prepare_faults(cfg, setup.members)?;
+        let injector = &prep.injector;
+        let dropped = &prep.dropped;
+        let alive = &prep.alive;
         // Build the spatial observation index and perturbation cache once
         // per cycle, before the worker ranks start querying it.
         setup.observations.prepare();
@@ -57,31 +77,41 @@ impl PEnkf {
         type RankOut = Result<(enkf_grid::RegionRect, enkf_linalg::Matrix)>;
         let results: Vec<(RankOut, Vec<enkf_trace::Span>)> =
             Cluster::run_traced(nranks, |ctx: RankCtx<Msg>, tracer| {
-                let id = decomp.id_of_rank(ctx.rank());
+                let rank = ctx.rank();
+                if let Some(stage) = injector.crash_stage(rank) {
+                    injector.log().crashed(rank, stage);
+                    return Err(SubstrateError::RankCrashed { rank, stage }.into());
+                }
+                let id = decomp.id_of_rank(rank);
                 let target = decomp.subdomain(id);
                 let expansion = decomp.expansion(id, radius);
-                let (seeks, bytes) = setup.store.op_cost(&expansion);
 
                 // Phase 1: block-read the expansion of every member file.
-                let mut per_member: Vec<RegionData> = Vec::with_capacity(setup.members);
+                // Dropped members still burn their (injected-failure) fault
+                // spans before being skipped, so the wall cost of deciding
+                // to drop is accounted for.
+                let mut per_member: Vec<RegionData> = Vec::with_capacity(alive.len());
                 for k in 0..setup.members {
-                    match tracer.read(None, Some(k), bytes, seeks, || {
-                        setup.store.read_region(k, &expansion)
-                    }) {
+                    match read_region_resilient(setup.store, tracer, None, k, &expansion, injector)
+                    {
                         Ok(d) => per_member.push(d),
-                        Err(e) => {
-                            return Err(enkf_core::EnkfError::GeometryMismatch(format!(
-                                "read failed: {e}"
-                            )))
-                        }
+                        Err(_) if dropped.contains(&k) => {}
+                        Err(e) => return Err(e.into()),
                     }
                 }
 
                 // Phase 2: local analysis on the gathered data.
+                let dilation = injector.compute_dilation(rank);
                 let out = tracer.compute(None, || {
+                    let start = Instant::now();
                     let xb = region_to_matrix(&expansion, &per_member);
-                    let obs = setup.observations.localize(&expansion);
-                    setup.analysis.analyze(mesh, &target, &expansion, &xb, &obs)
+                    let mut obs = setup.observations.localize(&expansion);
+                    if !dropped.is_empty() {
+                        obs = obs.select_members(alive);
+                    }
+                    let r = setup.analysis.analyze(mesh, &target, &expansion, &xb, &obs);
+                    dilate(start, dilation);
+                    r
                 });
                 out.map(|m| (target, m))
             });
@@ -94,15 +124,16 @@ impl PEnkf {
             trace.extend(spans);
             per_domain.push(res?);
         }
-        let analysis = assemble_analysis(mesh, setup.members, &decomp, per_domain);
+        let analysis = assemble_analysis(mesh, alive.len(), &decomp, per_domain);
         let report = ExecutionReport {
             compute_ranks,
             io_ranks: PhaseBreakdown::default(),
             num_compute_ranks: nranks,
             num_io_ranks: 0,
             wall_time: t0.elapsed().as_secs_f64(),
+            dropped_members: dropped.clone(),
         };
-        Ok((analysis, report, trace))
+        Ok((analysis, report, trace, prep.injector.into_log()))
     }
 }
 

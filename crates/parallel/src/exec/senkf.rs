@@ -15,16 +15,23 @@
 //!   work on stage `l+1` — the overlap of Figs. 7–8.
 
 use crate::exec::setup::AssimilationSetup;
-use crate::exec::{assemble_analysis, Msg};
+use crate::exec::{assemble_analysis, dilate, prepare_faults, Msg};
 use crate::report::{ExecutionReport, PhaseBreakdown};
 use enkf_core::{EnkfError, Ensemble, Result};
+use enkf_fault::{FaultConfig, FaultLog, SubstrateError};
 use enkf_grid::RegionRect;
 use enkf_linalg::Matrix;
 use enkf_net::{Cluster, RankCtx};
+use enkf_pfs::read_region_resilient;
 use enkf_trace::{Role, Trace};
 use enkf_tuning::Params;
 use std::collections::BTreeMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Helper-channel sentinel: an I/O rank aborted (sent `Msg::Abort`).
+const ABORT_SENTINEL: usize = usize::MAX;
+/// Helper-channel sentinel: a receive timed out (crashed/dropping peer).
+const TIMEOUT_SENTINEL: usize = usize::MAX - 1;
 
 /// The S-EnKF variant, configured by the auto-tunable parameter set
 /// `(n_sdx, n_sdy, L, n_cg)`.
@@ -56,6 +63,23 @@ impl SEnkf {
         &self,
         setup: &AssimilationSetup<'_>,
     ) -> Result<(Ensemble, ExecutionReport, Trace)> {
+        self.run_faulted(setup, &FaultConfig::none())
+            .map(|(analysis, report, trace, _)| (analysis, report, trace))
+    }
+
+    /// [`SEnkf::run_traced`] under a fault plan. With `FaultConfig::none()`
+    /// this is behaviourally identical to `run_traced`. Under a seeded
+    /// plan, I/O-rank bar reads retry with backoff, unrecoverable members
+    /// are dropped in degraded mode (bundles shrink to the group's
+    /// survivors; compute ranks assemble `N − |dropped|` columns),
+    /// stragglers dilate compute, message delays stall sends, and crashes
+    /// or message drops switch receives to a timeout that surfaces
+    /// [`SubstrateError::RecvTimeout`] instead of hanging.
+    pub fn run_faulted(
+        &self,
+        setup: &AssimilationSetup<'_>,
+        cfg: &FaultConfig,
+    ) -> Result<(Ensemble, ExecutionReport, Trace, FaultLog)> {
         setup.validate()?;
         let p = self.params;
         let decomp = setup.decomposition(p.nsdx, p.nsdy)?;
@@ -74,6 +98,22 @@ impl SEnkf {
         let c1 = p.ncg * p.nsdy;
         let nranks = c1 + c2;
         let files_per_group = setup.members / p.ncg;
+        let prep = prepare_faults(cfg, setup.members)?;
+        let injector = &prep.injector;
+        let dropped = &prep.dropped;
+        let alive = &prep.alive;
+        let use_timeout = prep.use_timeout;
+        let recv_timeout = cfg.recv_timeout;
+        // Global member index → column of the (possibly reduced) X̄ᵇ.
+        let alive_cols: BTreeMap<usize, usize> =
+            alive.iter().enumerate().map(|(c, &k)| (k, c)).collect();
+        // Groups whose members all dropped send no bundles at all, so the
+        // helper thread must expect `layers × groups_alive` of them.
+        let groups_alive = (0..p.ncg)
+            .filter(|g| {
+                (g * files_per_group..(g + 1) * files_per_group).any(|k| !dropped.contains(&k))
+            })
+            .count();
         // Build the spatial observation index and perturbation cache once
         // per cycle, before the worker ranks start querying it.
         setup.observations.prepare();
@@ -82,24 +122,46 @@ impl SEnkf {
         type RankOut = (Result<Option<(RegionRect, Matrix)>>, /* is_io: */ bool);
         let results: Vec<(RankOut, Vec<enkf_trace::Span>)> =
             Cluster::run_traced(nranks, |mut ctx: RankCtx<Msg>, tracer| {
-                if ctx.rank() >= c2 {
+                let rank = ctx.rank();
+                if rank >= c2 {
                     // ---- I/O rank (group g, latitude block j) ----
                     tracer.set_role(Role::Io);
-                    let io_index = ctx.rank() - c2;
+                    let io_index = rank - c2;
                     let group = io_index / p.nsdy;
                     let j = io_index % p.nsdy;
                     let files: Vec<usize> =
                         (group * files_per_group..(group + 1) * files_per_group).collect();
+                    let alive_files: Vec<usize> = files
+                        .iter()
+                        .copied()
+                        .filter(|k| !dropped.contains(k))
+                        .collect();
+                    let crash = injector.crash_stage(rank);
                     for l in 0..p.layers {
+                        if crash == Some(l) {
+                            // The plan kills this rank at the start of stage
+                            // l: it stops responding — peers must time out.
+                            injector.log().crashed(rank, l);
+                            return (
+                                Err(SubstrateError::RankCrashed { rank, stage: l }.into()),
+                                true,
+                            );
+                        }
                         let bar = decomp.small_bar(j, l, p.layers, radius);
-                        let (bar_seeks, bar_bytes) = setup.store.op_cost(&bar);
-                        let mut datas: Vec<enkf_pfs::RegionData> = Vec::with_capacity(files.len());
+                        let mut datas: Vec<enkf_pfs::RegionData> =
+                            Vec::with_capacity(alive_files.len());
                         let mut failed = None;
                         for &k in &files {
-                            match tracer.read(Some(l), Some(k), bar_bytes, bar_seeks, || {
-                                setup.store.read_region(k, &bar)
-                            }) {
+                            match read_region_resilient(
+                                setup.store,
+                                tracer,
+                                Some(l),
+                                k,
+                                &bar,
+                                injector,
+                            ) {
                                 Ok(d) => datas.push(d),
+                                Err(_) if dropped.contains(&k) => {}
                                 Err(e) => {
                                     failed = Some(e);
                                     break;
@@ -119,31 +181,38 @@ impl SEnkf {
                                     },
                                 );
                             }
-                            return (
-                                Err(EnkfError::GeometryMismatch(format!("read failed: {e}"))),
-                                true,
-                            );
+                            return (Err(e.into()), true);
+                        }
+                        if alive_files.is_empty() {
+                            continue; // whole group dropped: nothing to send
                         }
                         for i in 0..p.nsdx {
                             let id = enkf_grid::SubDomainId { i, j };
                             let block = decomp.block_of_small_bar(id, l, p.layers, radius);
                             let (_, block_bytes) = setup.store.op_cost(&block);
-                            let bundle_bytes = block_bytes * files_per_group as u64;
+                            let bundle_bytes = block_bytes * alive_files.len() as u64;
                             let target = decomp.rank_of(id);
+                            let delay = injector.send_delay(rank, target);
+                            let drop_msg = injector.message_dropped(rank, target);
                             // Serialization (block extraction) is charged to the
                             // send, mirroring the model's sender-side service.
                             tracer.send(Some(l), target, bundle_bytes, || {
+                                if delay > 0.0 {
+                                    std::thread::sleep(Duration::from_secs_f64(delay));
+                                }
                                 let blocks: Vec<enkf_pfs::RegionData> =
                                     datas.iter().map(|d| d.extract(&block)).collect();
-                                ctx.send(
-                                    target,
-                                    l as u64,
-                                    Msg::Blocks {
-                                        stage: l,
-                                        members: files.clone(),
-                                        data: blocks,
-                                    },
-                                );
+                                if !drop_msg {
+                                    ctx.send(
+                                        target,
+                                        l as u64,
+                                        Msg::Blocks {
+                                            stage: l,
+                                            members: alive_files.clone(),
+                                            data: blocks,
+                                        },
+                                    );
+                                }
                             });
                         }
                     }
@@ -151,7 +220,14 @@ impl SEnkf {
                 }
 
                 // ---- Compute rank (sub-domain id) ----
-                let id = decomp.id_of_rank(ctx.rank());
+                if let Some(stage) = injector.crash_stage(rank) {
+                    injector.log().crashed(rank, stage);
+                    return (
+                        Err(SubstrateError::RankCrashed { rank, stage }.into()),
+                        false,
+                    );
+                }
+                let id = decomp.id_of_rank(rank);
                 let target = decomp.subdomain(id);
 
                 // Offload reception to the helper thread (Fig. 8): it assembles
@@ -159,17 +235,29 @@ impl SEnkf {
                 let (inbox, stash) = ctx.split_receiver();
                 debug_assert!(stash.is_empty(), "no traffic before the helper starts");
                 let (tx, rx) = std::sync::mpsc::channel::<(usize, Matrix)>();
-                let members_total = setup.members;
+                let alive_total = alive.len();
+                let cols = alive_cols.clone();
                 let layers = p.layers;
-                let ncg = p.ncg;
                 let helper = std::thread::spawn(move || {
                     struct Stage {
                         matrix: Matrix,
                         filled: usize,
                     }
                     let mut stages: BTreeMap<usize, Stage> = BTreeMap::new();
-                    for _ in 0..layers * ncg {
-                        let Ok(env) = inbox.recv() else { return };
+                    for _ in 0..layers * groups_alive {
+                        let env = if use_timeout {
+                            match inbox.recv_timeout(Duration::from_secs_f64(recv_timeout)) {
+                                Ok(env) => env,
+                                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                                    let _ = tx.send((TIMEOUT_SENTINEL, Matrix::zeros(0, 2)));
+                                    return;
+                                }
+                                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                            }
+                        } else {
+                            let Ok(env) = inbox.recv() else { return };
+                            env
+                        };
                         let (stage, members, data) = match env.payload {
                             Msg::Blocks {
                                 stage,
@@ -179,23 +267,24 @@ impl SEnkf {
                             Msg::Abort { .. } => {
                                 // Signal the main thread with a sentinel stage
                                 // and stop ingesting.
-                                let _ = tx.send((usize::MAX, Matrix::zeros(0, 2)));
+                                let _ = tx.send((ABORT_SENTINEL, Matrix::zeros(0, 2)));
                                 return;
                             }
                         };
                         let region = decomp.layer_expansion(id, stage, layers, radius);
                         let entry = stages.entry(stage).or_insert_with(|| Stage {
-                            matrix: Matrix::zeros(region.npoints(), members_total),
+                            matrix: Matrix::zeros(region.npoints(), alive_total),
                             filled: 0,
                         });
                         for (&k, rd) in members.iter().zip(&data) {
                             debug_assert_eq!(rd.region, region, "block region mismatch");
+                            let col = cols[&k];
                             for row in 0..region.npoints() {
-                                entry.matrix[(row, k)] = rd.value(row, 0);
+                                entry.matrix[(row, col)] = rd.value(row, 0);
                             }
                         }
                         entry.filled += members.len();
-                        if entry.filled == members_total {
+                        if entry.filled == alive_total {
                             let done = stages.remove(&stage).expect("stage present");
                             if tx.send((stage, done.matrix)).is_err() {
                                 return; // main thread bailed out
@@ -208,7 +297,8 @@ impl SEnkf {
                 // and the I/O ranks feed stage l+1.
                 let sub_width = target.width();
                 let layer_height = target.height() / p.layers;
-                let mut result = Matrix::zeros(target.npoints(), setup.members);
+                let dilation = injector.compute_dilation(rank);
+                let mut result = Matrix::zeros(target.npoints(), alive_total);
                 let mut ready: BTreeMap<usize, Matrix> = BTreeMap::new();
                 for l in 0..p.layers {
                     let xb = loop {
@@ -217,11 +307,21 @@ impl SEnkf {
                         }
                         match tracer.wait(Some(l), || rx.recv()) {
                             Ok((stage, m)) => {
-                                if stage == usize::MAX {
+                                if stage == ABORT_SENTINEL {
                                     return (
                                         Err(EnkfError::GeometryMismatch(
                                             "an I/O rank aborted (read failure)".into(),
                                         )),
+                                        false,
+                                    );
+                                }
+                                if stage == TIMEOUT_SENTINEL {
+                                    return (
+                                        Err(SubstrateError::RecvTimeout {
+                                            rank,
+                                            waited: recv_timeout,
+                                        }
+                                        .into()),
                                         false,
                                     );
                                 }
@@ -240,8 +340,14 @@ impl SEnkf {
                     let layer = decomp.layer(id, l, p.layers);
                     let expansion = decomp.layer_expansion(id, l, p.layers, radius);
                     let analyzed = tracer.compute(Some(l), || {
-                        let obs = setup.observations.localize(&expansion);
-                        setup.analysis.analyze(mesh, &layer, &expansion, &xb, &obs)
+                        let start = Instant::now();
+                        let mut obs = setup.observations.localize(&expansion);
+                        if !dropped.is_empty() {
+                            obs = obs.select_members(alive);
+                        }
+                        let r = setup.analysis.analyze(mesh, &layer, &expansion, &xb, &obs);
+                        dilate(start, dilation);
+                        r
                     });
                     match analyzed {
                         Ok(xa) => {
@@ -276,15 +382,16 @@ impl SEnkf {
                 }
             }
         }
-        let analysis = assemble_analysis(mesh, setup.members, &decomp, per_domain);
+        let analysis = assemble_analysis(mesh, alive.len(), &decomp, per_domain);
         let report = ExecutionReport {
             compute_ranks,
             io_ranks,
             num_compute_ranks: c2,
             num_io_ranks: c1,
             wall_time: t0.elapsed().as_secs_f64(),
+            dropped_members: dropped.clone(),
         };
-        Ok((analysis, report, trace))
+        Ok((analysis, report, trace, prep.injector.into_log()))
     }
 }
 

@@ -87,6 +87,7 @@ pub fn parallel_write_back(
         comm: 0.0,
         compute: 0.0,
         wait: t0.elapsed().as_secs_f64(),
+        fault: 0.0,
     })
 }
 

@@ -38,9 +38,10 @@ pub use exec::penkf::PEnkf;
 pub use exec::senkf::SEnkf;
 pub use exec::setup::AssimilationSetup;
 pub use exec::writeback::parallel_write_back;
-pub use model::penkf::{model_penkf, model_penkf_traced};
+pub use model::penkf::{model_penkf, model_penkf_faulted, model_penkf_traced};
 pub use model::senkf::{
-    model_senkf, model_senkf_opts, model_senkf_opts_traced, model_senkf_traced, SEnkfModelOptions,
+    model_senkf, model_senkf_faulted, model_senkf_faulted_opts, model_senkf_opts,
+    model_senkf_opts_traced, model_senkf_traced, SEnkfModelOptions,
 };
 pub use model::{ModelConfig, ModelOutcome};
 pub use report::{ExecutionReport, PhaseBreakdown};

@@ -70,6 +70,9 @@ pub struct ModelOutcome {
     /// Virtual time at which the first local-analysis task started — the
     /// exposed (un-overlapped) read+comm prefix of Fig. 9/13's discussion.
     pub first_compute_start: f64,
+    /// Ensemble members dropped by degraded-mode execution (ascending;
+    /// empty on a fault-free run).
+    pub dropped_members: Vec<usize>,
 }
 
 impl ModelOutcome {

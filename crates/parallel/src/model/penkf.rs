@@ -2,6 +2,7 @@
 
 use crate::model::{ModelConfig, ModelOutcome};
 use crate::report::PhaseBreakdown;
+use enkf_fault::{FaultConfig, FaultInjector, FaultLog};
 use enkf_grid::{Decomposition, FileLayout, LocalizationRadius, Mesh};
 use enkf_pfs::ModeledPfs;
 use enkf_sim::{Kind, Simulation, Task};
@@ -28,6 +29,23 @@ pub fn model_penkf_traced(
     nsdx: usize,
     nsdy: usize,
 ) -> Result<(ModelOutcome, Trace), String> {
+    model_penkf_faulted(cfg, nsdx, nsdy, &FaultConfig::none()).map(|(out, trace, _)| (out, trace))
+}
+
+/// [`model_penkf_traced`] under a fault plan: the same attempt/backoff
+/// weave the real executor performs is built into the DES graph (injected
+/// failures become `Kind::Fault` tasks holding the member's OST, backoffs
+/// agent-local `Kind::Fault` tasks), OST slowdowns dilate read services,
+/// stragglers dilate compute, and dropped members contribute only their
+/// failed attempts. Under the same seeded plan, the exported trace's
+/// operation digest and the returned [`FaultLog`]'s digest match the real
+/// executor's.
+pub fn model_penkf_faulted(
+    cfg: &ModelConfig,
+    nsdx: usize,
+    nsdy: usize,
+    fcfg: &FaultConfig,
+) -> Result<(ModelOutcome, Trace, FaultLog), String> {
     let w = &cfg.workload;
     let mesh = Mesh::new(w.nx, w.ny);
     let decomp = Decomposition::new(mesh, nsdx, nsdy).map_err(|e| e.to_string())?;
@@ -36,6 +54,25 @@ pub fn model_penkf_traced(
         eta: w.eta,
     };
     let layout = FileLayout::new(mesh, w.h);
+    let injector = FaultInjector::new(fcfg.clone());
+    if injector.has_crashes() {
+        return Err("modeled P-EnKF cannot complete: the plan crashes a rank".into());
+    }
+    let dropped = injector.unrecoverable_members(w.members);
+    if !dropped.is_empty() {
+        if !fcfg.degraded {
+            return Err(format!(
+                "unrecoverable members {dropped:?} and degraded mode is off"
+            ));
+        }
+        if w.members - dropped.len() < 2 {
+            return Err("degraded ensemble too small".into());
+        }
+        for &m in &dropped {
+            injector.log().dropped(m);
+        }
+    }
+    let retry = *injector.retry();
 
     let mut sim = Simulation::new();
     let pfs = ModeledPfs::register(&mut sim, cfg.pfs);
@@ -49,19 +86,55 @@ pub fn model_penkf_traced(
         let bytes = layout.region_bytes(&expansion);
         let read_service = pfs.read_service(seeks, bytes);
         for k in 0..w.members {
-            sim.add_task(
-                Task::new(agents[r], Kind::Read, read_service)
-                    .with_resources(vec![pfs.ost_of_file(k)])
-                    .with_op(OpTag {
-                        bytes,
-                        seeks,
-                        member: Some(k),
-                        ..OpTag::default()
-                    }),
-            )
-            .map_err(|e| e.to_string())?;
+            let fails = injector.read_fail_attempts(k);
+            let service = read_service * injector.file_slowdown(k);
+            let tag = OpTag {
+                bytes,
+                seeks,
+                member: Some(k),
+                ..OpTag::default()
+            };
+            for attempt in 0..retry.attempts() {
+                if attempt > 0 {
+                    injector.log().backoff(r, None, k, attempt - 1);
+                    sim.add_task(
+                        Task::new(agents[r], Kind::Fault, retry.backoff(attempt - 1)).with_op(
+                            OpTag {
+                                member: Some(k),
+                                ..OpTag::default()
+                            },
+                        ),
+                    )
+                    .map_err(|e| e.to_string())?;
+                }
+                if attempt < fails {
+                    // Injected failure: the attempt still occupies the OST
+                    // for a full service, mirroring the real executor's
+                    // read-and-discard.
+                    injector.log().injected(r, None, k, attempt);
+                    sim.add_task(
+                        Task::new(agents[r], Kind::Fault, service)
+                            .with_resources(vec![pfs.ost_of_file(k)])
+                            .with_op(tag),
+                    )
+                    .map_err(|e| e.to_string())?;
+                    continue;
+                }
+                sim.add_task(
+                    Task::new(agents[r], Kind::Read, service)
+                        .with_resources(vec![pfs.ost_of_file(k)])
+                        .with_op(tag),
+                )
+                .map_err(|e| e.to_string())?;
+                if attempt > 0 {
+                    injector.log().recovered(r, None, k, attempt);
+                }
+                break;
+            }
         }
-        let comp = cfg.compute_cost_per_point * decomp.subdomain(id).npoints() as f64;
+        let comp = cfg.compute_cost_per_point
+            * decomp.subdomain(id).npoints() as f64
+            * injector.compute_dilation(r);
         let t = sim
             .add_task(Task::new(agents[r], Kind::Compute, comp).with_op(OpTag::default()))
             .map_err(|e| e.to_string())?;
@@ -78,6 +151,7 @@ pub fn model_penkf_traced(
         total.comm += t.comm;
         total.compute += t.compute;
         total.wait += t.wait;
+        total.fault += t.fault;
     }
     let compute_mean = PhaseBreakdown::from(total).scaled(1.0 / ranks as f64);
     let makespan = report.makespan;
@@ -93,8 +167,10 @@ pub fn model_penkf_traced(
             num_compute_ranks: ranks,
             num_io_ranks: 0,
             first_compute_start,
+            dropped_members: dropped,
         },
         trace,
+        injector.into_log(),
     ))
 }
 

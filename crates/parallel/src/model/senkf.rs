@@ -2,6 +2,7 @@
 
 use crate::model::{ModelConfig, ModelOutcome};
 use crate::report::PhaseBreakdown;
+use enkf_fault::{FaultConfig, FaultInjector, FaultLog};
 use enkf_grid::{Decomposition, FileLayout, LocalizationRadius, Mesh, SubDomainId};
 use enkf_net::ModeledNet;
 use enkf_pfs::ModeledPfs;
@@ -69,6 +70,31 @@ pub fn model_senkf_opts_traced(
     params: Params,
     opts: SEnkfModelOptions,
 ) -> Result<(ModelOutcome, Trace), String> {
+    model_senkf_faulted_opts(cfg, params, opts, &FaultConfig::none())
+        .map(|(out, trace, _)| (out, trace))
+}
+
+/// [`model_senkf_traced`] under a fault plan (default options): the real
+/// executor's attempt/backoff weave becomes `Kind::Fault` tasks, OST
+/// slowdowns and stragglers dilate services, message delays extend the
+/// matching send services, and dropped members shrink the bundles to each
+/// group's survivors. Under the same seeded plan, the trace's operation
+/// digest and the [`FaultLog`] digest match the real executor's.
+pub fn model_senkf_faulted(
+    cfg: &ModelConfig,
+    params: Params,
+    fcfg: &FaultConfig,
+) -> Result<(ModelOutcome, Trace, FaultLog), String> {
+    model_senkf_faulted_opts(cfg, params, SEnkfModelOptions::default(), fcfg)
+}
+
+/// [`model_senkf_faulted`] with ablation options.
+pub fn model_senkf_faulted_opts(
+    cfg: &ModelConfig,
+    params: Params,
+    opts: SEnkfModelOptions,
+    fcfg: &FaultConfig,
+) -> Result<(ModelOutcome, Trace, FaultLog), String> {
     let w = &cfg.workload;
     let mesh = Mesh::new(w.nx, w.ny);
     let decomp = Decomposition::new(mesh, params.nsdx, params.nsdy).map_err(|e| e.to_string())?;
@@ -89,6 +115,28 @@ pub fn model_senkf_opts_traced(
     let c2 = decomp.num_subdomains();
     let c1 = params.ncg * params.nsdy;
     let files_per_group = w.members / params.ncg;
+    let injector = FaultInjector::new(fcfg.clone());
+    if injector.has_crashes() {
+        return Err("modeled S-EnKF cannot complete: the plan crashes a rank".into());
+    }
+    if fcfg.plan.msg_faults.iter().any(|m| m.dropped) {
+        return Err("modeled S-EnKF cannot complete: the plan drops a message".into());
+    }
+    let dropped = injector.unrecoverable_members(w.members);
+    if !dropped.is_empty() {
+        if !fcfg.degraded {
+            return Err(format!(
+                "unrecoverable members {dropped:?} and degraded mode is off"
+            ));
+        }
+        if w.members - dropped.len() < 2 {
+            return Err("degraded ensemble too small".into());
+        }
+        for &m in &dropped {
+            injector.log().dropped(m);
+        }
+    }
+    let retry = *injector.retry();
     // Guard the DES against degenerate parameterizations: the task graph
     // has roughly ncg·C2·L send tasks plus reads and computes.
     let est_tasks =
@@ -116,36 +164,83 @@ pub fn model_senkf_opts_traced(
         for g in 0..params.ncg {
             for j in 0..params.nsdy {
                 let io_agent = io_agents[g * params.nsdy + j];
+                // Agent ids coincide with the real executor's rank numbering
+                // (compute ranks 0..c2, I/O ranks c2..c2+c1), so FaultLog
+                // rank fields compare across executors.
+                let io_rank = c2 + g * params.nsdy + j;
                 let bar = decomp.small_bar(j, l, params.layers, radius);
                 let bar_bytes = layout.region_bytes(&bar);
                 let bar_seeks = layout.seek_count(&bar) as u64;
+                let alive_in_group = (g * files_per_group..(g + 1) * files_per_group)
+                    .filter(|file| !dropped.contains(file))
+                    .count();
                 // One read per group file (program order serializes them on
-                // the I/O rank; the OST limits cross-rank concurrency).
+                // the I/O rank; the OST limits cross-rank concurrency),
+                // woven through the same attempt/backoff loop as the real
+                // resilient read path.
                 for f in 0..files_per_group {
                     let file = g * files_per_group + f;
-                    sim.add_task(
-                        Task::new(io_agent, Kind::Read, pfs.read_service(bar_seeks, bar_bytes))
-                            .with_resources(vec![pfs.ost_of_file(file)])
-                            .with_op(OpTag {
-                                io: true,
-                                stage: Some(l),
-                                bytes: bar_bytes,
-                                seeks: bar_seeks,
-                                member: Some(file),
-                                ..OpTag::default()
-                            }),
-                    )
-                    .map_err(|e| e.to_string())?;
+                    let fails = injector.read_fail_attempts(file);
+                    let service =
+                        pfs.read_service(bar_seeks, bar_bytes) * injector.file_slowdown(file);
+                    let tag = OpTag {
+                        io: true,
+                        stage: Some(l),
+                        bytes: bar_bytes,
+                        seeks: bar_seeks,
+                        member: Some(file),
+                        ..OpTag::default()
+                    };
+                    for attempt in 0..retry.attempts() {
+                        if attempt > 0 {
+                            injector.log().backoff(io_rank, Some(l), file, attempt - 1);
+                            sim.add_task(
+                                Task::new(io_agent, Kind::Fault, retry.backoff(attempt - 1))
+                                    .with_op(OpTag {
+                                        io: true,
+                                        stage: Some(l),
+                                        member: Some(file),
+                                        ..OpTag::default()
+                                    }),
+                            )
+                            .map_err(|e| e.to_string())?;
+                        }
+                        if attempt < fails {
+                            injector.log().injected(io_rank, Some(l), file, attempt);
+                            sim.add_task(
+                                Task::new(io_agent, Kind::Fault, service)
+                                    .with_resources(vec![pfs.ost_of_file(file)])
+                                    .with_op(tag),
+                            )
+                            .map_err(|e| e.to_string())?;
+                            continue;
+                        }
+                        sim.add_task(
+                            Task::new(io_agent, Kind::Read, service)
+                                .with_resources(vec![pfs.ost_of_file(file)])
+                                .with_op(tag),
+                        )
+                        .map_err(|e| e.to_string())?;
+                        if attempt > 0 {
+                            injector.log().recovered(io_rank, Some(l), file, attempt);
+                        }
+                        break;
+                    }
                 }
-                // One bundled send per compute rank in this latitude block.
+                if alive_in_group == 0 {
+                    continue; // whole group dropped: no bundles at all
+                }
+                // One bundled send per compute rank in this latitude block,
+                // shrunk to the group's surviving members.
                 for i in 0..params.nsdx {
                     let id = SubDomainId { i, j };
                     let block = decomp.block_of_small_bar(id, l, params.layers, radius);
-                    let bytes = layout.region_bytes(&block) * files_per_group as u64;
+                    let bytes = layout.region_bytes(&block) * alive_in_group as u64;
                     let target = decomp.rank_of(id);
+                    let service = cfg.net.p2p(bytes) + injector.send_delay(io_rank, target);
                     let t = sim
                         .add_task(
-                            Task::new(io_agent, Kind::Comm, cfg.net.p2p(bytes))
+                            Task::new(io_agent, Kind::Comm, service)
                                 .with_resources(vec![net.nic(target)])
                                 .with_op(OpTag {
                                     io: true,
@@ -169,7 +264,8 @@ pub fn model_senkf_opts_traced(
     for (r, id) in decomp.iter_ids().enumerate() {
         for (l, stage_sends) in sends.iter().enumerate() {
             let layer = decomp.layer(id, l, params.layers);
-            let service = cfg.compute_cost_per_point * layer.npoints() as f64;
+            let service =
+                cfg.compute_cost_per_point * layer.npoints() as f64 * injector.compute_dilation(r);
             let deps = if opts.helper_thread {
                 stage_sends[r].clone()
             } else {
@@ -216,6 +312,7 @@ pub fn model_senkf_opts_traced(
         agg.comm += t.comm;
         agg.compute += t.compute;
         agg.wait += t.wait;
+        agg.fault += t.fault;
     }
     let compute_mean = PhaseBreakdown::from(cagg).scaled(1.0 / c2 as f64);
     let io_mean = PhaseBreakdown::from(iagg).scaled(1.0 / c1 as f64);
@@ -231,8 +328,10 @@ pub fn model_senkf_opts_traced(
             num_compute_ranks: c2,
             num_io_ranks: c1,
             first_compute_start,
+            dropped_members: dropped,
         },
         trace,
+        injector.into_log(),
     ))
 }
 

@@ -3,8 +3,9 @@
 use std::time::Instant;
 
 /// Wall/virtual time spent in each phase, summed over the ranks of one
-/// class (compute or I/O). The four categories are exactly the stacked
-/// components of the paper's Figure 9.
+/// class (compute or I/O). The first four categories are exactly the
+/// stacked components of the paper's Figure 9; `fault` is the time injected
+/// faults and their recovery (failed attempts, retry backoffs) consumed.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PhaseBreakdown {
     /// File reading.
@@ -15,12 +16,14 @@ pub struct PhaseBreakdown {
     pub compute: f64,
     /// Waiting (dependency stalls, resource queueing, blocked receives).
     pub wait: f64,
+    /// Injected faults and recovery actions (zero on a fault-free run).
+    pub fault: f64,
 }
 
 impl PhaseBreakdown {
     /// Sum of all phases.
     pub fn total(&self) -> f64 {
-        self.read + self.comm + self.compute + self.wait
+        self.read + self.comm + self.compute + self.wait + self.fault
     }
 
     /// Elementwise accumulate.
@@ -29,6 +32,7 @@ impl PhaseBreakdown {
         self.comm += other.comm;
         self.compute += other.compute;
         self.wait += other.wait;
+        self.fault += other.fault;
     }
 
     /// Divide every phase by `n` (e.g. to get a per-rank mean).
@@ -38,6 +42,7 @@ impl PhaseBreakdown {
             comm: self.comm * factor,
             compute: self.compute * factor,
             wait: self.wait * factor,
+            fault: self.fault * factor,
         }
     }
 
@@ -71,6 +76,7 @@ impl From<enkf_trace::PhaseTotals> for PhaseBreakdown {
             comm: t.comm,
             compute: t.compute,
             wait: t.wait,
+            fault: t.fault,
         }
     }
 }
@@ -88,6 +94,10 @@ pub struct ExecutionReport {
     pub num_io_ranks: usize,
     /// End-to-end wall time of the run, seconds.
     pub wall_time: f64,
+    /// Ensemble members dropped by degraded-mode execution (ascending;
+    /// empty on a fault-free run). The analysis covers the surviving
+    /// `members − dropped_members.len()` columns.
+    pub dropped_members: Vec<usize>,
 }
 
 impl ExecutionReport {
@@ -163,6 +173,7 @@ mod tests {
             comm: 2.0,
             compute: 3.0,
             wait: 4.0,
+            fault: 0.0,
         };
         assert_eq!(a.total(), 10.0);
         a.merge(&PhaseBreakdown {
@@ -170,9 +181,11 @@ mod tests {
             comm: 0.5,
             compute: 0.5,
             wait: 0.5,
+            fault: 0.25,
         });
-        assert_eq!(a.total(), 12.0);
+        assert_eq!(a.total(), 12.25);
         assert_eq!(a.read, 1.5);
+        assert_eq!(a.fault, 0.25);
     }
 
     #[test]
@@ -182,6 +195,7 @@ mod tests {
             comm: 1.0,
             compute: 4.0,
             wait: 0.0,
+            fault: 0.0,
         };
         assert!((p.io_fraction() - 0.5).abs() < 1e-12);
         assert_eq!(PhaseBreakdown::default().io_fraction(), 0.0);
@@ -195,11 +209,13 @@ mod tests {
                 comm: 0.0,
                 compute: 4.0,
                 wait: 0.0,
+                fault: 0.0,
             },
             io_ranks: PhaseBreakdown::default(),
             num_compute_ranks: 4,
             num_io_ranks: 0,
             wall_time: 1.0,
+            dropped_members: vec![],
         };
         assert_eq!(rep.compute_mean().read, 2.0);
         assert_eq!(rep.io_mean(), PhaseBreakdown::default());

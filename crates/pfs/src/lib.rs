@@ -19,9 +19,11 @@
 //! * [`scratch`] — self-cleaning scratch directories for tests and examples.
 
 pub mod model;
+pub mod resilient;
 pub mod scratch;
 pub mod store;
 
 pub use model::{ModeledPfs, PfsParams};
+pub use resilient::{read_full_resilient, read_region_resilient};
 pub use scratch::ScratchDir;
 pub use store::{FileStore, IoStats, RegionData};

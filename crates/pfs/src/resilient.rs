@@ -1,0 +1,262 @@
+//! Retry-with-backoff reads under a fault plan.
+//!
+//! The real executors read member regions through
+//! [`read_region_resilient`]: attempts the fault plan marks as failing are
+//! performed and discarded (so the wall cost of a failed attempt mirrors
+//! the OST service the model charges), each retry waits an exponentially
+//! growing backoff, and every injected failure, backoff and recovery is
+//! recorded both as an [`enkf_trace::Op::Fault`] span and as a
+//! [`enkf_fault::FaultLog`] event. The modeled executors weave the same
+//! attempt/backoff sequence into the task graph, so the operation digests
+//! of the two paths stay identical under any seeded plan.
+
+use crate::store::{FileStore, RegionData};
+use enkf_fault::{FaultInjector, ReadError, SubstrateError};
+use enkf_grid::RegionRect;
+use enkf_trace::RankTracer;
+use std::time::{Duration, Instant};
+
+/// Sleep for `(factor - 1) × elapsed` to dilate an operation that took
+/// `elapsed` seconds to `factor ×` its natural duration.
+fn dilate(start: Instant, factor: f64) {
+    if factor > 1.0 {
+        let elapsed = start.elapsed().as_secs_f64();
+        std::thread::sleep(Duration::from_secs_f64(elapsed * (factor - 1.0)));
+    }
+}
+
+/// Read `region` of member `member`, retrying under the injector's policy.
+///
+/// Attempt semantics (identical for both executors):
+///
+/// * attempts `0..fail_attempts` from the plan fail by injection — the real
+///   path still performs the read (and discards it) so the attempt costs
+///   real OST time, recorded as a fault span with the region's bytes/seeks;
+/// * before each retry the policy's deterministic backoff is slept,
+///   recorded as a zero-byte fault span;
+/// * a genuine I/O failure on a non-injected attempt also consumes an
+///   attempt; when retries are exhausted the last real [`ReadError`] (if
+///   any) is returned as the cause;
+/// * OST slowdown factors from the plan dilate every attempt's wall time.
+pub fn read_region_resilient(
+    store: &FileStore,
+    tracer: &mut RankTracer,
+    stage: Option<usize>,
+    member: usize,
+    region: &RegionRect,
+    injector: &FaultInjector,
+) -> Result<RegionData, SubstrateError> {
+    let (seeks, bytes) = store.op_cost(region);
+    let retry = injector.retry();
+    let fails = injector.read_fail_attempts(member);
+    let slowdown = injector.file_slowdown(member);
+    let rank = tracer.rank();
+    let mut last_real: Option<ReadError> = None;
+    for attempt in 0..retry.attempts() {
+        if attempt > 0 {
+            injector.log().backoff(rank, stage, member, attempt - 1);
+            let pause = retry.backoff(attempt - 1);
+            tracer.fault(stage, Some(member), 0, 0, || {
+                std::thread::sleep(Duration::from_secs_f64(pause));
+            });
+        }
+        if attempt < fails {
+            // Injected failure: the read happens (real disk time, real OST
+            // occupancy) but its result is discarded.
+            injector.log().injected(rank, stage, member, attempt);
+            tracer.fault(stage, Some(member), bytes, seeks, || {
+                let start = Instant::now();
+                let _ = store.read_region(member, region);
+                dilate(start, slowdown);
+            });
+            continue;
+        }
+        let result = tracer.read(stage, Some(member), bytes, seeks, || {
+            let start = Instant::now();
+            let out = store.read_region(member, region);
+            dilate(start, slowdown);
+            out
+        });
+        match result {
+            Ok(data) => {
+                if attempt > 0 {
+                    injector.log().recovered(rank, stage, member, attempt);
+                }
+                return Ok(data);
+            }
+            Err(e) => last_real = Some(e),
+        }
+    }
+    if retry.max_retries == 0 {
+        if let Some(cause) = last_real {
+            // No retry policy and a genuine failure: surface it directly,
+            // matching the pre-fault behaviour of a bare read.
+            return Err(SubstrateError::Read(cause));
+        }
+    }
+    Err(SubstrateError::RetriesExhausted {
+        member,
+        attempts: retry.attempts(),
+        cause: last_real,
+    })
+}
+
+/// [`read_region_resilient`] over the whole mesh.
+pub fn read_full_resilient(
+    store: &FileStore,
+    tracer: &mut RankTracer,
+    stage: Option<usize>,
+    member: usize,
+    injector: &FaultInjector,
+) -> Result<RegionData, SubstrateError> {
+    let region = RegionRect::full(store.layout().mesh());
+    read_region_resilient(store, tracer, stage, member, &region, injector)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FileStore, ScratchDir};
+    use enkf_fault::{FaultConfig, FaultEvent, FaultPlan, RetryPolicy};
+    use enkf_grid::{FileLayout, Mesh};
+    use std::time::Instant;
+
+    fn store() -> (ScratchDir, FileStore) {
+        let scratch = ScratchDir::new("resilient").unwrap();
+        let mesh = Mesh::new(8, 4);
+        let store = FileStore::open(scratch.path(), FileLayout::new(mesh, 8)).unwrap();
+        for k in 0..2 {
+            let v: Vec<f64> = (0..mesh.n()).map(|i| (k * 100 + i) as f64).collect();
+            store.write_member(k, &v).unwrap();
+        }
+        (scratch, store)
+    }
+
+    fn tracer() -> RankTracer {
+        RankTracer::new(0, Instant::now())
+    }
+
+    fn into_trace(t: RankTracer) -> enkf_trace::Trace {
+        let mut trace = enkf_trace::Trace::new("test");
+        for s in t.into_spans() {
+            trace.push(s);
+        }
+        trace
+    }
+
+    #[test]
+    fn no_fault_read_is_a_plain_read_span() {
+        let (_s, store, inj) = {
+            let (s, st) = store();
+            (s, st, FaultInjector::new(FaultConfig::none()))
+        };
+        let mut t = tracer();
+        let data = read_full_resilient(&store, &mut t, None, 0, &inj).unwrap();
+        assert_eq!(data.values.len(), 32);
+        let trace = into_trace(t);
+        assert_eq!(trace.spans().len(), 1);
+        assert!(trace.digest().contains("op=read"));
+        assert!(!trace.digest().contains("op=fault"));
+        assert!(inj.log().is_empty());
+    }
+
+    #[test]
+    fn injected_failures_retry_and_recover() {
+        let (_s, st) = store();
+        let plan = FaultPlan::new(7).with_read_fault(0, 2);
+        let cfg = FaultConfig::degraded(plan).with_retry(RetryPolicy {
+            max_retries: 3,
+            base_backoff: 1e-6,
+            multiplier: 2.0,
+        });
+        let inj = FaultInjector::new(cfg);
+        let mut t = tracer();
+        let data = read_full_resilient(&st, &mut t, Some(1), 0, &inj).unwrap();
+        assert_eq!(data.values.len(), 32);
+        // 2 injected fail spans + 2 backoff spans + 1 successful read.
+        let trace = into_trace(t);
+        let faults = trace
+            .spans()
+            .iter()
+            .filter(|s| s.op.label() == "fault")
+            .count();
+        assert_eq!(faults, 4);
+        let events: Vec<FaultEvent> = inj.log().records().iter().map(|r| r.event).collect();
+        assert_eq!(
+            events,
+            vec![
+                FaultEvent::ReadFaultInjected,
+                FaultEvent::RetryBackoff,
+                FaultEvent::ReadFaultInjected,
+                FaultEvent::RetryBackoff,
+                FaultEvent::ReadRecovered,
+            ]
+        );
+    }
+
+    #[test]
+    fn unrecoverable_member_exhausts_retries_with_no_real_cause() {
+        let (_s, st) = store();
+        let plan = FaultPlan::new(7).with_unrecoverable_member(1);
+        let cfg = FaultConfig::degraded(plan).with_retry(RetryPolicy {
+            max_retries: 1,
+            base_backoff: 1e-6,
+            multiplier: 2.0,
+        });
+        let inj = FaultInjector::new(cfg);
+        let mut t = tracer();
+        let err = read_full_resilient(&st, &mut t, None, 1, &inj).unwrap_err();
+        match err {
+            SubstrateError::RetriesExhausted {
+                member,
+                attempts,
+                cause,
+            } => {
+                assert_eq!(member, 1);
+                assert_eq!(attempts, 2);
+                assert!(cause.is_none(), "all failures were injected");
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn real_failure_without_retries_surfaces_read_error() {
+        let (_s, st) = store();
+        let inj = FaultInjector::new(FaultConfig::none());
+        let mut t = tracer();
+        let err = read_full_resilient(&st, &mut t, None, 9, &inj).unwrap_err();
+        match err {
+            SubstrateError::Read(e) => {
+                assert_eq!(e.member, 9);
+                assert_eq!(e.actual, 0);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn real_failure_with_retries_reports_cause() {
+        let (_s, st) = store();
+        let cfg = FaultConfig::none().with_retry(RetryPolicy {
+            max_retries: 2,
+            base_backoff: 1e-6,
+            multiplier: 2.0,
+        });
+        let inj = FaultInjector::new(cfg);
+        let mut t = tracer();
+        let err = read_full_resilient(&st, &mut t, None, 9, &inj).unwrap_err();
+        match err {
+            SubstrateError::RetriesExhausted {
+                member,
+                attempts,
+                cause,
+            } => {
+                assert_eq!(member, 9);
+                assert_eq!(attempts, 3);
+                assert_eq!(cause.unwrap().member, 9);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+}

@@ -8,6 +8,7 @@
 //! charges for.
 
 use bytes::{Buf, BufMut, BytesMut};
+use enkf_fault::ReadError;
 use enkf_grid::{FileLayout, RegionRect};
 use parking_lot::Mutex;
 use std::fs::File;
@@ -166,17 +167,31 @@ impl FileStore {
 
     /// Read one region of member `k`, issuing one seek + read per contiguous
     /// segment (full-width regions are a single segment).
-    pub fn read_region(&self, k: usize, region: &RegionRect) -> std::io::Result<RegionData> {
+    ///
+    /// Failures return a structured [`ReadError`] carrying the path, the
+    /// member, the bytes the region required and the bytes actually present
+    /// — the context the executors' failure paths propagate instead of a
+    /// bare `io::Error` string.
+    pub fn read_region(&self, k: usize, region: &RegionRect) -> Result<RegionData, ReadError> {
         let segments = self.layout.segments(region);
-        let mut f = File::open(self.member_path(k))?;
-        let levels = self.levels();
+        let path = self.member_path(k);
         let total: usize = segments.iter().map(|s| s.len as usize).sum();
+        let ctx = |detail: std::io::Error| ReadError {
+            path: path.clone(),
+            member: k,
+            expected: total as u64,
+            actual: std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+            detail: detail.to_string(),
+        };
+        let mut f = File::open(&path).map_err(ctx)?;
+        let levels = self.levels();
         let mut raw = vec![0u8; total];
         let mut cursor = 0usize;
         let mut seeks = 0u64;
         for seg in &segments {
-            f.seek(SeekFrom::Start(seg.offset))?;
-            f.read_exact(&mut raw[cursor..cursor + seg.len as usize])?;
+            f.seek(SeekFrom::Start(seg.offset)).map_err(ctx)?;
+            f.read_exact(&mut raw[cursor..cursor + seg.len as usize])
+                .map_err(ctx)?;
             cursor += seg.len as usize;
             seeks += 1;
         }
@@ -198,7 +213,7 @@ impl FileStore {
     }
 
     /// Read an entire member file.
-    pub fn read_full(&self, k: usize) -> std::io::Result<RegionData> {
+    pub fn read_full(&self, k: usize) -> Result<RegionData, ReadError> {
         self.read_region(k, &RegionRect::full(self.layout.mesh()))
     }
 
@@ -331,6 +346,34 @@ mod tests {
     fn missing_member_errors() {
         let (_s, store, _) = store_with_member();
         assert!(store.read_full(7).is_err());
+    }
+
+    #[test]
+    fn read_error_carries_context() {
+        let (_s, store, _) = store_with_member();
+        let err = store.read_full(7).unwrap_err();
+        assert_eq!(err.member, 7);
+        assert_eq!(err.path, store.member_path(7));
+        assert_eq!(err.expected, (8 * 4 * 16) as u64);
+        assert_eq!(err.actual, 0, "missing file has zero bytes present");
+        assert!(!err.detail.is_empty());
+        // The error converts into io::Error for legacy `?` call sites.
+        let io: std::io::Error = err.into();
+        assert!(io.to_string().contains("member 7"));
+    }
+
+    #[test]
+    fn truncated_member_reports_actual_bytes() {
+        let (_s, store, _) = store_with_member();
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(store.member_path(0))
+            .unwrap();
+        f.set_len(40).unwrap();
+        let err = store.read_full(0).unwrap_err();
+        assert_eq!(err.member, 0);
+        assert_eq!(err.expected, (8 * 4 * 16) as u64);
+        assert_eq!(err.actual, 40);
     }
 
     #[test]

@@ -334,6 +334,7 @@ impl Simulation {
                 Kind::Read => Op::Read,
                 Kind::Comm => Op::Send,
                 Kind::Compute => Op::Compute,
+                Kind::Fault => Op::Fault,
                 Kind::Control => continue,
             };
             trace.push(Span {
@@ -679,6 +680,50 @@ mod tests {
         // Tags survive into spans; the digest sees both reads.
         assert!(trace.digest().contains("role=io"));
         assert!(trace.digest().contains("bytes=32 seeks=2"));
+    }
+
+    #[test]
+    fn fault_tasks_project_to_fault_spans_and_busy() {
+        use enkf_trace::OpTag;
+        let mut sim = Simulation::new();
+        let ost = sim.add_resource(1);
+        let a = sim.add_agent();
+        // Failed attempt on the OST, backoff off-resource, then the read.
+        sim.add_task(
+            Task::new(a, Kind::Fault, 2.0)
+                .with_resources(vec![ost])
+                .with_op(OpTag {
+                    bytes: 64,
+                    seeks: 4,
+                    member: Some(1),
+                    ..OpTag::default()
+                }),
+        )
+        .unwrap();
+        sim.add_task(Task::new(a, Kind::Fault, 0.5).with_op(OpTag {
+            member: Some(1),
+            ..OpTag::default()
+        }))
+        .unwrap();
+        sim.add_task(
+            Task::new(a, Kind::Read, 1.0)
+                .with_resources(vec![ost])
+                .with_op(OpTag {
+                    bytes: 64,
+                    seeks: 4,
+                    member: Some(1),
+                    ..OpTag::default()
+                }),
+        )
+        .unwrap();
+        let rep = sim.run().unwrap();
+        assert_eq!(rep.makespan, 3.5);
+        assert_eq!(rep.agents[0].busy.fault, 2.5);
+        assert_eq!(rep.agents[0].busy.read, 1.0);
+        let trace = sim.export_trace("faulted");
+        let p = trace.per_rank_phases()[&0];
+        assert_eq!(p.fault, rep.agents[0].busy.fault, "exact projection");
+        assert!(trace.digest().contains("op=fault"));
     }
 
     #[test]

@@ -11,6 +11,8 @@ pub struct KindTotals {
     pub comm: f64,
     /// Time spent in local analysis computation.
     pub compute: f64,
+    /// Time spent in injected faults and recovery actions.
+    pub fault: f64,
 }
 
 impl KindTotals {
@@ -21,13 +23,14 @@ impl KindTotals {
             Kind::Read => self.read += service,
             Kind::Comm => self.comm += service,
             Kind::Compute => self.compute += service,
+            Kind::Fault => self.fault += service,
             Kind::Control => {}
         }
     }
 
     /// Sum over all kinds.
     pub fn total(&self) -> f64 {
-        self.read + self.comm + self.compute
+        self.read + self.comm + self.compute + self.fault
     }
 
     /// Elementwise sum of two totals.
@@ -36,6 +39,7 @@ impl KindTotals {
             read: self.read + other.read,
             comm: self.comm + other.comm,
             compute: self.compute + other.compute,
+            fault: self.fault + other.fault,
         }
     }
 }
@@ -135,15 +139,18 @@ mod tests {
             read: 1.0,
             comm: 2.0,
             compute: 3.0,
+            fault: 0.25,
         };
         let b = KindTotals {
             read: 0.5,
             comm: 0.5,
             compute: 0.5,
+            fault: 0.25,
         };
         let m = a.merged(&b);
         assert_eq!(m.read, 1.5);
-        assert_eq!(m.total(), 7.5);
+        assert_eq!(m.fault, 0.5);
+        assert_eq!(m.total(), 8.0);
     }
 
     #[test]

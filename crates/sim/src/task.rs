@@ -20,6 +20,10 @@ pub enum Kind {
     Comm,
     /// Local analysis computation.
     Compute,
+    /// An injected fault or recovery action: a failed read attempt
+    /// (occupying its OST slot) or a retry backoff (agent-local virtual
+    /// sleep). Mirrors the real executors' `Op::Fault` spans.
+    Fault,
     /// Synchronization / bookkeeping with no physical phase (barriers);
     /// excluded from busy-time accounting.
     Control,

@@ -63,6 +63,11 @@ pub enum Op {
     /// A dependency/receive/resource stall. Excluded from digests: wait
     /// placement is scheduling, not operation structure.
     Wait,
+    /// An injected fault or a recovery action (failed read attempt, retry
+    /// backoff). Included in digests — fault structure is operation
+    /// structure, and the same plan must inject the same faults on both
+    /// executors.
+    Fault,
 }
 
 impl Op {
@@ -74,6 +79,7 @@ impl Op {
             Op::Send => "send",
             Op::Compute => "compute",
             Op::Wait => "wait",
+            Op::Fault => "fault",
         }
     }
 }
@@ -137,6 +143,8 @@ pub struct PhaseTotals {
     pub compute: f64,
     /// Stalls.
     pub wait: f64,
+    /// Injected faults and recovery actions (failed attempts, backoffs).
+    pub fault: f64,
 }
 
 impl PhaseTotals {
@@ -147,12 +155,13 @@ impl PhaseTotals {
             Op::Send => self.comm += span.dur,
             Op::Compute => self.compute += span.dur,
             Op::Wait => self.wait += span.dur,
+            Op::Fault => self.fault += span.dur,
         }
     }
 
-    /// Sum of all four slots.
+    /// Sum of all five slots.
     pub fn total(&self) -> f64 {
-        self.read + self.comm + self.compute + self.wait
+        self.read + self.comm + self.compute + self.wait + self.fault
     }
 }
 
@@ -441,6 +450,27 @@ impl RankTracer {
         )
     }
 
+    /// Time an injected fault or recovery action: a failed read attempt
+    /// (carrying the bytes/seeks the attempt consumed) or a retry backoff
+    /// (`bytes = seeks = 0`).
+    pub fn fault<T>(
+        &mut self,
+        stage: Option<usize>,
+        member: Option<usize>,
+        bytes: u64,
+        seeks: u64,
+        f: impl FnOnce() -> T,
+    ) -> T {
+        let tag = OpTag {
+            stage,
+            bytes,
+            seeks,
+            member,
+            ..OpTag::default()
+        };
+        self.record(Op::Fault, tag, f)
+    }
+
     /// Time a blocking wait (receive, join).
     pub fn wait<T>(&mut self, stage: Option<usize>, f: impl FnOnce() -> T) -> T {
         self.record(
@@ -533,6 +563,37 @@ mod tests {
         assert_eq!(p.wait, 0.25);
         assert_eq!(p.comm, 0.0);
         assert_eq!(p.total(), 0.75);
+    }
+
+    #[test]
+    fn fault_spans_enter_digest_and_fault_phase() {
+        let mut t = Trace::new("f");
+        t.push(span(0, Op::Fault, Some(1), 64, 2));
+        t.push(span(0, Op::Read, Some(1), 64, 2));
+        let d = t.digest();
+        assert!(d.contains("op=fault"), "faults are operation structure");
+        let p = t.per_rank_phases()[&0];
+        assert_eq!(p.fault, 0.25);
+        assert_eq!(p.read, 0.25);
+        assert_eq!(p.total(), 0.5);
+        // A trace with the fault missing digests differently.
+        let mut clean = Trace::new("c");
+        clean.push(span(0, Op::Read, Some(1), 64, 2));
+        assert_ne!(d, clean.digest());
+    }
+
+    #[test]
+    fn tracer_fault_spans_carry_member_and_cost() {
+        let mut tr = RankTracer::new(2, Instant::now());
+        tr.fault(Some(0), Some(4), 128, 3, || ());
+        tr.fault(Some(0), Some(4), 0, 0, || ());
+        let spans = tr.into_spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].op, Op::Fault);
+        assert_eq!(spans[0].member, Some(4));
+        assert_eq!(spans[0].bytes, 128);
+        assert_eq!(spans[0].seeks, 3);
+        assert_eq!(spans[1].bytes, 0, "backoff spans move no bytes");
     }
 
     #[test]

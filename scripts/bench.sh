@@ -1,15 +1,15 @@
 #!/usr/bin/env bash
-# Microbenchmark runner emitting BENCH_PR2.json at the repo root.
+# Microbenchmark runner emitting BENCH_PR3.json at the repo root.
 #
 # Runs the criterion microbenches (letkf_pointwise, obs_localize, and the
-# local_analysis cases of kernels) plus the fig09 --tiny end-to-end smoke
-# workload, and records the results next to the frozen "before" numbers
-# captured immediately before the batched-LETKF / observation-index work,
-# so the perf trajectory lives in the repo.
+# local_analysis cases of kernels), the fig09 --tiny end-to-end smoke
+# workload, and the fig14 fault-resilience smoke sweep with its
+# zero-overhead check (the no-fault fault path must produce byte-identical
+# digests and no measurable wall-clock cost over the plain path).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=BENCH_PR2.json
+out=BENCH_PR3.json
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
@@ -24,6 +24,20 @@ cargo run -q --release -p enkf-bench --bin fig09_phase_breakdown -- --tiny \
   >"$tmp/fig09.txt"
 fig09_secs=$((SECONDS - t0))
 
+echo "==> fig14 --tiny --check-overhead"
+t0=$SECONDS
+cargo run -q --release -p enkf-bench --bin fig14_fault_resilience -- \
+  --tiny --check-overhead | tee "$tmp/fig14.txt"
+fig14_secs=$((SECONDS - t0))
+
+# fig14 prints one machine-readable line:
+#   zero_overhead digests_equal=true plain_ms=… faulted_ms=… overhead=…%
+zo_line=$(grep '^zero_overhead ' "$tmp/fig14.txt")
+zo_equal=$(sed -n 's/.*digests_equal=\([a-z]*\).*/\1/p' <<<"$zo_line")
+zo_plain=$(sed -n 's/.*plain_ms=\([0-9.]*\).*/\1/p' <<<"$zo_line")
+zo_faulted=$(sed -n 's/.*faulted_ms=\([0-9.]*\).*/\1/p' <<<"$zo_line")
+zo_overhead=$(sed -n 's/.*overhead=\([-+0-9.]*\)%.*/\1/p' <<<"$zo_line")
+
 # The criterion shim prints "group: <g>" then "  <id>: <duration>/iter over
 # N iters" per case; flatten to "group/id": "duration" JSON entries.
 awk '
@@ -33,34 +47,27 @@ awk '
     val = $2; sub(/\/iter$/, "", val)
     printf "    \"%s/%s\": \"%s\",\n", group, id, val
   }
-' "$tmp/bench.txt" >"$tmp/after.txt"
-sed -i '$ s/,$//' "$tmp/after.txt"
+' "$tmp/bench.txt" >"$tmp/micro.txt"
+sed -i '$ s/,$//' "$tmp/micro.txt"
 
 {
   cat <<'HEADER'
 {
-  "benchmark": "PR2: allocation-free batched LETKF kernel + spatially-indexed observation localization",
+  "benchmark": "PR3: deterministic fault injection + resilient execution (enkf-fault)",
   "iterations_per_case": 20,
-  "before": {
-    "letkf_pointwise/mesh16x16_stride2": "34.870379ms",
-    "letkf_pointwise/mesh16x16_stride4": "13.640705ms",
-    "letkf_pointwise/mesh32x32_stride2": "150.826905ms",
-    "letkf_pointwise/mesh32x32_stride4": "60.008587ms",
-    "obs_localize/localize_mesh64_stride2": "95.755µs",
-    "obs_localize/sub_localize_mesh64_stride2": "957.54µs",
-    "obs_localize/localize_mesh64_stride4": "21.637µs",
-    "obs_localize/sub_localize_mesh64_stride4": "272.954µs",
-    "obs_localize/localize_mesh128_stride2": "448.994µs",
-    "obs_localize/sub_localize_mesh128_stride2": "11.101655ms",
-    "local_analysis/pointwise_12x12_subdomain": "13.836046ms",
-    "local_analysis/blocked_12x12_subdomain": "3.078175ms"
-  },
-  "after": {
+  "micro": {
 HEADER
-  cat "$tmp/after.txt"
+  cat "$tmp/micro.txt"
   cat <<FOOTER
   },
-  "fig09_tiny_seconds": $fig09_secs
+  "fig09_tiny_seconds": $fig09_secs,
+  "fig14_tiny_seconds": $fig14_secs,
+  "zero_overhead_check": {
+    "digests_equal": $zo_equal,
+    "plain_ms": $zo_plain,
+    "faulted_ms": $zo_faulted,
+    "overhead_pct": $zo_overhead
+  }
 }
 FOOTER
 } >"$out"

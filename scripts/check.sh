@@ -12,6 +12,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> failure injection and cross-executor conformance suites"
+cargo test -q --test failure_injection --test fault_resilience \
+  --test fault_conformance --test trace_conformance
+
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
 

@@ -12,6 +12,8 @@
 //! * [`sim`] — the discrete-event engine that models the 12,000-core runs.
 //! * [`trace`] — execution spans and operation digests shared by the real
 //!   and modeled executors (Chrome-trace export, conformance checking).
+//! * [`fault`] — deterministic fault injection: seeded fault plans, retry
+//!   policies, degraded (N−1) execution, and the shared fault-event log.
 //! * [`pfs`] — the parallel file system substrate (OSTs, striping, seek and
 //!   transfer costs; real local-disk backend plus a DES-modeled backend).
 //! * [`net`] — the message-passing substrate (threads + channels for real
@@ -45,6 +47,7 @@
 
 pub use enkf_core as core;
 pub use enkf_data as data;
+pub use enkf_fault as fault;
 pub use enkf_grid as grid;
 pub use enkf_linalg as linalg;
 pub use enkf_net as net;
@@ -65,14 +68,18 @@ pub mod prelude {
         read_ensemble, write_ensemble, AdvectionDiffusion, CycleConfig, CycledExperiment, Scenario,
         ScenarioBuilder, SmoothFieldGenerator,
     };
+    pub use enkf_fault::{
+        FaultConfig, FaultEvent, FaultLog, FaultPlan, RetryPolicy, SubstrateError,
+    };
     pub use enkf_grid::{
         Decomposition, FileLayout, LocalizationRadius, Mesh, RegionRect, SubDomainId,
     };
     pub use enkf_linalg::Matrix;
     pub use enkf_net::NetParams;
     pub use enkf_parallel::{
-        model_penkf_traced, model_senkf_traced, parallel_write_back, AssimilationSetup,
-        ExecutionReport, LEnkf, ModelConfig, ModelOutcome, PEnkf, PhaseBreakdown, SEnkf,
+        model_penkf_faulted, model_penkf_traced, model_senkf_faulted, model_senkf_traced,
+        parallel_write_back, AssimilationSetup, ExecutionReport, LEnkf, ModelConfig, ModelOutcome,
+        PEnkf, PhaseBreakdown, SEnkf,
     };
     pub use enkf_pfs::{FileStore, PfsParams, ScratchDir};
     pub use enkf_trace::{RankTracer, Span, Trace};

@@ -1,0 +1,41 @@
+//! Shared integration-test harness: a seeded scenario written into a
+//! scratch-backed [`FileStore`], used by the cross-variant, failure
+//! injection, and fault resilience suites.
+
+#![allow(dead_code)] // each test binary uses a subset of the helpers
+
+use s_enkf::data::{write_ensemble, Scenario, ScenarioBuilder};
+use s_enkf::grid::{FileLayout, Mesh};
+use s_enkf::pfs::{FileStore, ScratchDir};
+
+/// A scenario plus the on-disk ensemble it was written to. The scratch
+/// directory is removed when the harness drops.
+pub struct Harness {
+    pub scratch: ScratchDir,
+    pub store: FileStore,
+    pub scenario: Scenario,
+}
+
+/// Build a seeded scenario, write its ensemble into a scratch-backed store
+/// whose files carry `levels` vertical levels per point, and return the
+/// bundle.
+pub fn harness(mesh: Mesh, members: usize, seed: u64, levels: u64) -> Harness {
+    harness_labeled("integration", mesh, members, seed, levels)
+}
+
+/// [`harness`] with a custom scratch-directory label (useful when several
+/// tests in one binary must not collide).
+pub fn harness_labeled(label: &str, mesh: Mesh, members: usize, seed: u64, levels: u64) -> Harness {
+    let scenario = ScenarioBuilder::new(mesh)
+        .members(members)
+        .seed(seed)
+        .build();
+    let scratch = ScratchDir::new(label).unwrap();
+    let store = FileStore::open(scratch.path(), FileLayout::new(mesh, 8 * levels)).unwrap();
+    write_ensemble(&store, &scenario.ensemble).unwrap();
+    Harness {
+        scratch,
+        store,
+        scenario,
+    }
+}

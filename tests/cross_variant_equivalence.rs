@@ -3,33 +3,13 @@
 //! point-wise reference — the paper's implementations differ in *how data
 //! moves*, never in *what is computed*.
 
+mod common;
+
+use common::harness;
 use s_enkf::core::{serial_enkf, serial_enkf_decomposed, LocalAnalysis};
-use s_enkf::data::{write_ensemble, Scenario, ScenarioBuilder};
-use s_enkf::grid::{Decomposition, FileLayout, LocalizationRadius, Mesh};
+use s_enkf::grid::{Decomposition, LocalizationRadius, Mesh};
 use s_enkf::parallel::{AssimilationSetup, LEnkf, PEnkf, SEnkf};
-use s_enkf::pfs::{FileStore, ScratchDir};
 use s_enkf::tuning::Params;
-
-struct Harness {
-    _scratch: ScratchDir,
-    store: FileStore,
-    scenario: Scenario,
-}
-
-fn harness(mesh: Mesh, members: usize, seed: u64, levels: u64) -> Harness {
-    let scenario = ScenarioBuilder::new(mesh)
-        .members(members)
-        .seed(seed)
-        .build();
-    let scratch = ScratchDir::new("integration").unwrap();
-    let store = FileStore::open(scratch.path(), FileLayout::new(mesh, 8 * levels)).unwrap();
-    write_ensemble(&store, &scenario.ensemble).unwrap();
-    Harness {
-        _scratch: scratch,
-        store,
-        scenario,
-    }
-}
 
 #[test]
 fn all_variants_match_serial_reference() {

@@ -3,11 +3,13 @@
 //! errors instead of panicking, deadlocking, or silently producing a wrong
 //! analysis.
 
+mod common;
+
+use common::harness_labeled;
 use s_enkf::core::{LocalAnalysis, PerturbedObservations};
-use s_enkf::data::{write_ensemble, ScenarioBuilder};
-use s_enkf::grid::{FileLayout, LocalizationRadius, Mesh};
+use s_enkf::data::ScenarioBuilder;
+use s_enkf::grid::{LocalizationRadius, Mesh};
 use s_enkf::parallel::{AssimilationSetup, LEnkf, PEnkf, SEnkf};
-use s_enkf::pfs::{FileStore, ScratchDir};
 use s_enkf::tuning::Params;
 
 fn radius() -> LocalizationRadius {
@@ -18,17 +20,14 @@ fn radius() -> LocalizationRadius {
 fn missing_member_file_is_an_error_in_every_variant() {
     let mesh = Mesh::new(8, 8);
     let members = 4;
-    let scenario = ScenarioBuilder::new(mesh).members(members).seed(1).build();
-    let scratch = ScratchDir::new("fail-missing").unwrap();
-    let store = FileStore::open(scratch.path(), FileLayout::new(mesh, 8)).unwrap();
-    write_ensemble(&store, &scenario.ensemble).unwrap();
+    let h = harness_labeled("fail-missing", mesh, members, 1, 1);
     // Remove one member file.
-    std::fs::remove_file(store.member_path(2)).unwrap();
+    std::fs::remove_file(h.store.member_path(2)).unwrap();
 
     let setup = AssimilationSetup {
-        store: &store,
+        store: &h.store,
         members,
-        observations: &scenario.observations,
+        observations: &h.scenario.observations,
         analysis: LocalAnalysis::new(radius()),
     };
     assert!(
@@ -52,19 +51,16 @@ fn missing_member_file_is_an_error_in_every_variant() {
 fn truncated_member_file_is_an_error() {
     let mesh = Mesh::new(8, 8);
     let members = 3;
-    let scenario = ScenarioBuilder::new(mesh).members(members).seed(2).build();
-    let scratch = ScratchDir::new("fail-truncated").unwrap();
-    let store = FileStore::open(scratch.path(), FileLayout::new(mesh, 8)).unwrap();
-    write_ensemble(&store, &scenario.ensemble).unwrap();
+    let h = harness_labeled("fail-truncated", mesh, members, 2, 1);
     // Truncate the last member to half its size.
-    let path = store.member_path(2);
+    let path = h.store.member_path(2);
     let full = std::fs::read(&path).unwrap();
     std::fs::write(&path, &full[..full.len() / 2]).unwrap();
 
     let setup = AssimilationSetup {
-        store: &store,
+        store: &h.store,
         members,
-        observations: &scenario.observations,
+        observations: &h.scenario.observations,
         analysis: LocalAnalysis::new(radius()),
     };
     assert!(PEnkf { nsdx: 2, nsdy: 2 }.run(&setup).is_err());
@@ -73,15 +69,12 @@ fn truncated_member_file_is_an_error() {
 #[test]
 fn member_count_mismatch_with_perturbations_is_rejected() {
     let mesh = Mesh::new(8, 8);
-    let scenario = ScenarioBuilder::new(mesh).members(4).seed(3).build();
-    let scratch = ScratchDir::new("fail-mismatch").unwrap();
-    let store = FileStore::open(scratch.path(), FileLayout::new(mesh, 8)).unwrap();
-    write_ensemble(&store, &scenario.ensemble).unwrap();
+    let h = harness_labeled("fail-mismatch", mesh, 4, 3, 1);
     // Claim 3 members while the perturbation schema was built for 4.
     let setup = AssimilationSetup {
-        store: &store,
+        store: &h.store,
         members: 3,
-        observations: &scenario.observations,
+        observations: &h.scenario.observations,
         analysis: LocalAnalysis::new(radius()),
     };
     assert!(PEnkf { nsdx: 2, nsdy: 2 }.run(&setup).is_err());
@@ -91,17 +84,14 @@ fn member_count_mismatch_with_perturbations_is_rejected() {
 fn observation_mesh_mismatch_is_rejected() {
     let mesh = Mesh::new(8, 8);
     let members = 4;
-    let scenario = ScenarioBuilder::new(mesh).members(members).seed(4).build();
-    let scratch = ScratchDir::new("fail-mesh").unwrap();
-    let store = FileStore::open(scratch.path(), FileLayout::new(mesh, 8)).unwrap();
-    write_ensemble(&store, &scenario.ensemble).unwrap();
+    let h = harness_labeled("fail-mesh", mesh, members, 4, 1);
     // Observations built on a different mesh.
     let other = ScenarioBuilder::new(Mesh::new(12, 8))
         .members(members)
         .seed(4)
         .build();
     let setup = AssimilationSetup {
-        store: &store,
+        store: &h.store,
         members,
         observations: &other.observations,
         analysis: LocalAnalysis::new(radius()),
@@ -112,14 +102,11 @@ fn observation_mesh_mismatch_is_rejected() {
 #[test]
 fn too_few_members_is_rejected() {
     let mesh = Mesh::new(8, 8);
-    let scenario = ScenarioBuilder::new(mesh).members(2).seed(5).build();
-    let scratch = ScratchDir::new("fail-few").unwrap();
-    let store = FileStore::open(scratch.path(), FileLayout::new(mesh, 8)).unwrap();
-    write_ensemble(&store, &scenario.ensemble).unwrap();
-    let obs = scenario.observations.clone();
+    let h = harness_labeled("fail-few", mesh, 2, 5, 1);
+    let obs = h.scenario.observations.clone();
     // Rebuild a 1-member claim: validate() must reject it.
     let setup = AssimilationSetup {
-        store: &store,
+        store: &h.store,
         members: 1,
         observations: &obs,
         analysis: LocalAnalysis::new(radius()),

@@ -37,6 +37,7 @@ proptest! {
         prop_assert!((sum.comm - out.compute_mean.comm * n).abs() < 1e-9);
         prop_assert!((sum.compute - out.compute_mean.compute * n).abs() < 1e-9);
         prop_assert!((sum.wait - out.compute_mean.wait * n).abs() < 1e-9);
+        prop_assert!((sum.fault - out.compute_mean.fault * n).abs() < 1e-9);
     }
 
     /// `merge` is elementwise addition and `scaled` is elementwise
@@ -48,8 +49,8 @@ proptest! {
         b in (0.0f64..10.0, 0.0f64..10.0, 0.0f64..10.0, 0.0f64..10.0),
         factor in 0.0f64..4.0,
     ) {
-        let pa = PhaseBreakdown { read: a.0, comm: a.1, compute: a.2, wait: a.3 };
-        let pb = PhaseBreakdown { read: b.0, comm: b.1, compute: b.2, wait: b.3 };
+        let pa = PhaseBreakdown { read: a.0, comm: a.1, compute: a.2, wait: a.3, fault: 0.0 };
+        let pb = PhaseBreakdown { read: b.0, comm: b.1, compute: b.2, wait: b.3, fault: 0.0 };
         let mut merged = pa;
         merged.merge(&pb);
         let scaled_then_merged = {
