@@ -1,0 +1,201 @@
+//! **Data plane** — before/after read-phase comparison on the real backend,
+//! shaped after the paper's reading figures:
+//!
+//! * a **fig05-shaped** sweep: block reading (`n_sdx` swept, `n_sdy`
+//!   fixed), every rank's block of every member read through the
+//!   pre-refactor fresh-allocation path versus the pooled zero-copy path;
+//! * a **fig10-shaped** sweep: one concurrent-group reader walking the
+//!   vertical stages (bar per stage per member), sequential reads versus
+//!   the read-ahead pipeline, under a slow-OST plan so reads have genuine
+//!   I/O latency to hide (this container's page cache has none).
+//!
+//! Figures 5 and 10 themselves are DES-model outputs and are untouched by
+//! this PR (the digests pin that); this binary measures the *real
+//! executor's* read phase, which is where the zero-copy work lands.
+//!
+//! Prints `DATAPLANE figNN key=value ...` lines for `scripts/bench.sh`.
+
+use enkf_bench::{print_table, write_csv};
+use enkf_fault::{FaultConfig, FaultInjector, FaultPlan};
+use enkf_grid::{FileLayout, Mesh, RegionRect};
+use enkf_pfs::{read_region_resilient, read_stages_ahead, FileStore, ScratchDir, StageRead};
+use enkf_trace::RankTracer;
+use std::time::Instant;
+
+const LEVELS: u64 = 4;
+
+fn build_store(mesh: Mesh, members: usize, label: &str) -> (ScratchDir, FileStore) {
+    let scratch = ScratchDir::new(label).unwrap();
+    let store = FileStore::open(scratch.path(), FileLayout::new(mesh, 8 * LEVELS)).unwrap();
+    let n = mesh.n() * LEVELS as usize;
+    for k in 0..members {
+        let v: Vec<f64> = (0..n).map(|i| ((i + 11 * k) as f64 * 0.21).sin()).collect();
+        store.write_member(k, &v).unwrap();
+    }
+    (scratch, store)
+}
+
+/// Best-of-`reps` wall time of `f` in milliseconds.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Fig05 shape: block reading, `n_sdx` swept. Every sub-domain block of
+/// every member is read; before = fresh path, after = pooled path.
+fn fig05_shaped() {
+    let mesh = Mesh::new(256, 64);
+    let members = 10;
+    let nsdy = 2;
+    let (_s, store) = build_store(mesh, members, "dataplane-f05");
+    let mut rows = Vec::new();
+    for nsdx in [2usize, 4, 8, 16] {
+        let bw = mesh.nx() / nsdx;
+        let bh = mesh.ny() / nsdy;
+        let blocks: Vec<RegionRect> = (0..nsdx)
+            .flat_map(|i| {
+                (0..nsdy).map(move |j| RegionRect::new(i * bw, (i + 1) * bw, j * bh, (j + 1) * bh))
+            })
+            .collect();
+        let mut sink = 0usize;
+        let before = time_ms(3, || {
+            for b in &blocks {
+                for k in 0..members {
+                    sink += store.read_region_fresh(k, b).unwrap().len();
+                }
+            }
+        });
+        let after = time_ms(3, || {
+            for b in &blocks {
+                for k in 0..members {
+                    sink += store.read_region(k, b).unwrap().len();
+                }
+            }
+        });
+        assert!(sink > 0);
+        let speedup = before / after;
+        println!(
+            "DATAPLANE fig05 nsdx={nsdx} before_ms={before:.3} after_ms={after:.3} speedup={speedup:.2}"
+        );
+        rows.push(vec![
+            nsdx.to_string(),
+            format!("{before:.3}"),
+            format!("{after:.3}"),
+            format!("{speedup:.2}"),
+        ]);
+    }
+    print_table(
+        "Data plane, fig05 shape: block-reading read phase, fresh vs pooled",
+        &["nsdx", "before_ms", "after_ms", "speedup"],
+        &rows,
+    );
+    write_csv(
+        "dataplane_fig05.csv",
+        &["nsdx", "before_ms", "after_ms", "speedup"],
+        &rows,
+    );
+}
+
+/// The scatter work a reading-group rank does per stage (stand-in for
+/// block extraction + sends), overlapped by the read-ahead pipeline.
+fn consume_cost(bars: &[enkf_pfs::RegionData]) -> f64 {
+    let mut acc = 0.0;
+    for data in bars {
+        for r in 0..data.region().height() {
+            for &v in data.row(r) {
+                acc += v * 1.0000001;
+            }
+        }
+    }
+    acc
+}
+
+/// Fig10 shape: one group reader, staged bar reads, `L` swept. Before =
+/// sequential read-then-consume; after = read-ahead pipeline. A slow-OST
+/// plan gives reads real blocking latency, as on a shared PFS.
+fn fig10_shaped() {
+    let mesh = Mesh::new(512, 128);
+    let members = 4;
+    let (_s, store) = build_store(mesh, members, "dataplane-f10");
+    let slow = FaultPlan::new(1).with_ost_slowdown(0, 2.0);
+    let inj = FaultInjector::new(FaultConfig::degraded(slow));
+    let mut rows = Vec::new();
+    for layers in [4usize, 8, 16] {
+        let bh = mesh.ny() / layers;
+        let stages: Vec<StageRead> = (0..layers)
+            .map(|l| StageRead {
+                stage: l,
+                region: RegionRect::new(0, mesh.nx(), l * bh, (l + 1) * bh),
+                members: (0..members).collect(),
+            })
+            .collect();
+        let mut sink = 0.0;
+        let before = time_ms(5, || {
+            let mut tracer = RankTracer::new(0, Instant::now());
+            for sr in &stages {
+                let bars: Vec<enkf_pfs::RegionData> = sr
+                    .members
+                    .iter()
+                    .map(|&m| {
+                        read_region_resilient(
+                            &store,
+                            &mut tracer,
+                            Some(sr.stage),
+                            m,
+                            &sr.region,
+                            &inj,
+                        )
+                        .unwrap()
+                    })
+                    .collect();
+                sink += consume_cost(&bars);
+            }
+        });
+        let after = time_ms(5, || {
+            let mut tracer = RankTracer::new(0, Instant::now());
+            read_stages_ahead::<std::convert::Infallible>(
+                &store,
+                &inj,
+                &mut tracer,
+                &stages,
+                &[],
+                |_, bars, _| {
+                    sink += consume_cost(&bars);
+                    Ok(())
+                },
+            )
+            .unwrap();
+        });
+        assert!(sink.is_finite());
+        let speedup = before / after;
+        println!(
+            "DATAPLANE fig10 layers={layers} before_ms={before:.3} after_ms={after:.3} speedup={speedup:.2}"
+        );
+        rows.push(vec![
+            layers.to_string(),
+            format!("{before:.3}"),
+            format!("{after:.3}"),
+            format!("{speedup:.2}"),
+        ]);
+    }
+    print_table(
+        "Data plane, fig10 shape: staged group reading, sequential vs read-ahead",
+        &["layers", "before_ms", "after_ms", "speedup"],
+        &rows,
+    );
+    write_csv(
+        "dataplane_fig10.csv",
+        &["layers", "before_ms", "after_ms", "speedup"],
+        &rows,
+    );
+}
+
+fn main() {
+    fig05_shaped();
+    fig10_shaped();
+}

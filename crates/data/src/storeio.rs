@@ -46,7 +46,7 @@ pub fn read_ensemble(store: &FileStore, members: usize) -> std::io::Result<Ensem
     let mut states = Matrix::zeros(mesh.n(), members);
     for k in 0..members {
         let data = store.read_full(k)?;
-        let col: Vec<f64> = (0..mesh.n()).map(|i| data.value(i, 0)).collect();
+        let col: Vec<f64> = data.surface().collect();
         states.set_col(k, &col);
     }
     Ok(Ensemble::new(mesh, states))
@@ -58,9 +58,13 @@ pub fn region_to_matrix(region: &RegionRect, per_member: &[RegionData]) -> Matri
     let npoints = region.npoints();
     let mut m = Matrix::zeros(npoints, per_member.len());
     for (k, data) in per_member.iter().enumerate() {
-        assert_eq!(&data.region, region, "member {k} covers a different region");
-        for i in 0..npoints {
-            m[(i, k)] = data.value(i, 0);
+        assert_eq!(
+            &data.region(),
+            region,
+            "member {k} covers a different region"
+        );
+        for (i, v) in data.surface().enumerate() {
+            m[(i, k)] = v;
         }
     }
     m

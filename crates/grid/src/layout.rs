@@ -63,8 +63,17 @@ impl FileLayout {
     /// adjacent segments merged. Full-width regions always collapse to a
     /// single segment; a `w`-column region of `r` rows yields `r` segments.
     pub fn segments(&self, region: &RegionRect) -> Vec<ByteSegment> {
+        let mut out: Vec<ByteSegment> = Vec::with_capacity(self.seek_count(region));
+        self.for_each_segment(region, |seg| out.push(seg));
+        out
+    }
+
+    /// Visit the segments of [`FileLayout::segments`] in file order without
+    /// allocating — the form the steady-state read loop uses so a warm
+    /// region read touches the heap zero times.
+    pub fn for_each_segment(&self, region: &RegionRect, mut f: impl FnMut(ByteSegment)) {
         if region.is_empty() {
-            return Vec::new();
+            return;
         }
         debug_assert!(
             RegionRect::full(self.mesh).contains_rect(region),
@@ -73,18 +82,21 @@ impl FileLayout {
         let h = self.bytes_per_point;
         let row_bytes = self.mesh.nx() as u64 * h;
         let seg_len = region.width() as u64 * h;
-        let mut out: Vec<ByteSegment> = Vec::with_capacity(region.height());
-        for iy in region.y0..region.y1 {
-            let offset = iy as u64 * row_bytes + region.x0 as u64 * h;
-            match out.last_mut() {
-                Some(last) if last.offset + last.len == offset => last.len += seg_len,
-                _ => out.push(ByteSegment {
-                    offset,
-                    len: seg_len,
-                }),
-            }
+        if region.width() == self.mesh.nx() {
+            // Full-width rows are adjacent in the row-priority layout: the
+            // whole region merges into one segment (the bar-reading case).
+            f(ByteSegment {
+                offset: region.y0 as u64 * row_bytes,
+                len: seg_len * region.height() as u64,
+            });
+            return;
         }
-        out
+        for iy in region.y0..region.y1 {
+            f(ByteSegment {
+                offset: iy as u64 * row_bytes + region.x0 as u64 * h,
+                len: seg_len,
+            });
+        }
     }
 
     /// Number of disk addressing operations (seeks) a read of the region

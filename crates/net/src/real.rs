@@ -4,6 +4,17 @@
 //! [`RankCtx`]: a sender to every peer plus its own receive endpoint.
 //! Matching (`recv_match`) buffers out-of-order arrivals, mirroring MPI's
 //! `(source, tag)` matching semantics that the EnKF planners rely on.
+//!
+//! # Zero-copy payloads
+//!
+//! [`Envelope`] moves the payload by value — nothing is serialized — so a
+//! payload that is itself a shared view (an `Arc`-backed
+//! `enkf_pfs::RegionData`, produced by the O(1) bar→block `extract`)
+//! travels as an offset plus a refcount bump on the sender's single
+//! allocation. An I/O rank fanning one bar out to `G` compute peers
+//! therefore performs `G` refcount increments, not `G` deep copies; the
+//! bar's slab is freed (returned to the store's buffer pool) when the last
+//! receiver drops its view.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use enkf_fault::SubstrateError;
@@ -46,14 +57,19 @@ impl<M: Send> RankCtx<M> {
     }
 
     /// Send a payload to a peer (non-blocking, unbounded buffering).
+    ///
+    /// A send to a rank that has already exited (its receive endpoint is
+    /// gone) is silently dropped: a rank only hangs up after deciding its
+    /// own outcome — e.g. aborting on a peer's failure notice — so a
+    /// message it will never read cannot change any result, and the
+    /// fault-tolerant executors must not crash healthy senders racing
+    /// against an aborting peer.
     pub fn send(&self, to: usize, tag: u64, payload: M) {
-        self.peers[to]
-            .send(Envelope {
-                from: self.rank,
-                tag,
-                payload,
-            })
-            .expect("receiving rank hung up");
+        let _ = self.peers[to].send(Envelope {
+            from: self.rank,
+            tag,
+            payload,
+        });
     }
 
     /// Receive the next message from any source (blocking). Messages
@@ -386,6 +402,53 @@ mod tests {
             }
         });
         assert_eq!(violations.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn fan_out_shares_one_allocation() {
+        use std::sync::Arc;
+        // Rank 0 fans one Arc-backed slab out to every peer; envelopes move
+        // the payload by value, so all receivers observe the sender's
+        // allocation — the zero-copy bar→block scatter invariant.
+        let results: Vec<(usize, f64)> = Cluster::run(4, |mut ctx: RankCtx<Arc<Vec<f64>>>| {
+            if ctx.rank() == 0 {
+                let slab = Arc::new(vec![1.0, 2.0, 3.0]);
+                for peer in 1..ctx.size() {
+                    ctx.send(peer, 1, Arc::clone(&slab));
+                }
+                (Arc::as_ptr(&slab) as usize, slab[0])
+            } else {
+                let view = ctx.recv_match(0, 1);
+                (Arc::as_ptr(&view) as usize, view[0])
+            }
+        });
+        let (root_ptr, _) = results[0];
+        for (ptr, v) in &results[1..] {
+            assert_eq!(*ptr, root_ptr, "receiver got a copy, not a view");
+            assert_eq!(*v, 1.0);
+        }
+    }
+
+    #[test]
+    fn send_to_exited_rank_is_dropped_not_a_panic() {
+        // Rank 1 exits immediately; rank 0's late send must be a no-op so
+        // fault paths (a peer aborting) cannot crash healthy senders.
+        let results: Vec<u64> = Cluster::run(3, |mut ctx: RankCtx<u64>| {
+            match ctx.rank() {
+                0 => {
+                    // Wait until rank 1 is certainly gone.
+                    let v = ctx.recv_match(2, 9);
+                    ctx.send(1, 1, 42);
+                    v
+                }
+                1 => 0, // exits at once, dropping its receiver
+                _ => {
+                    ctx.send(0, 9, 7);
+                    0
+                }
+            }
+        });
+        assert_eq!(results[0], 7);
     }
 
     #[test]

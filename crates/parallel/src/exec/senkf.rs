@@ -22,7 +22,7 @@ use enkf_fault::{FaultConfig, FaultLog, SubstrateError};
 use enkf_grid::RegionRect;
 use enkf_linalg::Matrix;
 use enkf_net::{Cluster, RankCtx};
-use enkf_pfs::read_region_resilient;
+use enkf_pfs::{read_stages_ahead, ReadAheadError, StageRead};
 use enkf_trace::{Role, Trace};
 use enkf_tuning::Params;
 use std::collections::BTreeMap;
@@ -136,39 +136,72 @@ impl SEnkf {
                         .copied()
                         .filter(|k| !dropped.contains(k))
                         .collect();
+                    // Read stages through the one-stage read-ahead pipeline:
+                    // a prefetch thread reads stage l+1's bar while this
+                    // thread scatters stage l's blocks. The plan is truncated
+                    // at a planned crash stage so exactly the reads the
+                    // sequential loop would perform happen — digests are
+                    // order-insensitive, so prefetching cannot move them.
                     let crash = injector.crash_stage(rank);
-                    for l in 0..p.layers {
-                        if crash == Some(l) {
-                            // The plan kills this rank at the start of stage
-                            // l: it stops responding — peers must time out.
-                            injector.log().crashed(rank, l);
-                            return (
-                                Err(SubstrateError::RankCrashed { rank, stage: l }.into()),
-                                true,
-                            );
-                        }
-                        let bar = decomp.small_bar(j, l, p.layers, radius);
-                        let mut datas: Vec<enkf_pfs::RegionData> =
-                            Vec::with_capacity(alive_files.len());
-                        let mut failed = None;
-                        for &k in &files {
-                            match read_region_resilient(
-                                setup.store,
-                                tracer,
-                                Some(l),
-                                k,
-                                &bar,
-                                injector,
-                            ) {
-                                Ok(d) => datas.push(d),
-                                Err(_) if dropped.contains(&k) => {}
-                                Err(e) => {
-                                    failed = Some(e);
-                                    break;
-                                }
+                    let run_stages = crash.unwrap_or(p.layers);
+                    let plan: Vec<StageRead> = (0..run_stages)
+                        .map(|l| StageRead {
+                            stage: l,
+                            region: decomp.small_bar(j, l, p.layers, radius),
+                            members: files.clone(),
+                        })
+                        .collect();
+                    let outcome = read_stages_ahead::<std::convert::Infallible>(
+                        setup.store,
+                        injector,
+                        tracer,
+                        &plan,
+                        dropped,
+                        |sr, datas, tracer| {
+                            let l = sr.stage;
+                            if alive_files.is_empty() {
+                                return Ok(()); // whole group dropped: nothing to send
                             }
-                        }
-                        if let Some(e) = failed {
+                            debug_assert_eq!(datas.len(), alive_files.len());
+                            for i in 0..p.nsdx {
+                                let id = enkf_grid::SubDomainId { i, j };
+                                let block = decomp.block_of_small_bar(id, l, p.layers, radius);
+                                let (_, block_bytes) = setup.store.op_cost(&block);
+                                let bundle_bytes = block_bytes * alive_files.len() as u64;
+                                let target = decomp.rank_of(id);
+                                let delay = injector.send_delay(rank, target);
+                                let drop_msg = injector.message_dropped(rank, target);
+                                // Serialization (block extraction) is charged to the
+                                // send, mirroring the model's sender-side service.
+                                // Extraction is O(1) per member: each block is a
+                                // view sharing the bar's allocation.
+                                tracer.send(Some(l), target, bundle_bytes, || {
+                                    if delay > 0.0 {
+                                        std::thread::sleep(Duration::from_secs_f64(delay));
+                                    }
+                                    let blocks: Vec<enkf_pfs::RegionData> =
+                                        datas.iter().map(|d| d.extract(&block)).collect();
+                                    if !drop_msg {
+                                        ctx.send(
+                                            target,
+                                            l as u64,
+                                            Msg::Blocks {
+                                                stage: l,
+                                                members: alive_files.clone(),
+                                                data: blocks,
+                                            },
+                                        );
+                                    }
+                                });
+                            }
+                            Ok(())
+                        },
+                    );
+                    match outcome {
+                        Ok(()) => {}
+                        Err(ReadAheadError::Read {
+                            stage: l, error: e, ..
+                        }) => {
                             // Unblock this latitude block's compute ranks
                             // before bailing out.
                             for i in 0..p.nsdx {
@@ -183,38 +216,16 @@ impl SEnkf {
                             }
                             return (Err(e.into()), true);
                         }
-                        if alive_files.is_empty() {
-                            continue; // whole group dropped: nothing to send
-                        }
-                        for i in 0..p.nsdx {
-                            let id = enkf_grid::SubDomainId { i, j };
-                            let block = decomp.block_of_small_bar(id, l, p.layers, radius);
-                            let (_, block_bytes) = setup.store.op_cost(&block);
-                            let bundle_bytes = block_bytes * alive_files.len() as u64;
-                            let target = decomp.rank_of(id);
-                            let delay = injector.send_delay(rank, target);
-                            let drop_msg = injector.message_dropped(rank, target);
-                            // Serialization (block extraction) is charged to the
-                            // send, mirroring the model's sender-side service.
-                            tracer.send(Some(l), target, bundle_bytes, || {
-                                if delay > 0.0 {
-                                    std::thread::sleep(Duration::from_secs_f64(delay));
-                                }
-                                let blocks: Vec<enkf_pfs::RegionData> =
-                                    datas.iter().map(|d| d.extract(&block)).collect();
-                                if !drop_msg {
-                                    ctx.send(
-                                        target,
-                                        l as u64,
-                                        Msg::Blocks {
-                                            stage: l,
-                                            members: alive_files.clone(),
-                                            data: blocks,
-                                        },
-                                    );
-                                }
-                            });
-                        }
+                        Err(ReadAheadError::Consume(never)) => match never {},
+                    }
+                    if let Some(l) = crash {
+                        // The plan kills this rank at the start of stage l:
+                        // it stops responding — peers must time out.
+                        injector.log().crashed(rank, l);
+                        return (
+                            Err(SubstrateError::RankCrashed { rank, stage: l }.into()),
+                            true,
+                        );
                     }
                     return (Ok(None), true);
                 }
@@ -277,10 +288,10 @@ impl SEnkf {
                             filled: 0,
                         });
                         for (&k, rd) in members.iter().zip(&data) {
-                            debug_assert_eq!(rd.region, region, "block region mismatch");
+                            debug_assert_eq!(rd.region(), region, "block region mismatch");
                             let col = cols[&k];
-                            for row in 0..region.npoints() {
-                                entry.matrix[(row, col)] = rd.value(row, 0);
+                            for (row, v) in rd.surface().enumerate() {
+                                entry.matrix[(row, col)] = v;
                             }
                         }
                         entry.filled += members.len();

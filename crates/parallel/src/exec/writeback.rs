@@ -9,7 +9,7 @@
 use crate::report::PhaseBreakdown;
 use enkf_core::{EnkfError, Ensemble, Result};
 use enkf_grid::{Decomposition, RegionRect};
-use enkf_pfs::{FileStore, RegionData};
+use enkf_pfs::FileStore;
 use std::time::Instant;
 
 /// Write every member of `analysis` into `store` using `writers` parallel
@@ -50,21 +50,19 @@ pub fn parallel_write_back(
                 let decomp = &decomp;
                 scope.spawn(move || {
                     let bar: RegionRect = decomp.bar(j);
+                    let local = analysis.restrict(&bar);
+                    // One staging vector per writer, reused across members —
+                    // the pooled write path serializes straight from it.
+                    let mut values = vec![0.0f64; bar.npoints() * levels];
                     for k in 0..analysis.size() {
-                        let local = analysis.restrict(&bar);
-                        let mut values = Vec::with_capacity(bar.npoints() * levels);
                         for row in 0..bar.npoints() {
                             let v = local[(row, k)];
                             for level in 0..levels {
-                                values.push(v - enkf_data::LEVEL_LAPSE * level as f64);
+                                values[row * levels + level] =
+                                    v - enkf_data::LEVEL_LAPSE * level as f64;
                             }
                         }
-                        let data = RegionData {
-                            region: bar,
-                            levels,
-                            values,
-                        };
-                        if let Err(e) = store.write_region(k, &data) {
+                        if let Err(e) = store.write_region_values(k, &bar, &values) {
                             return Some(format!("bar {j}, member {k}: {e}"));
                         }
                     }

@@ -19,11 +19,13 @@
 //! * [`scratch`] — self-cleaning scratch directories for tests and examples.
 
 pub mod model;
+pub mod readahead;
 pub mod resilient;
 pub mod scratch;
 pub mod store;
 
 pub use model::{ModeledPfs, PfsParams};
+pub use readahead::{read_stages_ahead, ReadAheadError, StageRead};
 pub use resilient::{read_full_resilient, read_region_resilient};
 pub use scratch::ScratchDir;
-pub use store::{FileStore, IoStats, RegionData};
+pub use store::{BufferPool, FileStore, IoStats, RegionData};

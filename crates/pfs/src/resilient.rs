@@ -152,7 +152,7 @@ mod tests {
         };
         let mut t = tracer();
         let data = read_full_resilient(&store, &mut t, None, 0, &inj).unwrap();
-        assert_eq!(data.values.len(), 32);
+        assert_eq!(data.len(), 32);
         let trace = into_trace(t);
         assert_eq!(trace.spans().len(), 1);
         assert!(trace.digest().contains("op=read"));
@@ -172,7 +172,7 @@ mod tests {
         let inj = FaultInjector::new(cfg);
         let mut t = tracer();
         let data = read_full_resilient(&st, &mut t, Some(1), 0, &inj).unwrap();
-        assert_eq!(data.values.len(), 32);
+        assert_eq!(data.len(), 32);
         // 2 injected fail spans + 2 backoff spans + 1 successful read.
         let trace = into_trace(t);
         let faults = trace

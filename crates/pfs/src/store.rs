@@ -6,14 +6,35 @@
 //! segment-by-segment exactly as [`enkf_grid::FileLayout`] predicts, so the
 //! seek/byte accounting of the real backend matches what the DES model
 //! charges for.
+//!
+//! # Zero-copy data plane
+//!
+//! The store is the hot edge of the read/scatter path, so it avoids the
+//! pure-software taxes the paper's C/MPI implementation never paid:
+//!
+//! * [`RegionData`] is an offset-indexed **view** over an `Arc`-shared
+//!   backing slab. [`RegionData::extract`] (bar → per-sub-domain block
+//!   splitting) is O(1) and allocation-free: every block sent to a compute
+//!   rank is a refcount bump on the bar's single allocation, not a copy.
+//! * A [`BufferPool`] recycles the raw byte buffers and the `f64` slabs:
+//!   once warm, [`FileStore::read_region`] performs **zero heap
+//!   allocations** (slabs return to the pool automatically when the last
+//!   view into them drops).
+//! * Byte→`f64` conversion is bulk (`chunks_exact` over the raw buffer)
+//!   instead of a scalar cursor loop, and a small open-file-handle cache
+//!   removes the per-read `File::open`.
+//!
+//! None of this changes what is counted: `IoStats` seeks/bytes and the
+//! [`FileStore::op_cost`] contract are byte-identical to the pre-pool
+//! implementation, so real-vs-model trace digests are unaffected.
 
-use bytes::{Buf, BufMut, BytesMut};
 use enkf_fault::ReadError;
 use enkf_grid::{FileLayout, RegionRect};
 use parking_lot::Mutex;
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Cumulative I/O accounting for a store.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -27,43 +48,281 @@ pub struct IoStats {
 }
 
 /// The values of one region of one ensemble member, in the region's
-/// row-priority local order, `levels` values per point.
-#[derive(Debug, Clone, PartialEq)]
+/// row-priority local order, `levels` values per point — implemented as an
+/// offset-indexed view over a shared backing slab.
+///
+/// A freshly read region owns a slab covering exactly its own points;
+/// [`RegionData::extract`] returns a sub-view sharing the same slab (O(1),
+/// no copy), which is what travels through channels when a bar is fanned
+/// out to its sub-domain blocks.
+#[derive(Debug, Clone)]
 pub struct RegionData {
-    /// The region the values cover.
-    pub region: RegionRect,
-    /// Values per grid point (vertical levels).
-    pub levels: usize,
-    /// `region.npoints() * levels` values in local row-priority order.
-    pub values: Vec<f64>,
+    region: RegionRect,
+    levels: usize,
+    /// Backing slab, shared between all views split from one read.
+    values: Arc<Vec<f64>>,
+    /// Index in `values` of the region's first point's level-0 value.
+    base: usize,
+    /// Values per backing row (backing width × levels).
+    row_stride: usize,
 }
 
 impl RegionData {
+    /// Owned region data from a contiguous local-row-major value vector
+    /// (`region.npoints() * levels` values).
+    pub fn from_vec(region: RegionRect, levels: usize, values: Vec<f64>) -> Self {
+        Self::from_shared(region, levels, Arc::new(values))
+    }
+
+    /// Owned region data over an already-shared slab covering exactly
+    /// `region` in local row-major order.
+    pub(crate) fn from_shared(region: RegionRect, levels: usize, values: Arc<Vec<f64>>) -> Self {
+        assert_eq!(
+            values.len(),
+            region.npoints() * levels,
+            "value count mismatch"
+        );
+        RegionData {
+            region,
+            levels,
+            values,
+            base: 0,
+            row_stride: region.width() * levels,
+        }
+    }
+
+    /// The region the values cover.
+    #[inline]
+    pub fn region(&self) -> RegionRect {
+        self.region
+    }
+
+    /// Values per grid point (vertical levels).
+    #[inline]
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Grid points covered.
+    #[inline]
+    pub fn npoints(&self) -> usize {
+        self.region.npoints()
+    }
+
+    /// Total values covered (`npoints() * levels()`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.npoints() * self.levels
+    }
+
+    /// True when the region covers no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.region.is_empty()
+    }
+
     /// Value at a region-local point index and vertical level.
     #[inline]
     pub fn value(&self, local: usize, level: usize) -> f64 {
         debug_assert!(level < self.levels);
-        self.values[local * self.levels + level]
+        let w = self.region.width();
+        self.values[self.base + (local / w) * self.row_stride + (local % w) * self.levels + level]
+    }
+
+    /// One local row (latitude line) of the view: `width() * levels`
+    /// contiguous values. Row-wise access avoids the per-value index
+    /// arithmetic of [`RegionData::value`].
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        debug_assert!(r < self.region.height());
+        let start = self.base + r * self.row_stride;
+        &self.values[start..start + self.region.width() * self.levels]
+    }
+
+    /// Iterate the surface (level-0) values in local row-priority order —
+    /// the analysis variable the executors assemble into `X̄ᵇ` columns.
+    pub fn surface(&self) -> impl Iterator<Item = f64> + '_ {
+        (0..self.region.height())
+            .flat_map(move |r| self.row(r).iter().step_by(self.levels).copied())
+    }
+
+    /// The whole view when it is contiguous in its backing slab (owned
+    /// data, full-backing-width views, and single-row views), else `None`.
+    pub fn as_contiguous(&self) -> Option<&[f64]> {
+        if self.region.height() <= 1 || self.row_stride == self.region.width() * self.levels {
+            Some(&self.values[self.base..self.base + self.len()])
+        } else {
+            None
+        }
+    }
+
+    /// Copy out into a contiguous local-row-major vector.
+    pub fn to_vec(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.len());
+        for r in 0..self.region.height() {
+            out.extend_from_slice(self.row(r));
+        }
+        out
     }
 
     /// Extract the sub-region `inner` (must be contained in `self.region`)
-    /// as a new `RegionData` — how a bar is split into the per-sub-domain
-    /// blocks that I/O processors send onward.
+    /// as a **view** sharing this data's backing slab — how a bar is split
+    /// into the per-sub-domain blocks that I/O processors send onward. O(1):
+    /// the returned value is an offset, a stride and a refcount bump.
     pub fn extract(&self, inner: &RegionRect) -> RegionData {
         assert!(
             self.region.contains_rect(inner),
             "extract region escapes data"
         );
-        let mut values = Vec::with_capacity(inner.npoints() * self.levels);
-        for p in inner.iter_points() {
-            let src = self.region.local_index(p) * self.levels;
-            values.extend_from_slice(&self.values[src..src + self.levels]);
+        if inner.is_empty() {
+            return RegionData {
+                region: *inner,
+                levels: self.levels,
+                values: Arc::clone(&self.values),
+                base: 0,
+                row_stride: 0,
+            };
         }
         RegionData {
             region: *inner,
             levels: self.levels,
-            values,
+            values: Arc::clone(&self.values),
+            base: self.base
+                + (inner.y0 - self.region.y0) * self.row_stride
+                + (inner.x0 - self.region.x0) * self.levels,
+            row_stride: self.row_stride,
         }
+    }
+
+    /// [`RegionData::extract`] as a deep copy with its own backing slab.
+    /// The pre-view behaviour: used as the benchmark baseline and to detach
+    /// a small block from a large backing so the backing can be reclaimed.
+    pub fn extract_owned(&self, inner: &RegionRect) -> RegionData {
+        let view = self.extract(inner);
+        RegionData::from_vec(*inner, self.levels, view.to_vec())
+    }
+
+    /// True when the two views index into the same backing slab (the
+    /// zero-copy invariant the tests pin).
+    pub fn shares_backing(&self, other: &RegionData) -> bool {
+        Arc::ptr_eq(&self.values, &other.values)
+    }
+}
+
+impl PartialEq for RegionData {
+    /// Logical equality: same region, same levels, same values — a view and
+    /// an owned copy of the same data compare equal.
+    fn eq(&self, other: &Self) -> bool {
+        self.region == other.region
+            && self.levels == other.levels
+            && (0..self.region.height()).all(|r| self.row(r) == other.row(r))
+    }
+}
+
+/// Reusable buffers for the read/write data plane.
+///
+/// Raw byte buffers are checked out and returned explicitly around each
+/// read/write. `f64` slabs are *registered*: the pool keeps one `Arc`
+/// reference to every slab it hands out, and a slab becomes reusable as
+/// soon as every [`RegionData`] view into it has been dropped (the pool's
+/// reference is then the only one left, observable via the refcount). No
+/// drop plumbing crosses the channel layer.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    bytes: Mutex<Vec<Vec<u8>>>,
+    slabs: Mutex<Vec<Arc<Vec<f64>>>>,
+}
+
+impl BufferPool {
+    /// Upper bound on pooled entries of each kind; beyond it buffers are
+    /// simply dropped (freed when their views drop) instead of retained.
+    const MAX_POOLED: usize = 64;
+
+    /// A byte buffer of exactly `len` bytes (recycled when possible).
+    fn take_bytes(&self, len: usize) -> Vec<u8> {
+        let mut buf = self.bytes.lock().pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(len, 0);
+        buf
+    }
+
+    /// Return a byte buffer to the pool.
+    fn put_bytes(&self, buf: Vec<u8>) {
+        let mut bytes = self.bytes.lock();
+        if bytes.len() < Self::MAX_POOLED {
+            bytes.push(buf);
+        }
+    }
+
+    /// A uniquely-owned slab (`strong_count == 1`), recycled from the pool
+    /// when any registered slab has no outstanding views.
+    fn take_slab(&self) -> Arc<Vec<f64>> {
+        let mut slabs = self.slabs.lock();
+        if let Some(pos) = slabs.iter().position(|s| Arc::strong_count(s) == 1) {
+            // The pool holds the only reference, so nobody can clone it
+            // concurrently: unique ownership is stable once removed.
+            return slabs.swap_remove(pos);
+        }
+        Arc::new(Vec::new())
+    }
+
+    /// Register a slab for future reuse (keeps one pool-owned reference).
+    fn register(&self, slab: Arc<Vec<f64>>) {
+        let mut slabs = self.slabs.lock();
+        if slabs.len() < Self::MAX_POOLED {
+            slabs.push(slab);
+        }
+    }
+
+    /// Number of registered slabs currently reusable (no live views).
+    pub fn free_slabs(&self) -> usize {
+        self.slabs
+            .lock()
+            .iter()
+            .filter(|s| Arc::strong_count(s) == 1)
+            .count()
+    }
+}
+
+/// Bulk little-endian byte → `f64` conversion (replaces the scalar
+/// cursor loop; allocation-free when `dst` has capacity).
+fn bytes_to_f64(src: &[u8], dst: &mut Vec<f64>) {
+    dst.clear();
+    dst.extend(
+        src.chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunk is 8 bytes"))),
+    );
+}
+
+/// Small MRU cache of open member-file read handles, replacing the
+/// per-call `File::open`. Handles are checked out exclusively (removed
+/// while in use) so concurrent readers of the same member never share a
+/// seek cursor.
+#[derive(Debug, Default)]
+struct HandleCache {
+    entries: Vec<(usize, File)>,
+}
+
+impl HandleCache {
+    const MAX_HANDLES: usize = 32;
+
+    fn take(&mut self, member: usize) -> Option<File> {
+        let pos = self.entries.iter().position(|(k, _)| *k == member)?;
+        Some(self.entries.remove(pos).1)
+    }
+
+    fn put(&mut self, member: usize, file: File) {
+        if self.entries.iter().any(|(k, _)| *k == member) {
+            return; // another reader already returned a handle for it
+        }
+        if self.entries.len() >= Self::MAX_HANDLES {
+            self.entries.remove(0); // least recently returned
+        }
+        self.entries.push((member, file));
+    }
+
+    fn invalidate(&mut self, member: usize) {
+        self.entries.retain(|(k, _)| *k != member);
     }
 }
 
@@ -80,7 +339,7 @@ impl RegionData {
 /// // A full-width bar reads with a single disk addressing operation.
 /// let bar = RegionRect::new(0, 8, 1, 3);
 /// let data = store.read_region(0, &bar).unwrap();
-/// assert_eq!(data.values.len(), bar.npoints());
+/// assert_eq!(data.len(), bar.npoints());
 /// assert_eq!(store.stats().seeks, 1);
 /// ```
 #[derive(Debug)]
@@ -88,6 +347,12 @@ pub struct FileStore {
     root: PathBuf,
     layout: FileLayout,
     stats: Mutex<IoStats>,
+    pool: BufferPool,
+    handles: Mutex<HandleCache>,
+    /// Contiguous-from-0 member count, computed once at `open` and advanced
+    /// by `write_member`/`create_member` (replaces the unbounded `stat`
+    /// probe loop `num_members` used to run on every call).
+    members: Mutex<usize>,
 }
 
 impl FileStore {
@@ -101,10 +366,16 @@ impl FileStore {
             "bytes per point must be a positive multiple of 8"
         );
         std::fs::create_dir_all(root.as_ref())?;
+        let root = root.as_ref().to_path_buf();
+        let member_path = |k: usize| root.join(format!("member_{k:05}.bin"));
+        let members = (0..).take_while(|&k| member_path(k).is_file()).count();
         Ok(FileStore {
-            root: root.as_ref().to_path_buf(),
+            root,
             layout,
             stats: Mutex::new(IoStats::default()),
+            pool: BufferPool::default(),
+            handles: Mutex::new(HandleCache::default()),
+            members: Mutex::new(members),
         })
     }
 
@@ -123,9 +394,31 @@ impl FileStore {
         self.root.join(format!("member_{k:05}.bin"))
     }
 
-    /// Number of member files present (contiguous from 0).
+    /// Number of member files present (contiguous from 0). Cached: scanned
+    /// once at [`FileStore::open`], advanced by member writes. Files placed
+    /// in the directory behind this store's back are only discovered when a
+    /// write lands adjacent to them.
     pub fn num_members(&self) -> usize {
-        (0..).take_while(|&k| self.member_path(k).is_file()).count()
+        *self.members.lock()
+    }
+
+    /// Advance the cached member count after member `k` was written.
+    fn note_member(&self, k: usize) {
+        let mut n = self.members.lock();
+        if k == *n {
+            *n += 1;
+            // Absorb any files beyond the old frontier (e.g. written by a
+            // previous store instance on the same directory).
+            while self.member_path(*n).is_file() {
+                *n += 1;
+            }
+        }
+    }
+
+    /// The store's buffer pool (exposed for allocation-regression tests and
+    /// benchmarks).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
     }
 
     /// `(seeks, bytes)` a region access costs under this store's layout —
@@ -150,50 +443,131 @@ impl FileStore {
         *self.stats.lock() = IoStats::default();
     }
 
+    /// Build the structured read failure context (error path only — the
+    /// steady-state success path never touches `member_path` or `metadata`).
+    fn read_error(&self, k: usize, expected: u64, detail: std::io::Error) -> ReadError {
+        let path = self.member_path(k);
+        ReadError {
+            member: k,
+            expected,
+            actual: std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+            detail: detail.to_string(),
+            path,
+        }
+    }
+
     /// Write member `k` from mesh-ordered values (`n · levels` values,
     /// `levels` consecutive values per point).
     pub fn write_member(&self, k: usize, values: &[f64]) -> std::io::Result<()> {
         let expect = self.layout.mesh().n() * self.levels();
         assert_eq!(values.len(), expect, "member value count mismatch");
-        let mut buf = BytesMut::with_capacity(values.len() * 8);
+        let mut buf = self.pool.take_bytes(0);
         for &v in values {
-            buf.put_f64_le(v);
+            buf.extend_from_slice(&v.to_le_bytes());
         }
-        let mut f = File::create(self.member_path(k))?;
-        f.write_all(&buf)?;
-        self.stats.lock().bytes_written += buf.len() as u64;
+        let result = File::create(self.member_path(k)).and_then(|mut f| f.write_all(&buf));
+        let written = buf.len() as u64;
+        self.pool.put_bytes(buf);
+        result?;
+        self.stats.lock().bytes_written += written;
+        // The create truncated the inode in place; cached read handles stay
+        // coherent, but invalidating keeps the cache's lifetime simple.
+        self.handles.lock().invalidate(k);
+        self.note_member(k);
         Ok(())
     }
 
     /// Read one region of member `k`, issuing one seek + read per contiguous
     /// segment (full-width regions are a single segment).
     ///
+    /// Once the pool and the handle cache are warm this performs zero heap
+    /// allocations: the raw buffer and the `f64` slab are recycled, and the
+    /// returned [`RegionData`] shares the slab by refcount.
+    ///
     /// Failures return a structured [`ReadError`] carrying the path, the
     /// member, the bytes the region required and the bytes actually present
     /// — the context the executors' failure paths propagate instead of a
     /// bare `io::Error` string.
     pub fn read_region(&self, k: usize, region: &RegionRect) -> Result<RegionData, ReadError> {
-        let segments = self.layout.segments(region);
-        let path = self.member_path(k);
-        let total: usize = segments.iter().map(|s| s.len as usize).sum();
-        let ctx = |detail: std::io::Error| ReadError {
-            path: path.clone(),
-            member: k,
-            expected: total as u64,
-            actual: std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
-            detail: detail.to_string(),
+        let total = self.layout.region_bytes(region) as usize;
+        let mut file = match self.handles.lock().take(k) {
+            Some(f) => f,
+            None => {
+                File::open(self.member_path(k)).map_err(|e| self.read_error(k, total as u64, e))?
+            }
         };
-        let mut f = File::open(&path).map_err(ctx)?;
-        let levels = self.levels();
+        let mut raw = self.pool.take_bytes(total);
+        let mut cursor = 0usize;
+        let mut seeks = 0u64;
+        let mut io_err: Option<std::io::Error> = None;
+        self.layout.for_each_segment(region, |seg| {
+            if io_err.is_some() {
+                return;
+            }
+            let res = file
+                .seek(SeekFrom::Start(seg.offset))
+                .and_then(|_| file.read_exact(&mut raw[cursor..cursor + seg.len as usize]));
+            match res {
+                Ok(()) => {
+                    cursor += seg.len as usize;
+                    seeks += 1;
+                }
+                Err(e) => io_err = Some(e),
+            }
+        });
+        if let Some(e) = io_err {
+            self.pool.put_bytes(raw);
+            return Err(self.read_error(k, total as u64, e));
+        }
+        {
+            let mut st = self.stats.lock();
+            st.seeks += seeks;
+            st.bytes_read += total as u64;
+        }
+        let mut slab = self.pool.take_slab();
+        bytes_to_f64(&raw, Arc::get_mut(&mut slab).expect("pool slab is unique"));
+        self.pool.put_bytes(raw);
+        self.handles.lock().put(k, file);
+        let data = RegionData::from_shared(*region, self.levels(), Arc::clone(&slab));
+        self.pool.register(slab);
+        Ok(data)
+    }
+
+    /// The pre-pool read path: fresh allocations, a `File::open` per call
+    /// and a scalar byte cursor. Kept as the before/after baseline for the
+    /// `pfs_reading` benchmarks; results are bit-identical to
+    /// [`FileStore::read_region`] and update [`FileStore::stats`] the same
+    /// way.
+    pub fn read_region_fresh(
+        &self,
+        k: usize,
+        region: &RegionRect,
+    ) -> Result<RegionData, ReadError> {
+        use bytes::Buf;
+        let total = self.layout.region_bytes(region) as usize;
+        let mut f =
+            File::open(self.member_path(k)).map_err(|e| self.read_error(k, total as u64, e))?;
         let mut raw = vec![0u8; total];
         let mut cursor = 0usize;
         let mut seeks = 0u64;
-        for seg in &segments {
-            f.seek(SeekFrom::Start(seg.offset)).map_err(ctx)?;
-            f.read_exact(&mut raw[cursor..cursor + seg.len as usize])
-                .map_err(ctx)?;
-            cursor += seg.len as usize;
-            seeks += 1;
+        let mut io_err: Option<std::io::Error> = None;
+        self.layout.for_each_segment(region, |seg| {
+            if io_err.is_some() {
+                return;
+            }
+            let res = f
+                .seek(SeekFrom::Start(seg.offset))
+                .and_then(|_| f.read_exact(&mut raw[cursor..cursor + seg.len as usize]));
+            match res {
+                Ok(()) => {
+                    cursor += seg.len as usize;
+                    seeks += 1;
+                }
+                Err(e) => io_err = Some(e),
+            }
+        });
+        if let Some(e) = io_err {
+            return Err(self.read_error(k, total as u64, e));
         }
         {
             let mut st = self.stats.lock();
@@ -205,11 +579,7 @@ impl FileStore {
         while slice.remaining() >= 8 {
             values.push(slice.get_f64_le());
         }
-        Ok(RegionData {
-            region: *region,
-            levels,
-            values,
-        })
+        Ok(RegionData::from_vec(*region, self.levels(), values))
     }
 
     /// Read an entire member file.
@@ -220,29 +590,71 @@ impl FileStore {
     /// Write one region of member `k` in place (the file must already
     /// exist), issuing one seek + write per contiguous segment — the
     /// write-side mirror of [`FileStore::read_region`], used to write
-    /// analysis results back bar-by-bar.
+    /// analysis results back bar-by-bar. Accepts views: the data is
+    /// serialized row-by-row through the pooled conversion buffer.
     pub fn write_region(&self, k: usize, data: &RegionData) -> std::io::Result<()> {
-        assert_eq!(data.levels, self.levels(), "level count mismatch");
+        assert_eq!(data.levels(), self.levels(), "level count mismatch");
+        let mut buf = self.pool.take_bytes(0);
+        for r in 0..data.region().height() {
+            for &v in data.row(r) {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        let result = self.flush_region_bytes(k, &data.region(), &buf);
+        self.pool.put_bytes(buf);
+        result
+    }
+
+    /// [`FileStore::write_region`] from a contiguous local-row-major value
+    /// slice (`region.npoints() * levels` values) — lets callers reuse one
+    /// staging vector across many writes instead of building a
+    /// [`RegionData`] per call.
+    pub fn write_region_values(
+        &self,
+        k: usize,
+        region: &RegionRect,
+        values: &[f64],
+    ) -> std::io::Result<()> {
         assert_eq!(
-            data.values.len(),
-            data.region.npoints() * data.levels,
+            values.len(),
+            region.npoints() * self.levels(),
             "value count mismatch"
         );
-        let segments = self.layout.segments(&data.region);
+        let mut buf = self.pool.take_bytes(0);
+        for &v in values {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        let result = self.flush_region_bytes(k, region, &buf);
+        self.pool.put_bytes(buf);
+        result
+    }
+
+    /// Write an already-serialized region byte stream segment-by-segment,
+    /// with the same seek/byte accounting as the read side.
+    fn flush_region_bytes(&self, k: usize, region: &RegionRect, buf: &[u8]) -> std::io::Result<()> {
         let mut f = std::fs::OpenOptions::new()
             .write(true)
             .open(self.member_path(k))?;
-        let mut buf = BytesMut::with_capacity(data.values.len() * 8);
-        for &v in &data.values {
-            buf.put_f64_le(v);
-        }
         let mut cursor = 0usize;
         let mut seeks = 0u64;
-        for seg in &segments {
-            f.seek(SeekFrom::Start(seg.offset))?;
-            f.write_all(&buf[cursor..cursor + seg.len as usize])?;
-            cursor += seg.len as usize;
-            seeks += 1;
+        let mut io_err: Option<std::io::Error> = None;
+        self.layout.for_each_segment(region, |seg| {
+            if io_err.is_some() {
+                return;
+            }
+            let res = f
+                .seek(SeekFrom::Start(seg.offset))
+                .and_then(|_| f.write_all(&buf[cursor..cursor + seg.len as usize]));
+            match res {
+                Ok(()) => {
+                    cursor += seg.len as usize;
+                    seeks += 1;
+                }
+                Err(e) => io_err = Some(e),
+            }
+        });
+        if let Some(e) = io_err {
+            return Err(e);
         }
         let mut st = self.stats.lock();
         st.seeks += seeks;
@@ -251,10 +663,17 @@ impl FileStore {
     }
 
     /// Create member `k` as an all-zero file (a preallocation target for
-    /// region writes).
+    /// region writes). Implemented with `File::set_len` — no zero-filled
+    /// buffer is materialized — while the byte accounting stays exactly
+    /// what the old write-a-buffer-of-zeros implementation charged.
     pub fn create_member(&self, k: usize) -> std::io::Result<()> {
-        let zeros = vec![0.0f64; self.layout.mesh().n() * self.levels()];
-        self.write_member(k, &zeros)
+        let size = self.layout.file_size();
+        let f = File::create(self.member_path(k))?;
+        f.set_len(size)?;
+        self.stats.lock().bytes_written += size;
+        self.handles.lock().invalidate(k);
+        self.note_member(k);
+        Ok(())
     }
 }
 
@@ -278,8 +697,9 @@ mod tests {
     fn roundtrip_full_member() {
         let (_s, store, values) = store_with_member();
         let data = store.read_full(0).unwrap();
-        assert_eq!(data.values, values);
-        assert_eq!(data.levels, 2);
+        assert_eq!(data.to_vec(), values);
+        assert_eq!(data.levels(), 2);
+        assert_eq!(data.as_contiguous().unwrap(), &values[..]);
     }
 
     #[test]
@@ -287,13 +707,27 @@ mod tests {
         let (_s, store, values) = store_with_member();
         let region = RegionRect::new(2, 5, 1, 3);
         let data = store.read_region(0, &region).unwrap();
-        assert_eq!(data.values.len(), region.npoints() * 2);
+        assert_eq!(data.len(), region.npoints() * 2);
         for (local, p) in region.iter_points().enumerate() {
             let flat = store.layout().mesh().index(p);
             for level in 0..2 {
                 assert_eq!(data.value(local, level), values[flat * 2 + level]);
             }
         }
+    }
+
+    #[test]
+    fn fresh_read_is_bit_identical_with_same_stats() {
+        let (_s, store, _) = store_with_member();
+        let region = RegionRect::new(1, 6, 0, 3);
+        store.reset_stats();
+        let pooled = store.read_region(0, &region).unwrap();
+        let pooled_stats = store.stats();
+        store.reset_stats();
+        let fresh = store.read_region_fresh(0, &region).unwrap();
+        assert_eq!(pooled, fresh);
+        assert_eq!(pooled.to_vec(), fresh.to_vec());
+        assert_eq!(pooled_stats, store.stats(), "accounting must not drift");
     }
 
     #[test]
@@ -331,6 +765,72 @@ mod tests {
         let block = bar.extract(&inner);
         let direct = store.read_region(0, &inner).unwrap();
         assert_eq!(block, direct);
+        assert!(block.shares_backing(&bar), "extract must not copy");
+        assert!(!block.shares_backing(&direct));
+        assert_eq!(block.extract_owned(&inner), direct, "deep copy agrees");
+    }
+
+    #[test]
+    fn nested_views_compose() {
+        let (_s, store, _) = store_with_member();
+        let bar = store.read_region(0, &RegionRect::new(0, 8, 0, 4)).unwrap();
+        let mid = bar.extract(&RegionRect::new(1, 7, 1, 4));
+        let inner = RegionRect::new(2, 5, 2, 4);
+        let twice = mid.extract(&inner);
+        let direct = store.read_region(0, &inner).unwrap();
+        assert_eq!(twice, direct);
+        assert!(twice.shares_backing(&bar));
+    }
+
+    #[test]
+    fn empty_extract_is_well_formed() {
+        let (_s, store, _) = store_with_member();
+        let bar = store.read_region(0, &RegionRect::new(0, 8, 0, 4)).unwrap();
+        let empty = bar.extract(&RegionRect::new(3, 3, 0, 2));
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), 0);
+        assert_eq!(empty.to_vec(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn surface_iterates_level_zero() {
+        let (_s, store, values) = store_with_member();
+        let region = RegionRect::new(2, 6, 1, 4);
+        let data = store.read_region(0, &region).unwrap();
+        let surf: Vec<f64> = data.surface().collect();
+        let expect: Vec<f64> = region
+            .iter_points()
+            .map(|p| values[store.layout().mesh().index(p) * 2])
+            .collect();
+        assert_eq!(surf, expect);
+    }
+
+    #[test]
+    fn pool_recycles_slab_after_views_drop() {
+        let (_s, store, _) = store_with_member();
+        let bar = RegionRect::new(0, 8, 0, 4);
+        let first = store.read_region(0, &bar).unwrap();
+        let first_ptr = Arc::as_ptr(&first.values);
+        let held = store.read_region(0, &bar).unwrap();
+        assert_ne!(
+            Arc::as_ptr(&held.values),
+            first_ptr,
+            "live slab must not be reused"
+        );
+        drop(first);
+        drop(held);
+        let next = store.read_region(0, &bar).unwrap();
+        let reused = store
+            .pool()
+            .free_slabs()
+            .checked_add(1)
+            .expect("pool registered");
+        assert!(reused >= 1);
+        let next_ptr = Arc::as_ptr(&next.values);
+        assert!(
+            next_ptr == first_ptr || store.pool().free_slabs() >= 1,
+            "a dropped slab is available for reuse"
+        );
     }
 
     #[test]
@@ -340,6 +840,22 @@ mod tests {
         store.write_member(1, &values).unwrap();
         store.write_member(2, &values).unwrap();
         assert_eq!(store.num_members(), 3);
+        // Out-of-order writes leave a gap: the count stays at the frontier
+        // until the gap is filled.
+        store.write_member(5, &values).unwrap();
+        assert_eq!(store.num_members(), 3);
+        store.write_member(3, &values).unwrap();
+        assert_eq!(store.num_members(), 4);
+        store.write_member(4, &values).unwrap();
+        assert_eq!(store.num_members(), 6, "frontier absorbs the gap files");
+    }
+
+    #[test]
+    fn reopen_rescans_member_count() {
+        let (scratch, store, values) = store_with_member();
+        store.write_member(1, &values).unwrap();
+        let reopened = FileStore::open(scratch.path(), store.layout()).unwrap();
+        assert_eq!(reopened.num_members(), 2);
     }
 
     #[test]
@@ -377,6 +893,22 @@ mod tests {
     }
 
     #[test]
+    fn truncation_detected_through_warm_handle_cache() {
+        let (_s, store, _) = store_with_member();
+        store.read_full(0).unwrap(); // caches the handle
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(store.member_path(0))
+            .unwrap();
+        f.set_len(40).unwrap();
+        let err = store.read_full(0).unwrap_err();
+        assert_eq!(err.actual, 40, "cached handle sees the truncated inode");
+        // A failed read does not poison subsequent reads.
+        f.set_len(8 * 4 * 16).unwrap();
+        assert!(store.read_full(0).is_ok());
+    }
+
+    #[test]
     #[should_panic(expected = "member value count mismatch")]
     fn write_wrong_length_panics() {
         let (_s, store, _) = store_with_member();
@@ -387,10 +919,9 @@ mod tests {
     fn write_region_roundtrips() {
         let (_s, store, original) = store_with_member();
         let region = RegionRect::new(2, 6, 1, 3);
-        let mut data = store.read_region(0, &region).unwrap();
-        for v in &mut data.values {
-            *v += 100.0;
-        }
+        let read = store.read_region(0, &region).unwrap();
+        let values: Vec<f64> = read.to_vec().iter().map(|v| v + 100.0).collect();
+        let data = RegionData::from_vec(region, 2, values);
         store.write_region(0, &data).unwrap();
         // The region reads back modified; everything else is untouched.
         let back = store.read_full(0).unwrap();
@@ -409,18 +940,32 @@ mod tests {
     }
 
     #[test]
+    fn write_region_accepts_views() {
+        let (_s, store, values) = store_with_member();
+        store.write_member(1, &vec![0.0; values.len()]).unwrap();
+        let bar = store.read_region(0, &RegionRect::new(0, 8, 0, 4)).unwrap();
+        let inner = RegionRect::new(2, 6, 1, 3);
+        let view = bar.extract(&inner);
+        store.write_region(1, &view).unwrap();
+        let back = store.read_region(1, &inner).unwrap();
+        assert_eq!(back, view, "view writes land bit-identically");
+    }
+
+    #[test]
     fn create_member_preallocates_zeros() {
         let (_s, store, _) = store_with_member();
+        store.reset_stats();
         store.create_member(3).unwrap();
+        assert_eq!(
+            store.stats().bytes_written,
+            store.layout().file_size(),
+            "set_len create must charge the same bytes as a zero write"
+        );
         let data = store.read_full(3).unwrap();
-        assert!(data.values.iter().all(|&v| v == 0.0));
+        assert!(data.to_vec().iter().all(|&v| v == 0.0));
         // Region writes into the fresh file work.
         let region = RegionRect::new(0, 8, 0, 1);
-        let patch = RegionData {
-            region,
-            levels: 2,
-            values: vec![7.0; region.npoints() * 2],
-        };
+        let patch = RegionData::from_vec(region, 2, vec![7.0; region.npoints() * 2]);
         store.write_region(3, &patch).unwrap();
         assert_eq!(store.read_region(3, &region).unwrap(), patch);
     }
@@ -430,14 +975,26 @@ mod tests {
         let (_s, store, _) = store_with_member();
         store.reset_stats();
         let region = RegionRect::new(1, 4, 0, 3); // 3 rows, partial width
-        let data = RegionData {
-            region,
-            levels: 2,
-            values: vec![1.0; region.npoints() * 2],
-        };
+        let data = RegionData::from_vec(region, 2, vec![1.0; region.npoints() * 2]);
         store.write_region(0, &data).unwrap();
         let st = store.stats();
         assert_eq!(st.seeks, 3);
         assert_eq!(st.bytes_written, (9 * 16) as u64);
+    }
+
+    #[test]
+    fn write_region_values_matches_write_region() {
+        let (_s, store, values) = store_with_member();
+        store.write_member(1, &values).unwrap();
+        store.write_member(2, &values).unwrap();
+        let region = RegionRect::new(1, 5, 0, 3);
+        let patch: Vec<f64> = (0..region.npoints() * 2).map(|i| i as f64 * 0.25).collect();
+        store
+            .write_region(1, &RegionData::from_vec(region, 2, patch.clone()))
+            .unwrap();
+        store.write_region_values(2, &region, &patch).unwrap();
+        let a = std::fs::read(store.member_path(1)).unwrap();
+        let b = std::fs::read(store.member_path(2)).unwrap();
+        assert_eq!(a, b, "both write paths produce identical bytes");
     }
 }

@@ -33,7 +33,7 @@ proptest! {
         store.write_member(0, &values).unwrap();
 
         let full = store.read_full(0).unwrap();
-        prop_assert_eq!(&full.values, &values);
+        prop_assert_eq!(full.to_vec(), values.clone());
 
         let data = store.read_region(0, &region).unwrap();
         for (local, p) in region.iter_points().enumerate() {
@@ -81,5 +81,100 @@ proptest! {
         );
         let direct = store.read_region(0, &inner).unwrap();
         prop_assert_eq!(outer_data.extract(&inner), direct);
+    }
+
+    #[test]
+    fn views_are_bit_identical_to_owned_copies(
+        (mesh, outer, levels, seed) in mesh_strategy().prop_flat_map(|mesh| {
+            (Just(mesh), region_strategy(mesh), 1u64..4, any::<u32>())
+        })
+    ) {
+        // The zero-copy invariant: a view shares its parent's backing slab
+        // yet `value`, `row` and `to_vec` agree bit-for-bit with a deep
+        // copy of the same sub-region — including views of views.
+        let scratch = ScratchDir::new("prop-view").unwrap();
+        let store = FileStore::open(scratch.path(), FileLayout::new(mesh, 8 * levels)).unwrap();
+        let n = mesh.n() * levels as usize;
+        let values: Vec<f64> = (0..n).map(|i| ((i as u32).wrapping_mul(seed | 1)) as f64).collect();
+        store.write_member(0, &values).unwrap();
+        let outer_data = store.read_region(0, &outer).unwrap();
+        let inner = RegionRect::new(
+            outer.x0,
+            outer.x0 + outer.width().div_ceil(2),
+            outer.y0,
+            outer.y0 + outer.height().div_ceil(2),
+        );
+        let view = outer_data.extract(&inner);
+        let owned = outer_data.extract_owned(&inner);
+        prop_assert!(view.shares_backing(&outer_data), "extract must not copy");
+        prop_assert!(!owned.shares_backing(&outer_data), "extract_owned must copy");
+        prop_assert_eq!(&view, &owned);
+        prop_assert_eq!(view.to_vec(), owned.to_vec());
+        for local in 0..inner.npoints() {
+            for level in 0..levels as usize {
+                prop_assert_eq!(view.value(local, level), owned.value(local, level));
+            }
+        }
+        // A view of the view still indexes the original slab correctly.
+        let core = RegionRect::new(
+            inner.x0,
+            inner.x0 + inner.width().div_ceil(2),
+            inner.y0,
+            inner.y0 + inner.height().div_ceil(2),
+        );
+        let nested = view.extract(&core);
+        prop_assert!(nested.shares_backing(&outer_data));
+        prop_assert_eq!(nested, owned.extract_owned(&core));
+    }
+
+    #[test]
+    fn pooled_and_fresh_reads_are_identical(
+        (mesh, region, seed) in mesh_strategy().prop_flat_map(|mesh| {
+            (Just(mesh), region_strategy(mesh), any::<u32>())
+        })
+    ) {
+        // The pooled/bulk-converted read path must be bit-identical to the
+        // pre-pool fresh-allocation baseline, with identical IoStats.
+        let scratch = ScratchDir::new("prop-pool").unwrap();
+        let store = FileStore::open(scratch.path(), FileLayout::new(mesh, 8)).unwrap();
+        let values: Vec<f64> = (0..mesh.n()).map(|i| (i as u32 ^ seed) as f64 * 0.5).collect();
+        store.write_member(0, &values).unwrap();
+        store.reset_stats();
+        let pooled = store.read_region(0, &region).unwrap();
+        let pooled_stats = store.stats();
+        store.reset_stats();
+        let fresh = store.read_region_fresh(0, &region).unwrap();
+        prop_assert_eq!(pooled, fresh);
+        prop_assert_eq!(pooled_stats, store.stats());
+    }
+
+    #[test]
+    fn write_from_view_roundtrips(
+        (mesh, outer, seed) in mesh_strategy().prop_flat_map(|mesh| {
+            (Just(mesh), region_strategy(mesh), any::<u32>())
+        })
+    ) {
+        // Writing a view (non-contiguous in its backing) through the pooled
+        // write path lands the same bytes as writing an owned copy.
+        let scratch = ScratchDir::new("prop-wview").unwrap();
+        let store = FileStore::open(scratch.path(), FileLayout::new(mesh, 8)).unwrap();
+        let values: Vec<f64> = (0..mesh.n()).map(|i| (i as u32 ^ seed) as f64).collect();
+        store.write_member(0, &values).unwrap();
+        store.write_member(1, &vec![0.0; mesh.n()]).unwrap();
+        store.write_member(2, &vec![0.0; mesh.n()]).unwrap();
+        let outer_data = store.read_region(0, &outer).unwrap();
+        let inner = RegionRect::new(
+            outer.x0,
+            outer.x0 + outer.width().div_ceil(2),
+            outer.y0,
+            outer.y0 + outer.height().div_ceil(2),
+        );
+        let view = outer_data.extract(&inner);
+        store.write_region(1, &view).unwrap();
+        store.write_region(2, &view.extract_owned(&inner)).unwrap();
+        let a = std::fs::read(store.member_path(1)).unwrap();
+        let b = std::fs::read(store.member_path(2)).unwrap();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(store.read_region(1, &inner).unwrap(), view);
     }
 }

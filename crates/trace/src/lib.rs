@@ -362,6 +362,29 @@ impl RankTracer {
         self.rank
     }
 
+    /// A second recorder for the *same* rank on the *same* epoch, for work
+    /// the rank offloads to a sibling thread (e.g. the read-ahead prefetch
+    /// thread). The fork starts empty; when the sibling finishes, merge its
+    /// spans back with [`RankTracer::absorb`]. Digests are order-free
+    /// multisets, so the interleaving of forked and main spans is
+    /// irrelevant to conformance.
+    pub fn fork(&self) -> RankTracer {
+        RankTracer {
+            rank: self.rank,
+            role: self.role,
+            epoch: self.epoch,
+            spans: Vec::new(),
+        }
+    }
+
+    /// Merge a forked recorder's spans into this one (appended after the
+    /// spans already recorded; per-rank span order is not chronological
+    /// across threads, which no consumer relies on).
+    pub fn absorb(&mut self, fork: RankTracer) {
+        debug_assert_eq!(fork.rank, self.rank, "absorb crosses ranks");
+        self.spans.extend(fork.spans);
+    }
+
     fn record<T>(&mut self, op: Op, tag: OpTag, f: impl FnOnce() -> T) -> T {
         let t0 = Instant::now();
         let out = f();

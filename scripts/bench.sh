@@ -1,73 +1,102 @@
 #!/usr/bin/env bash
-# Microbenchmark runner emitting BENCH_PR3.json at the repo root.
+# Microbenchmark runner emitting BENCH_PR4.json at the repo root.
 #
-# Runs the criterion microbenches (letkf_pointwise, obs_localize, and the
-# local_analysis cases of kernels), the fig09 --tiny end-to-end smoke
-# workload, and the fig14 fault-resilience smoke sweep with its
-# zero-overhead check (the no-fault fault path must produce byte-identical
-# digests and no measurable wall-clock cost over the plain path).
+# Runs the pfs_reading data-plane microbenches (pooled vs fresh reads,
+# view vs owned bar splitting, read-ahead on vs off), the
+# dataplane_readphase fig05/fig10-shaped before/after read-phase sweeps,
+# and the release-mode counting-allocator proof that the steady-state
+# read → scatter → analyze cycle performs zero heap allocations.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=BENCH_PR3.json
+out=BENCH_PR4.json
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
-for b in letkf_pointwise obs_localize kernels; do
-  echo "==> cargo bench -p enkf-bench --bench $b"
-  cargo bench -q -p enkf-bench --bench "$b" | tee -a "$tmp/bench.txt"
-done
+echo "==> cargo bench -p enkf-bench --bench pfs_reading"
+cargo bench -q -p enkf-bench --bench pfs_reading | tee "$tmp/bench.txt"
 
-echo "==> fig09 --tiny"
-t0=$SECONDS
-cargo run -q --release -p enkf-bench --bin fig09_phase_breakdown -- --tiny \
-  >"$tmp/fig09.txt"
-fig09_secs=$((SECONDS - t0))
+echo "==> dataplane_readphase (fig05/fig10-shaped read-phase sweeps)"
+cargo run -q --release -p enkf-bench --bin dataplane_readphase \
+  | tee "$tmp/readphase.txt"
 
-echo "==> fig14 --tiny --check-overhead"
-t0=$SECONDS
-cargo run -q --release -p enkf-bench --bin fig14_fault_resilience -- \
-  --tiny --check-overhead | tee "$tmp/fig14.txt"
-fig14_secs=$((SECONDS - t0))
-
-# fig14 prints one machine-readable line:
-#   zero_overhead digests_equal=true plain_ms=… faulted_ms=… overhead=…%
-zo_line=$(grep '^zero_overhead ' "$tmp/fig14.txt")
-zo_equal=$(sed -n 's/.*digests_equal=\([a-z]*\).*/\1/p' <<<"$zo_line")
-zo_plain=$(sed -n 's/.*plain_ms=\([0-9.]*\).*/\1/p' <<<"$zo_line")
-zo_faulted=$(sed -n 's/.*faulted_ms=\([0-9.]*\).*/\1/p' <<<"$zo_line")
-zo_overhead=$(sed -n 's/.*overhead=\([-+0-9.]*\)%.*/\1/p' <<<"$zo_line")
+echo "==> zero-allocation steady state (release)"
+if cargo test -q --release --test dataplane_alloc_free >"$tmp/alloc.txt" 2>&1; then
+  alloc_free=true
+else
+  alloc_free=false
+  cat "$tmp/alloc.txt"
+fi
 
 # The criterion shim prints "group: <g>" then "  <id>: <duration>/iter over
-# N iters" per case; flatten to "group/id": "duration" JSON entries.
+# N iters" per case; flatten to "group/id": "duration" JSON entries, and
+# keep a ns-normalized value per id for the speedup ratios below.
 awk '
+  function ns(v,   num, unit) {
+    num = v; sub(/[a-zµ]+$/, "", num)
+    unit = v; sub(/^[0-9.]+/, "", unit)
+    if (unit == "ns") return num + 0
+    if (unit == "µs" || unit == "us") return num * 1e3
+    if (unit == "ms") return num * 1e6
+    return num * 1e9
+  }
   /^group: / { group = $2; next }
   /\/iter over / {
     id = $1; sub(/:$/, "", id)
     val = $2; sub(/\/iter$/, "", val)
-    printf "    \"%s/%s\": \"%s\",\n", group, id, val
+    printf "    \"%s/%s\": \"%s\",\n", group, id, val > micro
+    printf "%s %.3f\n", id, ns(val) > times
   }
-' "$tmp/bench.txt" >"$tmp/micro.txt"
+' micro="$tmp/micro.txt" times="$tmp/times.txt" "$tmp/bench.txt"
 sed -i '$ s/,$//' "$tmp/micro.txt"
+
+t() { awk -v id="$1" '$1 == id { print $2 }' "$tmp/times.txt"; }
+ratio() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.2f", a / b }'; }
+
+pooled_speedup=$(ratio "$(t fresh_read)" "$(t pooled_read)")
+view_speedup=$(ratio "$(t owned_split)" "$(t view_split)")
+readahead_speedup=$(ratio "$(t readahead_off)" "$(t readahead_on)")
+
+# dataplane_readphase prints one machine-readable line per sweep point:
+#   DATAPLANE fig05 nsdx=2 before_ms=1.54 after_ms=0.71 speedup=2.18
+sweep_json() {
+  awk -v fig="$1" -v key="$2" '
+    $1 == "DATAPLANE" && $2 == fig {
+      split($3, p, "="); split($4, b, "="); split($5, a, "="); split($6, s, "=")
+      printf "      { \"%s\": %s, \"before_ms\": %s, \"after_ms\": %s, \"speedup\": %s },\n", \
+        key, p[2], b[2], a[2], s[2]
+    }
+  ' "$tmp/readphase.txt" | sed '$ s/ },$/ }/'
+}
 
 {
   cat <<'HEADER'
 {
-  "benchmark": "PR3: deterministic fault injection + resilient execution (enkf-fault)",
+  "benchmark": "PR4: zero-copy data plane (pooled buffers, region views, read-ahead pipelining)",
   "iterations_per_case": 20,
   "micro": {
 HEADER
   cat "$tmp/micro.txt"
-  cat <<FOOTER
+  cat <<MID
   },
-  "fig09_tiny_seconds": $fig09_secs,
-  "fig14_tiny_seconds": $fig14_secs,
-  "zero_overhead_check": {
-    "digests_equal": $zo_equal,
-    "plain_ms": $zo_plain,
-    "faulted_ms": $zo_faulted,
-    "overhead_pct": $zo_overhead
-  }
+  "speedups": {
+    "pooled_read_vs_fresh": $pooled_speedup,
+    "view_split_vs_owned": $view_speedup,
+    "readahead_on_vs_off": $readahead_speedup
+  },
+  "readphase": {
+    "fig05_block_reading": [
+MID
+  sweep_json fig05 nsdx
+  cat <<MID2
+    ],
+    "fig10_staged_group_reading": [
+MID2
+  sweep_json fig10 layers
+  cat <<FOOTER
+    ]
+  },
+  "alloc_free_steady_state": $alloc_free
 }
 FOOTER
 } >"$out"
