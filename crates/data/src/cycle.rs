@@ -16,7 +16,35 @@ use enkf_core::{Ensemble, ObservationOperator, Observations, PerturbedObservatio
 use enkf_grid::{Mesh, ObservationNetwork};
 use enkf_linalg::{GaussianSampler, Matrix};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
+
+/// An [`StdRng`] that counts its raw draws. The count is the experiment's
+/// **RNG cursor**: persisting it in a checkpoint and replaying that many
+/// draws after reseeding reconstructs the generator state bit-exactly, so a
+/// resumed campaign continues the *same* random sequence an uninterrupted
+/// run would have used (every derived draw — uniforms, Gaussians including
+/// rejection loops — is a deterministic function of the `next_u64` stream).
+#[derive(Debug, Clone)]
+struct CountingRng {
+    inner: StdRng,
+    draws: u64,
+}
+
+impl CountingRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        CountingRng {
+            inner: StdRng::seed_from_u64(seed),
+            draws: 0,
+        }
+    }
+}
+
+impl RngCore for CountingRng {
+    fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
+        self.inner.next_u64()
+    }
+}
 
 /// Configuration of a cycled twin experiment.
 #[derive(Debug, Clone, Copy)]
@@ -58,6 +86,24 @@ pub struct CycleStats {
     pub free_run_rmse: f64,
 }
 
+/// The resumable state of a [`CycledExperiment`] at a cycle boundary —
+/// everything [`CycledExperiment::restore`] needs to reconstruct the
+/// experiment bit-exactly. Produced by [`CycledExperiment::snapshot`];
+/// checkpoint layers persist it to disk.
+#[derive(Debug, Clone)]
+pub struct CycleState {
+    /// Completed cycles (the next cycle to run).
+    pub cycle: usize,
+    /// Raw draws consumed from the experiment's RNG since seeding.
+    pub rng_cursor: u64,
+    /// Truth trajectory state.
+    pub truth: Vec<f64>,
+    /// Background ensemble (the previous cycle's analysis).
+    pub background: Ensemble,
+    /// Free-running control ensemble.
+    pub free_run: Ensemble,
+}
+
 /// A running cycled experiment.
 pub struct CycledExperiment {
     mesh: Mesh,
@@ -65,7 +111,7 @@ pub struct CycledExperiment {
     truth: Vec<f64>,
     background: Ensemble,
     free_run: Ensemble,
-    rng: StdRng,
+    rng: CountingRng,
     cycle: usize,
     seed: u64,
 }
@@ -74,7 +120,7 @@ impl CycledExperiment {
     /// Initialize from a seed: truth and initial ensembles are smooth
     /// random fields; the ensemble starts biased off the truth.
     pub fn new(mesh: Mesh, members: usize, config: CycleConfig, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ 0xDA3E);
+        let mut rng = CountingRng::seed_from_u64(seed.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ 0xDA3E);
         let mut gs = GaussianSampler::new();
         let gen = SmoothFieldGenerator {
             max_wavenumber: 2,
@@ -106,6 +152,50 @@ impl CycledExperiment {
         }
     }
 
+    /// Reconstruct an experiment from a [`CycleState`] snapshot.
+    ///
+    /// `members` must be the member count the experiment was *originally*
+    /// constructed with (the state's ensembles may be smaller after a
+    /// degraded cycle): initialization replays the same draws, and the RNG
+    /// is then fast-forwarded to the snapshot's cursor. The reconstruction
+    /// is bit-exact — continuing from a restored experiment produces the
+    /// same fields, observations and statistics an uninterrupted run would.
+    pub fn restore(
+        mesh: Mesh,
+        members: usize,
+        config: CycleConfig,
+        seed: u64,
+        state: CycleState,
+    ) -> Self {
+        let mut exp = Self::new(mesh, members, config, seed);
+        assert!(
+            exp.rng.draws <= state.rng_cursor,
+            "snapshot cursor {} precedes initialization ({} draws)",
+            state.rng_cursor,
+            exp.rng.draws
+        );
+        while exp.rng.draws < state.rng_cursor {
+            exp.rng.next_u64();
+        }
+        exp.truth = state.truth;
+        exp.background = state.background;
+        exp.free_run = state.free_run;
+        exp.cycle = state.cycle;
+        exp
+    }
+
+    /// Snapshot the resumable state at the current cycle boundary. Call
+    /// between cycles (not mid-`run_cycle`).
+    pub fn snapshot(&self) -> CycleState {
+        CycleState {
+            cycle: self.cycle,
+            rng_cursor: self.rng.draws,
+            truth: self.truth.clone(),
+            background: self.background.clone(),
+            free_run: self.free_run.clone(),
+        }
+    }
+
     /// The current truth state.
     pub fn truth(&self) -> &[f64] {
         &self.truth
@@ -114,6 +204,32 @@ impl CycledExperiment {
     /// The current background ensemble.
     pub fn background(&self) -> &Ensemble {
         &self.background
+    }
+
+    /// The free-running control ensemble.
+    pub fn free_run(&self) -> &Ensemble {
+        &self.free_run
+    }
+
+    /// Completed cycles (the next cycle to run).
+    pub fn cycle(&self) -> usize {
+        self.cycle
+    }
+
+    /// Raw draws consumed from the RNG since seeding (the checkpointable
+    /// RNG cursor).
+    pub fn rng_cursor(&self) -> u64 {
+        self.rng.draws
+    }
+
+    /// The seed the experiment was constructed with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The experiment mesh.
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
     }
 
     /// Observations of the *current* truth (call once per cycle).
@@ -231,6 +347,38 @@ mod tests {
         // The second forecast starts from the first analysis, so its error
         // should not balloon back to the free-run level.
         assert!(s1.forecast_rmse < s1.free_run_rmse * 1.2);
+    }
+
+    #[test]
+    fn snapshot_restore_replays_bit_exactly() {
+        let mesh = Mesh::new(14, 8);
+        let radius = LocalizationRadius { xi: 1, eta: 1 };
+        let analyze = |bg: &Ensemble, obs: &Observations| serial_enkf(bg, obs, radius);
+        // Uninterrupted: 4 cycles straight through.
+        let mut full = CycledExperiment::new(mesh, 6, CycleConfig::default(), 11);
+        let mut full_stats = Vec::new();
+        for _ in 0..4 {
+            full_stats.push(full.run_cycle(analyze).unwrap());
+        }
+        // Interrupted: 2 cycles, snapshot, restore, 2 more.
+        let mut a = CycledExperiment::new(mesh, 6, CycleConfig::default(), 11);
+        let mut parts = Vec::new();
+        parts.push(a.run_cycle(analyze).unwrap());
+        parts.push(a.run_cycle(analyze).unwrap());
+        let state = a.snapshot();
+        assert_eq!(state.cycle, 2);
+        drop(a);
+        let mut b = CycledExperiment::restore(mesh, 6, CycleConfig::default(), 11, state);
+        parts.push(b.run_cycle(analyze).unwrap());
+        parts.push(b.run_cycle(analyze).unwrap());
+        assert_eq!(parts, full_stats, "stats are bit-identical after restore");
+        assert_eq!(
+            b.background().states(),
+            full.background().states(),
+            "final ensembles are bit-identical"
+        );
+        assert_eq!(b.truth(), full.truth());
+        assert_eq!(b.rng_cursor(), full.rng_cursor());
     }
 
     #[test]

@@ -15,7 +15,7 @@ pub mod field;
 pub mod scenario;
 pub mod storeio;
 
-pub use cycle::{CycleConfig, CycleStats, CycledExperiment};
+pub use cycle::{CycleConfig, CycleState, CycleStats, CycledExperiment};
 pub use dynamics::AdvectionDiffusion;
 pub use field::SmoothFieldGenerator;
 pub use scenario::{Scenario, ScenarioBuilder};

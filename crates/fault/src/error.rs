@@ -83,6 +83,15 @@ pub enum SubstrateError {
         /// The stage at which it died.
         stage: usize,
     },
+    /// A rank's helper thread failed (panic or early termination), so the
+    /// rank could not assemble its background blocks. The typed alternative
+    /// to propagating the helper's panic into the whole process.
+    HelperFailed {
+        /// The rank whose helper died.
+        rank: usize,
+        /// What happened.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for SubstrateError {
@@ -110,6 +119,9 @@ impl std::fmt::Display for SubstrateError {
             }
             SubstrateError::RankCrashed { rank, stage } => {
                 write!(f, "rank {rank} crashed at stage {stage}")
+            }
+            SubstrateError::HelperFailed { rank, detail } => {
+                write!(f, "rank {rank} helper thread failed: {detail}")
             }
         }
     }

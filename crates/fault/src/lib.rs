@@ -40,6 +40,7 @@ pub use error::{ReadError, SubstrateError};
 pub use injector::{FaultConfig, FaultInjector};
 pub use log::{FaultEvent, FaultLog, FaultRecord};
 pub use plan::{
-    FaultPlan, MsgFault, OstSlowdown, RankCrash, ReadFault, ReadFaultKind, Straggler, UNRECOVERABLE,
+    CycleCrash, FaultPlan, MsgFault, OstSlowdown, RankCrash, ReadFault, ReadFaultKind, Straggler,
+    UNRECOVERABLE,
 };
 pub use retry::RetryPolicy;

@@ -68,6 +68,22 @@ pub struct RankCrash {
     pub stage: usize,
 }
 
+/// Rank `rank` dies at stage `stage` of assimilation cycle `cycle` — a
+/// campaign-scoped kill point. Cycle-scoped crashes are inert until a
+/// campaign supervisor projects them into a per-cycle plan with
+/// [`FaultPlan::for_cycle_attempt`]; they fire on the *first* attempt of
+/// their cycle only, so a recovered re-run does not re-crash (the faulty
+/// node is considered replaced).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleCrash {
+    /// The crashing rank.
+    pub rank: usize,
+    /// 0-based assimilation cycle in which the crash lands.
+    pub cycle: usize,
+    /// Stage (layer) index at which the rank stops responding.
+    pub stage: usize,
+}
+
 /// A deterministic, seeded fault plan: plain data describing which faults
 /// fire where. The same plan drives both executors — decisions are pure
 /// functions of the plan (see `FaultInjector`), never of runtime state.
@@ -90,6 +106,10 @@ pub struct FaultPlan {
     pub stragglers: Vec<Straggler>,
     /// Ranks that die mid-run.
     pub crashes: Vec<RankCrash>,
+    /// Campaign kill points: ranks that die at a specific (cycle, stage).
+    /// Ignored by single-cycle executors; a supervisor resolves them with
+    /// [`FaultPlan::for_cycle_attempt`].
+    pub cycle_crashes: Vec<CycleCrash>,
 }
 
 impl Default for FaultPlan {
@@ -102,6 +122,7 @@ impl Default for FaultPlan {
             msg_faults: Vec::new(),
             stragglers: Vec::new(),
             crashes: Vec::new(),
+            cycle_crashes: Vec::new(),
         }
     }
 }
@@ -122,6 +143,7 @@ impl FaultPlan {
             && self.msg_faults.is_empty()
             && self.stragglers.is_empty()
             && self.crashes.is_empty()
+            && self.cycle_crashes.is_empty()
     }
 
     /// Override the file→OST striping modulus.
@@ -205,6 +227,36 @@ impl FaultPlan {
         self
     }
 
+    /// Rank `rank` dies at stage `stage` of campaign cycle `cycle` (first
+    /// attempt of that cycle only — recovery re-runs proceed on a replaced
+    /// node).
+    pub fn with_crash_at_cycle(mut self, rank: usize, cycle: usize, stage: usize) -> Self {
+        self.cycle_crashes.push(CycleCrash { rank, cycle, stage });
+        self
+    }
+
+    /// Project this campaign plan onto one executor invocation: attempt
+    /// `attempt` (0-based) of cycle `cycle`. Per-cycle faults (read faults,
+    /// slowdowns, message faults, stragglers, plain crashes) carry over
+    /// unchanged; cycle-scoped crashes matching `cycle` become plain
+    /// [`RankCrash`]es on the first attempt and disappear on re-runs.
+    pub fn for_cycle_attempt(&self, cycle: usize, attempt: u32) -> FaultPlan {
+        let mut plan = self.clone();
+        if attempt == 0 {
+            plan.crashes.extend(
+                plan.cycle_crashes
+                    .iter()
+                    .filter(|c| c.cycle == cycle)
+                    .map(|c| RankCrash {
+                        rank: c.rank,
+                        stage: c.stage,
+                    }),
+            );
+        }
+        plan.cycle_crashes.clear();
+        plan
+    }
+
     /// A seeded jitter plan for severity sweeps (fig. 14): every rank in
     /// `0..ranks` gets a deterministic pseudo-random compute dilation in
     /// `[1, max_dilation]`. `severity = max_dilation − 1` is the knob the
@@ -263,6 +315,28 @@ mod tests {
         assert!(plan.msg_faults[1].dropped);
         assert_eq!(plan.stragglers.len(), 1);
         assert_eq!(plan.crashes, vec![RankCrash { rank: 4, stage: 1 }]);
+    }
+
+    #[test]
+    fn cycle_crashes_fire_on_the_first_attempt_only() {
+        let plan = FaultPlan::new(9)
+            .with_read_fault(1, 1)
+            .with_crash_at_cycle(3, 2, 1);
+        assert!(!plan.is_empty());
+        // Wrong cycle: nothing fires, the cycle-scoped entry is stripped.
+        let other = plan.for_cycle_attempt(0, 0);
+        assert!(other.crashes.is_empty());
+        assert!(other.cycle_crashes.is_empty());
+        assert_eq!(
+            other.read_faults, plan.read_faults,
+            "per-cycle faults carry over"
+        );
+        // Matching cycle, first attempt: the kill point becomes a crash.
+        let first = plan.for_cycle_attempt(2, 0);
+        assert_eq!(first.crashes, vec![RankCrash { rank: 3, stage: 1 }]);
+        // Recovery re-run of the same cycle: the node was replaced.
+        let retry = plan.for_cycle_attempt(2, 1);
+        assert!(retry.crashes.is_empty());
     }
 
     #[test]

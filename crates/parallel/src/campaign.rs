@@ -1,0 +1,411 @@
+//! Supervised multi-cycle assimilation campaigns with crash recovery.
+//!
+//! A *campaign* runs K forecast–observe–analyze cycles of a
+//! [`CycledExperiment`] through one of the parallel executors
+//! (L/P/S-EnKF), checkpointing the resumable state after every cycle via
+//! [`enkf_ckpt::CheckpointStore`]. The supervisor wraps each cycle's
+//! `run_faulted` call and turns substrate failures — rank crashes, helper
+//! thread deaths, retry exhaustion, receive timeouts — into *recoveries*:
+//! tear the cycle down, restore the last durable checkpoint **from disk**,
+//! and re-run under an exponential-backoff restart budget. Members the
+//! fault plan makes unrecoverable degrade the campaign to the N−1 path
+//! (the ensemble continues on the survivors) instead of consuming restarts.
+//!
+//! Restoring from disk even for in-process recoveries is what makes the
+//! headline invariant hold: **kill–resume determinism**. A campaign killed
+//! after any completed cycle and resumed from the checkpoint directory
+//! produces bit-identical final ensembles, per-cycle statistics, and
+//! per-cycle trace digests to an uninterrupted run — recovery replays the
+//! exact RNG cursor, truth state and ensembles the uninterrupted run had at
+//! that cycle boundary, so there is nothing left to diverge.
+
+use crate::exec::setup::AssimilationSetup;
+use crate::report::ExecutionReport;
+use crate::{LEnkf, PEnkf, SEnkf};
+use enkf_ckpt::{fnv64, CampaignCheckpoint, CheckpointStore, CkptError};
+use enkf_core::{inflated, EnkfError, Ensemble, LocalAnalysis, Result as CoreResult};
+use enkf_data::{write_ensemble, CycleConfig, CycleState, CycleStats, CycledExperiment};
+use enkf_fault::{FaultConfig, FaultLog, RetryPolicy, SubstrateError};
+use enkf_grid::Mesh;
+use enkf_pfs::FileStore;
+use enkf_trace::{RankTracer, Role, Trace};
+use enkf_tuning::Params;
+use std::time::{Duration, Instant};
+
+/// Which parallel variant a campaign drives. All three share the
+/// supervisor, the checkpoint format and the recovery state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignExecutor {
+    /// Single-reader baseline (§6).
+    LEnkf {
+        /// Sub-domains along longitude.
+        nsdx: usize,
+        /// Sub-domains along latitude.
+        nsdy: usize,
+    },
+    /// Block-reading baseline (Fig. 3).
+    PEnkf {
+        /// Sub-domains along longitude.
+        nsdx: usize,
+        /// Sub-domains along latitude.
+        nsdy: usize,
+    },
+    /// The paper's co-designed variant (Figs. 6–8).
+    SEnkf(Params),
+}
+
+impl CampaignExecutor {
+    /// Ranks the executor occupies; the supervisor traces as rank
+    /// `num_ranks()` so its spans never collide with an executor rank.
+    pub fn num_ranks(&self) -> usize {
+        match *self {
+            CampaignExecutor::LEnkf { nsdx, nsdy } | CampaignExecutor::PEnkf { nsdx, nsdy } => {
+                nsdx * nsdy
+            }
+            CampaignExecutor::SEnkf(p) => p.c2() + p.ncg * p.nsdy,
+        }
+    }
+
+    fn run_faulted(
+        &self,
+        setup: &AssimilationSetup<'_>,
+        cfg: &FaultConfig,
+    ) -> CoreResult<(Ensemble, ExecutionReport, Trace, FaultLog)> {
+        match *self {
+            CampaignExecutor::LEnkf { nsdx, nsdy } => LEnkf { nsdx, nsdy }.run_faulted(setup, cfg),
+            CampaignExecutor::PEnkf { nsdx, nsdy } => PEnkf { nsdx, nsdy }.run_faulted(setup, cfg),
+            CampaignExecutor::SEnkf(p) => SEnkf::new(p).run_faulted(setup, cfg),
+        }
+    }
+}
+
+/// Configuration of a supervised campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Experiment mesh.
+    pub mesh: Mesh,
+    /// Cycles to complete.
+    pub cycles: usize,
+    /// Initial ensemble size.
+    pub members: usize,
+    /// Twin-experiment cycle configuration.
+    pub cycle: CycleConfig,
+    /// Campaign seed (drives truth, ensembles, observation noise).
+    pub seed: u64,
+    /// Local analysis kernel.
+    pub analysis: LocalAnalysis,
+    /// Multiplicative background inflation applied before each analysis.
+    pub inflation: f64,
+    /// Restart budget: how many recoveries per cycle, with what backoff.
+    pub restart: RetryPolicy,
+}
+
+impl CampaignConfig {
+    /// Fingerprint of everything that must match for a checkpoint to be
+    /// resumable: mesh, members, seed, cycle physics, analysis kernel,
+    /// inflation, and the executor (a different executor would change the
+    /// per-cycle trace digests).
+    pub fn fingerprint(&self, exec: &CampaignExecutor) -> u64 {
+        fnv64(
+            format!(
+                "{:?}|{}|{}|{:?}|{:?}|{}|{:?}",
+                self.mesh, self.members, self.seed, self.cycle, self.analysis, self.inflation, exec
+            )
+            .as_bytes(),
+        )
+    }
+}
+
+/// One recovery action the supervisor took.
+#[derive(Debug, Clone)]
+pub struct RecoveryEvent {
+    /// Cycle being attempted when the failure hit.
+    pub cycle: usize,
+    /// Attempt number within the cycle (0 = first run).
+    pub attempt: u32,
+    /// The substrate failure, rendered.
+    pub error: String,
+    /// Whether this recovery degraded the campaign to the N−1 path
+    /// instead of consuming restart budget.
+    pub degraded: bool,
+    /// Checkpoint cycle the supervisor restored from.
+    pub restored_from: usize,
+}
+
+/// What a completed campaign produced.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Per-cycle twin-experiment statistics, cycle 0..K.
+    pub stats: Vec<CycleStats>,
+    /// FNV-64 hash of each cycle's executor trace digest — the kill–resume
+    /// conformance artifact (bit-identical across interruptions).
+    pub cycle_digests: Vec<u64>,
+    /// The final analysis ensemble.
+    pub final_analysis: Ensemble,
+    /// Executor spans of every cycle run in *this* process, plus the
+    /// supervisor's checkpoint/restore/recovery spans.
+    pub trace: Trace,
+    /// Every recovery the supervisor performed.
+    pub recoveries: Vec<RecoveryEvent>,
+    /// `Some(c)` when the campaign resumed from an on-disk checkpoint at
+    /// cycle `c` instead of starting fresh.
+    pub resumed_from: Option<usize>,
+    /// Whether the campaign finished on the degraded (N−k) path.
+    pub degraded: bool,
+    /// Members dropped by degradation (by original index).
+    pub dropped_members: Vec<usize>,
+    /// Wall-clock seconds for this process's portion of the campaign.
+    pub wall_time: f64,
+}
+
+/// Supervisor-level failures.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// Saving or loading a checkpoint failed.
+    Checkpoint(CkptError),
+    /// Writing the background ensemble to the work store failed.
+    Io(std::io::Error),
+    /// The analysis itself failed for a non-substrate reason (geometry,
+    /// linear algebra) — restarting cannot help.
+    Analysis(EnkfError),
+    /// A cycle kept failing past the restart budget.
+    RestartBudgetExhausted {
+        /// The cycle that would not complete.
+        cycle: usize,
+        /// Attempts made (initial + restarts).
+        attempts: u32,
+        /// The last substrate failure, rendered.
+        last: String,
+    },
+    /// Recovery needed a checkpoint but no durable one survives.
+    NoCheckpoint {
+        /// The cycle being recovered.
+        cycle: usize,
+    },
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Checkpoint(e) => write!(f, "{e}"),
+            CampaignError::Io(e) => write!(f, "work-store write failed: {e}"),
+            CampaignError::Analysis(e) => write!(f, "analysis failed: {e}"),
+            CampaignError::RestartBudgetExhausted {
+                cycle,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "cycle {cycle} failed {attempts} attempts, restart budget exhausted: {last}"
+            ),
+            CampaignError::NoCheckpoint { cycle } => write!(
+                f,
+                "recovery of cycle {cycle} found no durable checkpoint to restore"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<CkptError> for CampaignError {
+    fn from(e: CkptError) -> Self {
+        CampaignError::Checkpoint(e)
+    }
+}
+
+fn experiment_from(cfg: &CampaignConfig, ck: &CampaignCheckpoint) -> CycledExperiment {
+    CycledExperiment::restore(
+        cfg.mesh,
+        cfg.members,
+        cfg.cycle,
+        cfg.seed,
+        CycleState {
+            cycle: ck.cycle,
+            rng_cursor: ck.rng_cursor,
+            truth: ck.truth.clone(),
+            background: ck.analysis.clone(),
+            free_run: ck.free_run.clone(),
+        },
+    )
+}
+
+fn checkpoint_of(
+    cfg: &CampaignConfig,
+    fp: u64,
+    exp: &CycledExperiment,
+    stats: &[CycleStats],
+    digests: &[u64],
+) -> CampaignCheckpoint {
+    let s = exp.snapshot();
+    CampaignCheckpoint {
+        cycle: s.cycle,
+        seed: cfg.seed,
+        members0: cfg.members,
+        rng_cursor: s.rng_cursor,
+        config_fp: fp,
+        truth: s.truth,
+        analysis: s.background,
+        free_run: s.free_run,
+        stats: stats.to_vec(),
+        cycle_digests: digests.to_vec(),
+    }
+}
+
+/// Run (or resume) a supervised campaign.
+///
+/// `work` is the ensemble work store the executors read from — each cycle
+/// the inflated background is written there before the executor runs.
+/// `ckpt` is the durable checkpoint directory: if it already holds a
+/// checkpoint with a matching [`CampaignConfig::fingerprint`], the
+/// campaign resumes from it; otherwise it starts fresh (and commits the
+/// initial state as cycle 0's recovery line before running anything).
+///
+/// Failure handling per cycle attempt:
+///
+/// * [`SubstrateError::Unrecoverable`] — a member is *permanently* lost:
+///   restore the checkpoint and re-run degraded (N−1); does not consume
+///   restart budget.
+/// * Any other [`SubstrateError`] (crash, helper failure, timeout, retry
+///   exhaustion) — transient: sleep the restart backoff, restore the last
+///   durable checkpoint from disk, re-run. Cycle-scoped crashes in the
+///   plan fire only on attempt 0, modelling a replaced node.
+/// * Non-substrate errors abort the campaign
+///   ([`CampaignError::Analysis`]).
+pub fn run_campaign(
+    work: &FileStore,
+    ckpt: &CheckpointStore,
+    exec: &CampaignExecutor,
+    cfg: &CampaignConfig,
+    fault: &FaultConfig,
+) -> Result<CampaignReport, CampaignError> {
+    let t0 = Instant::now();
+    let fp = cfg.fingerprint(exec);
+    let mut sup = RankTracer::new(exec.num_ranks(), t0);
+    sup.set_role(Role::Io);
+
+    let mut stats: Vec<CycleStats> = Vec::new();
+    let mut digests: Vec<u64> = Vec::new();
+    let mut trace = Trace::new("campaign-real");
+    let mut recoveries = Vec::new();
+    let mut dropped_members = Vec::new();
+    let mut degraded_mode = false;
+
+    let (mut exp, resumed_from) = match ckpt.load_latest(fp, Some(&mut sup))? {
+        Some((ck, _skipped)) => {
+            stats = ck.stats.clone();
+            digests = ck.cycle_digests.clone();
+            degraded_mode = ck.analysis.size() < ck.members0;
+            let cycle = ck.cycle;
+            (experiment_from(cfg, &ck), Some(cycle))
+        }
+        None => {
+            let exp = CycledExperiment::new(cfg.mesh, cfg.members, cfg.cycle, cfg.seed);
+            // Commit the initial state before running anything: cycle 0 is
+            // the recovery line for a crash in the very first cycle.
+            ckpt.save(&checkpoint_of(cfg, fp, &exp, &[], &[]), Some(&mut sup))
+                .map_err(|e| CampaignError::Checkpoint(CkptError::Io(e)))?;
+            (exp, None)
+        }
+    };
+
+    let mut attempt: u32 = 0; // attempts within the current cycle
+    let mut restarts: u32 = 0; // budget-consuming restarts within it
+    while exp.cycle() < cfg.cycles {
+        let c = exp.cycle();
+        let fcfg = FaultConfig {
+            plan: fault.plan.for_cycle_attempt(c, attempt),
+            retry: fault.retry,
+            degraded: fault.degraded || degraded_mode,
+            recv_timeout: fault.recv_timeout,
+        };
+        let mut cycle_out: Option<(ExecutionReport, Trace)> = None;
+        let res = exp.run_cycle(|bg, obs| {
+            let inflated_bg = inflated(bg, cfg.inflation);
+            write_ensemble(work, &inflated_bg).map_err(CampaignError::Io)?;
+            let setup = AssimilationSetup {
+                store: work,
+                members: inflated_bg.size(),
+                observations: obs,
+                analysis: cfg.analysis,
+            };
+            let (analysis, report, cycle_trace, _log) = exec
+                .run_faulted(&setup, &fcfg)
+                .map_err(CampaignError::Analysis)?;
+            cycle_out = Some((report, cycle_trace));
+            Ok(analysis)
+        });
+        match res {
+            Ok(s) => {
+                let (report, cycle_trace) = cycle_out.expect("successful cycle produced a trace");
+                stats.push(s);
+                digests.push(fnv64(cycle_trace.digest().as_bytes()));
+                trace.extend(cycle_trace.spans().iter().cloned());
+                for m in report.dropped_members {
+                    if !dropped_members.contains(&m) {
+                        dropped_members.push(m);
+                    }
+                }
+                ckpt.save(
+                    &checkpoint_of(cfg, fp, &exp, &stats, &digests),
+                    Some(&mut sup),
+                )
+                .map_err(|e| CampaignError::Checkpoint(CkptError::Io(e)))?;
+                attempt = 0;
+                restarts = 0;
+            }
+            Err(CampaignError::Analysis(EnkfError::Substrate(se))) => {
+                let permanent_loss = matches!(se, SubstrateError::Unrecoverable { .. });
+                if !permanent_loss {
+                    if restarts >= cfg.restart.max_retries {
+                        return Err(CampaignError::RestartBudgetExhausted {
+                            cycle: c,
+                            attempts: attempt + 1,
+                            last: se.to_string(),
+                        });
+                    }
+                    let backoff = cfg.restart.backoff(restarts);
+                    sup.recovery(|| std::thread::sleep(Duration::from_secs_f64(backoff)));
+                    restarts += 1;
+                } else {
+                    // Permanently lost member: re-run degraded on the
+                    // survivors. Free of budget — the failure cannot recur
+                    // once the member is dropped.
+                    degraded_mode = true;
+                    sup.recovery(|| ());
+                }
+                // Restore from *disk*, not from memory: in-process recovery
+                // and a process kill + resume take the identical path.
+                let Some((ck, _skipped)) = ckpt.load_latest(fp, Some(&mut sup))? else {
+                    return Err(CampaignError::NoCheckpoint { cycle: c });
+                };
+                recoveries.push(RecoveryEvent {
+                    cycle: c,
+                    attempt,
+                    error: se.to_string(),
+                    degraded: permanent_loss,
+                    restored_from: ck.cycle,
+                });
+                stats = ck.stats.clone();
+                digests = ck.cycle_digests.clone();
+                exp = experiment_from(cfg, &ck);
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    let final_analysis = exp.background().clone();
+    trace.extend(sup.into_spans());
+    Ok(CampaignReport {
+        stats,
+        cycle_digests: digests,
+        final_analysis,
+        trace,
+        recoveries,
+        resumed_from,
+        degraded: degraded_mode,
+        dropped_members,
+        wall_time: t0.elapsed().as_secs_f64(),
+    })
+}

@@ -32,6 +32,10 @@ use std::time::{Duration, Instant};
 const ABORT_SENTINEL: usize = usize::MAX;
 /// Helper-channel sentinel: a receive timed out (crashed/dropping peer).
 const TIMEOUT_SENTINEL: usize = usize::MAX - 1;
+/// Helper-channel sentinel: the helper's own bookkeeping failed (a stage it
+/// believed complete was not present). Surfaced as
+/// [`SubstrateError::HelperFailed`] instead of panicking the process.
+const HELPER_ERR_SENTINEL: usize = usize::MAX - 2;
 
 /// The S-EnKF variant, configured by the auto-tunable parameter set
 /// `(n_sdx, n_sdy, L, n_cg)`.
@@ -296,7 +300,14 @@ impl SEnkf {
                         }
                         entry.filled += members.len();
                         if entry.filled == alive_total {
-                            let done = stages.remove(&stage).expect("stage present");
+                            let Some(done) = stages.remove(&stage) else {
+                                // Unreachable in practice (the entry was just
+                                // filled above), but a bookkeeping bug here
+                                // must surface as a typed error on the main
+                                // thread, not a helper panic.
+                                let _ = tx.send((HELPER_ERR_SENTINEL, Matrix::zeros(0, 2)));
+                                return;
+                            };
                             if tx.send((stage, done.matrix)).is_err() {
                                 return; // main thread bailed out
                             }
@@ -336,13 +347,26 @@ impl SEnkf {
                                         false,
                                     );
                                 }
+                                if stage == HELPER_ERR_SENTINEL {
+                                    return (
+                                        Err(SubstrateError::HelperFailed {
+                                            rank,
+                                            detail: "stage bookkeeping lost a completed stage"
+                                                .into(),
+                                        }
+                                        .into()),
+                                        false,
+                                    );
+                                }
                                 ready.insert(stage, m);
                             }
                             Err(_) => {
                                 return (
-                                    Err(EnkfError::GeometryMismatch(
-                                        "helper thread terminated early".into(),
-                                    )),
+                                    Err(SubstrateError::HelperFailed {
+                                        rank,
+                                        detail: "helper thread terminated early".into(),
+                                    }
+                                    .into()),
                                     false,
                                 )
                             }
@@ -372,7 +396,16 @@ impl SEnkf {
                         Err(e) => return (Err(e), false),
                     }
                 }
-                helper.join().expect("helper thread panicked");
+                if helper.join().is_err() {
+                    return (
+                        Err(SubstrateError::HelperFailed {
+                            rank,
+                            detail: "helper thread panicked".into(),
+                        }
+                        .into()),
+                        false,
+                    );
+                }
                 (Ok(Some((target, result))), false)
             });
 

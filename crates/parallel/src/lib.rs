@@ -29,15 +29,20 @@
 //!   computation via helper threads (Fig. 8), parameters chosen by the
 //!   auto-tuner (`enkf_tuning`).
 
+pub mod campaign;
 pub mod exec;
 pub mod model;
 pub mod report;
 
+pub use campaign::{
+    run_campaign, CampaignConfig, CampaignError, CampaignExecutor, CampaignReport, RecoveryEvent,
+};
 pub use exec::lenkf::LEnkf;
 pub use exec::penkf::PEnkf;
 pub use exec::senkf::SEnkf;
 pub use exec::setup::AssimilationSetup;
 pub use exec::writeback::parallel_write_back;
+pub use model::campaign::{model_campaign, CampaignModelOutcome, CampaignModelPlan, ModelVariant};
 pub use model::penkf::{model_penkf, model_penkf_faulted, model_penkf_traced};
 pub use model::senkf::{
     model_senkf, model_senkf_faulted, model_senkf_faulted_opts, model_senkf_opts,

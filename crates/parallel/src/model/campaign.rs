@@ -1,0 +1,218 @@
+//! DES model of a supervised, checkpointed campaign.
+//!
+//! The real supervisor ([`crate::campaign::run_campaign`]) interleaves
+//! three kinds of work on the virtual timeline: assimilation cycles
+//! (already modeled by the per-variant DES executors), checkpoint I/O (the
+//! analysis members written back through the PFS after every cycle), and
+//! recovery (the partial work a crashed attempt throws away, the restart
+//! backoff, and the restore reads). This module stitches those into one
+//! modeled campaign without re-running the cycle DES K times: a cycle's
+//! operation structure is configuration-determined — every cycle of a
+//! campaign has the identical span multiset, only time-shifted — so one
+//! single-cycle simulation is computed and replayed along a running clock.
+//!
+//! Checkpoint and restore I/O is costed through the same OST service
+//! function the modeled PFS uses ([`PfsParams::read_service`]): one seek
+//! plus `8·n` bytes per member, serial on the supervisor agent (matching
+//! the real supervisor, which writes members through the `FileStore`
+//! pooled path one at a time). A crashed attempt contributes one
+//! [`Op::Recovery`] span covering the partial cycle (`stage/L` of the
+//! cycle makespan), the receive-timeout detection latency, and the restart
+//! backoff.
+//!
+//! With `checkpoint: false` the model reproduces the no-recovery-line
+//! baseline: a crash throws away *all* completed cycles, which is the
+//! comparison the Fig. 14-style MTTR sweep in `scripts/bench.sh` plots.
+
+use super::penkf::model_penkf_faulted;
+use super::senkf::{model_senkf_faulted_opts, SEnkfModelOptions};
+use super::{ModelConfig, ModelOutcome};
+use enkf_fault::{FaultConfig, RetryPolicy};
+use enkf_trace::{Op, Role, Span, Trace};
+use enkf_tuning::Params;
+use std::collections::BTreeSet;
+
+/// Which modeled executor the campaign drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelVariant {
+    /// Block-reading baseline.
+    PEnkf {
+        /// Sub-domains along longitude.
+        nsdx: usize,
+        /// Sub-domains along latitude.
+        nsdy: usize,
+    },
+    /// The co-designed variant.
+    SEnkf(Params),
+}
+
+impl ModelVariant {
+    fn layers(&self) -> usize {
+        match *self {
+            ModelVariant::PEnkf { .. } => 1,
+            ModelVariant::SEnkf(p) => p.layers,
+        }
+    }
+}
+
+/// Campaign-level plan for the model.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignModelPlan {
+    /// Cycles to complete.
+    pub cycles: usize,
+    /// Whether the supervisor checkpoints after every cycle. `false`
+    /// models the no-recovery-line baseline: a crash restarts the whole
+    /// campaign from cycle 0.
+    pub checkpoint: bool,
+    /// Restart backoff policy (mirrors `CampaignConfig::restart`).
+    pub restart: RetryPolicy,
+}
+
+/// What the modeled campaign produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignModelOutcome {
+    /// Virtual end-to-end campaign runtime, seconds.
+    pub makespan: f64,
+    /// Virtual runtime of one clean assimilation cycle.
+    pub cycle_makespan: f64,
+    /// Virtual seconds one checkpoint set costs (serial member writes).
+    pub checkpoint_time: f64,
+    /// Virtual seconds one restore costs (serial member reads).
+    pub restore_time: f64,
+    /// Recoveries performed.
+    pub restarts: u32,
+    /// Virtual seconds lost to failed attempts, backoff and re-done
+    /// cycles (everything a fault-free campaign would not have spent,
+    /// excluding checkpoint I/O itself).
+    pub lost_time: f64,
+    /// The single-cycle model outcome the campaign was stitched from.
+    pub cycle: ModelOutcome,
+}
+
+/// Model a K-cycle supervised campaign under `fcfg`. Cycle-scoped crashes
+/// (`FaultPlan::with_crash_at_cycle`) fire on the first attempt of their
+/// cycle, exactly like the real supervisor; all other faults apply to
+/// every cycle (the per-cycle DES handles them). Returns the outcome plus
+/// a campaign trace whose per-cycle digests equal the real supervisor's.
+pub fn model_campaign(
+    cfg: &ModelConfig,
+    variant: &ModelVariant,
+    camp: &CampaignModelPlan,
+    fcfg: &FaultConfig,
+) -> Result<(CampaignModelOutcome, Trace), String> {
+    // The steady-state cycle: the campaign plan's non-cycle faults apply
+    // to every cycle, while cycle-scoped crashes are orchestrated here at
+    // the supervisor level (the per-cycle DES rejects crash plans).
+    let cycle_fcfg = FaultConfig {
+        plan: fcfg.plan.for_cycle_attempt(0, 1),
+        retry: fcfg.retry,
+        degraded: fcfg.degraded,
+        recv_timeout: fcfg.recv_timeout,
+    };
+    let (cycle, cycle_trace, _log) = match *variant {
+        ModelVariant::PEnkf { nsdx, nsdy } => model_penkf_faulted(cfg, nsdx, nsdy, &cycle_fcfg)?,
+        ModelVariant::SEnkf(p) => {
+            model_senkf_faulted_opts(cfg, p, SEnkfModelOptions::default(), &cycle_fcfg)?
+        }
+    };
+
+    let n = (cfg.workload.nx * cfg.workload.ny) as u64;
+    let member_bytes = 8 * n;
+    let members = cfg.workload.members;
+    let member_service = cfg.pfs.read_service(1, member_bytes);
+    let checkpoint_time = member_service * members as f64;
+    let restore_time = checkpoint_time;
+    let sup_rank = cycle.total_ranks();
+    let layers = variant.layers();
+
+    let mut trace = Trace::new("campaign-model");
+    let mut t = 0.0f64;
+    let mut lost = 0.0f64;
+    let mut restarts = 0u32;
+
+    let sup_span =
+        |op: Op, start: f64, dur: f64, bytes: u64, seeks: u64, member: Option<usize>| Span {
+            rank: sup_rank,
+            role: Role::Io,
+            stage: None,
+            op,
+            start,
+            dur,
+            bytes,
+            seeks,
+            peer: None,
+            member,
+            res: None,
+        };
+    let emit_cycle = |trace: &mut Trace, t: &mut f64| {
+        trace.extend(cycle_trace.spans().iter().cloned().map(|mut s| {
+            s.start += *t;
+            s
+        }));
+        *t += cycle.makespan;
+    };
+    let emit_io = |trace: &mut Trace, t: &mut f64, op: Op| {
+        for k in 0..members {
+            trace.push(sup_span(op, *t, member_service, member_bytes, 1, Some(k)));
+            *t += member_service;
+        }
+    };
+
+    if camp.checkpoint {
+        // The initial state is committed before any cycle runs — the
+        // recovery line for a crash in cycle 0.
+        emit_io(&mut trace, &mut t, Op::Ckpt);
+    }
+    let mut fired: BTreeSet<usize> = BTreeSet::new();
+    let mut c = 0usize;
+    while c < camp.cycles {
+        let crash = fcfg
+            .plan
+            .cycle_crashes
+            .iter()
+            .filter(|cc| cc.cycle == c && !fired.contains(&c))
+            .map(|cc| cc.stage)
+            .min();
+        if let Some(stage) = crash {
+            fired.insert(c);
+            restarts += 1;
+            // The partial attempt: the cycle dies entering stage `stage`,
+            // peers detect it after the receive timeout, then the
+            // supervisor sleeps the restart backoff.
+            let frac = (stage as f64 / layers as f64).min(1.0);
+            let partial = cycle.makespan * frac + fcfg.recv_timeout;
+            let backoff = camp.restart.backoff(0);
+            trace.push(sup_span(Op::Recovery, t, partial + backoff, 0, 0, None));
+            t += partial + backoff;
+            lost += partial + backoff;
+            if camp.checkpoint {
+                emit_io(&mut trace, &mut t, Op::Restore);
+                // Re-attempt the same cycle (crash consumed).
+            } else {
+                // No recovery line: everything completed so far is thrown
+                // away and the campaign restarts from cycle 0.
+                lost += t - (partial + backoff);
+                c = 0;
+            }
+            continue;
+        }
+        emit_cycle(&mut trace, &mut t);
+        if camp.checkpoint {
+            emit_io(&mut trace, &mut t, Op::Ckpt);
+        }
+        c += 1;
+    }
+
+    Ok((
+        CampaignModelOutcome {
+            makespan: t,
+            cycle_makespan: cycle.makespan,
+            checkpoint_time,
+            restore_time,
+            restarts,
+            lost_time: lost,
+            cycle,
+        },
+        trace,
+    ))
+}

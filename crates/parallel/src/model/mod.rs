@@ -1,5 +1,6 @@
 //! Modeled (discrete-event) executors for paper-scale experiments.
 
+pub mod campaign;
 pub mod penkf;
 pub mod reading;
 pub mod senkf;

@@ -456,23 +456,67 @@ impl FileStore {
         }
     }
 
+    /// Scratch path a member's replacement is staged at before the atomic
+    /// rename. Lives in the member's directory so the rename never crosses
+    /// a filesystem; the `.tmp` suffix keeps it invisible to `open`'s
+    /// member scan and to [`FileStore::member_path`]-based reads.
+    fn member_tmp_path(&self, k: usize) -> PathBuf {
+        self.root.join(format!("member_{k:05}.bin.tmp"))
+    }
+
+    /// Stage `buf` at the member's temp path, optionally fsync, and rename
+    /// it over the final path — readers see either the old file or the new
+    /// one, never a torn intermediate. The open-handle cache is invalidated
+    /// *after* the swap: a cached handle still maps the old inode, which
+    /// stays readable but stale.
+    fn swap_member_file(&self, k: usize, buf: &[u8], durable: bool) -> std::io::Result<()> {
+        let tmp = self.member_tmp_path(k);
+        let mut f = File::create(&tmp)?;
+        f.write_all(buf)?;
+        if durable {
+            f.sync_all()?;
+        }
+        drop(f);
+        std::fs::rename(&tmp, self.member_path(k))?;
+        if durable {
+            // Persist the rename itself: fsync the containing directory.
+            File::open(&self.root).and_then(|d| d.sync_all())?;
+        }
+        self.handles.lock().invalidate(k);
+        Ok(())
+    }
+
     /// Write member `k` from mesh-ordered values (`n · levels` values,
     /// `levels` consecutive values per point).
+    ///
+    /// The write is atomic: bytes are staged at a temp path in the same
+    /// directory and renamed over the member file, so a crash mid-write can
+    /// never leave a torn member — readers observe the old contents or the
+    /// new, nothing in between.
     pub fn write_member(&self, k: usize, values: &[f64]) -> std::io::Result<()> {
+        self.write_member_impl(k, values, false)
+    }
+
+    /// [`FileStore::write_member`] with durability: the staged file is
+    /// fsynced before the rename and the directory after it, so a completed
+    /// call survives power loss — the temp-file + fsync + rename protocol
+    /// checkpoints are built on.
+    pub fn write_member_durable(&self, k: usize, values: &[f64]) -> std::io::Result<()> {
+        self.write_member_impl(k, values, true)
+    }
+
+    fn write_member_impl(&self, k: usize, values: &[f64], durable: bool) -> std::io::Result<()> {
         let expect = self.layout.mesh().n() * self.levels();
         assert_eq!(values.len(), expect, "member value count mismatch");
         let mut buf = self.pool.take_bytes(0);
         for &v in values {
             buf.extend_from_slice(&v.to_le_bytes());
         }
-        let result = File::create(self.member_path(k)).and_then(|mut f| f.write_all(&buf));
+        let result = self.swap_member_file(k, &buf, durable);
         let written = buf.len() as u64;
         self.pool.put_bytes(buf);
         result?;
         self.stats.lock().bytes_written += written;
-        // The create truncated the inode in place; cached read handles stay
-        // coherent, but invalidating keeps the cache's lifetime simple.
-        self.handles.lock().invalidate(k);
         self.note_member(k);
         Ok(())
     }
@@ -665,11 +709,17 @@ impl FileStore {
     /// Create member `k` as an all-zero file (a preallocation target for
     /// region writes). Implemented with `File::set_len` — no zero-filled
     /// buffer is materialized — while the byte accounting stays exactly
-    /// what the old write-a-buffer-of-zeros implementation charged.
+    /// what the old write-a-buffer-of-zeros implementation charged. Like
+    /// [`FileStore::write_member`], the file is staged at a temp path and
+    /// renamed into place, so a crash mid-create never leaves a
+    /// short member file behind.
     pub fn create_member(&self, k: usize) -> std::io::Result<()> {
         let size = self.layout.file_size();
-        let f = File::create(self.member_path(k))?;
+        let tmp = self.member_tmp_path(k);
+        let f = File::create(&tmp)?;
         f.set_len(size)?;
+        drop(f);
+        std::fs::rename(&tmp, self.member_path(k))?;
         self.stats.lock().bytes_written += size;
         self.handles.lock().invalidate(k);
         self.note_member(k);
@@ -700,6 +750,47 @@ mod tests {
         assert_eq!(data.to_vec(), values);
         assert_eq!(data.levels(), 2);
         assert_eq!(data.as_contiguous().unwrap(), &values[..]);
+    }
+
+    #[test]
+    fn interrupted_write_leaves_the_old_member_intact() {
+        let (_s, store, values) = store_with_member();
+        // Simulate a crash mid-replacement: a partial replacement sits at
+        // the staging path, the rename never happened.
+        std::fs::write(store.member_tmp_path(0), [0u8; 24]).unwrap();
+        let data = store.read_full(0).unwrap();
+        assert_eq!(data.to_vec(), values, "reader sees the old contents");
+        // The leftover staging file is invisible to the member scan.
+        let reopened = FileStore::open(store.root.clone(), store.layout()).unwrap();
+        assert_eq!(reopened.num_members(), 1);
+    }
+
+    #[test]
+    fn atomic_write_replaces_despite_cached_handle() {
+        let (_s, store, values) = store_with_member();
+        let _warm = store.read_full(0).unwrap(); // populate the handle cache
+        let newvals: Vec<f64> = values.iter().map(|v| v + 1.0).collect();
+        store.write_member(0, &newvals).unwrap();
+        let data = store.read_full(0).unwrap();
+        assert_eq!(data.to_vec(), newvals, "swap invalidates the cached handle");
+    }
+
+    #[test]
+    fn durable_write_matches_plain_write() {
+        let (_s, store, values) = store_with_member();
+        let before = store.stats().bytes_written;
+        store.write_member_durable(1, &values).unwrap();
+        assert_eq!(
+            store.stats().bytes_written - before,
+            (values.len() * 8) as u64,
+            "durable writes charge the same bytes"
+        );
+        assert_eq!(store.read_full(1).unwrap().to_vec(), values);
+        assert_eq!(store.num_members(), 2);
+        assert!(
+            !store.member_tmp_path(1).exists(),
+            "staging file renamed away"
+        );
     }
 
     #[test]

@@ -68,6 +68,14 @@ pub enum Op {
     /// structure, and the same plan must inject the same faults on both
     /// executors.
     Fault,
+    /// A durable checkpoint write (member file flushed through the atomic
+    /// temp + fsync + rename path). Distinguished from `Write` so campaign
+    /// digests separate assimilation I/O from durability I/O.
+    Ckpt,
+    /// A checkpoint read during recovery or resume.
+    Restore,
+    /// Supervisor recovery overhead: cycle teardown plus restart backoff.
+    Recovery,
 }
 
 impl Op {
@@ -80,6 +88,9 @@ impl Op {
             Op::Compute => "compute",
             Op::Wait => "wait",
             Op::Fault => "fault",
+            Op::Ckpt => "ckpt",
+            Op::Restore => "restore",
+            Op::Recovery => "recovery",
         }
     }
 }
@@ -151,11 +162,13 @@ impl PhaseTotals {
     /// Accumulate one span's duration into the matching slot.
     pub fn add(&mut self, span: &Span) {
         match span.op {
-            Op::Read | Op::Write => self.read += span.dur,
+            // Checkpoint writes and restore reads are file I/O in the
+            // paper's four-phase accounting, like `Write`.
+            Op::Read | Op::Write | Op::Ckpt | Op::Restore => self.read += span.dur,
             Op::Send => self.comm += span.dur,
             Op::Compute => self.compute += span.dur,
             Op::Wait => self.wait += span.dur,
-            Op::Fault => self.fault += span.dur,
+            Op::Fault | Op::Recovery => self.fault += span.dur,
         }
     }
 
@@ -218,11 +231,11 @@ impl Trace {
         out
     }
 
-    /// Total disk addressing operations across all read/write spans.
+    /// Total disk addressing operations across all file-I/O spans.
     pub fn total_seeks(&self) -> u64 {
         self.spans
             .iter()
-            .filter(|s| matches!(s.op, Op::Read | Op::Write))
+            .filter(|s| matches!(s.op, Op::Read | Op::Write | Op::Ckpt | Op::Restore))
             .map(|s| s.seeks)
             .sum()
     }
@@ -494,6 +507,47 @@ impl RankTracer {
         self.record(Op::Fault, tag, f)
     }
 
+    /// Time a durable checkpoint write of one member file.
+    pub fn ckpt<T>(
+        &mut self,
+        member: Option<usize>,
+        bytes: u64,
+        seeks: u64,
+        f: impl FnOnce() -> T,
+    ) -> T {
+        let tag = OpTag {
+            io: true,
+            bytes,
+            seeks,
+            member,
+            ..OpTag::default()
+        };
+        self.record(Op::Ckpt, tag, f)
+    }
+
+    /// Time a checkpoint read performed during recovery or resume.
+    pub fn restore<T>(
+        &mut self,
+        member: Option<usize>,
+        bytes: u64,
+        seeks: u64,
+        f: impl FnOnce() -> T,
+    ) -> T {
+        let tag = OpTag {
+            io: true,
+            bytes,
+            seeks,
+            member,
+            ..OpTag::default()
+        };
+        self.record(Op::Restore, tag, f)
+    }
+
+    /// Time supervisor recovery overhead (cycle teardown + restart backoff).
+    pub fn recovery<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        self.record(Op::Recovery, OpTag::default(), f)
+    }
+
     /// Time a blocking wait (receive, join).
     pub fn wait<T>(&mut self, stage: Option<usize>, f: impl FnOnce() -> T) -> T {
         self.record(
@@ -617,6 +671,34 @@ mod tests {
         assert_eq!(spans[0].bytes, 128);
         assert_eq!(spans[0].seeks, 3);
         assert_eq!(spans[1].bytes, 0, "backoff spans move no bytes");
+    }
+
+    #[test]
+    fn durability_ops_project_and_digest() {
+        let mut t = Trace::new("d");
+        t.push(span(0, Op::Ckpt, None, 512, 1));
+        t.push(span(0, Op::Restore, None, 512, 1));
+        t.push(span(0, Op::Recovery, None, 0, 0));
+        let d = t.digest();
+        assert!(d.contains("op=ckpt"));
+        assert!(d.contains("op=restore"));
+        assert!(d.contains("op=recovery"));
+        let p = t.per_rank_phases()[&0];
+        assert_eq!(p.read, 0.5, "ckpt + restore are file I/O");
+        assert_eq!(p.fault, 0.25, "recovery overhead counts as fault time");
+        assert_eq!(t.total_seeks(), 2);
+
+        let mut tr = RankTracer::new(9, Instant::now());
+        tr.set_role(Role::Io);
+        tr.ckpt(Some(3), 256, 1, || ());
+        tr.restore(Some(3), 256, 1, || ());
+        tr.recovery(|| ());
+        let spans = tr.into_spans();
+        assert_eq!(spans[0].op, Op::Ckpt);
+        assert_eq!(spans[0].member, Some(3));
+        assert_eq!(spans[1].op, Op::Restore);
+        assert_eq!(spans[2].op, Op::Recovery);
+        assert_eq!(spans[2].bytes, 0);
     }
 
     #[test]

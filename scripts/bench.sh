@@ -1,102 +1,50 @@
 #!/usr/bin/env bash
-# Microbenchmark runner emitting BENCH_PR4.json at the repo root.
+# Benchmark runner emitting BENCH_PR5.json at the repo root.
 #
-# Runs the pfs_reading data-plane microbenches (pooled vs fresh reads,
-# view vs owned bar splitting, read-ahead on vs off), the
-# dataplane_readphase fig05/fig10-shaped before/after read-phase sweeps,
-# and the release-mode counting-allocator proof that the steady-state
-# read → scatter → analyze cycle performs zero heap allocations.
+# Runs the fig14-style campaign MTTR sweep on the DES model at paper
+# scale: virtual time-to-completion of a 16-cycle supervised assimilation
+# campaign versus injected crash count, with the checkpoint recovery line
+# (bounded loss per crash: partial attempt + backoff + one restore sweep)
+# and without it (a crash restarts the whole campaign from cycle 0).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=BENCH_PR4.json
+out=BENCH_PR5.json
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
-echo "==> cargo bench -p enkf-bench --bench pfs_reading"
-cargo bench -q -p enkf-bench --bench pfs_reading | tee "$tmp/bench.txt"
+echo "==> campaign_mttr (paper-scale checkpointed-campaign MTTR sweep)"
+cargo run -q --release -p enkf-bench --bin campaign_mttr | tee "$tmp/mttr.txt"
 
-echo "==> dataplane_readphase (fig05/fig10-shaped read-phase sweeps)"
-cargo run -q --release -p enkf-bench --bin dataplane_readphase \
-  | tee "$tmp/readphase.txt"
-
-echo "==> zero-allocation steady state (release)"
-if cargo test -q --release --test dataplane_alloc_free >"$tmp/alloc.txt" 2>&1; then
-  alloc_free=true
-else
-  alloc_free=false
-  cat "$tmp/alloc.txt"
-fi
-
-# The criterion shim prints "group: <g>" then "  <id>: <duration>/iter over
-# N iters" per case; flatten to "group/id": "duration" JSON entries, and
-# keep a ns-normalized value per id for the speedup ratios below.
+# campaign_mttr prints one machine-readable line per sweep point:
+#   MTTR crashes=2 cycles=16 clean_s=... ckpt_s=... nockpt_s=... \
+#        ckpt_lost_s=... nockpt_lost_s=... nockpt_over_ckpt=...
 awk '
-  function ns(v,   num, unit) {
-    num = v; sub(/[a-zµ]+$/, "", num)
-    unit = v; sub(/^[0-9.]+/, "", unit)
-    if (unit == "ns") return num + 0
-    if (unit == "µs" || unit == "us") return num * 1e3
-    if (unit == "ms") return num * 1e6
-    return num * 1e9
+  $1 == "MTTR" {
+    for (i = 2; i <= NF; i++) { split($i, kv, "="); v[kv[1]] = kv[2] }
+    printf "    { \"crashes\": %s, \"with_ckpt_s\": %s, \"without_ckpt_s\": %s,",
+      v["crashes"], v["ckpt_s"], v["nockpt_s"]
+    printf " \"lost_with_ckpt_s\": %s, \"lost_without_ckpt_s\": %s, \"slowdown_without_ckpt\": %s },\n",
+      v["ckpt_lost_s"], v["nockpt_lost_s"], v["nockpt_over_ckpt"]
   }
-  /^group: / { group = $2; next }
-  /\/iter over / {
-    id = $1; sub(/:$/, "", id)
-    val = $2; sub(/\/iter$/, "", val)
-    printf "    \"%s/%s\": \"%s\",\n", group, id, val > micro
-    printf "%s %.3f\n", id, ns(val) > times
-  }
-' micro="$tmp/micro.txt" times="$tmp/times.txt" "$tmp/bench.txt"
-sed -i '$ s/,$//' "$tmp/micro.txt"
+' "$tmp/mttr.txt" >"$tmp/sweep.txt"
+sed -i '$ s/ },$/ }/' "$tmp/sweep.txt"
 
-t() { awk -v id="$1" '$1 == id { print $2 }' "$tmp/times.txt"; }
-ratio() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.2f", a / b }'; }
-
-pooled_speedup=$(ratio "$(t fresh_read)" "$(t pooled_read)")
-view_speedup=$(ratio "$(t owned_split)" "$(t view_split)")
-readahead_speedup=$(ratio "$(t readahead_off)" "$(t readahead_on)")
-
-# dataplane_readphase prints one machine-readable line per sweep point:
-#   DATAPLANE fig05 nsdx=2 before_ms=1.54 after_ms=0.71 speedup=2.18
-sweep_json() {
-  awk -v fig="$1" -v key="$2" '
-    $1 == "DATAPLANE" && $2 == fig {
-      split($3, p, "="); split($4, b, "="); split($5, a, "="); split($6, s, "=")
-      printf "      { \"%s\": %s, \"before_ms\": %s, \"after_ms\": %s, \"speedup\": %s },\n", \
-        key, p[2], b[2], a[2], s[2]
-    }
-  ' "$tmp/readphase.txt" | sed '$ s/ },$/ }/'
-}
+clean_s=$(awk '$1 == "MTTR" { for (i=2;i<=NF;i++) { split($i,kv,"="); v[kv[1]]=kv[2] } print v["clean_s"]; exit }' "$tmp/mttr.txt")
+cycles=$(awk '$1 == "MTTR" { for (i=2;i<=NF;i++) { split($i,kv,"="); v[kv[1]]=kv[2] } print v["cycles"]; exit }' "$tmp/mttr.txt")
 
 {
-  cat <<'HEADER'
+  cat <<HEADER
 {
-  "benchmark": "PR4: zero-copy data plane (pooled buffers, region views, read-ahead pipelining)",
-  "iterations_per_case": 20,
-  "micro": {
+  "benchmark": "PR5: durable checkpoint/restart — campaign MTTR sweep (fig14-style)",
+  "model": "DES, paper-scale S-EnKF (autotuned at 8000 processors)",
+  "cycles": $cycles,
+  "clean_campaign_s": $clean_s,
+  "sweep": [
 HEADER
-  cat "$tmp/micro.txt"
-  cat <<MID
-  },
-  "speedups": {
-    "pooled_read_vs_fresh": $pooled_speedup,
-    "view_split_vs_owned": $view_speedup,
-    "readahead_on_vs_off": $readahead_speedup
-  },
-  "readphase": {
-    "fig05_block_reading": [
-MID
-  sweep_json fig05 nsdx
-  cat <<MID2
-    ],
-    "fig10_staged_group_reading": [
-MID2
-  sweep_json fig10 layers
-  cat <<FOOTER
-    ]
-  },
-  "alloc_free_steady_state": $alloc_free
+  cat "$tmp/sweep.txt"
+  cat <<'FOOTER'
+  ]
 }
 FOOTER
 } >"$out"

@@ -16,6 +16,9 @@ echo "==> failure injection and cross-executor conformance suites"
 cargo test -q --test failure_injection --test fault_resilience \
   --test fault_conformance --test trace_conformance
 
+echo "==> durability suites: checkpoint corruption + kill-at-random-cycle resume"
+cargo test -q --test checkpoint_restart --test campaign_conformance
+
 echo "==> allocation regression: steady-state data plane is alloc-free (release)"
 cargo test -q --release --test dataplane_alloc_free
 

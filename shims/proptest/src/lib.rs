@@ -192,7 +192,7 @@ macro_rules! range_strategy {
     )*};
 }
 
-range_strategy!(usize, u64, u32, i32, i64);
+range_strategy!(usize, u64, u32, u8, i32, i64);
 
 impl Strategy for Range<f64> {
     type Value = f64;

@@ -90,7 +90,7 @@ macro_rules! int_sample_range {
     )*};
 }
 
-int_sample_range!(usize, u64, u32, i32, i64);
+int_sample_range!(usize, u64, u32, u8, i32, i64);
 
 impl SampleRange<f64> for Range<f64> {
     fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {

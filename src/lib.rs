@@ -16,6 +16,8 @@
 //!   policies, degraded (N−1) execution, and the shared fault-event log.
 //! * [`pfs`] — the parallel file system substrate (OSTs, striping, seek and
 //!   transfer costs; real local-disk backend plus a DES-modeled backend).
+//! * [`ckpt`] — durable, self-verifying campaign checkpoints (atomic
+//!   member + manifest writes, checksum-verified restore with quarantine).
 //! * [`net`] — the message-passing substrate (threads + channels for real
 //!   runs, a latency–bandwidth cost model for simulated runs).
 //! * [`data`] — synthetic ocean-like ensembles and the on-disk file format.
@@ -45,6 +47,7 @@
 //! assert!(after < before, "assimilation must reduce error");
 //! ```
 
+pub use enkf_ckpt as ckpt;
 pub use enkf_core as core;
 pub use enkf_data as data;
 pub use enkf_fault as fault;
@@ -59,14 +62,15 @@ pub use enkf_tuning as tuning;
 
 /// Everything a typical application needs, importable in one line.
 pub mod prelude {
+    pub use enkf_ckpt::{CampaignCheckpoint, CheckpointStore, CkptError};
     pub use enkf_core::{
         inflate_ensemble, inflated, serial_enkf, serial_enkf_decomposed, serial_letkf,
         serial_letkf_decomposed, AnalysisGranularity, Ensemble, GlobalAnalysis, LetkfAnalysis,
         LocalAnalysis, ObservationOperator, Observations, PerturbedObservations,
     };
     pub use enkf_data::{
-        read_ensemble, write_ensemble, AdvectionDiffusion, CycleConfig, CycledExperiment, Scenario,
-        ScenarioBuilder, SmoothFieldGenerator,
+        read_ensemble, write_ensemble, AdvectionDiffusion, CycleConfig, CycleState,
+        CycledExperiment, Scenario, ScenarioBuilder, SmoothFieldGenerator,
     };
     pub use enkf_fault::{
         FaultConfig, FaultEvent, FaultLog, FaultPlan, RetryPolicy, SubstrateError,
@@ -77,9 +81,11 @@ pub mod prelude {
     pub use enkf_linalg::Matrix;
     pub use enkf_net::NetParams;
     pub use enkf_parallel::{
-        model_penkf_faulted, model_penkf_traced, model_senkf_faulted, model_senkf_traced,
-        parallel_write_back, AssimilationSetup, ExecutionReport, LEnkf, ModelConfig, ModelOutcome,
-        PEnkf, PhaseBreakdown, SEnkf,
+        model_campaign, model_penkf_faulted, model_penkf_traced, model_senkf_faulted,
+        model_senkf_traced, parallel_write_back, run_campaign, AssimilationSetup, CampaignConfig,
+        CampaignError, CampaignExecutor, CampaignModelOutcome, CampaignModelPlan, CampaignReport,
+        ExecutionReport, LEnkf, ModelConfig, ModelOutcome, ModelVariant, PEnkf, PhaseBreakdown,
+        RecoveryEvent, SEnkf,
     };
     pub use enkf_pfs::{FileStore, PfsParams, ScratchDir};
     pub use enkf_trace::{RankTracer, Span, Trace};

@@ -1,0 +1,362 @@
+//! Campaign-level conformance: kill–resume determinism and real-vs-DES
+//! agreement.
+//!
+//! The headline invariant of the checkpoint/restart subsystem: a campaign
+//! killed at any point — between cycles, mid-cycle via an injected crash,
+//! or during a checkpoint commit — and resumed from disk produces
+//! **bit-identical** final ensembles, per-cycle statistics, and per-cycle
+//! trace-digest hashes to a campaign that was never interrupted. And on an
+//! empty fault plan, the real supervised campaign and its DES model emit
+//! byte-identical operation digests (cycle spans × K plus K+1 checkpoint
+//! sets).
+
+mod common;
+
+use proptest::prelude::*;
+use s_enkf::ckpt::CheckpointStore;
+use s_enkf::core::LocalAnalysis;
+use s_enkf::data::CycleConfig;
+use s_enkf::fault::{FaultConfig, FaultPlan, RetryPolicy};
+use s_enkf::grid::{FileLayout, LocalizationRadius, Mesh};
+use s_enkf::parallel::{
+    model_campaign, run_campaign, CampaignConfig, CampaignExecutor, CampaignModelPlan,
+    CampaignReport, ModelConfig, ModelVariant,
+};
+use s_enkf::pfs::{FileStore, ScratchDir};
+use s_enkf::tuning::{Params, Workload};
+
+const MESH: (usize, usize) = (24, 12);
+const MEMBERS: usize = 4;
+const H: u64 = 8;
+const RADIUS: LocalizationRadius = LocalizationRadius { xi: 1, eta: 1 };
+const SENKF: Params = Params {
+    nsdx: 2,
+    nsdy: 2,
+    layers: 2,
+    ncg: 2,
+};
+const CYCLES: usize = 3;
+
+fn campaign_cfg(cycles: usize) -> CampaignConfig {
+    CampaignConfig {
+        mesh: Mesh::new(MESH.0, MESH.1),
+        cycles,
+        members: MEMBERS,
+        cycle: CycleConfig::default(),
+        seed: 17,
+        analysis: LocalAnalysis::new(RADIUS),
+        inflation: 1.05,
+        restart: RetryPolicy {
+            max_retries: 3,
+            base_backoff: 1e-6,
+            multiplier: 2.0,
+        },
+    }
+}
+
+/// Fresh work + checkpoint stores under one scratch directory.
+fn stores(label: &str) -> (ScratchDir, FileStore, CheckpointStore) {
+    let scratch = ScratchDir::new(label).unwrap();
+    let mesh = Mesh::new(MESH.0, MESH.1);
+    let work_dir = scratch.path().join("work");
+    std::fs::create_dir_all(&work_dir).unwrap();
+    let work = FileStore::open(&work_dir, FileLayout::new(mesh, H)).unwrap();
+    let ckpt = CheckpointStore::create(scratch.path().join("ckpt")).unwrap();
+    (scratch, work, ckpt)
+}
+
+fn executors() -> Vec<(&'static str, CampaignExecutor)> {
+    vec![
+        ("lenkf", CampaignExecutor::LEnkf { nsdx: 2, nsdy: 2 }),
+        ("penkf", CampaignExecutor::PEnkf { nsdx: 2, nsdy: 2 }),
+        ("senkf", CampaignExecutor::SEnkf(SENKF)),
+    ]
+}
+
+fn assert_reports_identical(a: &CampaignReport, b: &CampaignReport, what: &str) {
+    assert_eq!(a.stats, b.stats, "{what}: per-cycle statistics differ");
+    assert_eq!(
+        a.cycle_digests, b.cycle_digests,
+        "{what}: per-cycle trace digests differ"
+    );
+    assert_eq!(
+        a.final_analysis.states(),
+        b.final_analysis.states(),
+        "{what}: final ensembles differ"
+    );
+}
+
+/// Killing a campaign at a cycle boundary (the process exits; all that
+/// survives is the checkpoint directory) and resuming produces exactly
+/// the uninterrupted run, on all three executors.
+#[test]
+fn kill_at_cycle_boundary_and_resume_is_bit_identical() {
+    for (name, exec) in executors() {
+        let (_s1, work1, ckpt1) = stores(&format!("camp-full-{name}"));
+        let full = run_campaign(
+            &work1,
+            &ckpt1,
+            &exec,
+            &campaign_cfg(CYCLES),
+            &FaultConfig::none(),
+        )
+        .unwrap();
+        assert_eq!(full.stats.len(), CYCLES);
+        assert_eq!(full.resumed_from, None);
+
+        // "Kill" after 2 cycles: run a shorter campaign, drop every
+        // in-memory object, and resume from the surviving directories.
+        let (_s2, work2, ckpt2) = stores(&format!("camp-killed-{name}"));
+        let partial = run_campaign(
+            &work2,
+            &ckpt2,
+            &exec,
+            &campaign_cfg(2),
+            &FaultConfig::none(),
+        )
+        .unwrap();
+        assert_eq!(partial.stats.len(), 2);
+        drop(partial);
+
+        let resumed = run_campaign(
+            &work2,
+            &ckpt2,
+            &exec,
+            &campaign_cfg(CYCLES),
+            &FaultConfig::none(),
+        )
+        .unwrap();
+        assert_eq!(
+            resumed.resumed_from,
+            Some(2),
+            "{name}: must resume, not restart"
+        );
+        assert_reports_identical(&full, &resumed, name);
+    }
+}
+
+/// A rank crash mid-cycle tears the cycle down; the supervisor restores
+/// the last durable checkpoint from disk and re-runs. The recovered
+/// campaign is bit-identical to a never-faulted one.
+#[test]
+fn crash_recovery_is_bit_identical_to_uninterrupted() {
+    for (name, exec) in executors() {
+        let (_s1, work1, ckpt1) = stores(&format!("camp-clean-{name}"));
+        let clean = run_campaign(
+            &work1,
+            &ckpt1,
+            &exec,
+            &campaign_cfg(CYCLES),
+            &FaultConfig::none(),
+        )
+        .unwrap();
+
+        let mut fault = FaultConfig::none();
+        fault.plan = FaultPlan::new(7).with_crash_at_cycle(0, 1, 0);
+        fault.recv_timeout = 0.3;
+        let (_s2, work2, ckpt2) = stores(&format!("camp-crash-{name}"));
+        let recovered = run_campaign(&work2, &ckpt2, &exec, &campaign_cfg(CYCLES), &fault).unwrap();
+        assert_eq!(
+            recovered.recoveries.len(),
+            1,
+            "{name}: exactly one recovery for one injected crash"
+        );
+        assert_eq!(recovered.recoveries[0].cycle, 1);
+        assert!(!recovered.recoveries[0].degraded);
+        assert_reports_identical(&clean, &recovered, name);
+    }
+}
+
+// Kill at a *random* cycle (including before any cycle completes), then
+// resume — the CI smoke version runs a handful of random kill points.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn kill_at_random_cycle_and_resume_smoke(kill_after in 0usize..CYCLES) {
+        let exec = CampaignExecutor::PEnkf { nsdx: 2, nsdy: 2 };
+        let (_s1, work1, ckpt1) = stores("camp-rand-full");
+        let full = run_campaign(
+            &work1, &ckpt1, &exec, &campaign_cfg(CYCLES), &FaultConfig::none(),
+        ).unwrap();
+
+        let (_s2, work2, ckpt2) = stores("camp-rand-killed");
+        if kill_after > 0 {
+            run_campaign(
+                &work2, &ckpt2, &exec, &campaign_cfg(kill_after), &FaultConfig::none(),
+            ).unwrap();
+        } else {
+            // Kill before the first cycle ever ran: only the initial
+            // (cycle 0) checkpoint may exist. Resume must cope with a
+            // completely fresh directory too.
+        }
+        let resumed = run_campaign(
+            &work2, &ckpt2, &exec, &campaign_cfg(CYCLES), &FaultConfig::none(),
+        ).unwrap();
+        prop_assert_eq!(&resumed.stats, &full.stats);
+        prop_assert_eq!(&resumed.cycle_digests, &full.cycle_digests);
+        prop_assert_eq!(resumed.final_analysis.states(), full.final_analysis.states());
+    }
+}
+
+/// A checkpoint torn by a kill mid-commit (manifest never landed) is
+/// skipped; resume falls back one cycle, re-runs it, and still converges
+/// to the uninterrupted result.
+#[test]
+fn torn_checkpoint_on_kill_falls_back_one_cycle() {
+    let exec = CampaignExecutor::PEnkf { nsdx: 2, nsdy: 2 };
+    let (_s1, work1, ckpt1) = stores("camp-torn-full");
+    let full = run_campaign(
+        &work1,
+        &ckpt1,
+        &exec,
+        &campaign_cfg(CYCLES),
+        &FaultConfig::none(),
+    )
+    .unwrap();
+
+    let (_s2, work2, ckpt2) = stores("camp-torn-killed");
+    run_campaign(
+        &work2,
+        &ckpt2,
+        &exec,
+        &campaign_cfg(2),
+        &FaultConfig::none(),
+    )
+    .unwrap();
+    // The kill hit between cycle 2's member writes and its manifest
+    // commit: the checkpoint is present but not durable.
+    std::fs::remove_file(ckpt2.cycle_dir(2).join("MANIFEST.txt")).unwrap();
+    let resumed = run_campaign(
+        &work2,
+        &ckpt2,
+        &exec,
+        &campaign_cfg(CYCLES),
+        &FaultConfig::none(),
+    )
+    .unwrap();
+    assert_eq!(resumed.resumed_from, Some(1), "fallback to cycle 1");
+    assert_reports_identical(&full, &resumed, "torn-checkpoint");
+}
+
+/// A permanently lost member degrades the campaign to the N−1 path:
+/// one budget-free recovery, then the ensemble continues on the
+/// survivors for every remaining cycle.
+#[test]
+fn unrecoverable_member_degrades_to_n_minus_one() {
+    let exec = CampaignExecutor::PEnkf { nsdx: 2, nsdy: 2 };
+    let mut fault = FaultConfig::none();
+    // The *last* member: after the ensemble shrinks, the index falls out
+    // of range and cannot re-trigger.
+    fault.plan = FaultPlan::new(3).with_unrecoverable_member(MEMBERS - 1);
+    fault.retry = RetryPolicy {
+        max_retries: 1,
+        base_backoff: 1e-6,
+        multiplier: 2.0,
+    };
+    let (_s, work, ckpt) = stores("camp-degraded");
+    let report = run_campaign(&work, &ckpt, &exec, &campaign_cfg(CYCLES), &fault).unwrap();
+    assert!(report.degraded);
+    assert_eq!(report.dropped_members, vec![MEMBERS - 1]);
+    assert_eq!(report.final_analysis.size(), MEMBERS - 1);
+    assert_eq!(report.stats.len(), CYCLES, "the campaign still completes");
+    let deg: Vec<_> = report.recoveries.iter().filter(|r| r.degraded).collect();
+    assert_eq!(deg.len(), 1, "one budget-free degradation recovery");
+}
+
+fn model_cfg() -> ModelConfig {
+    let mut cfg = ModelConfig::paper();
+    cfg.workload = Workload {
+        nx: MESH.0,
+        ny: MESH.1,
+        members: MEMBERS,
+        h: H,
+        xi: RADIUS.xi,
+        eta: RADIUS.eta,
+    };
+    cfg
+}
+
+/// On an empty fault plan, the real campaign and the DES campaign model
+/// produce byte-identical operation digests: K identical cycle span sets
+/// plus K+1 checkpoint sets on the supervisor rank.
+#[test]
+fn real_and_modeled_campaigns_conform_on_empty_plan() {
+    let cases = [
+        (
+            "penkf",
+            CampaignExecutor::PEnkf { nsdx: 2, nsdy: 2 },
+            ModelVariant::PEnkf { nsdx: 2, nsdy: 2 },
+        ),
+        (
+            "senkf",
+            CampaignExecutor::SEnkf(SENKF),
+            ModelVariant::SEnkf(SENKF),
+        ),
+    ];
+    let plan = CampaignModelPlan {
+        cycles: CYCLES,
+        checkpoint: true,
+        restart: campaign_cfg(CYCLES).restart,
+    };
+    for (name, exec, variant) in cases {
+        let (_s, work, ckpt) = stores(&format!("camp-conf-{name}"));
+        let real = run_campaign(
+            &work,
+            &ckpt,
+            &exec,
+            &campaign_cfg(CYCLES),
+            &FaultConfig::none(),
+        )
+        .unwrap();
+        let (_out, model_trace) =
+            model_campaign(&model_cfg(), &variant, &plan, &FaultConfig::none()).unwrap();
+        assert_eq!(
+            real.trace.digest(),
+            model_trace.digest(),
+            "{name}: real and modeled campaign digests must be byte-identical"
+        );
+    }
+}
+
+/// The modeled no-checkpoint baseline: a late crash costs the whole
+/// campaign, so checkpointing strictly reduces lost time.
+#[test]
+fn model_checkpointing_bounds_crash_loss() {
+    let mut fault = FaultConfig::none();
+    fault.plan = FaultPlan::new(1).with_crash_at_cycle(0, CYCLES - 1, 0);
+    fault.recv_timeout = 0.3;
+    let restart = campaign_cfg(CYCLES).restart;
+    let variant = ModelVariant::PEnkf { nsdx: 2, nsdy: 2 };
+    let with = CampaignModelPlan {
+        cycles: CYCLES,
+        checkpoint: true,
+        restart,
+    };
+    let without = CampaignModelPlan {
+        checkpoint: false,
+        ..with
+    };
+    let (out_with, _) = model_campaign(&model_cfg(), &variant, &with, &fault).unwrap();
+    let (out_without, _) = model_campaign(&model_cfg(), &variant, &without, &fault).unwrap();
+    assert_eq!(out_with.restarts, 1);
+    assert_eq!(out_without.restarts, 1);
+    assert!(
+        out_without.lost_time > out_with.lost_time,
+        "no recovery line must lose more virtual time ({} vs {})",
+        out_without.lost_time,
+        out_with.lost_time
+    );
+    // And a fault-free campaign without checkpoints is cheaper — the
+    // checkpoint overhead itself is visible in the makespan.
+    let none = FaultConfig::none();
+    let (clean_with, _) = model_campaign(&model_cfg(), &variant, &with, &none).unwrap();
+    let (clean_without, _) = model_campaign(&model_cfg(), &variant, &without, &none).unwrap();
+    assert!(clean_without.makespan < clean_with.makespan);
+    let expected = clean_without.makespan + (CYCLES + 1) as f64 * clean_with.checkpoint_time;
+    assert!(
+        (clean_with.makespan - expected).abs() < 1e-9,
+        "checkpoint overhead must be exactly K+1 serial member sweeps ({} vs {expected})",
+        clean_with.makespan
+    );
+}
