@@ -34,6 +34,23 @@ impl NetParams {
         self.alpha + self.beta * bytes as f64
     }
 
+    /// The interconnect one fair-share slice of the fabric presents: the
+    /// same startup latency `a`, but each endpoint delivers `share` of its
+    /// bandwidth (`b / share`). Counterpart of
+    /// `PfsParams::with_bandwidth_share` for the multi-tenant scheduler —
+    /// a campaign's communication phases are re-modeled against its slice,
+    /// so fan-out serialization under a partial allocation is captured.
+    pub fn with_bandwidth_share(&self, share: f64) -> NetParams {
+        assert!(
+            share > 0.0 && share <= 1.0 + 1e-12,
+            "bandwidth share must be in (0, 1], got {share}"
+        );
+        NetParams {
+            alpha: self.alpha,
+            beta: self.beta / share.min(1.0),
+        }
+    }
+
     /// Logarithmic tree factor over `p` participants: `log2(p + 1)`,
     /// the `log(n_cg + 1)` shape of Eq. (8). Returns at least 1.
     pub fn tree_factor(p: usize) -> f64 {
@@ -147,5 +164,14 @@ mod tests {
         assert!((rep.makespan - 1.0).abs() < 1e-9);
         assert_eq!(net.len(), 4);
         assert!(!net.is_empty());
+    }
+
+    #[test]
+    fn bandwidth_share_scales_transfer_not_startup() {
+        let p = NetParams::tianhe2_like();
+        let quarter = p.with_bandwidth_share(0.25);
+        assert_eq!(quarter.alpha, p.alpha);
+        assert!((quarter.beta - 4.0 * p.beta).abs() < 1e-18);
+        assert_eq!(p.with_bandwidth_share(1.0), p);
     }
 }

@@ -116,6 +116,38 @@ impl CampaignConfig {
     }
 }
 
+/// How the supervisor spends restart backoff between recovery attempts.
+///
+/// The real deployment sleeps wall-clock time ([`BackoffClock::Wall`]),
+/// but that clock is injectable so the scheduler and conformance suites
+/// run recoveries in virtual time: [`BackoffClock::Virtual`] skips the
+/// sleep and accounts the would-be delay in
+/// [`CampaignReport::virtual_backoff`] instead. Both clocks take the
+/// identical recovery path — same checkpoint restores, same trace
+/// operation structure (digests exclude durations), same results — so
+/// tests lose the seconds of dead sleeping, not coverage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackoffClock {
+    /// Sleep restart backoffs on the wall clock (production behaviour).
+    #[default]
+    Wall,
+    /// Account restart backoffs in virtual time without sleeping.
+    Virtual,
+}
+
+/// Per-invocation context of a supervised campaign: who the campaign
+/// belongs to and how backoff time passes. [`run_campaign`] uses the
+/// default (anonymous tenant, wall-clock backoff); the multi-tenant
+/// scheduler dispatches through [`run_campaign_ctx`] with a tenant tag and
+/// a virtual clock.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CampaignCtx {
+    /// `(tenant, job)` stamped on every span of the campaign trace.
+    pub tenant: Option<(u32, u32)>,
+    /// The restart-backoff clock.
+    pub backoff: BackoffClock,
+}
+
 /// One recovery action the supervisor took.
 #[derive(Debug, Clone)]
 pub struct RecoveryEvent {
@@ -156,6 +188,9 @@ pub struct CampaignReport {
     pub dropped_members: Vec<usize>,
     /// Wall-clock seconds for this process's portion of the campaign.
     pub wall_time: f64,
+    /// Restart-backoff seconds accounted but not slept
+    /// ([`BackoffClock::Virtual`]); zero under the wall clock.
+    pub virtual_backoff: f64,
 }
 
 /// Supervisor-level failures.
@@ -279,6 +314,19 @@ pub fn run_campaign(
     cfg: &CampaignConfig,
     fault: &FaultConfig,
 ) -> Result<CampaignReport, CampaignError> {
+    run_campaign_ctx(work, ckpt, exec, cfg, fault, &CampaignCtx::default())
+}
+
+/// [`run_campaign`] with an explicit [`CampaignCtx`]: a tenant/job tag
+/// stamped on the campaign trace and an injectable restart-backoff clock.
+pub fn run_campaign_ctx(
+    work: &FileStore,
+    ckpt: &CheckpointStore,
+    exec: &CampaignExecutor,
+    cfg: &CampaignConfig,
+    fault: &FaultConfig,
+    ctx: &CampaignCtx,
+) -> Result<CampaignReport, CampaignError> {
     let t0 = Instant::now();
     let fp = cfg.fingerprint(exec);
     let mut sup = RankTracer::new(exec.num_ranks(), t0);
@@ -290,6 +338,7 @@ pub fn run_campaign(
     let mut recoveries = Vec::new();
     let mut dropped_members = Vec::new();
     let mut degraded_mode = false;
+    let mut virtual_backoff = 0.0f64;
 
     let (mut exp, resumed_from) = match ckpt.load_latest(fp, Some(&mut sup))? {
         Some((ck, _skipped)) => {
@@ -365,7 +414,15 @@ pub fn run_campaign(
                         });
                     }
                     let backoff = cfg.restart.backoff(restarts);
-                    sup.recovery(|| std::thread::sleep(Duration::from_secs_f64(backoff)));
+                    match ctx.backoff {
+                        BackoffClock::Wall => {
+                            sup.recovery(|| std::thread::sleep(Duration::from_secs_f64(backoff)));
+                        }
+                        BackoffClock::Virtual => {
+                            virtual_backoff += backoff;
+                            sup.recovery(|| ());
+                        }
+                    }
                     restarts += 1;
                 } else {
                     // Permanently lost member: re-run degraded on the
@@ -397,6 +454,9 @@ pub fn run_campaign(
 
     let final_analysis = exp.background().clone();
     trace.extend(sup.into_spans());
+    if let Some((tenant, job)) = ctx.tenant {
+        trace.tag_tenant(tenant, job);
+    }
     Ok(CampaignReport {
         stats,
         cycle_digests: digests,
@@ -407,5 +467,6 @@ pub fn run_campaign(
         degraded: degraded_mode,
         dropped_members,
         wall_time: t0.elapsed().as_secs_f64(),
+        virtual_backoff,
     })
 }

@@ -35,7 +35,8 @@ pub mod model;
 pub mod report;
 
 pub use campaign::{
-    run_campaign, CampaignConfig, CampaignError, CampaignExecutor, CampaignReport, RecoveryEvent,
+    run_campaign, run_campaign_ctx, BackoffClock, CampaignConfig, CampaignCtx, CampaignError,
+    CampaignExecutor, CampaignReport, RecoveryEvent,
 };
 pub use exec::lenkf::LEnkf;
 pub use exec::penkf::PEnkf;

@@ -143,6 +143,8 @@ pub fn model_campaign(
             peer: None,
             member,
             res: None,
+            tenant: None,
+            job: None,
         };
     let emit_cycle = |trace: &mut Trace, t: &mut f64| {
         trace.extend(cycle_trace.spans().iter().cloned().map(|mut s| {

@@ -40,6 +40,21 @@ impl ModelConfig {
         }
     }
 
+    /// This configuration as seen by a campaign granted a fair-share slice
+    /// of the machine: the PFS and interconnect both deliver `share` of
+    /// their bandwidth (seek cost and message startup unchanged). The
+    /// multi-tenant scheduler re-models a campaign's cycles through this
+    /// whenever its allocation changes, so contention shows up as a
+    /// reshaped DES — different overlap, different queueing — rather than
+    /// a scalar correction.
+    pub fn with_bandwidth_share(&self, share: f64) -> ModelConfig {
+        ModelConfig {
+            pfs: self.pfs.with_bandwidth_share(share),
+            net: self.net.with_bandwidth_share(share),
+            ..*self
+        }
+    }
+
     /// The equivalent closed-form cost parameters (for model-vs-DES
     /// comparisons like Figure 12).
     pub fn cost_params(&self) -> enkf_tuning::CostParams {

@@ -47,6 +47,26 @@ impl PfsParams {
     pub fn aggregate_bandwidth(&self) -> f64 {
         (self.num_osts * self.streams_per_ost) as f64 / self.byte_time
     }
+
+    /// The substrate one fair-share slice of this file system presents: the
+    /// same OSTs, seek cost and stream structure, but each stream delivers
+    /// `share` of its bandwidth (`byte_time / share`). This is how the
+    /// multi-tenant scheduler threads an OST-bandwidth allocation through
+    /// the DES — a campaign granted 25% of the machine is *modeled* against
+    /// quarter-speed streams, so its overlap structure and queueing are
+    /// recomputed, not scaled after the fact. Seek time is unchanged:
+    /// addressing operations serialize on the disk arm regardless of how
+    /// the transfer bandwidth is partitioned.
+    pub fn with_bandwidth_share(&self, share: f64) -> PfsParams {
+        assert!(
+            share > 0.0 && share <= 1.0 + 1e-12,
+            "bandwidth share must be in (0, 1], got {share}"
+        );
+        PfsParams {
+            byte_time: self.byte_time / share.min(1.0),
+            ..*self
+        }
+    }
 }
 
 /// The OST resources of one modeled file system, registered in a simulation.
@@ -173,5 +193,22 @@ mod tests {
     fn aggregate_bandwidth() {
         let p = PfsParams::tianhe2_like();
         assert!((p.aggregate_bandwidth() - 24.0 * 300.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn bandwidth_share_scales_transfer_not_seeks() {
+        let p = PfsParams::tianhe2_like();
+        let half = p.with_bandwidth_share(0.5);
+        assert!((half.aggregate_bandwidth() - p.aggregate_bandwidth() / 2.0).abs() < 1.0);
+        assert_eq!(half.seek_time, p.seek_time);
+        assert_eq!(half.num_osts, p.num_osts);
+        // A full share is the identity.
+        assert_eq!(p.with_bandwidth_share(1.0), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth share")]
+    fn zero_share_is_rejected() {
+        PfsParams::tianhe2_like().with_bandwidth_share(0.0);
     }
 }

@@ -1,0 +1,190 @@
+//! The multi-campaign discrete-event simulation: many tenants' campaigns
+//! arriving, queueing, and sharing the modeled machine in virtual time.
+//!
+//! The event loop owns virtual time; the [`Scheduler`] owns every
+//! decision. Cycle durations come from the capacity planner — each
+//! running campaign's next cycle is priced by the single-cycle DES at the
+//! bandwidth share it holds *when the cycle starts*, and that duration is
+//! then fixed (a mid-cycle rebalance affects only subsequent cycles, the
+//! same cycle-boundary granularity at which the scheduler rebalances).
+//!
+//! Event ordering is total and deterministic: at any instant, cycle
+//! completions fire first (in `JobId` order), then arrivals (in input
+//! order), then one rebalance, then dispatch. Two runs with the same
+//! seed, tenants and arrival list produce bit-identical outcomes —
+//! including the decision-log digest the conformance suite pins.
+
+use std::collections::BTreeMap;
+
+use crate::job::{JobId, JobSpec, Planner};
+pub use crate::scheduler::ShareCheck;
+use crate::scheduler::{SchedConfig, Scheduler, SubmitError};
+use crate::tenant::{TenantId, TenantSpec};
+
+/// One completed campaign's scheduling history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// The job.
+    pub id: JobId,
+    /// Submit time.
+    pub submit: f64,
+    /// Dispatch time.
+    pub dispatch: f64,
+    /// Completion time.
+    pub completion: f64,
+    /// Dispatch-to-completion virtual seconds.
+    pub service: f64,
+    /// The planner's solo (whole-machine) completion prediction, if the
+    /// job carried a model — what SLA gating and the fairness bench
+    /// compare `service` against.
+    pub solo_prediction: Option<f64>,
+    /// Assimilation cycles run.
+    pub cycles: usize,
+    /// Ranks occupied while running.
+    pub ranks: usize,
+    /// The bandwidth share under which each cycle ran.
+    pub shares_seen: Vec<f64>,
+}
+
+/// The outcome of simulating one tenant mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixOutcome {
+    /// Completed campaigns, in completion order.
+    pub records: Vec<JobRecord>,
+    /// Refused submits: `(time, tenant, why)`.
+    pub rejected: Vec<(f64, TenantId, SubmitError)>,
+    /// The full decision log.
+    pub decisions: Vec<String>,
+    /// FNV-64 of the decision log — the determinism witness.
+    pub decisions_digest: u64,
+    /// Share snapshots from every rebalance, for the fairness properties.
+    pub share_checks: Vec<ShareCheck>,
+    /// Virtual time of the last event.
+    pub makespan: f64,
+}
+
+/// A cycle in flight: when it ends and what it costs.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    end: f64,
+    dur: f64,
+}
+
+/// Simulate `arrivals` (a `(time, tenant, spec)` list) from `tenants`
+/// onto the machine in `cfg`, pricing cycles with `planner`. Arrivals
+/// are processed in time order (ties by list position).
+pub fn simulate<P: Planner>(
+    cfg: &SchedConfig,
+    tenants: &[TenantSpec],
+    arrivals: &[(f64, TenantId, JobSpec)],
+    planner: P,
+) -> MixOutcome {
+    let mut sched = Scheduler::new(*cfg, planner);
+    for t in tenants {
+        sched.add_tenant(*t);
+    }
+    let mut order: Vec<usize> = (0..arrivals.len()).collect();
+    order.sort_by(|&a, &b| {
+        arrivals[a]
+            .0
+            .partial_cmp(&arrivals[b].0)
+            .expect("arrival times must not be NaN")
+            .then(a.cmp(&b))
+    });
+
+    let mut inflight: BTreeMap<JobId, InFlight> = BTreeMap::new();
+    let mut records: Vec<JobRecord> = Vec::new();
+    let mut rejected: Vec<(f64, TenantId, SubmitError)> = Vec::new();
+    let mut next_arrival = 0usize;
+    let mut makespan = 0.0f64;
+
+    loop {
+        let arrival_t = order.get(next_arrival).map(|&i| arrivals[i].0);
+        let cycle_t = inflight
+            .values()
+            .map(|f| f.end)
+            .fold(f64::INFINITY, f64::min);
+        let now = match arrival_t {
+            Some(a) => a.min(cycle_t),
+            None if inflight.is_empty() => break,
+            None => cycle_t,
+        };
+        makespan = makespan.max(now);
+
+        // 1. Cycle completions at `now`, in JobId order (BTreeMap gives it).
+        let done: Vec<JobId> = inflight
+            .iter()
+            .filter(|(_, f)| f.end <= now)
+            .map(|(id, _)| *id)
+            .collect();
+        let mut continuing: Vec<JobId> = Vec::new();
+        for id in done {
+            let fl = inflight.remove(&id).expect("in-flight cycle exists");
+            sched.finish_cycle(id, fl.dur);
+            let st = sched.job(id).expect("job state exists");
+            if st.cycles_left == 0 {
+                let rec = JobRecord {
+                    id,
+                    submit: st.submit,
+                    dispatch: st.dispatch.expect("completed job was dispatched"),
+                    completion: now,
+                    service: now - st.dispatch.expect("completed job was dispatched"),
+                    solo_prediction: st.solo_prediction,
+                    cycles: st.spec.campaign.cycles,
+                    ranks: st.spec.ranks(),
+                    shares_seen: st.shares_seen.clone(),
+                };
+                records.push(rec);
+                sched.finish_job(id, now);
+            } else {
+                continuing.push(id);
+            }
+        }
+
+        // 2. Arrivals at `now`, in input order.
+        while next_arrival < order.len() && arrivals[order[next_arrival]].0 <= now {
+            let (t, tenant, spec) = &arrivals[order[next_arrival]];
+            if let Err(e) = sched.submit(*t, *tenant, spec.clone()) {
+                rejected.push((*t, *tenant, e));
+            }
+            next_arrival += 1;
+        }
+
+        // 3. Cycle-boundary rebalance, then price the next cycle of every
+        // continuing job at its fresh share.
+        sched.rebalance(now);
+        for id in continuing {
+            let step = sched.price_step(id);
+            inflight.insert(
+                id,
+                InFlight {
+                    end: now + step.cycle,
+                    dur: step.cycle,
+                },
+            );
+        }
+
+        // 4. Dispatch whatever now fits; a new job's first step pays the
+        // dispatch-time initialization on top of its first cycle.
+        for id in sched.try_dispatch(now) {
+            let step = sched.price_step(id);
+            let dur = step.init + step.cycle;
+            inflight.insert(
+                id,
+                InFlight {
+                    end: now + dur,
+                    dur,
+                },
+            );
+        }
+    }
+
+    MixOutcome {
+        decisions_digest: sched.decisions_digest(),
+        records,
+        rejected,
+        decisions: sched.decisions().to_vec(),
+        share_checks: sched.share_checks().to_vec(),
+        makespan,
+    }
+}

@@ -1,0 +1,170 @@
+//! Job specifications and the DES-backed capacity planner.
+
+use enkf_fault::FaultConfig;
+use enkf_parallel::{
+    model_campaign, CampaignConfig, CampaignExecutor, CampaignModelPlan, ModelConfig, ModelVariant,
+};
+use std::collections::BTreeMap;
+
+use crate::tenant::TenantId;
+
+/// A job's identity: the owning tenant plus a per-tenant sequence number
+/// assigned at submit. Renders as `tenant.seq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId {
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// Submission sequence number within the tenant, from 0.
+    pub seq: u32,
+}
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.tenant, self.seq)
+    }
+}
+
+/// The DES model of a job, used by the capacity planner to price its
+/// cycles under any bandwidth share.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobModel {
+    /// Workload geometry and full-machine substrate parameters.
+    pub cfg: ModelConfig,
+    /// Which modeled executor the campaign drives.
+    pub variant: ModelVariant,
+    /// Whether the supervisor checkpoints after every cycle.
+    pub checkpoint: bool,
+}
+
+/// What one campaign asks of the service.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The real executor the campaign drives when dispatched.
+    pub exec: CampaignExecutor,
+    /// The campaign itself (mesh, cycles, seed, restart policy, …).
+    pub campaign: CampaignConfig,
+    /// Fault plan the campaign runs under.
+    pub fault: FaultConfig,
+    /// DES model for capacity planning; `None` opts out of SLA admission
+    /// (the job is best-effort and only rank/quota-gated).
+    pub model: Option<JobModel>,
+    /// Service-level agreement: the most virtual seconds the campaign may
+    /// take from dispatch to completion. Requires `model`.
+    pub sla: Option<f64>,
+    /// Fraction of the aggregate OST bandwidth this job can usefully
+    /// drive, in `(0, 1]` — its fair-share demand cap.
+    pub bw_demand: f64,
+}
+
+impl JobSpec {
+    /// A best-effort job (no SLA, full bandwidth demand) for `exec`.
+    pub fn best_effort(exec: CampaignExecutor, campaign: CampaignConfig) -> Self {
+        JobSpec {
+            exec,
+            campaign,
+            fault: FaultConfig::none(),
+            model: None,
+            sla: None,
+            bw_demand: 1.0,
+        }
+    }
+
+    /// Compute ranks the job's executor occupies while running.
+    pub fn ranks(&self) -> usize {
+        self.exec.num_ranks()
+    }
+
+    /// The modeled variant matching a real executor, where one exists
+    /// (L-EnKF has no DES model and schedules best-effort).
+    pub fn variant_of(exec: &CampaignExecutor) -> Option<ModelVariant> {
+        match *exec {
+            CampaignExecutor::LEnkf { .. } => None,
+            CampaignExecutor::PEnkf { nsdx, nsdy } => Some(ModelVariant::PEnkf { nsdx, nsdy }),
+            CampaignExecutor::SEnkf(p) => Some(ModelVariant::SEnkf(p)),
+        }
+    }
+}
+
+/// What one scheduling step of a job costs in virtual seconds at a given
+/// bandwidth share.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepCost {
+    /// One assimilation cycle, including its checkpoint commit.
+    pub cycle: f64,
+    /// The initial (cycle-0 recovery line) checkpoint paid at dispatch.
+    pub init: f64,
+}
+
+/// Prices a job's scheduling steps under a bandwidth share. The DES
+/// planner is the real implementation; tests may stub it.
+pub trait Planner {
+    /// Virtual cost of one cycle (and the dispatch-time initialization)
+    /// of `spec` when granted `share` of the machine's bandwidth.
+    fn step(&mut self, id: JobId, spec: &JobSpec, share: f64) -> StepCost;
+}
+
+/// The capacity planner: prices `(job, share)` by running the job's
+/// single-cycle discrete-event model against the share-scaled substrate
+/// ([`ModelConfig::with_bandwidth_share`]) and caching the result. Shares
+/// recur (they are ratios of a small weight set), so a campaign's whole
+/// lifetime usually costs a handful of DES runs.
+#[derive(Debug, Default)]
+pub struct DesPlanner {
+    cache: BTreeMap<(JobId, u64), StepCost>,
+}
+
+impl DesPlanner {
+    /// An empty planner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Price a one-shot spec without an id (solo predictions).
+    pub fn price(spec: &JobSpec, share: f64) -> StepCost {
+        let model = spec
+            .model
+            .expect("capacity planning requires a JobSpec with a model");
+        let plan = CampaignModelPlan {
+            cycles: 1,
+            checkpoint: model.checkpoint,
+            restart: spec.campaign.restart,
+        };
+        let shared = model.cfg.with_bandwidth_share(share);
+        let (out, _trace) = model_campaign(&shared, &model.variant, &plan, &FaultConfig::none())
+            .expect("single-cycle campaign model failed");
+        let init = if model.checkpoint {
+            out.checkpoint_time
+        } else {
+            0.0
+        };
+        StepCost {
+            // `makespan` of a 1-cycle plan = init ckpt + cycle + ckpt;
+            // one steady-state step is everything but the init commit.
+            cycle: out.makespan - init,
+            init,
+        }
+    }
+}
+
+impl Planner for DesPlanner {
+    fn step(&mut self, id: JobId, spec: &JobSpec, share: f64) -> StepCost {
+        *self
+            .cache
+            .entry((id, share.to_bits()))
+            .or_insert_with(|| DesPlanner::price(spec, share))
+    }
+}
+
+/// A planner that prices every step at zero — for best-effort scheduling
+/// paths (the real dispatcher) where no SLA reasoning happens.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoPlanner;
+
+impl Planner for NoPlanner {
+    fn step(&mut self, _id: JobId, _spec: &JobSpec, _share: f64) -> StepCost {
+        StepCost {
+            cycle: 0.0,
+            init: 0.0,
+        }
+    }
+}

@@ -1,0 +1,563 @@
+//! The scheduler core: admission queue, quotas, fair shares, dispatch.
+//!
+//! One `Scheduler` instance is driven either in virtual time (the
+//! multi-campaign DES, [`crate::simulate`]) or in wall time (the real
+//! dispatcher, [`crate::run_real`]). All scheduling state — queued and
+//! running jobs, per-tenant accounting, the decision log — lives here, so
+//! both drivers take identical admission and fairness decisions.
+//!
+//! Admission control at submit:
+//!
+//! * unknown tenants and jobs larger than the whole machine are rejected
+//!   outright;
+//! * per-tenant rate limits (minimum submit gap) and queue-depth quotas
+//!   produce typed backpressure — the caller is told to retry, the queue
+//!   never grows without bound;
+//! * a job with an SLA is priced *solo* by the capacity planner; a
+//!   deadline unattainable even alone on the machine is rejected at
+//!   submit ([`SubmitError::SlaUnattainable`]) rather than discovered
+//!   after hours of queueing.
+//!
+//! Dispatch (fair-share policy):
+//!
+//! * compute ranks are granted per tenant by integer weighted max-min
+//!   over current demand; a tenant at its grant waits even if the machine
+//!   has free ranks another tenant is entitled to;
+//! * OST/interconnect bandwidth shares are continuous weighted max-min
+//!   over running jobs (a tenant's weight splits evenly over its running
+//!   jobs), rebalanced at every membership change and cycle boundary;
+//! * before an admission, every running job's remaining work — and the
+//!   candidate's whole campaign — is re-priced at its post-admission
+//!   *guaranteed floor* share. If anyone's deadline would break, the
+//!   candidate stays queued. Floors are what make the guarantee sound:
+//!   actual max-min shares never drop below them, and cycle cost is
+//!   monotone in the share.
+//!
+//! Every decision appends one line to the log; [`Scheduler::decisions_digest`]
+//! is the FNV-64 of the whole log and must be bit-identical across reruns
+//! of the same seed.
+
+use enkf_ckpt::fnv64;
+use enkf_net::NetParams;
+use enkf_pfs::PfsParams;
+use std::collections::BTreeMap;
+
+use crate::fair::{min_share_floor, rank_shares, weighted_max_min, Demand};
+use crate::job::{JobId, JobSpec, Planner, StepCost};
+use crate::tenant::{TenantId, TenantSpec};
+
+/// What the whole simulated machine offers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterCapacity {
+    /// Total compute ranks.
+    pub ranks: usize,
+    /// The full-machine parallel file system.
+    pub pfs: PfsParams,
+    /// The full-machine interconnect.
+    pub net: NetParams,
+}
+
+impl ClusterCapacity {
+    /// A Tianhe-2-like machine with `ranks` processors.
+    pub fn tianhe2_like(ranks: usize) -> Self {
+        ClusterCapacity {
+            ranks,
+            pfs: PfsParams::tianhe2_like(),
+            net: NetParams::tianhe2_like(),
+        }
+    }
+}
+
+/// How running campaigns split the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SharePolicy {
+    /// Weighted max-min fair share with SLA-guarding admission — the
+    /// scheduler this crate is about.
+    FairShare,
+    /// The naive baseline: every running job gets `1/k`, admission is
+    /// first-fit on ranks, no SLA gating. Benched as "fair-share off".
+    EqualSplit,
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedConfig {
+    /// The machine.
+    pub capacity: ClusterCapacity,
+    /// The sharing policy.
+    pub policy: SharePolicy,
+    /// Seed for decision tie-breaking; reruns with the same seed produce
+    /// bit-identical decision logs.
+    pub seed: u64,
+}
+
+/// Why a submit was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitError {
+    /// The tenant was never registered.
+    UnknownTenant(TenantId),
+    /// The job wants more ranks than the machine has.
+    TooLarge {
+        /// Ranks requested.
+        ranks: usize,
+        /// Ranks the machine has.
+        capacity: usize,
+    },
+    /// The tenant's queue quota is full — backpressure, retry later.
+    Backpressure {
+        /// Jobs the tenant has queued.
+        queued: usize,
+        /// The tenant's queue quota.
+        max_queued: usize,
+    },
+    /// The tenant submitted again within its minimum gap.
+    RateLimited {
+        /// Seconds until the next submit would be accepted.
+        retry_after: f64,
+    },
+    /// The capacity planner predicts the SLA cannot be met even with the
+    /// whole machine.
+    SlaUnattainable {
+        /// Predicted solo completion, virtual seconds.
+        predicted: f64,
+        /// The requested deadline.
+        sla: f64,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::UnknownTenant(t) => write!(f, "unknown tenant {t}"),
+            SubmitError::TooLarge { ranks, capacity } => {
+                write!(f, "job wants {ranks} ranks, machine has {capacity}")
+            }
+            SubmitError::Backpressure { queued, max_queued } => {
+                write!(f, "queue quota full ({queued}/{max_queued})")
+            }
+            SubmitError::RateLimited { retry_after } => {
+                write!(f, "rate limited, retry in {retry_after:.3}s")
+            }
+            SubmitError::SlaUnattainable { predicted, sla } => {
+                write!(
+                    f,
+                    "SLA unattainable: solo prediction {predicted:.3}s > {sla:.3}s"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// One job's scheduling lifecycle.
+#[derive(Debug)]
+pub struct JobState {
+    /// The specification.
+    pub spec: JobSpec,
+    /// Submit time.
+    pub submit: f64,
+    /// Dispatch time, once running.
+    pub dispatch: Option<f64>,
+    /// Cycles still to run.
+    pub cycles_left: usize,
+    /// Current bandwidth share, set at dispatch and every rebalance.
+    pub share: f64,
+    /// Virtual service seconds consumed so far (cycles completed).
+    pub service_used: f64,
+    /// Every share the job ran a cycle under (audit trail).
+    pub shares_seen: Vec<f64>,
+    /// The planner's solo completion prediction, if the job has a model.
+    pub solo_prediction: Option<f64>,
+}
+
+/// A share-snapshot taken at a rebalance, for the fairness property suite:
+/// all entries are running jobs with their weight, demand and granted
+/// share of unit capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShareCheck {
+    /// Virtual time of the rebalance.
+    pub time: f64,
+    /// `(job, weight, demand, share)` per running job.
+    pub entries: Vec<(JobId, f64, f64, f64)>,
+}
+
+/// The multi-tenant scheduler. See the module docs for the protocol.
+#[derive(Debug)]
+pub struct Scheduler<P: Planner> {
+    cfg: SchedConfig,
+    planner: P,
+    tenants: BTreeMap<TenantId, TenantSpec>,
+    jobs: BTreeMap<JobId, JobState>,
+    queue: Vec<JobId>,
+    running: Vec<JobId>,
+    next_seq: BTreeMap<TenantId, u32>,
+    last_submit: BTreeMap<TenantId, f64>,
+    decisions: Vec<String>,
+    share_checks: Vec<ShareCheck>,
+}
+
+impl<P: Planner> Scheduler<P> {
+    /// A scheduler over `cfg` pricing steps with `planner`.
+    pub fn new(cfg: SchedConfig, planner: P) -> Self {
+        Scheduler {
+            cfg,
+            planner,
+            tenants: BTreeMap::new(),
+            jobs: BTreeMap::new(),
+            queue: Vec::new(),
+            running: Vec::new(),
+            next_seq: BTreeMap::new(),
+            last_submit: BTreeMap::new(),
+            decisions: Vec::new(),
+            share_checks: Vec::new(),
+        }
+    }
+
+    /// Register a tenant before it submits.
+    pub fn add_tenant(&mut self, spec: TenantSpec) {
+        self.tenants.insert(spec.id, spec);
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SchedConfig {
+        &self.cfg
+    }
+
+    /// A job's state (submitted jobs only).
+    pub fn job(&self, id: JobId) -> Option<&JobState> {
+        self.jobs.get(&id)
+    }
+
+    /// Queued job ids in submit order.
+    pub fn queued(&self) -> &[JobId] {
+        &self.queue
+    }
+
+    /// Running job ids in dispatch order.
+    pub fn running(&self) -> &[JobId] {
+        &self.running
+    }
+
+    /// The decision log so far.
+    pub fn decisions(&self) -> &[String] {
+        &self.decisions
+    }
+
+    /// FNV-64 digest of the decision log — bit-identical across reruns of
+    /// the same seed and inputs.
+    pub fn decisions_digest(&self) -> u64 {
+        fnv64(self.decisions.join("\n").as_bytes())
+    }
+
+    /// Share snapshots taken at every rebalance (fairness audit trail).
+    pub fn share_checks(&self) -> &[ShareCheck] {
+        &self.share_checks
+    }
+
+    fn log(&mut self, now: f64, line: String) {
+        self.decisions.push(format!("t={now:.9e} {line}"));
+    }
+
+    /// Submit a job. On success the job is queued (dispatch is a separate
+    /// step) and its id returned; on failure the typed refusal tells the
+    /// tenant whether to retry (backpressure, rate limit) or give up.
+    pub fn submit(
+        &mut self,
+        now: f64,
+        tenant: TenantId,
+        spec: JobSpec,
+    ) -> Result<JobId, SubmitError> {
+        let Some(tspec) = self.tenants.get(&tenant).copied() else {
+            return Err(SubmitError::UnknownTenant(tenant));
+        };
+        let ranks = spec.ranks();
+        if ranks > self.cfg.capacity.ranks {
+            self.log(
+                now,
+                format!("reject tenant={tenant} too-large ranks={ranks}"),
+            );
+            return Err(SubmitError::TooLarge {
+                ranks,
+                capacity: self.cfg.capacity.ranks,
+            });
+        }
+        if tspec.quota.min_submit_gap > 0.0 {
+            if let Some(&last) = self.last_submit.get(&tenant) {
+                let gap = now - last;
+                if gap < tspec.quota.min_submit_gap {
+                    self.log(now, format!("reject tenant={tenant} rate-limited"));
+                    return Err(SubmitError::RateLimited {
+                        retry_after: tspec.quota.min_submit_gap - gap,
+                    });
+                }
+            }
+        }
+        let queued = self.queue.iter().filter(|id| id.tenant == tenant).count();
+        if queued >= tspec.quota.max_queued {
+            self.log(now, format!("reject tenant={tenant} backpressure"));
+            return Err(SubmitError::Backpressure {
+                queued,
+                max_queued: tspec.quota.max_queued,
+            });
+        }
+        // SLA feasibility: price the job alone on the machine. A deadline
+        // that fails even solo can never be met and is refused now.
+        let solo_prediction = if spec.model.is_some() {
+            let seq = *self.next_seq.get(&tenant).unwrap_or(&0);
+            let id = JobId { tenant, seq };
+            let solo_share = spec.bw_demand.min(1.0);
+            let step = self.planner.step(id, &spec, solo_share);
+            Some(step.init + spec.campaign.cycles as f64 * step.cycle)
+        } else {
+            None
+        };
+        if let (Some(sla), Some(predicted)) = (spec.sla, solo_prediction) {
+            if predicted > sla {
+                self.log(now, format!("reject tenant={tenant} sla-unattainable"));
+                return Err(SubmitError::SlaUnattainable { predicted, sla });
+            }
+        }
+        let seq = self.next_seq.entry(tenant).or_insert(0);
+        let id = JobId { tenant, seq: *seq };
+        *seq += 1;
+        self.last_submit.insert(tenant, now);
+        let cycles = spec.campaign.cycles;
+        self.jobs.insert(
+            id,
+            JobState {
+                spec,
+                submit: now,
+                dispatch: None,
+                cycles_left: cycles,
+                share: 0.0,
+                service_used: 0.0,
+                shares_seen: Vec::new(),
+                solo_prediction,
+            },
+        );
+        self.queue.push(id);
+        self.log(now, format!("queue job={id} ranks={ranks} cycles={cycles}"));
+        Ok(id)
+    }
+
+    /// Bandwidth demands of `ids` in order: per-job weight is the tenant
+    /// weight split evenly over that tenant's entries, demand is the
+    /// job's `bw_demand`.
+    fn bw_demands(&self, ids: &[JobId]) -> Vec<Demand> {
+        let mut per_tenant: BTreeMap<TenantId, usize> = BTreeMap::new();
+        for id in ids {
+            *per_tenant.entry(id.tenant).or_insert(0) += 1;
+        }
+        ids.iter()
+            .map(|id| {
+                let w = self.tenants[&id.tenant].weight / per_tenant[&id.tenant] as f64;
+                Demand {
+                    weight: w,
+                    demand: self.jobs[id].spec.bw_demand,
+                }
+            })
+            .collect()
+    }
+
+    /// Current bandwidth share of each member of `ids` under the policy.
+    fn shares_of(&self, ids: &[JobId]) -> Vec<f64> {
+        if ids.is_empty() {
+            return Vec::new();
+        }
+        match self.cfg.policy {
+            SharePolicy::FairShare => weighted_max_min(1.0, &self.bw_demands(ids)),
+            SharePolicy::EqualSplit => {
+                let even = 1.0 / ids.len() as f64;
+                ids.iter()
+                    .map(|id| even.min(self.jobs[id].spec.bw_demand))
+                    .collect()
+            }
+        }
+    }
+
+    /// Recompute every running job's share (membership changed or a cycle
+    /// boundary passed) and snapshot the result for the fairness audit.
+    pub fn rebalance(&mut self, now: f64) {
+        let running = self.running.clone();
+        let shares = self.shares_of(&running);
+        let demands = self.bw_demands(&running);
+        let mut entries = Vec::with_capacity(running.len());
+        for ((id, share), demand) in running.iter().zip(&shares).zip(&demands) {
+            self.jobs.get_mut(id).expect("running job exists").share = *share;
+            entries.push((*id, demand.weight, demand.demand, *share));
+        }
+        self.share_checks.push(ShareCheck { time: now, entries });
+    }
+
+    /// Integer rank grant per tenant under weighted max-min, demand being
+    /// each tenant's total appetite (running + queued ranks).
+    fn tenant_rank_grants(&self) -> BTreeMap<TenantId, usize> {
+        let tenants: Vec<TenantId> = self.tenants.keys().copied().collect();
+        let demands: Vec<Demand> = tenants
+            .iter()
+            .map(|t| {
+                let appetite: usize = self
+                    .running
+                    .iter()
+                    .chain(self.queue.iter())
+                    .filter(|id| id.tenant == *t)
+                    .map(|id| self.jobs[id].spec.ranks())
+                    .sum();
+                Demand {
+                    weight: self.tenants[t].weight,
+                    demand: appetite as f64,
+                }
+            })
+            .collect();
+        let grants = rank_shares(self.cfg.capacity.ranks, &demands);
+        tenants.into_iter().zip(grants).collect()
+    }
+
+    fn ranks_in_use(&self) -> usize {
+        self.running
+            .iter()
+            .map(|id| self.jobs[id].spec.ranks())
+            .sum()
+    }
+
+    fn tenant_ranks_running(&self, t: TenantId) -> usize {
+        self.running
+            .iter()
+            .filter(|id| id.tenant == t)
+            .map(|id| self.jobs[id].spec.ranks())
+            .sum()
+    }
+
+    /// Would admitting `candidate` break anyone's deadline? Every member
+    /// of the hypothetical running set is re-priced at its guaranteed
+    /// floor share; admission requires all deadlines still hold.
+    fn sla_admits(&mut self, candidate: JobId) -> bool {
+        let mut hypothetical = self.running.clone();
+        hypothetical.push(candidate);
+        let demands = self.bw_demands(&hypothetical);
+        for (i, id) in hypothetical.iter().enumerate() {
+            let (sla, has_model) = {
+                let st = &self.jobs[id];
+                (st.spec.sla, st.spec.model.is_some())
+            };
+            let (Some(sla), true) = (sla, has_model) else {
+                continue;
+            };
+            let floor = min_share_floor(1.0, &demands, i).max(f64::MIN_POSITIVE);
+            let spec = self.jobs[id].spec.clone();
+            let step = self.planner.step(*id, &spec, floor);
+            let st = &self.jobs[id];
+            let init = if st.dispatch.is_none() {
+                step.init
+            } else {
+                0.0
+            };
+            let predicted_remaining = init + st.cycles_left as f64 * step.cycle;
+            if st.service_used + predicted_remaining > sla * (1.0 + 1e-9) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Dispatch every queued job that fits, in fairness order. Returns the
+    /// newly dispatched ids (in dispatch order); shares of all running
+    /// jobs are rebalanced after each admission.
+    pub fn try_dispatch(&mut self, now: f64) -> Vec<JobId> {
+        let mut dispatched = Vec::new();
+        loop {
+            // Deterministic fairness order: tenants hungriest relative to
+            // their weight first; seeded FNV tie-break, then submit order.
+            let grants = self.tenant_rank_grants();
+            let mut candidates: Vec<JobId> = self.queue.clone();
+            let seed = self.cfg.seed;
+            candidates.sort_by(|a, b| {
+                let load = |id: &JobId| {
+                    self.tenant_ranks_running(id.tenant) as f64 / self.tenants[&id.tenant].weight
+                };
+                let tie = |id: &JobId| fnv64(format!("{seed}|{}|{}", id.tenant, id.seq).as_bytes());
+                load(a)
+                    .partial_cmp(&load(b))
+                    .unwrap()
+                    .then_with(|| tie(a).cmp(&tie(b)))
+                    .then_with(|| a.cmp(b))
+            });
+            let free = self.cfg.capacity.ranks - self.ranks_in_use();
+            let mut admitted = None;
+            for id in candidates {
+                let st = &self.jobs[&id];
+                let ranks = st.spec.ranks();
+                let tenant = id.tenant;
+                let quota = self.tenants[&tenant].quota;
+                let tenant_running = self.running.iter().filter(|r| r.tenant == tenant).count();
+                if tenant_running >= quota.max_running || ranks > free {
+                    continue;
+                }
+                // Within a tenant, dispatch strictly in submit order.
+                if self
+                    .queue
+                    .iter()
+                    .any(|q| q.tenant == tenant && q.seq < id.seq)
+                {
+                    continue;
+                }
+                if self.cfg.policy == SharePolicy::FairShare {
+                    // A tenant's *first* running job may exceed its grant —
+                    // integer grants can fall below the smallest job size
+                    // (many tenants, few ranks) and fairness must never
+                    // become starvation. Beyond that, the grant binds.
+                    let grant = grants[&tenant];
+                    let used = self.tenant_ranks_running(tenant);
+                    if used > 0 && used + ranks > grant {
+                        continue;
+                    }
+                    if !self.sla_admits(id) {
+                        continue;
+                    }
+                }
+                admitted = Some(id);
+                break;
+            }
+            let Some(id) = admitted else {
+                break;
+            };
+            self.queue.retain(|q| *q != id);
+            self.running.push(id);
+            self.jobs.get_mut(&id).expect("job exists").dispatch = Some(now);
+            self.rebalance(now);
+            let share = self.jobs[&id].share;
+            self.log(now, format!("dispatch job={id} share={share:.9e}"));
+            dispatched.push(id);
+        }
+        dispatched
+    }
+
+    /// Price the next cycle of running job `id` at its current share
+    /// (includes the dispatch-time initialization cost on the first call
+    /// after dispatch).
+    pub fn price_step(&mut self, id: JobId) -> StepCost {
+        let (spec, share) = {
+            let st = &self.jobs[&id];
+            (st.spec.clone(), st.share)
+        };
+        self.planner.step(id, &spec, share.max(f64::MIN_POSITIVE))
+    }
+
+    /// Record that `id` ran one cycle of `dur` virtual seconds under its
+    /// current share.
+    pub fn finish_cycle(&mut self, id: JobId, dur: f64) {
+        let st = self.jobs.get_mut(&id).expect("running job exists");
+        let share = st.share;
+        st.cycles_left -= 1;
+        st.service_used += dur;
+        st.shares_seen.push(share);
+    }
+
+    /// Remove a completed job from the running set and rebalance.
+    pub fn finish_job(&mut self, id: JobId, now: f64) {
+        self.running.retain(|r| *r != id);
+        self.log(now, format!("complete job={id}"));
+        self.rebalance(now);
+    }
+}

@@ -328,6 +328,8 @@ impl Simulation {
                     peer: None,
                     member: None,
                     res: None,
+                    tenant: None,
+                    job: None,
                 });
             }
             let op = match t.kind {
@@ -352,6 +354,8 @@ impl Simulation {
                 peer: tag.peer,
                 member: tag.member,
                 res: t.resources.first().map(|r| r.0),
+                tenant: None,
+                job: None,
             });
         }
         trace

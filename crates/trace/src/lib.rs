@@ -121,6 +121,13 @@ pub struct Span {
     pub member: Option<usize>,
     /// Modeled resource index (OST, NIC) the operation held, if any.
     pub res: Option<usize>,
+    /// Tenant that owns the campaign this span belongs to (multi-tenant
+    /// scheduler runs; `None` for standalone executions). Excluded from
+    /// digests so a scheduled campaign conforms span-for-span with the
+    /// identical campaign run standalone — the isolation invariant.
+    pub tenant: Option<u32>,
+    /// Job id within the tenant, set together with `tenant`.
+    pub job: Option<u32>,
 }
 
 /// Operation metadata attached to a modeled task so the DES can emit the
@@ -219,6 +226,18 @@ impl Trace {
     /// order for determinism).
     pub fn extend(&mut self, spans: impl IntoIterator<Item = Span>) {
         self.spans.extend(spans);
+    }
+
+    /// Stamp every span with the owning tenant and job — the multi-tenant
+    /// scheduler calls this once per campaign so merged fleet traces stay
+    /// attributable. Tags are carried into Chrome-trace `args` but excluded
+    /// from [`Trace::digest`], preserving the isolation invariant (a
+    /// scheduled campaign's digest equals its standalone digest).
+    pub fn tag_tenant(&mut self, tenant: u32, job: u32) {
+        for s in &mut self.spans {
+            s.tenant = Some(tenant);
+            s.job = Some(job);
+        }
     }
 
     /// Per-rank phase totals — the projection `PhaseBreakdown` is derived
@@ -320,6 +339,9 @@ impl Trace {
             if let Some(r) = s.res {
                 write!(out, ",\"res\":{r}").expect("write to String");
             }
+            if let (Some(t), Some(j)) = (s.tenant, s.job) {
+                write!(out, ",\"tenant\":{t},\"job\":{j}").expect("write to String");
+            }
             out.push_str("}}");
         }
         out.push_str("]}");
@@ -415,6 +437,8 @@ impl RankTracer {
             peer: tag.peer,
             member: tag.member,
             res: None,
+            tenant: None,
+            job: None,
         });
         out
     }
@@ -592,6 +616,8 @@ mod tests {
             peer: None,
             member: None,
             res: None,
+            tenant: None,
+            job: None,
         }
     }
 

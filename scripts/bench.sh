@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
-# Benchmark runner emitting BENCH_PR5.json at the repo root.
+# Benchmark runner emitting BENCH_PR5.json and BENCH_PR6.json at the
+# repo root.
 #
-# Runs the fig14-style campaign MTTR sweep on the DES model at paper
+# PR5: the fig14-style campaign MTTR sweep on the DES model at paper
 # scale: virtual time-to-completion of a 16-cycle supervised assimilation
 # campaign versus injected crash count, with the checkpoint recovery line
 # (bounded loss per crash: partial attempt + backoff + one restore sweep)
 # and without it (a crash restarts the whole campaign from cycle 0).
+#
+# PR6: the scheduler fairness sweep: aggregate throughput and p99
+# campaign latency versus tenant count, with fair-share admission on
+# (SLA-gated weighted max-min) and off (equal-split packing).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -50,3 +55,45 @@ FOOTER
 } >"$out"
 
 echo "wrote $out"
+
+out6=BENCH_PR6.json
+
+echo "==> scheduler_fairness (multi-tenant fair-share admission sweep)"
+cargo run -q --release -p enkf-bench --bin scheduler_fairness | tee "$tmp/sched.txt"
+
+# scheduler_fairness prints one machine-readable line per sweep point:
+#   SCHED tenants=4 policy=fair jobs=8 completed=8 rejected=0 \
+#         makespan_s=... throughput_cph=... p99_service_s=... p99_over_solo=...
+awk '
+  $1 == "SCHED" {
+    for (i = 2; i <= NF; i++) { split($i, kv, "="); v[kv[1]] = kv[2] }
+    printf "    { \"tenants\": %s, \"policy\": \"%s\", \"jobs\": %s, \"completed\": %s,",
+      v["tenants"], v["policy"], v["jobs"], v["completed"]
+    printf " \"rejected\": %s, \"makespan_s\": %s, \"throughput_campaigns_per_h\": %s,",
+      v["rejected"], v["makespan_s"], v["throughput_cph"]
+    printf " \"p99_service_s\": %s, \"p99_over_solo\": %s },\n",
+      v["p99_service_s"], v["p99_over_solo"]
+  }
+' "$tmp/sched.txt" >"$tmp/sched_sweep.txt"
+sed -i '$ s/ },$/ }/' "$tmp/sched_sweep.txt"
+
+fair4=$(awk '$1 == "SCHED" { for (i=2;i<=NF;i++) { split($i,kv,"="); v[kv[1]]=kv[2] }
+  if (v["tenants"] == 4 && v["policy"] == "fair") { print v["p99_over_solo"]; exit } }' "$tmp/sched.txt")
+
+{
+  cat <<HEADER
+{
+  "benchmark": "PR6: multi-tenant campaign scheduler — fairness/SLA sweep",
+  "model": "DES capacity planner, paper-scale autotuned S-EnKF campaigns, 4 cycles, 2 jobs/tenant",
+  "sla": "2x solo DES prediction per campaign",
+  "fair_4_tenant_p99_over_solo": $fair4,
+  "sweep": [
+HEADER
+  cat "$tmp/sched_sweep.txt"
+  cat <<'FOOTER'
+  ]
+}
+FOOTER
+} >"$out6"
+
+echo "wrote $out6"

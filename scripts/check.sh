@@ -19,6 +19,10 @@ cargo test -q --test failure_injection --test fault_resilience \
 echo "==> durability suites: checkpoint corruption + kill-at-random-cycle resume"
 cargo test -q --test checkpoint_restart --test campaign_conformance
 
+echo "==> scheduler suites: fair-share properties + multi-tenant isolation"
+cargo test -q -p enkf-sched
+cargo test -q --test scheduler_conformance
+
 echo "==> allocation regression: steady-state data plane is alloc-free (release)"
 cargo test -q --release --test dataplane_alloc_free
 

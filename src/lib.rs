@@ -27,6 +27,10 @@
 //!   modeled executors.
 //! * [`tuning`] — the cost models (Eqs. 7–10) and the auto-tuner
 //!   (Algorithms 1 and 2).
+//! * [`sched`] — the multi-tenant campaign scheduler: admission control
+//!   with quotas and backpressure, weighted max-min fair-share of OST
+//!   bandwidth and compute ranks, and a DES-backed capacity planner that
+//!   gates SLAs before dispatch.
 //!
 //! ## Quick start
 //!
@@ -56,6 +60,7 @@ pub use enkf_linalg as linalg;
 pub use enkf_net as net;
 pub use enkf_parallel as parallel;
 pub use enkf_pfs as pfs;
+pub use enkf_sched as sched;
 pub use enkf_sim as sim;
 pub use enkf_trace as trace;
 pub use enkf_tuning as tuning;
@@ -88,6 +93,10 @@ pub mod prelude {
         RecoveryEvent, SEnkf,
     };
     pub use enkf_pfs::{FileStore, PfsParams, ScratchDir};
+    pub use enkf_sched::{
+        simulate, ClusterCapacity, DesPlanner, JobId, JobModel, JobSpec, Quota, SchedConfig,
+        Scheduler, SharePolicy, SubmitError, TenantId, TenantSpec,
+    };
     pub use enkf_trace::{RankTracer, Span, Trace};
     pub use enkf_tuning::{autotune, CostParams, MachineParams, Params, TunedParams, Workload};
 }

@@ -12,57 +12,30 @@
 
 mod common;
 
+use common::{TenantMix, SENKF};
 use proptest::prelude::*;
 use s_enkf::ckpt::CheckpointStore;
-use s_enkf::core::LocalAnalysis;
-use s_enkf::data::CycleConfig;
 use s_enkf::fault::{FaultConfig, FaultPlan, RetryPolicy};
-use s_enkf::grid::{FileLayout, LocalizationRadius, Mesh};
 use s_enkf::parallel::{
     model_campaign, run_campaign, CampaignConfig, CampaignExecutor, CampaignModelPlan,
     CampaignReport, ModelConfig, ModelVariant,
 };
 use s_enkf::pfs::{FileStore, ScratchDir};
-use s_enkf::tuning::{Params, Workload};
 
-const MESH: (usize, usize) = (24, 12);
-const MEMBERS: usize = 4;
-const H: u64 = 8;
-const RADIUS: LocalizationRadius = LocalizationRadius { xi: 1, eta: 1 };
-const SENKF: Params = Params {
-    nsdx: 2,
-    nsdy: 2,
-    layers: 2,
-    ncg: 2,
-};
 const CYCLES: usize = 3;
 
+/// The shared small geometry — one definition, in the common harness.
+fn mix() -> TenantMix {
+    TenantMix::small()
+}
+
 fn campaign_cfg(cycles: usize) -> CampaignConfig {
-    CampaignConfig {
-        mesh: Mesh::new(MESH.0, MESH.1),
-        cycles,
-        members: MEMBERS,
-        cycle: CycleConfig::default(),
-        seed: 17,
-        analysis: LocalAnalysis::new(RADIUS),
-        inflation: 1.05,
-        restart: RetryPolicy {
-            max_retries: 3,
-            base_backoff: 1e-6,
-            multiplier: 2.0,
-        },
-    }
+    mix().campaign_cfg(cycles)
 }
 
 /// Fresh work + checkpoint stores under one scratch directory.
 fn stores(label: &str) -> (ScratchDir, FileStore, CheckpointStore) {
-    let scratch = ScratchDir::new(label).unwrap();
-    let mesh = Mesh::new(MESH.0, MESH.1);
-    let work_dir = scratch.path().join("work");
-    std::fs::create_dir_all(&work_dir).unwrap();
-    let work = FileStore::open(&work_dir, FileLayout::new(mesh, H)).unwrap();
-    let ckpt = CheckpointStore::create(scratch.path().join("ckpt")).unwrap();
-    (scratch, work, ckpt)
+    mix().stores(label)
 }
 
 fn executors() -> Vec<(&'static str, CampaignExecutor)> {
@@ -245,10 +218,11 @@ fn torn_checkpoint_on_kill_falls_back_one_cycle() {
 #[test]
 fn unrecoverable_member_degrades_to_n_minus_one() {
     let exec = CampaignExecutor::PEnkf { nsdx: 2, nsdy: 2 };
+    let members = mix().members;
     let mut fault = FaultConfig::none();
     // The *last* member: after the ensemble shrinks, the index falls out
     // of range and cannot re-trigger.
-    fault.plan = FaultPlan::new(3).with_unrecoverable_member(MEMBERS - 1);
+    fault.plan = FaultPlan::new(3).with_unrecoverable_member(members - 1);
     fault.retry = RetryPolicy {
         max_retries: 1,
         base_backoff: 1e-6,
@@ -257,24 +231,15 @@ fn unrecoverable_member_degrades_to_n_minus_one() {
     let (_s, work, ckpt) = stores("camp-degraded");
     let report = run_campaign(&work, &ckpt, &exec, &campaign_cfg(CYCLES), &fault).unwrap();
     assert!(report.degraded);
-    assert_eq!(report.dropped_members, vec![MEMBERS - 1]);
-    assert_eq!(report.final_analysis.size(), MEMBERS - 1);
+    assert_eq!(report.dropped_members, vec![members - 1]);
+    assert_eq!(report.final_analysis.size(), members - 1);
     assert_eq!(report.stats.len(), CYCLES, "the campaign still completes");
     let deg: Vec<_> = report.recoveries.iter().filter(|r| r.degraded).collect();
     assert_eq!(deg.len(), 1, "one budget-free degradation recovery");
 }
 
 fn model_cfg() -> ModelConfig {
-    let mut cfg = ModelConfig::paper();
-    cfg.workload = Workload {
-        nx: MESH.0,
-        ny: MESH.1,
-        members: MEMBERS,
-        h: H,
-        xi: RADIUS.xi,
-        eta: RADIUS.eta,
-    };
-    cfg
+    mix().model_cfg()
 }
 
 /// On an empty fault plan, the real campaign and the DES campaign model

@@ -1,0 +1,316 @@
+//! Scheduler-level conformance: multi-tenant isolation and deterministic
+//! decisions.
+//!
+//! The headline invariant of the scheduler: campaigns that share the
+//! machine are *isolated*. A campaign dispatched next to strangers — on
+//! its own stores, under the fair-share scheduler — produces bit-identical
+//! per-cycle statistics, cycle digests, final ensembles, and trace
+//! digests to the same campaign run alone with an equivalent static
+//! allocation. And scheduling itself is deterministic: reruns of the same
+//! seeded mix produce bit-identical decision logs.
+
+mod common;
+
+use common::{TenantMix, SENKF};
+use s_enkf::fault::{FaultConfig, FaultPlan};
+use s_enkf::parallel::{run_campaign, CampaignExecutor, CampaignReport};
+use s_enkf::sched::{
+    run_real, ClusterCapacity, Quota, RealDispatch, RealOutcome, SchedConfig, SharePolicy,
+    SubmitError,
+};
+
+const CYCLES: usize = 3;
+
+fn sched_cfg(ranks: usize, seed: u64) -> SchedConfig {
+    SchedConfig {
+        capacity: ClusterCapacity::tianhe2_like(ranks),
+        policy: SharePolicy::FairShare,
+        seed,
+    }
+}
+
+fn assert_reports_identical(a: &CampaignReport, b: &CampaignReport, what: &str) {
+    assert_eq!(a.stats, b.stats, "{what}: per-cycle statistics differ");
+    assert_eq!(
+        a.cycle_digests, b.cycle_digests,
+        "{what}: per-cycle trace digests differ"
+    );
+    assert_eq!(
+        a.final_analysis.states(),
+        b.final_analysis.states(),
+        "{what}: final ensembles differ"
+    );
+}
+
+/// Full-trace comparison — valid only when both runs were uninterrupted
+/// (a resumed run's trace covers just its post-resume cycles).
+fn assert_traces_identical(a: &CampaignReport, b: &CampaignReport, what: &str) {
+    assert_eq!(
+        a.trace.digest(),
+        b.trace.digest(),
+        "{what}: trace digests differ"
+    );
+}
+
+/// All three executors, one per tenant, scheduled concurrently: every
+/// campaign's report is bit-identical to its solo run. Isolation holds on
+/// the whole executor matrix, not just the modeled pair.
+#[test]
+fn concurrent_campaigns_match_solo_runs_on_all_executors() {
+    let mix = TenantMix::small()
+        .tenant(1.0)
+        .job(CampaignExecutor::LEnkf { nsdx: 2, nsdy: 2 }, CYCLES)
+        .tenant(2.0)
+        .job(CampaignExecutor::PEnkf { nsdx: 2, nsdy: 2 }, CYCLES)
+        .tenant(1.0)
+        .job(CampaignExecutor::SEnkf(SENKF), CYCLES);
+
+    // Solo baselines: each campaign alone on the machine.
+    let mut solo = Vec::new();
+    for (i, (_tenant, spec)) in mix.jobs().iter().enumerate() {
+        let (_s, work, ckpt) = mix.stores(&format!("sched-solo-{i}"));
+        let report = run_campaign(&work, &ckpt, &spec.exec, &spec.campaign, &spec.fault).unwrap();
+        solo.push(report);
+    }
+
+    // The same three campaigns, admitted and run concurrently.
+    let stores: Vec<_> = (0..mix.jobs().len())
+        .map(|i| mix.stores(&format!("sched-conc-{i}")))
+        .collect();
+    let dispatches: Vec<RealDispatch<'_>> = mix
+        .jobs()
+        .iter()
+        .zip(&stores)
+        .map(|((tenant, spec), (_s, work, ckpt))| RealDispatch {
+            tenant: *tenant,
+            spec: spec.clone(),
+            work,
+            ckpt,
+        })
+        .collect();
+    let out = run_real(&sched_cfg(64, 42), mix.tenants(), dispatches);
+    assert!(out.rejected.is_empty(), "all three must be admitted");
+    assert!(out.unscheduled.is_empty());
+    assert_eq!(out.results.len(), 3);
+    assert_eq!(
+        out.results.iter().filter(|r| r.wave == 0).count(),
+        3,
+        "64 ranks fit all three in one wave"
+    );
+
+    for result in &out.results {
+        let idx = mix
+            .jobs()
+            .iter()
+            .position(|(t, _)| *t == result.id.tenant)
+            .unwrap();
+        let report = result.report.as_ref().expect("campaign must succeed");
+        let what = format!("tenant {}", result.id.tenant);
+        assert_reports_identical(&solo[idx], report, &what);
+        assert_traces_identical(&solo[idx], report, &what);
+    }
+}
+
+/// Kill–resume of one tenant's campaign — while another tenant shares the
+/// machine, including a faulted cycle of its own — leaves both tenants
+/// bit-identical: the killed campaign resumes to exactly its solo result,
+/// and the neighbour never notices.
+#[test]
+fn kill_resume_of_one_tenant_leaves_the_other_bit_identical() {
+    let mut fault_b = FaultConfig::none();
+    fault_b.plan = FaultPlan::new(7).with_crash_at_cycle(0, 1, 0);
+    fault_b.recv_timeout = 0.3;
+
+    let mix = TenantMix::small()
+        .tenant(1.0)
+        .job(CampaignExecutor::PEnkf { nsdx: 2, nsdy: 2 }, CYCLES)
+        .tenant(1.0)
+        .job(CampaignExecutor::SEnkf(SENKF), CYCLES)
+        .fault(fault_b.clone());
+
+    // Baseline: the concurrent pair, uninterrupted.
+    let (_sa, work_a, ckpt_a) = mix.stores("sched-kill-base-a");
+    let (_sb, work_b, ckpt_b) = mix.stores("sched-kill-base-b");
+    let (ta, spec_a) = mix.jobs()[0].clone();
+    let (tb, spec_b) = mix.jobs()[1].clone();
+    let base = run_real(
+        &sched_cfg(64, 7),
+        mix.tenants(),
+        vec![
+            RealDispatch {
+                tenant: ta,
+                spec: spec_a.clone(),
+                work: &work_a,
+                ckpt: &ckpt_a,
+            },
+            RealDispatch {
+                tenant: tb,
+                spec: spec_b.clone(),
+                work: &work_b,
+                ckpt: &ckpt_b,
+            },
+        ],
+    );
+    // Results are in (seeded) dispatch order, not submission order.
+    let by_tenant = |out: &RealOutcome, t| {
+        out.results
+            .iter()
+            .position(|r| r.id.tenant == t)
+            .expect("tenant has a result")
+    };
+    let base_a = base.results[by_tenant(&base, ta)].report.as_ref().unwrap();
+    let base_b = base.results[by_tenant(&base, tb)].report.as_ref().unwrap();
+    assert_eq!(
+        base_b.recoveries.len(),
+        1,
+        "tenant B's injected crash recovers under the scheduler too"
+    );
+
+    // Tenant A is killed after 2 cycles (all that survives is its
+    // checkpoint directory); tenant B runs to completion beside it.
+    let (_sa2, work_a2, ckpt_a2) = mix.stores("sched-kill-killed-a");
+    let (_sb2, work_b2, ckpt_b2) = mix.stores("sched-kill-killed-b");
+    let mut short_a = spec_a.clone();
+    short_a.campaign.cycles = 2;
+    let killed = run_real(
+        &sched_cfg(64, 7),
+        mix.tenants(),
+        vec![
+            RealDispatch {
+                tenant: ta,
+                spec: short_a,
+                work: &work_a2,
+                ckpt: &ckpt_a2,
+            },
+            RealDispatch {
+                tenant: tb,
+                spec: spec_b.clone(),
+                work: &work_b2,
+                ckpt: &ckpt_b2,
+            },
+        ],
+    );
+    let killed_b = killed.results[by_tenant(&killed, tb)]
+        .report
+        .as_ref()
+        .unwrap();
+    assert_reports_identical(base_b, killed_b, "tenant B beside the killed tenant");
+    assert_traces_identical(base_b, killed_b, "tenant B beside the killed tenant");
+
+    // Resume tenant A from its surviving checkpoints, again under the
+    // scheduler: bit-identical to the uninterrupted concurrent run.
+    let resumed = run_real(
+        &sched_cfg(64, 7),
+        mix.tenants(),
+        vec![RealDispatch {
+            tenant: ta,
+            spec: spec_a,
+            work: &work_a2,
+            ckpt: &ckpt_a2,
+        }],
+    );
+    let resumed_a = resumed.results[0].report.as_ref().unwrap();
+    assert_eq!(resumed_a.resumed_from, Some(2), "must resume, not restart");
+    assert_reports_identical(base_a, resumed_a, "tenant A after kill-resume");
+}
+
+/// Scheduling decisions are deterministic: the same seeded mix produces
+/// bit-identical decision logs (and digests) on every rerun.
+#[test]
+fn real_dispatch_decisions_are_bit_identical_across_reruns() {
+    let mix = TenantMix::small()
+        .tenant(2.0)
+        .job(CampaignExecutor::PEnkf { nsdx: 2, nsdy: 2 }, 1)
+        .tenant(1.0)
+        .job(CampaignExecutor::SEnkf(SENKF), 1);
+
+    let run = |label: &str| -> RealOutcome {
+        let stores: Vec<_> = (0..mix.jobs().len())
+            .map(|i| mix.stores(&format!("{label}-{i}")))
+            .collect();
+        let dispatches: Vec<RealDispatch<'_>> = mix
+            .jobs()
+            .iter()
+            .zip(&stores)
+            .map(|((tenant, spec), (_s, work, ckpt))| RealDispatch {
+                tenant: *tenant,
+                spec: spec.clone(),
+                work,
+                ckpt,
+            })
+            .collect();
+        run_real(&sched_cfg(16, 99), mix.tenants(), dispatches)
+    };
+    let first = run("sched-det-1");
+    let second = run("sched-det-2");
+    assert_eq!(first.decisions, second.decisions);
+    assert_eq!(first.decisions_digest, second.decisions_digest);
+}
+
+/// Admission control end to end: queue quotas backpressure a greedy
+/// tenant, oversized jobs are refused outright, and a rank budget smaller
+/// than the mix forces a second wave — all deterministic.
+#[test]
+fn admission_quotas_and_rank_budget_shape_the_schedule() {
+    let mix = TenantMix::small()
+        .tenant(1.0)
+        .quota(Quota {
+            max_running: 1,
+            max_queued: 2,
+            min_submit_gap: 0.0,
+        })
+        .job(CampaignExecutor::PEnkf { nsdx: 2, nsdy: 2 }, 1)
+        .job(CampaignExecutor::PEnkf { nsdx: 2, nsdy: 2 }, 1)
+        .job(CampaignExecutor::PEnkf { nsdx: 2, nsdy: 2 }, 1);
+
+    let stores: Vec<_> = (0..mix.jobs().len())
+        .map(|i| mix.stores(&format!("sched-adm-{i}")))
+        .collect();
+    let dispatches: Vec<RealDispatch<'_>> = mix
+        .jobs()
+        .iter()
+        .zip(&stores)
+        .map(|((tenant, spec), (_s, work, ckpt))| RealDispatch {
+            tenant: *tenant,
+            spec: spec.clone(),
+            work,
+            ckpt,
+        })
+        .collect();
+    // 4-rank machine, 4-rank jobs, max_running 1, max_queued 2: all
+    // submits land before the first wave, so the first two jobs queue
+    // (running in waves 0 and 1) and the third submit is backpressured.
+    let out = run_real(&sched_cfg(4, 5), mix.tenants(), dispatches);
+    assert_eq!(out.rejected.len(), 1);
+    assert!(matches!(
+        out.rejected[0].1,
+        SubmitError::Backpressure {
+            queued: 2,
+            max_queued: 2
+        }
+    ));
+    assert_eq!(out.results.len(), 2);
+    assert_eq!(out.results[0].wave, 0);
+    assert_eq!(out.results[1].wave, 1);
+    assert!(out.results.iter().all(|r| r.report.is_ok()));
+
+    // A job wider than the machine is refused at submit.
+    let wide = TenantMix::small()
+        .tenant(1.0)
+        .job(CampaignExecutor::SEnkf(SENKF), 1);
+    let (_s, work, ckpt) = wide.stores("sched-adm-wide");
+    let (tenant, spec) = wide.jobs()[0].clone();
+    let out = run_real(
+        &sched_cfg(2, 5),
+        wide.tenants(),
+        vec![RealDispatch {
+            tenant,
+            spec,
+            work: &work,
+            ckpt: &ckpt,
+        }],
+    );
+    assert_eq!(out.rejected.len(), 1);
+    assert!(matches!(out.rejected[0].1, SubmitError::TooLarge { .. }));
+    assert!(out.results.is_empty());
+}
