@@ -1,0 +1,61 @@
+//! Bulk little-endian ↔ `f64` conversion kernels.
+//!
+//! `enkf-pfs` stores every state region as packed little-endian `f64`
+//! bytes; the read path of each analysis cycle converts whole member
+//! vectors at once. On little-endian targets (every platform this repo
+//! ships on) `f64::from_le_bytes` is a bit-level identity, so the whole
+//! conversion collapses to one `memcpy`-class bulk copy — the compiler
+//! vectorizes it with the widest available loads/stores. Big-endian
+//! targets fall back to the per-element byte-swapping loop.
+//!
+//! Both directions are trivially bit-identical to the legacy
+//! `chunks_exact(8)` / `extend_from_slice(&v.to_le_bytes())` loops they
+//! replace (pinned by a proptest in `enkf-pfs`): the bytes moved are the
+//! same bytes, only the move is bulk.
+
+/// Decode packed little-endian `f64` bytes into `dst` (cleared first;
+/// allocation-free once `dst` has steady-state capacity).
+///
+/// # Panics
+/// When `src.len()` is not a multiple of 8.
+pub fn le_bytes_to_f64_into(src: &[u8], dst: &mut Vec<f64>) {
+    assert!(
+        src.len().is_multiple_of(8),
+        "le_bytes_to_f64_into: byte length {} not a multiple of 8",
+        src.len()
+    );
+    let n = src.len() / 8;
+    dst.clear();
+    dst.reserve(n);
+    #[cfg(target_endian = "little")]
+    unsafe {
+        // Identical bytes, bulk move: the Vec's buffer is f64-aligned and
+        // holds exactly n decoded values afterwards.
+        std::ptr::copy_nonoverlapping(src.as_ptr(), dst.as_mut_ptr() as *mut u8, src.len());
+        dst.set_len(n);
+    }
+    #[cfg(not(target_endian = "little"))]
+    dst.extend(
+        src.chunks_exact(8)
+            .map(|chunk| f64::from_le_bytes(chunk.try_into().expect("chunk is 8 bytes"))),
+    );
+}
+
+/// Append the little-endian encoding of `values` to `out` (the encode
+/// counterpart of [`le_bytes_to_f64_into`]; appends, does not clear, so
+/// callers can emit headers first).
+pub fn extend_f64_le(values: &[f64], out: &mut Vec<u8>) {
+    #[cfg(target_endian = "little")]
+    {
+        // On LE targets the in-memory representation already is the wire
+        // encoding; append it in one bulk copy.
+        let bytes = unsafe {
+            std::slice::from_raw_parts(values.as_ptr() as *const u8, std::mem::size_of_val(values))
+        };
+        out.extend_from_slice(bytes);
+    }
+    #[cfg(not(target_endian = "little"))]
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}

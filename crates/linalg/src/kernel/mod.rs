@@ -1,0 +1,34 @@
+//! The kernel layer: the compute floor of `enkf-linalg`.
+//!
+//! Everything above this module (matrix products, the Gram eigensolve,
+//! the LETKF transform, the PFS byte codecs) bottoms out in a small set
+//! of kernels that this module owns:
+//!
+//! - [`gemm`] — cache-oblivious divide-and-conquer drivers for the three
+//!   product families (`A·B`, `Aᵀ·B`, `A·Bᵀ`) plus the unrolled
+//!   matrix-vector product, dispatching to register-tiled microkernels.
+//! - [`simd`] (via re-exports) — runtime ISA detection and the AVX2/FMA
+//!   microkernel bodies with scalar fallbacks.
+//! - [`convert`] — bulk little-endian ↔ `f64` codecs shared with
+//!   `enkf-pfs`.
+//! - [`tiles`] — every tiling/dispatch constant, with the cache
+//!   reasoning attached.
+//! - [`reference`] — the pre-kernel-layer blocked loops, frozen as the
+//!   bit-identity oracle and roofline baseline.
+//!
+//! # Determinism contract
+//!
+//! Default-feature kernels are **bit-identical** to the legacy
+//! implementations, element for element, across ISA tiers and thread
+//! counts (see [`gemm`] for the pinned accumulation orders). The
+//! `fast-math` cargo feature opts into FMA-fused and reassociated
+//! variants whose (still deterministic) outputs are pinned by their own
+//! digest suite in `tests/kernel_conformance.rs`.
+
+pub mod convert;
+pub mod gemm;
+pub mod reference;
+mod simd;
+pub mod tiles;
+
+pub use simd::{active_isa, fma_active, Isa};

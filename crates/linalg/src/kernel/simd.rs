@@ -1,0 +1,342 @@
+//! ISA detection and the explicit-SIMD register-tiled microkernels.
+//!
+//! The default kernels are **bit-identical across every dispatch target**:
+//! the AVX2 paths compute each output element with exactly the same IEEE
+//! multiply-then-add sequence as the scalar fallback (vectorization is
+//! across output *columns*, never across the contraction index, and no
+//! fused multiply-add is issued), so a run on an AVX2 machine and a run on
+//! a baseline x86-64 or non-x86 machine produce the same bytes. Runtime
+//! dispatch therefore needs no feature gate for correctness; the `simd`
+//! cargo feature (default on) only controls whether detection is compiled
+//! in at all.
+//!
+//! The `fast-math` cargo feature additionally enables fused multiply-add
+//! variants (single rounding per `a*b+c`, different — typically *more*
+//! accurate — bits) that are pinned by their own conformance digests in
+//! `tests/kernel_conformance.rs` rather than by equality with the scalar
+//! path.
+
+// Pointer + stride kernels necessarily carry many scalar parameters.
+#![allow(clippy::too_many_arguments)]
+use std::sync::OnceLock;
+
+/// Instruction-set tier selected at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Isa {
+    /// Portable scalar kernels (auto-vectorized by the compiler for the
+    /// build target's baseline, e.g. SSE2 on x86-64).
+    Scalar,
+    /// 4-lane `f64` AVX2 kernels, multiply-then-add only.
+    Avx2,
+    /// AVX2 plus FMA: the fused kernels become *available*; they are only
+    /// dispatched when the `fast-math` feature is also enabled.
+    Avx2Fma,
+}
+
+impl Isa {
+    /// Human-readable tier name (for the roofline bench's provenance).
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::Scalar => "scalar",
+            Isa::Avx2 => "avx2",
+            Isa::Avx2Fma => "avx2+fma",
+        }
+    }
+}
+
+/// The ISA tier the kernel layer dispatches to, detected once per process.
+pub fn active_isa() -> Isa {
+    static ISA: OnceLock<Isa> = OnceLock::new();
+    *ISA.get_or_init(detect)
+}
+
+#[cfg(all(target_arch = "x86_64", feature = "simd"))]
+fn detect() -> Isa {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        if std::arch::is_x86_feature_detected!("fma") {
+            Isa::Avx2Fma
+        } else {
+            Isa::Avx2
+        }
+    } else {
+        Isa::Scalar
+    }
+}
+
+#[cfg(not(all(target_arch = "x86_64", feature = "simd")))]
+fn detect() -> Isa {
+    Isa::Scalar
+}
+
+/// True when the dispatched kernels fuse multiply-adds (and results may
+/// therefore differ from the deterministic default). Requires both the
+/// `fast-math` feature and FMA hardware.
+pub fn fma_active() -> bool {
+    cfg!(feature = "fast-math") && active_isa() == Isa::Avx2Fma
+}
+
+#[cfg(all(target_arch = "x86_64", feature = "simd"))]
+pub use x86::*;
+
+#[cfg(all(target_arch = "x86_64", feature = "simd"))]
+mod x86 {
+    use crate::kernel::gemm::{nn_tile_scalar, tn_tile_scalar};
+    use crate::kernel::tiles::{MR, NR};
+    use core::arch::x86_64::*;
+
+    /// `acc <- acc + a*b` (two roundings) or `fma(a, b, acc)` (one), chosen
+    /// at monomorphization time so each target-feature wrapper compiles the
+    /// branch-free body it needs.
+    #[inline(always)]
+    unsafe fn mul_acc<const FMA: bool>(acc: __m256d, a: __m256d, b: __m256d) -> __m256d {
+        if FMA {
+            _mm256_fmadd_pd(a, b, acc)
+        } else {
+            _mm256_add_pd(acc, _mm256_mul_pd(a, b))
+        }
+    }
+
+    /// AVX2 NN microkernel (multiply-then-add; bit-identical to scalar).
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available and that the pointers cover
+    /// `m×k` (`a`, row stride `lda`), `k×n` (`b`, stride `ldb`) and `m×n`
+    /// (`c`, stride `ldc`) with `c` disjoint from `a`/`b`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn nn_block_avx2(
+        a: *const f64,
+        lda: usize,
+        b: *const f64,
+        ldb: usize,
+        c: *mut f64,
+        ldc: usize,
+        m: usize,
+        n: usize,
+        k: usize,
+    ) {
+        nn_block_v::<false>(a, lda, b, ldb, c, ldc, m, n, k)
+    }
+
+    /// FMA NN microkernel (`fast-math` dispatch only).
+    ///
+    /// # Safety
+    /// As [`nn_block_avx2`], plus FMA availability.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn nn_block_fma(
+        a: *const f64,
+        lda: usize,
+        b: *const f64,
+        ldb: usize,
+        c: *mut f64,
+        ldc: usize,
+        m: usize,
+        n: usize,
+        k: usize,
+    ) {
+        nn_block_v::<true>(a, lda, b, ldb, c, ldc, m, n, k)
+    }
+
+    /// Shared NN body: 4×8 register tiles (8 accumulator vectors), edges
+    /// delegated to the scalar tile (same per-element order). The `av == 0`
+    /// skip branch of the legacy kernel is preserved per `(row, l)` pair.
+    #[inline(always)]
+    unsafe fn nn_block_v<const FMA: bool>(
+        a: *const f64,
+        lda: usize,
+        b: *const f64,
+        ldb: usize,
+        c: *mut f64,
+        ldc: usize,
+        m: usize,
+        n: usize,
+        k: usize,
+    ) {
+        let m_main = m - m % MR;
+        let n_main = n - n % NR;
+        let mut i = 0;
+        while i < m_main {
+            let mut j = 0;
+            while j < n_main {
+                let cij = c.add(i * ldc + j);
+                let mut acc = [[_mm256_setzero_pd(); 2]; MR];
+                for (r, row) in acc.iter_mut().enumerate() {
+                    row[0] = _mm256_loadu_pd(cij.add(r * ldc));
+                    row[1] = _mm256_loadu_pd(cij.add(r * ldc + 4));
+                }
+                for l in 0..k {
+                    let bl = b.add(l * ldb + j);
+                    let b0 = _mm256_loadu_pd(bl);
+                    let b1 = _mm256_loadu_pd(bl.add(4));
+                    for (r, row) in acc.iter_mut().enumerate() {
+                        let av = *a.add((i + r) * lda + l);
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let avv = _mm256_set1_pd(av);
+                        row[0] = mul_acc::<FMA>(row[0], avv, b0);
+                        row[1] = mul_acc::<FMA>(row[1], avv, b1);
+                    }
+                }
+                for (r, row) in acc.iter().enumerate() {
+                    _mm256_storeu_pd(cij.add(r * ldc), row[0]);
+                    _mm256_storeu_pd(cij.add(r * ldc + 4), row[1]);
+                }
+                j += NR;
+            }
+            if j < n {
+                nn_tile_scalar(a, lda, b, ldb, c, ldc, i, j, MR, n - j, k);
+            }
+            i += MR;
+        }
+        if i < m {
+            nn_tile_scalar(a, lda, b, ldb, c, ldc, i, 0, m - i, n, k);
+        }
+    }
+
+    /// AVX2 TN microkernel (`AᵀB`; multiply-then-add, bit-identical to
+    /// scalar).
+    ///
+    /// # Safety
+    /// AVX2 available; `a` covers `k×(lda≥m)` (its columns are the logical
+    /// left rows), `b` covers `k×n` stride `ldb`, `c` covers `m×n` stride
+    /// `ldc`, `c` disjoint from `a`/`b`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn tn_block_avx2(
+        a: *const f64,
+        lda: usize,
+        b: *const f64,
+        ldb: usize,
+        c: *mut f64,
+        ldc: usize,
+        m: usize,
+        n: usize,
+        k: usize,
+    ) {
+        tn_block_v::<false>(a, lda, b, ldb, c, ldc, m, n, k)
+    }
+
+    /// FMA TN microkernel (`fast-math` dispatch only).
+    ///
+    /// # Safety
+    /// As [`tn_block_avx2`], plus FMA availability.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn tn_block_fma(
+        a: *const f64,
+        lda: usize,
+        b: *const f64,
+        ldb: usize,
+        c: *mut f64,
+        ldc: usize,
+        m: usize,
+        n: usize,
+        k: usize,
+    ) {
+        tn_block_v::<true>(a, lda, b, ldb, c, ldc, m, n, k)
+    }
+
+    /// Shared TN body: identical tiling to NN; the left value comes from
+    /// `a[l*lda + i + r]` (contiguous across the 4 tile rows) and there is
+    /// deliberately no zero-skip branch, matching the legacy kernel.
+    #[inline(always)]
+    unsafe fn tn_block_v<const FMA: bool>(
+        a: *const f64,
+        lda: usize,
+        b: *const f64,
+        ldb: usize,
+        c: *mut f64,
+        ldc: usize,
+        m: usize,
+        n: usize,
+        k: usize,
+    ) {
+        let m_main = m - m % MR;
+        let n_main = n - n % NR;
+        let mut i = 0;
+        while i < m_main {
+            let mut j = 0;
+            while j < n_main {
+                let cij = c.add(i * ldc + j);
+                let mut acc = [[_mm256_setzero_pd(); 2]; MR];
+                for (r, row) in acc.iter_mut().enumerate() {
+                    row[0] = _mm256_loadu_pd(cij.add(r * ldc));
+                    row[1] = _mm256_loadu_pd(cij.add(r * ldc + 4));
+                }
+                for l in 0..k {
+                    let al = a.add(l * lda + i);
+                    let bl = b.add(l * ldb + j);
+                    let b0 = _mm256_loadu_pd(bl);
+                    let b1 = _mm256_loadu_pd(bl.add(4));
+                    for (r, row) in acc.iter_mut().enumerate() {
+                        let avv = _mm256_set1_pd(*al.add(r));
+                        row[0] = mul_acc::<FMA>(row[0], avv, b0);
+                        row[1] = mul_acc::<FMA>(row[1], avv, b1);
+                    }
+                }
+                for (r, row) in acc.iter().enumerate() {
+                    _mm256_storeu_pd(cij.add(r * ldc), row[0]);
+                    _mm256_storeu_pd(cij.add(r * ldc + 4), row[1]);
+                }
+                j += NR;
+            }
+            if j < n {
+                tn_tile_scalar(a, lda, b, ldb, c, ldc, i, j, MR, n - j, k);
+            }
+            i += MR;
+        }
+        if i < m {
+            tn_tile_scalar(a, lda, b, ldb, c, ldc, i, 0, m - i, n, k);
+        }
+    }
+
+    /// FMA NT microkernel (`ABᵀ`, `fast-math` dispatch only): each output
+    /// element is a 4-accumulator vectorized dot product along `k` —
+    /// reassociated relative to the deterministic chunked kernel, with a
+    /// fixed lane/reduction order so results are still reproducible.
+    ///
+    /// # Safety
+    /// AVX2+FMA available; `a` covers `m×k` stride `lda`, `b` covers `n×k`
+    /// stride `ldb`, `c` covers `m×n` stride `ldc`, `c` disjoint.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn nt_block_fma(
+        a: *const f64,
+        lda: usize,
+        b: *const f64,
+        ldb: usize,
+        c: *mut f64,
+        ldc: usize,
+        m: usize,
+        n: usize,
+        k: usize,
+    ) {
+        let k_main = k - k % 16;
+        for i in 0..m {
+            let ai = a.add(i * lda);
+            for j in 0..n {
+                let bj = b.add(j * ldb);
+                let mut acc = [_mm256_setzero_pd(); 4];
+                let mut l = 0;
+                while l < k_main {
+                    for (q, accq) in acc.iter_mut().enumerate() {
+                        *accq = _mm256_fmadd_pd(
+                            _mm256_loadu_pd(ai.add(l + 4 * q)),
+                            _mm256_loadu_pd(bj.add(l + 4 * q)),
+                            *accq,
+                        );
+                    }
+                    l += 16;
+                }
+                let red =
+                    _mm256_add_pd(_mm256_add_pd(acc[0], acc[1]), _mm256_add_pd(acc[2], acc[3]));
+                let hi = _mm256_extractf128_pd(red, 1);
+                let lo = _mm256_castpd256_pd128(red);
+                let pair = _mm_add_pd(lo, hi);
+                let mut sum = _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)));
+                while l < k {
+                    sum = (*ai.add(l)).mul_add(*bj.add(l), sum);
+                    l += 1;
+                }
+                *c.add(i * ldc + j) += sum;
+            }
+        }
+    }
+}

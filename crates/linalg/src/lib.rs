@@ -12,13 +12,14 @@
 // explicit indices; iterator rewrites obscure the math.
 #![allow(clippy::needless_range_loop)]
 
-//! Matrices are dense, row-major `f64`. Sizes in EnKF local analyses are
-//! moderate (hundreds to a few thousand), so a cache-blocked serial GEMM with
-//! an optional rayon-parallel outer loop is sufficient and keeps the code
-//! auditable.
+//! Matrices are dense, row-major `f64`. All products bottom out in the
+//! [`kernel`] layer: a cache-oblivious divide-and-conquer GEMM over
+//! register-tiled SIMD microkernels, bit-identical to the original blocked
+//! loops under default features (see `kernel` for the determinism contract).
 
 pub mod chol;
 pub mod eigen;
+pub mod kernel;
 pub mod lstsq;
 pub mod matrix;
 pub mod modchol;

@@ -1,14 +1,11 @@
-//! Dense row-major matrix type and blocked matrix products.
+//! Dense row-major matrix type; products dispatch to the kernel layer.
+//!
+//! All tiling constants and parallel-dispatch heuristics live in
+//! [`crate::kernel::tiles`]; the products here are thin shape-checked
+//! wrappers over [`crate::kernel::gemm`].
 
+use crate::kernel::gemm;
 use crate::{LinalgError, Result};
-use rayon::prelude::*;
-
-/// Cache block edge for the blocked GEMM. 64 doubles = 512 B per row block,
-/// small enough that three blocks fit comfortably in L1/L2.
-const GEMM_BLOCK: usize = 64;
-
-/// Row count above which the GEMM outer loop is parallelized with rayon.
-const PAR_THRESHOLD: usize = 256;
 
 /// A dense row-major matrix of `f64`.
 ///
@@ -270,17 +267,14 @@ impl Matrix {
                 rhs: (x.len(), 1),
             });
         }
-        out.clear();
-        out.extend(
-            (0..self.nrows).map(|i| self.row(i).iter().zip(x).map(|(&a, &b)| a * b).sum::<f64>()),
-        );
+        gemm::matvec(&self.data, x, out, self.nrows, self.ncols);
         Ok(())
     }
 
-    /// Matrix product `self * other` using a cache-blocked kernel.
+    /// Matrix product `self * other` via the cache-oblivious kernel layer.
     ///
-    /// The outer row loop is parallelized with rayon once the output has more
-    /// than a few hundred rows; below that the serial kernel is faster.
+    /// The recursion forks `rayon::join` once a subproblem carries enough
+    /// flops (`kernel::tiles::PAR_FLOPS`); below that the serial path wins.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
         let mut out = Matrix::zeros(0, 0);
         self.matmul_into(other, &mut out)?;
@@ -302,18 +296,7 @@ impl Matrix {
         }
         let (m, k, n) = (self.nrows, self.ncols, other.ncols);
         out.resize(m, n);
-        if m >= PAR_THRESHOLD && m * k * n >= 1 << 22 {
-            out.data
-                .par_chunks_mut(n * GEMM_BLOCK.min(m))
-                .enumerate()
-                .for_each(|(chunk_idx, chunk)| {
-                    let i0 = chunk_idx * GEMM_BLOCK.min(m);
-                    let rows = chunk.len() / n;
-                    gemm_block(&self.data, &other.data, chunk, i0, rows, k, n);
-                });
-        } else {
-            gemm_block(&self.data, &other.data, &mut out.data, 0, m, k, n);
-        }
+        gemm::nn(&self.data, &other.data, &mut out.data, m, k, n);
         Ok(())
     }
 
@@ -326,10 +309,9 @@ impl Matrix {
 
     /// `selfᵀ * other` written into a caller-owned matrix.
     ///
-    /// Cache-blocked and parallelized over output rows behind the same
-    /// `PAR_THRESHOLD` heuristic as `matmul`. The per-element accumulation
-    /// order (ascending shared index) is independent of the chunking, so the
-    /// serial and parallel paths produce bit-identical results.
+    /// The per-element accumulation order (ascending shared index) is
+    /// independent of the kernel recursion's splits, so serial and parallel
+    /// paths produce bit-identical results.
     pub fn tr_matmul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.nrows != other.nrows {
             return Err(LinalgError::DimMismatch {
@@ -340,18 +322,7 @@ impl Matrix {
         }
         let (m, k, n) = (self.ncols, self.nrows, other.ncols);
         out.resize(m, n);
-        if m >= PAR_THRESHOLD && m * k * n >= 1 << 22 {
-            out.data
-                .par_chunks_mut(n * GEMM_BLOCK.min(m))
-                .enumerate()
-                .for_each(|(chunk_idx, chunk)| {
-                    let i0 = chunk_idx * GEMM_BLOCK.min(m);
-                    let rows = chunk.len() / n;
-                    tr_gemm_block(&self.data, &other.data, chunk, i0, rows, k, n, m);
-                });
-        } else {
-            tr_gemm_block(&self.data, &other.data, &mut out.data, 0, m, k, n, m);
-        }
+        gemm::tn(&self.data, &other.data, &mut out.data, m, k, n);
         Ok(())
     }
 
@@ -364,9 +335,9 @@ impl Matrix {
 
     /// `self * otherᵀ` written into a caller-owned matrix.
     ///
-    /// Cache-blocked over the shared (contraction) dimension and parallelized
-    /// over output rows behind the `matmul` heuristic; accumulation order per
-    /// element is deterministic regardless of thread count.
+    /// The contraction dimension is chunked (`kernel::tiles::NT_KC`) into
+    /// partial dot products exactly as the legacy kernel chunked it, so
+    /// accumulation per element is deterministic regardless of thread count.
     pub fn matmul_tr_into(&self, other: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.ncols != other.ncols {
             return Err(LinalgError::DimMismatch {
@@ -377,18 +348,7 @@ impl Matrix {
         }
         let (m, k, n) = (self.nrows, self.ncols, other.nrows);
         out.resize(m, n);
-        if m >= PAR_THRESHOLD && m * k * n >= 1 << 22 {
-            out.data
-                .par_chunks_mut(n * GEMM_BLOCK.min(m))
-                .enumerate()
-                .for_each(|(chunk_idx, chunk)| {
-                    let i0 = chunk_idx * GEMM_BLOCK.min(m);
-                    let rows = chunk.len() / n;
-                    nt_gemm_block(&self.data, &other.data, chunk, i0, rows, k, n);
-                });
-        } else {
-            nt_gemm_block(&self.data, &other.data, &mut out.data, 0, m, k, n);
-        }
+        gemm::nt(&self.data, &other.data, &mut out.data, m, k, n);
         Ok(())
     }
 
@@ -462,99 +422,6 @@ impl Matrix {
                 let avg = 0.5 * (self[(i, j)] + self[(j, i)]);
                 self[(i, j)] = avg;
                 self[(j, i)] = avg;
-            }
-        }
-    }
-}
-
-/// Blocked GEMM accumulating `out[i0..i0+rows] += a[i0..i0+rows] * b`.
-///
-/// `a` is `(>= i0+rows) x k`, `b` is `k x n`, `out` holds `rows` rows of
-/// width `n` starting at global row `i0`.
-fn gemm_block(a: &[f64], b: &[f64], out: &mut [f64], i0: usize, rows: usize, k: usize, n: usize) {
-    for jj in (0..n).step_by(GEMM_BLOCK) {
-        let jhi = (jj + GEMM_BLOCK).min(n);
-        for ll in (0..k).step_by(GEMM_BLOCK) {
-            let lhi = (ll + GEMM_BLOCK).min(k);
-            for i in 0..rows {
-                let arow = &a[(i0 + i) * k..(i0 + i) * k + k];
-                let orow = &mut out[i * n + jj..i * n + jhi];
-                for l in ll..lhi {
-                    let av = arow[l];
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let brow = &b[l * n + jj..l * n + jhi];
-                    for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o += av * bv;
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// Blocked transpose-GEMM accumulating `out[i0..i0+rows] += aᵀ[i0..] * b`.
-///
-/// `a` is `k x m` (row-major; its *columns* are the logical left-hand rows),
-/// `b` is `k x n`, `out` holds `rows` rows of width `n` covering global
-/// output rows `i0..i0+rows`. Every inner pass scans contiguous rows of `a`,
-/// `b` and `out`; there is deliberately no zero-skip branch — on dense
-/// inputs the branch is a mispredict trap that costs more than the FMA it
-/// saves. Accumulation per output element is ascending in the shared index
-/// `l` no matter how the output rows are chunked.
-#[allow(clippy::too_many_arguments)]
-fn tr_gemm_block(
-    a: &[f64],
-    b: &[f64],
-    out: &mut [f64],
-    i0: usize,
-    rows: usize,
-    k: usize,
-    n: usize,
-    m: usize,
-) {
-    for jj in (0..n).step_by(GEMM_BLOCK) {
-        let jhi = (jj + GEMM_BLOCK).min(n);
-        for ll in (0..k).step_by(GEMM_BLOCK) {
-            let lhi = (ll + GEMM_BLOCK).min(k);
-            for l in ll..lhi {
-                let arow = &a[l * m..(l + 1) * m];
-                let brow = &b[l * n + jj..l * n + jhi];
-                for i in 0..rows {
-                    let av = arow[i0 + i];
-                    let orow = &mut out[i * n + jj..i * n + jhi];
-                    for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o += av * bv;
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// Blocked NT-GEMM accumulating `out[i0..i0+rows] += a[i0..] * bᵀ`.
-///
-/// `a` is `(>= i0+rows) x k`, `b` is `n x k`, `out` holds `rows` rows of
-/// width `n` starting at global row `i0`. The contraction dimension is
-/// blocked so both row operands stay resident in cache across the `j` sweep.
-fn nt_gemm_block(
-    a: &[f64],
-    b: &[f64],
-    out: &mut [f64],
-    i0: usize,
-    rows: usize,
-    k: usize,
-    n: usize,
-) {
-    for ll in (0..k).step_by(GEMM_BLOCK) {
-        let lhi = (ll + GEMM_BLOCK).min(k);
-        for i in 0..rows {
-            let arow = &a[(i0 + i) * k + ll..(i0 + i) * k + lhi];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (j, o) in orow.iter_mut().enumerate() {
-                let brow = &b[j * k + ll..j * k + lhi];
-                *o += arow.iter().zip(brow).map(|(&a, &b)| a * b).sum::<f64>();
             }
         }
     }

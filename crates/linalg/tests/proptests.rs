@@ -1,9 +1,10 @@
 //! Property-based tests for the linear-algebra kernels.
 
-use enkf_linalg::{Cholesky, GaussianSampler, Ldlt, Matrix, ModifiedCholesky};
+use enkf_linalg::kernel::{gemm, reference};
+use enkf_linalg::{Cholesky, EigenWorkspace, GaussianSampler, Ldlt, Matrix, ModifiedCholesky};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Random well-conditioned SPD matrix: A = M Mᵀ + (n+1)·I.
 fn spd_strategy(max_n: usize) -> impl Strategy<Value = Matrix> {
@@ -25,6 +26,67 @@ fn matrix_strategy(max_n: usize) -> impl Strategy<Value = Matrix> {
         let mut gs = GaussianSampler::new();
         Matrix::from_fn(r, c, |_, _| gs.sample(&mut rng))
     })
+}
+
+/// Random matrix with a sprinkling of exact zeros (to exercise the NN
+/// kernel's pinned zero-skip branch). Dimensions may be zero.
+fn sparse_matrix(r: usize, c: usize, rng: &mut StdRng, gs: &mut GaussianSampler) -> Matrix {
+    Matrix::from_fn(r, c, |_, _| {
+        if rng.gen::<f64>() < 0.15 {
+            0.0
+        } else {
+            gs.sample(rng)
+        }
+    })
+}
+
+/// GEMM shape triples including degenerate 1×N, N×1 and fully empty
+/// operands (any of m, k, n may be 0). The output dimensions occasionally
+/// exceed `kernel::tiles::BASE_M`/`BASE_N` so the recursive split — and,
+/// with the fork threshold forced down, the actual `rayon::join` path —
+/// gets exercised too.
+fn gemm_shape() -> impl Strategy<Value = (usize, usize, usize, u64)> {
+    // Draws ≥ 34 are remapped past BASE_M/BASE_N so ~15% of cases recurse.
+    let dim = || (0usize..=39).prop_map(|d| if d >= 34 { d + 95 } else { d });
+    (dim(), 0usize..=21, dim(), any::<u64>())
+}
+
+/// Assert two equal-length f64 slices match bit-for-bit.
+fn assert_bits(new: &[f64], old: &[f64]) -> std::result::Result<(), String> {
+    prop_assert_eq!(new.len(), old.len());
+    for (i, (a, b)) in new.iter().zip(old).enumerate() {
+        prop_assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "element {} differs: {} vs {}",
+            i,
+            a,
+            b
+        );
+    }
+    Ok(())
+}
+
+/// Compare against the reference oracle: bit-for-bit under default
+/// features, tight relative tolerance when the FMA fast path is active
+/// (its exact bits are pinned separately in `kernel_conformance.rs`).
+fn assert_matches_oracle(new: &[f64], oracle: &[f64]) -> std::result::Result<(), String> {
+    if enkf_linalg::kernel::fma_active() {
+        prop_assert_eq!(new.len(), oracle.len());
+        for (i, (a, b)) in new.iter().zip(oracle).enumerate() {
+            let tol = 1e-12 * (1.0 + b.abs());
+            prop_assert!(
+                (a - b).abs() <= tol,
+                "element {} differs: {} vs {}",
+                i,
+                a,
+                b
+            );
+        }
+        Ok(())
+    } else {
+        assert_bits(new, oracle)
+    }
 }
 
 proptest! {
@@ -121,5 +183,99 @@ proptest! {
         for mean in anomalies.row_means() {
             prop_assert!(mean.abs() < 1e-10);
         }
+    }
+}
+
+// Bit-identity of the kernel layer against the pre-refactor blocked loops
+// (`kernel::reference`), across rectangular, degenerate and empty shapes,
+// and with the fork threshold forced to 1 flop so the `rayon::join`
+// recursion actually runs. Under default features every element must match
+// to the last bit; these properties are what lets the rest of the codebase
+// treat the GEMM rewrite as a pure perf change.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gemm_nn_bit_identical_to_reference((m, k, n, seed) in gemm_shape()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gs = GaussianSampler::new();
+        let a = sparse_matrix(m, k, &mut rng, &mut gs);
+        let b = sparse_matrix(k, n, &mut rng, &mut gs);
+        let mut oracle = vec![0.0; m * n];
+        reference::nn(a.as_slice(), b.as_slice(), &mut oracle, m, k, n);
+        let fast = a.matmul(&b).unwrap();
+        assert_matches_oracle(fast.as_slice(), &oracle)?;
+        // Forcing every split to fork must not change a single bit: the
+        // recursion only partitions the output, never the accumulation.
+        let mut forked = vec![0.0; m * n];
+        gemm::nn_tuned(a.as_slice(), b.as_slice(), &mut forked, m, k, n, true, 1);
+        assert_bits(&forked, fast.as_slice())?;
+    }
+
+    #[test]
+    fn gemm_tn_bit_identical_to_reference((m, k, n, seed) in gemm_shape()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gs = GaussianSampler::new();
+        let a = sparse_matrix(k, m, &mut rng, &mut gs);
+        let b = sparse_matrix(k, n, &mut rng, &mut gs);
+        let mut oracle = vec![0.0; m * n];
+        reference::tn(a.as_slice(), b.as_slice(), &mut oracle, m, k, n);
+        let fast = a.tr_matmul(&b).unwrap();
+        assert_matches_oracle(fast.as_slice(), &oracle)?;
+        let mut forked = vec![0.0; m * n];
+        gemm::tn_tuned(a.as_slice(), b.as_slice(), &mut forked, m, k, n, true, 1);
+        assert_bits(&forked, fast.as_slice())?;
+    }
+
+    #[test]
+    fn gemm_nt_bit_identical_to_reference((m, k, n, seed) in gemm_shape()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gs = GaussianSampler::new();
+        let a = sparse_matrix(m, k, &mut rng, &mut gs);
+        let b = sparse_matrix(n, k, &mut rng, &mut gs);
+        let mut oracle = vec![0.0; m * n];
+        reference::nt(a.as_slice(), b.as_slice(), &mut oracle, m, k, n);
+        let fast = a.matmul_tr(&b).unwrap();
+        assert_matches_oracle(fast.as_slice(), &oracle)?;
+        let mut forked = vec![0.0; m * n];
+        gemm::nt_tuned(a.as_slice(), b.as_slice(), &mut forked, m, k, n, true, 1);
+        assert_bits(&forked, fast.as_slice())?;
+    }
+
+    #[test]
+    fn matvec_bit_identical_to_reference(
+        m in 0usize..=40, k in 0usize..=40, seed in any::<u64>()
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gs = GaussianSampler::new();
+        let a = sparse_matrix(m, k, &mut rng, &mut gs);
+        let x: Vec<f64> = (0..k).map(|_| gs.sample(&mut rng)).collect();
+        let mut oracle = Vec::new();
+        reference::matvec(a.as_slice(), &x, &mut oracle, m, k);
+        let fast = a.matvec(&x).unwrap();
+        assert_bits(&fast, &oracle)?;
+    }
+}
+
+// The parallel-ordering Jacobi solve: forcing the fork path on a
+// single-core host must reproduce the serial-schedule bits exactly —
+// the cross-thread-count determinism claim.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn parallel_eigensolve_fork_path_is_bit_stable(
+        n in 48usize..=53, seed in any::<u64>()
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gs = GaussianSampler::new();
+        let mut a = Matrix::from_fn(n, n, |_, _| gs.sample(&mut rng));
+        a.symmetrize();
+        let mut serial = EigenWorkspace::new();
+        let mut forked = EigenWorkspace::new();
+        serial.decompose_parallel(&a).unwrap();
+        forked.decompose_parallel_forced(&a).unwrap();
+        assert_bits(serial.values(), forked.values())?;
+        assert_bits(serial.vectors().as_slice(), forked.vectors().as_slice())?;
     }
 }

@@ -284,14 +284,13 @@ impl BufferPool {
     }
 }
 
-/// Bulk little-endian byte → `f64` conversion (replaces the scalar
-/// cursor loop; allocation-free when `dst` has capacity).
+/// Bulk little-endian byte → `f64` conversion (allocation-free when
+/// `dst` has capacity). Routed through the shared `enkf-linalg` kernel
+/// layer: on little-endian targets the decode is one bulk copy instead of
+/// a per-element `chunks_exact(8)` walk. Bit-identity with the legacy
+/// walk is pinned by the `conversion_kernel_bit_identical_*` proptests.
 fn bytes_to_f64(src: &[u8], dst: &mut Vec<f64>) {
-    dst.clear();
-    dst.extend(
-        src.chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().expect("chunk is 8 bytes"))),
-    );
+    enkf_linalg::kernel::convert::le_bytes_to_f64_into(src, dst);
 }
 
 /// Small MRU cache of open member-file read handles, replacing the
@@ -509,9 +508,7 @@ impl FileStore {
         let expect = self.layout.mesh().n() * self.levels();
         assert_eq!(values.len(), expect, "member value count mismatch");
         let mut buf = self.pool.take_bytes(0);
-        for &v in values {
-            buf.extend_from_slice(&v.to_le_bytes());
-        }
+        enkf_linalg::kernel::convert::extend_f64_le(values, &mut buf);
         let result = self.swap_member_file(k, &buf, durable);
         let written = buf.len() as u64;
         self.pool.put_bytes(buf);
@@ -640,9 +637,7 @@ impl FileStore {
         assert_eq!(data.levels(), self.levels(), "level count mismatch");
         let mut buf = self.pool.take_bytes(0);
         for r in 0..data.region().height() {
-            for &v in data.row(r) {
-                buf.extend_from_slice(&v.to_le_bytes());
-            }
+            enkf_linalg::kernel::convert::extend_f64_le(data.row(r), &mut buf);
         }
         let result = self.flush_region_bytes(k, &data.region(), &buf);
         self.pool.put_bytes(buf);
@@ -665,9 +660,7 @@ impl FileStore {
             "value count mismatch"
         );
         let mut buf = self.pool.take_bytes(0);
-        for &v in values {
-            buf.extend_from_slice(&v.to_le_bytes());
-        }
+        enkf_linalg::kernel::convert::extend_f64_le(values, &mut buf);
         let result = self.flush_region_bytes(k, region, &buf);
         self.pool.put_bytes(buf);
         result

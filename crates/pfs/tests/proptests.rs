@@ -177,4 +177,53 @@ proptest! {
         prop_assert_eq!(a, b);
         prop_assert_eq!(store.read_region(1, &inner).unwrap(), view);
     }
+
+    #[test]
+    fn conversion_kernel_bit_identical_decode(bits in proptest::collection::vec(any::<u64>(), 0..600)) {
+        // The kernel-layer bulk decode must reproduce the legacy
+        // chunks_exact(8) walk byte-for-byte — including NaN payloads,
+        // infinities, subnormals and signed zeros (arbitrary u64 patterns).
+        let mut bytes = Vec::with_capacity(bits.len() * 8);
+        for b in &bits {
+            bytes.extend_from_slice(&b.to_le_bytes());
+        }
+        let legacy: Vec<f64> = bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let mut kernel = Vec::new();
+        enkf_linalg::kernel::convert::le_bytes_to_f64_into(&bytes, &mut kernel);
+        prop_assert_eq!(legacy.len(), kernel.len());
+        for (l, k) in legacy.iter().zip(&kernel) {
+            prop_assert_eq!(l.to_bits(), k.to_bits());
+        }
+    }
+
+    #[test]
+    fn conversion_kernel_bit_identical_encode(bits in proptest::collection::vec(any::<u64>(), 0..600)) {
+        // Encode direction: kernel bulk append vs per-value to_le_bytes,
+        // both on top of a non-empty prefix (the write paths emit headers
+        // into the same buffer first).
+        let values: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let mut legacy: Vec<u8> = vec![0xAB, 0xCD];
+        for v in &values {
+            legacy.extend_from_slice(&v.to_le_bytes());
+        }
+        let mut kernel: Vec<u8> = vec![0xAB, 0xCD];
+        enkf_linalg::kernel::convert::extend_f64_le(&values, &mut kernel);
+        prop_assert_eq!(legacy, kernel);
+    }
+
+    #[test]
+    fn conversion_roundtrip_preserves_bits(bits in proptest::collection::vec(any::<u64>(), 0..300)) {
+        let values: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let mut bytes = Vec::new();
+        enkf_linalg::kernel::convert::extend_f64_le(&values, &mut bytes);
+        let mut back = Vec::new();
+        enkf_linalg::kernel::convert::le_bytes_to_f64_into(&bytes, &mut back);
+        prop_assert_eq!(values.len(), back.len());
+        for (v, b) in values.iter().zip(&back) {
+            prop_assert_eq!(v.to_bits(), b.to_bits());
+        }
+    }
 }

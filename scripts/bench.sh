@@ -97,3 +97,81 @@ FOOTER
 } >"$out6"
 
 echo "wrote $out6"
+
+out7=BENCH_PR7.json
+
+echo "==> roofline (kernel-layer GEMM/eigensolve/conversion roofline)"
+cargo run -q --release -p enkf-bench --bin roofline | tee "$tmp/roof.txt"
+
+# roofline prints one machine-readable line per measurement:
+#   ROOF kind=gemm flavour=nn n=128 legacy_us=... kernel_us=... \
+#        legacy_gflops=... kernel_gflops=... speedup=...
+#   ROOF kind=matvec|convert|eigen|letkf|isa ...
+awk '
+  $1 == "ROOF" {
+    delete v
+    for (i = 2; i <= NF; i++) { split($i, kv, "="); v[kv[1]] = kv[2] }
+    if (v["kind"] == "gemm")
+      printf "    { \"flavour\": \"%s\", \"n\": %s, \"legacy_gflops\": %s, \"kernel_gflops\": %s, \"speedup\": %s },\n",
+        v["flavour"], v["n"], v["legacy_gflops"], v["kernel_gflops"], v["speedup"]
+  }
+' "$tmp/roof.txt" >"$tmp/roof_gemm.txt"
+sed -i '$ s/ },$/ }/' "$tmp/roof_gemm.txt"
+
+awk '
+  $1 == "ROOF" {
+    delete v
+    for (i = 2; i <= NF; i++) { split($i, kv, "="); v[kv[1]] = kv[2] }
+    if (v["kind"] == "eigen")
+      printf "    { \"n\": %s, \"serial_us\": %s, \"parallel_us\": %s },\n",
+        v["n"], v["serial_us"], v["parallel_us"]
+  }
+' "$tmp/roof.txt" >"$tmp/roof_eigen.txt"
+sed -i '$ s/ },$/ }/' "$tmp/roof_eigen.txt"
+
+roof_kv() { # roof_kv <kind> <key> [extra filter key=value]
+  local f="${3:-}"
+  awk -v kind="$1" -v key="$2" -v f="$f" '
+    $1 == "ROOF" {
+      delete v
+      for (i = 2; i <= NF; i++) { split($i, kv, "="); v[kv[1]] = kv[2] }
+      if (v["kind"] != kind) next
+      if (f != "") { split(f, fkv, "="); if (v[fkv[1]] != fkv[2]) next }
+      print v[key]; exit
+    }' "$tmp/roof.txt"
+}
+
+isa=$(roof_kv isa name)
+fma=$(roof_kv isa fma)
+threads=$(roof_kv isa threads)
+letkf2=$(roof_kv letkf time_us case=mesh32x32_stride2)
+letkf4=$(roof_kv letkf time_us case=mesh32x32_stride4)
+mv_speed=$(roof_kv matvec speedup)
+cv_gbps=$(roof_kv convert kernel_gbps)
+
+{
+  cat <<HEADER
+{
+  "benchmark": "PR7: kernel layer — cache-oblivious GEMM, SIMD microkernels, parallel-ordering eigensolve",
+  "isa": "$isa",
+  "fma_active": $fma,
+  "threads": $threads,
+  "letkf_pointwise_us": { "mesh32x32_stride2": $letkf2, "mesh32x32_stride4": $letkf4 },
+  "letkf_pointwise_baseline_us": { "mesh32x32_stride2": 10368.689, "source": "BENCH_PR2.json (after)" },
+  "matvec_speedup": $mv_speed,
+  "convert_kernel_gbps": $cv_gbps,
+  "gemm_roofline": [
+HEADER
+  cat "$tmp/roof_gemm.txt"
+  cat <<'MID'
+  ],
+  "eigensolve_us": [
+MID
+  cat "$tmp/roof_eigen.txt"
+  cat <<'FOOTER'
+  ]
+}
+FOOTER
+} >"$out7"
+
+echo "wrote $out7"

@@ -26,6 +26,11 @@ cargo test -q --test scheduler_conformance
 echo "==> allocation regression: steady-state data plane is alloc-free (release)"
 cargo test -q --release --test dataplane_alloc_free
 
+echo "==> kernel conformance matrix: default / fast-math / no-SIMD features"
+cargo test -q -p enkf-linalg
+cargo test -q -p enkf-linalg --features fast-math
+cargo test -q -p enkf-linalg --no-default-features
+
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
 

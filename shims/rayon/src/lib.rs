@@ -8,16 +8,55 @@
 //! `std::thread::available_parallelism`), preserving input order on collect.
 
 use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+
+/// Hardware thread count, detected once. `available_parallelism` reads
+/// cgroup limits on Linux (which allocates); hot allocation-free paths call
+/// [`current_num_threads`] per operation, so the probe must be cached.
+fn hw_threads() -> usize {
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
 
 fn workers(len: usize) -> usize {
-    let hw = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1);
-    hw.min(len).max(1)
+    hw_threads().min(len).max(1)
 }
 
 pub mod prelude {
     pub use crate::{ParallelIterator, ParallelSliceExt};
+}
+
+/// Run two closures, potentially in parallel, and return both results —
+/// rayon's fork/join primitive, here backed by one scoped thread for the
+/// second closure while the first runs on the caller's thread.
+///
+/// Unlike rayon there is no work-stealing pool, so each `join` pays a real
+/// thread spawn; callers (the cache-oblivious GEMM recursion) are expected
+/// to gate `join` on a work threshold and fall back to sequential calls for
+/// small subproblems.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon-shim join worker panicked"))
+    })
+}
+
+/// Number of worker threads a parallel construct may use (the shim's
+/// equivalent of `current_num_threads`). Allocation-free after the first
+/// call.
+pub fn current_num_threads() -> usize {
+    hw_threads()
 }
 
 /// Entry points on slices, mirroring rayon's `par_iter`/`par_chunks_mut`.
