@@ -1,0 +1,214 @@
+//! The non-sequential (batched) analysis of the distributed-array D-EnKF.
+//!
+//! The localized analyses (`LocalAnalysis`) assimilate observations
+//! point-locally; the batched update assimilates the **whole** observation
+//! network in one covariance-form step (the non-sequential scheme of
+//! arXiv 2311.12909):
+//!
+//! ```text
+//! S  = H U                       (m × N observed anomalies)
+//! D  = Yˢ − H Xᵇ                 (m × N perturbed innovations)
+//! C  = S Sᵀ/(N−1) + R            (m × m innovation covariance)
+//! T  = Sᵀ C⁻¹ D / (N−1)          (N × N ensemble transform)
+//! Xᵃ = Xᵇ + U T
+//! ```
+//!
+//! `H` never materializes (point selection), and the cross-covariance
+//! `B Hᵀ = U Sᵀ/(N−1)` is applied matrix-free through the kernel-layer
+//! GEMMs — the state dimension only ever appears in `U T`, whose rows are
+//! independent. That row independence is what the distributed executor
+//! exploits: every rank owns a contiguous shard of state rows, builds the
+//! same global `T` from exchanged observation-space blocks, and applies
+//! `U_shard T` locally. Because the kernel GEMM accumulates over `k` in a
+//! fixed order regardless of output shape, a shard's rows are
+//! **bit-identical** to the same rows of the serial product — shard-count
+//! invariance is exact, not approximate.
+//!
+//! The `C⁻¹` application is selectable: a dense Cholesky factorization of
+//! `C`, or the inversion-free iterative Sherman-Morrison scheme
+//! ([`enkf_linalg::ShermanMorrisonWorkspace`], arXiv 1302.3876) that never
+//! forms `C` at all. Cross-kernel equivalence is pinned by the proptests in
+//! `tests/cross_variant_equivalence.rs`.
+
+use crate::{Ensemble, Observations, Result};
+use enkf_linalg::{Cholesky, Matrix, ShermanMorrisonWorkspace};
+
+/// Which kernel applies `C⁻¹` in the batched update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BatchedKernel {
+    /// Dense Cholesky factorization of the assembled `m × m` innovation
+    /// covariance — `O(m³)` but cubically stable.
+    #[default]
+    Cholesky,
+    /// Iterative Sherman-Morrison rank-1 folding (arXiv 1302.3876):
+    /// `O(m N (N + n_rhs))`, never materializes `C`.
+    ShermanMorrison,
+}
+
+/// Compute the batched ensemble transform `T = Sᵀ C⁻¹ D / (N−1)` from the
+/// observed anomalies `S` (`m × N`), the perturbed innovations `D`
+/// (`m × N`) and the data-error variances `r` (diagonal of `R`, length
+/// `m`), applying `C⁻¹ = (S Sᵀ/(N−1) + diag(r))⁻¹` with the selected
+/// kernel.
+///
+/// Every distributed rank calls this on the identically-assembled global
+/// `S`/`D`, so the returned `T` is bitwise rank-independent.
+pub fn batched_transform(
+    s: &Matrix,
+    d: &Matrix,
+    r: &[f64],
+    kernel: BatchedKernel,
+) -> Result<Matrix> {
+    let m = s.nrows();
+    let n = s.ncols();
+    if d.nrows() != m || r.len() != m {
+        return Err(crate::EnkfError::GeometryMismatch(format!(
+            "batched transform: S is {m}×{n}, D is {}×{}, |r| = {}",
+            d.nrows(),
+            d.ncols(),
+            r.len()
+        )));
+    }
+    if n < 2 {
+        return Err(crate::EnkfError::GeometryMismatch(
+            "batched transform needs at least 2 members".into(),
+        ));
+    }
+    let denom = (n - 1) as f64;
+    if m == 0 {
+        // Nothing observed: the transform is zero (Xᵃ = Xᵇ).
+        return Ok(Matrix::zeros(n, d.ncols()));
+    }
+    // V = S / √(N−1), so C = V Vᵀ + diag(r).
+    let v = s.scale(1.0 / denom.sqrt());
+    let w = match kernel {
+        BatchedKernel::Cholesky => {
+            let mut c = v.matmul_tr(&v)?;
+            for (i, &ri) in r.iter().enumerate() {
+                c[(i, i)] += ri;
+            }
+            Cholesky::factor(&c)?.solve(d)?
+        }
+        BatchedKernel::ShermanMorrison => ShermanMorrisonWorkspace::new().solve(r, &v, d)?,
+    };
+    Ok(s.tr_matmul(&w)?.scale(1.0 / denom))
+}
+
+/// The serial reference of the batched update: assimilate the full
+/// observation set against the full-state ensemble in one non-sequential
+/// step. No localization is applied — the batched scheme trades the
+/// localized estimator for the whole-network sample covariance, which is
+/// well-posed when the ensemble is large relative to the state (the
+/// regime the cross-variant tolerance test pins) and regularized by `R`
+/// otherwise.
+pub fn serial_denkf(
+    ensemble: &Ensemble,
+    observations: &Observations,
+    kernel: BatchedKernel,
+) -> Result<Ensemble> {
+    let xb = ensemble.states();
+    if observations.perturbed().members() != ensemble.size() {
+        return Err(crate::EnkfError::GeometryMismatch(
+            "perturbed-observation member count differs from ensemble size".into(),
+        ));
+    }
+    // S = H Xᵇ − mean(H Xᵇ): selecting rows commutes with row-mean
+    // subtraction, so this equals H U without touching state space.
+    let mut s = observations.operator().apply_ensemble(xb);
+    let hx = s.clone();
+    let means = s.row_means();
+    s.subtract_row_vector(&means);
+    // D = Yˢ − H Xᵇ.
+    let mut d = observations.perturbed_matrix();
+    d.axpy(-1.0, &hx)?;
+    let t = batched_transform(&s, &d, observations.error_var(), kernel)?;
+    // Xᵃ = Xᵇ + U T.
+    let mut u = xb.clone();
+    let state_means = u.row_means();
+    u.subtract_row_vector(&state_means);
+    let mut xa = xb.clone();
+    xa.axpy(1.0, &u.matmul(&t)?)?;
+    Ok(Ensemble::new(ensemble.mesh(), xa))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ObservationOperator, PerturbedObservations};
+    use enkf_grid::{Mesh, ObservationNetwork};
+    use enkf_linalg::GaussianSampler;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn scenario(mesh: Mesh, members: usize, stride: usize, seed: u64) -> (Ensemble, Observations) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gs = GaussianSampler::new();
+        let states = Matrix::from_fn(mesh.n(), members, |_, _| gs.sample(&mut rng));
+        let ensemble = Ensemble::new(mesh, states);
+        let net = ObservationNetwork::uniform(mesh, stride);
+        let op = ObservationOperator::new(net);
+        let m = op.len();
+        let values: Vec<f64> = (0..m).map(|k| (k as f64 * 0.37).sin()).collect();
+        let obs = Observations::new(
+            op,
+            values,
+            vec![0.09; m],
+            PerturbedObservations::new(seed ^ 0x5A5A, members),
+        );
+        (ensemble, obs)
+    }
+
+    #[test]
+    fn kernels_agree_on_the_transform() {
+        let mesh = Mesh::new(8, 6);
+        let (ensemble, obs) = scenario(mesh, 6, 2, 3);
+        let a = serial_denkf(&ensemble, &obs, BatchedKernel::Cholesky).unwrap();
+        let b = serial_denkf(&ensemble, &obs, BatchedKernel::ShermanMorrison).unwrap();
+        assert!(
+            a.states().approx_eq(b.states(), 1e-9),
+            "Cholesky and Sherman-Morrison batched updates diverge"
+        );
+    }
+
+    #[test]
+    fn update_moves_toward_observations() {
+        // The analysis mean at observed points must be closer to the
+        // observed values than the background mean was.
+        let mesh = Mesh::new(10, 8);
+        let (ensemble, obs) = scenario(mesh, 12, 2, 9);
+        let xa = serial_denkf(&ensemble, &obs, BatchedKernel::Cholesky).unwrap();
+        let before = obs.operator().apply(&ensemble.mean());
+        let after = obs.operator().apply(&xa.mean());
+        let err = |v: &[f64]| -> f64 {
+            v.iter()
+                .zip(obs.values())
+                .map(|(a, y)| (a - y).powi(2))
+                .sum()
+        };
+        assert!(
+            err(&after) < err(&before),
+            "batched update must reduce observed-space error"
+        );
+    }
+
+    #[test]
+    fn empty_network_is_identity() {
+        let mesh = Mesh::new(4, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut gs = GaussianSampler::new();
+        let states = Matrix::from_fn(mesh.n(), 4, |_, _| gs.sample(&mut rng));
+        let ensemble = Ensemble::new(mesh, states);
+        let op = ObservationOperator::new(ObservationNetwork::from_points(mesh, vec![]));
+        let obs = Observations::new(op, vec![], vec![], PerturbedObservations::new(0, 4));
+        let xa = serial_denkf(&ensemble, &obs, BatchedKernel::ShermanMorrison).unwrap();
+        assert_eq!(xa.states().as_slice(), ensemble.states().as_slice());
+    }
+
+    #[test]
+    fn member_count_mismatch_is_rejected() {
+        let mesh = Mesh::new(6, 4);
+        let (ensemble, obs) = scenario(mesh, 5, 2, 4);
+        let wrong = obs.with_members(3);
+        assert!(serial_denkf(&ensemble, &wrong, BatchedKernel::Cholesky).is_err());
+    }
+}

@@ -21,6 +21,7 @@
 //!   is validated against.
 
 pub mod analysis;
+pub mod batched;
 pub mod ensemble;
 pub mod inflation;
 pub mod letkf;
@@ -29,6 +30,7 @@ pub mod observation;
 pub mod serial;
 
 pub use analysis::GlobalAnalysis;
+pub use batched::{batched_transform, serial_denkf, BatchedKernel};
 pub use ensemble::Ensemble;
 pub use inflation::{inflate_ensemble, inflated, mean_variance};
 pub use letkf::{serial_letkf, serial_letkf_decomposed, LetkfAnalysis, LetkfWorkspace};

@@ -76,6 +76,13 @@ pub enum SubstrateError {
         /// Seconds waited before giving up.
         waited: f64,
     },
+    /// Every peer that could have sent to this rank has exited, so the
+    /// blocked receive can never complete — the typed alternative to the
+    /// "all senders hung up" channel panic.
+    PeerExited {
+        /// The rank whose receive was orphaned.
+        rank: usize,
+    },
     /// A rank was crashed by the fault plan at the given stage.
     RankCrashed {
         /// The crashed rank.
@@ -116,6 +123,9 @@ impl std::fmt::Display for SubstrateError {
             ),
             SubstrateError::RecvTimeout { rank, waited } => {
                 write!(f, "rank {rank} receive timed out after {waited} s")
+            }
+            SubstrateError::PeerExited { rank } => {
+                write!(f, "rank {rank} receive orphaned: all peers have exited")
             }
             SubstrateError::RankCrashed { rank, stage } => {
                 write!(f, "rank {rank} crashed at stage {stage}")
@@ -167,5 +177,8 @@ mod tests {
         assert!(e.to_string().contains("rank 2"));
         let e = SubstrateError::RankCrashed { rank: 9, stage: 1 };
         assert!(e.to_string().contains("stage 1"));
+        let e = SubstrateError::PeerExited { rank: 3 };
+        assert!(e.to_string().contains("rank 3"));
+        assert!(e.to_string().contains("exited"));
     }
 }

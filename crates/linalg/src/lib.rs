@@ -25,6 +25,7 @@ pub mod matrix;
 pub mod modchol;
 pub mod qr;
 pub mod rng;
+pub mod sherman;
 
 pub use chol::{CholWorkspace, Cholesky, Ldlt};
 pub use eigen::{EigenWorkspace, SymEigen};
@@ -33,6 +34,7 @@ pub use matrix::Matrix;
 pub use modchol::{modified_cholesky_inverse, ModifiedCholesky};
 pub use qr::{qr_least_squares, Qr};
 pub use rng::GaussianSampler;
+pub use sherman::ShermanMorrisonWorkspace;
 
 /// Errors produced by factorizations and shape-checked operations.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -75,13 +75,20 @@ impl<M: Send> RankCtx<M> {
     /// Receive the next message from any source (blocking). Messages
     /// previously stashed by a non-matching [`RankCtx::recv_match`] are
     /// delivered first, in arrival order.
-    pub fn recv(&mut self) -> Envelope<M> {
+    ///
+    /// When every peer that could still send has exited (all send
+    /// endpoints dropped and the inbox is drained), the blocked receive
+    /// can never complete: this surfaces as a typed
+    /// [`SubstrateError::PeerExited`] — the same treatment
+    /// [`RankCtx::recv_timeout`] gives silent peers — instead of a channel
+    /// panic, so fault-tolerant executors can tear down cleanly.
+    pub fn recv(&mut self) -> Result<Envelope<M>, SubstrateError> {
         if let Some(env) = self.stash.pop_front() {
-            return env;
+            return Ok(env);
         }
         self.inbox
             .recv()
-            .expect("all senders hung up while receiving")
+            .map_err(|_| SubstrateError::PeerExited { rank: self.rank })
     }
 
     /// Like [`RankCtx::recv`], but give up after `timeout` seconds with a
@@ -142,21 +149,25 @@ impl<M: Send> RankCtx<M> {
 
     /// Receive the next message matching `(from, tag)`; non-matching
     /// messages are stashed for later `recv`/`recv_match` calls.
-    pub fn recv_match(&mut self, from: usize, tag: u64) -> M {
+    ///
+    /// Like [`RankCtx::recv`], a receive that can never complete because
+    /// every remaining sender has exited returns a typed
+    /// [`SubstrateError::PeerExited`] instead of panicking.
+    pub fn recv_match(&mut self, from: usize, tag: u64) -> Result<M, SubstrateError> {
         if let Some(pos) = self
             .stash
             .iter()
             .position(|e| e.from == from && e.tag == tag)
         {
-            return self.stash.remove(pos).expect("position is valid").payload;
+            return Ok(self.stash.remove(pos).expect("position is valid").payload);
         }
         loop {
             let env = self
                 .inbox
                 .recv()
-                .expect("all senders hung up while matching");
+                .map_err(|_| SubstrateError::PeerExited { rank: self.rank })?;
             if env.from == from && env.tag == tag {
-                return env.payload;
+                return Ok(env.payload);
             }
             self.stash.push_back(env);
         }
@@ -176,6 +187,11 @@ impl<M: Send> RankCtx<M> {
 impl<M: Send + Clone> RankCtx<M> {
     /// Broadcast from `root` to all ranks (including delivering to self via
     /// the return value). Internally p2p fan-out from the root.
+    ///
+    /// Collectives assume every participant is alive for their duration
+    /// (they have no fault protocol), so a peer exiting mid-collective is
+    /// a programming error and panics; fault-tolerant paths use the p2p
+    /// `recv`/`recv_timeout` primitives and their typed errors instead.
     pub fn broadcast(&mut self, root: usize, tag: u64, payload: Option<M>) -> M {
         if self.rank == root {
             let value = payload.expect("root must supply the broadcast payload");
@@ -187,6 +203,7 @@ impl<M: Send + Clone> RankCtx<M> {
             value
         } else {
             self.recv_match(root, tag)
+                .expect("peer exited during broadcast")
         }
     }
 
@@ -197,7 +214,7 @@ impl<M: Send + Clone> RankCtx<M> {
             let mut out: Vec<Option<M>> = (0..self.size).map(|_| None).collect();
             out[root] = Some(payload);
             for _ in 0..self.size - 1 {
-                let env = self.recv();
+                let env = self.recv().expect("peer exited during gather");
                 assert_eq!(env.tag, tag, "unexpected tag during gather");
                 assert!(
                     out[env.from].replace(env.payload).is_none(),
@@ -249,6 +266,7 @@ impl<M: Send + Clone> RankCtx<M> {
             mine.expect("root's own payload present")
         } else {
             self.recv_match(root, tag)
+                .expect("peer exited during scatter")
         }
     }
 
@@ -298,7 +316,15 @@ impl Cluster {
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(size);
             for (rank, inbox) in receivers.into_iter().enumerate() {
-                let peers = senders.clone();
+                let mut peers = senders.clone();
+                // A rank must not hold a sender to itself: that clone would
+                // keep its own inbox "connected" forever, so a receive
+                // orphaned by every peer exiting could never observe the
+                // disconnect that [`RankCtx::recv`] turns into the typed
+                // `PeerExited`. Self-sends become silent drops (no executor
+                // sends to itself; collectives route around self).
+                let (dead_tx, _dead_rx) = unbounded();
+                peers[rank] = dead_tx;
                 handles.push(scope.spawn(move || {
                     body(RankCtx {
                         rank,
@@ -348,7 +374,7 @@ mod tests {
             let next = (ctx.rank() + 1) % ctx.size();
             let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
             ctx.send(next, 1, ctx.rank() as u64);
-            ctx.recv_match(prev, 1)
+            ctx.recv_match(prev, 1).unwrap()
         });
         assert_eq!(results, vec![3, 0, 1, 2]);
     }
@@ -362,8 +388,8 @@ mod tests {
                 (0, 0)
             } else {
                 // Ask for tag 8 first even though 7 likely arrives first.
-                let b = ctx.recv_match(0, 8);
-                let a = ctx.recv_match(0, 7);
+                let b = ctx.recv_match(0, 8).unwrap();
+                let a = ctx.recv_match(0, 7).unwrap();
                 (a, b)
             }
         });
@@ -418,7 +444,7 @@ mod tests {
                 }
                 (Arc::as_ptr(&slab) as usize, slab[0])
             } else {
-                let view = ctx.recv_match(0, 1);
+                let view = ctx.recv_match(0, 1).unwrap();
                 (Arc::as_ptr(&view) as usize, view[0])
             }
         });
@@ -437,7 +463,7 @@ mod tests {
             match ctx.rank() {
                 0 => {
                     // Wait until rank 1 is certainly gone.
-                    let v = ctx.recv_match(2, 9);
+                    let v = ctx.recv_match(2, 9).unwrap();
                     ctx.send(1, 1, 42);
                     v
                 }
@@ -449,6 +475,43 @@ mod tests {
             }
         });
         assert_eq!(results[0], 7);
+    }
+
+    #[test]
+    fn recv_after_all_peers_exit_is_typed_peer_exited() {
+        // Rank 0 exits without sending; rank 1's blocked receive must
+        // surface the typed error rather than panicking on the hung-up
+        // channel.
+        let results: Vec<bool> = Cluster::run(2, |mut ctx: RankCtx<u64>| match ctx.rank() {
+            0 => true,
+            _ => matches!(ctx.recv(), Err(SubstrateError::PeerExited { rank: 1 })),
+        });
+        assert!(results[1], "orphaned recv must be PeerExited {{ rank: 1 }}");
+    }
+
+    #[test]
+    fn recv_match_after_all_peers_exit_is_typed_peer_exited() {
+        // Same guarantee for the matching receive: buffered non-matching
+        // messages are delivered/stashed first, then the disconnect is
+        // surfaced as the typed error.
+        let results: Vec<bool> = Cluster::run(2, |mut ctx: RankCtx<u64>| match ctx.rank() {
+            0 => {
+                ctx.send(1, 5, 99); // wrong tag: stashed, not matched
+                true
+            }
+            _ => {
+                let orphaned = matches!(
+                    ctx.recv_match(0, 7),
+                    Err(SubstrateError::PeerExited { rank: 1 })
+                );
+                // The non-matching message is still retrievable afterwards.
+                orphaned && ctx.recv_match(0, 5).unwrap() == 99
+            }
+        });
+        assert!(
+            results[1],
+            "orphaned recv_match must be typed, stash intact"
+        );
     }
 
     #[test]
@@ -483,7 +546,7 @@ mod tests {
                 }
             } else {
                 let rank = ctx.rank();
-                tracer.wait(None, || ctx.recv_match(0, 0));
+                tracer.wait(None, || ctx.recv_match(0, 0).unwrap());
                 let _ = rank;
             }
             ctx.rank()

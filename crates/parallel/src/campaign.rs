@@ -21,7 +21,7 @@
 
 use crate::exec::setup::AssimilationSetup;
 use crate::report::ExecutionReport;
-use crate::{LEnkf, PEnkf, SEnkf};
+use crate::{DEnkf, LEnkf, PEnkf, SEnkf};
 use enkf_ckpt::{fnv64, CampaignCheckpoint, CheckpointStore, CkptError};
 use enkf_core::{inflated, EnkfError, Ensemble, LocalAnalysis, Result as CoreResult};
 use enkf_data::{write_ensemble, CycleConfig, CycleState, CycleStats, CycledExperiment};
@@ -52,6 +52,14 @@ pub enum CampaignExecutor {
     },
     /// The paper's co-designed variant (Figs. 6–8).
     SEnkf(Params),
+    /// The distributed-array non-sequential variant: `shards` state shards,
+    /// one batched analysis with a selectable `C⁻¹` kernel.
+    DEnkf {
+        /// State shards (= ranks).
+        shards: usize,
+        /// Kernel applying `C⁻¹` in the batched transform.
+        kernel: enkf_core::BatchedKernel,
+    },
 }
 
 impl CampaignExecutor {
@@ -63,6 +71,7 @@ impl CampaignExecutor {
                 nsdx * nsdy
             }
             CampaignExecutor::SEnkf(p) => p.c2() + p.ncg * p.nsdy,
+            CampaignExecutor::DEnkf { shards, .. } => shards,
         }
     }
 
@@ -75,6 +84,9 @@ impl CampaignExecutor {
             CampaignExecutor::LEnkf { nsdx, nsdy } => LEnkf { nsdx, nsdy }.run_faulted(setup, cfg),
             CampaignExecutor::PEnkf { nsdx, nsdy } => PEnkf { nsdx, nsdy }.run_faulted(setup, cfg),
             CampaignExecutor::SEnkf(p) => SEnkf::new(p).run_faulted(setup, cfg),
+            CampaignExecutor::DEnkf { shards, kernel } => {
+                DEnkf { shards, kernel }.run_faulted(setup, cfg)
+            }
         }
     }
 }

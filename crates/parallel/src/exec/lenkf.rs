@@ -150,7 +150,10 @@ impl LEnkf {
                                         Err(e) => return Err(e.into()),
                                     }
                                 } else {
-                                    ctx.recv()
+                                    match ctx.recv() {
+                                        Ok(env) => env,
+                                        Err(e) => return Err(e.into()),
+                                    }
                                 };
                                 match envelope.payload {
                                     Msg::Blocks {

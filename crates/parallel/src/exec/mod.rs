@@ -1,5 +1,6 @@
-//! Real (threaded) executors for the three parallel EnKF variants.
+//! Real (threaded) executors for the four parallel EnKF variants.
 
+pub mod denkf;
 pub mod lenkf;
 pub mod penkf;
 pub mod senkf;

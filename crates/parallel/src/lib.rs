@@ -1,4 +1,4 @@
-//! The parallel EnKF implementations: L-EnKF, P-EnKF and S-EnKF.
+//! The parallel EnKF implementations: L-EnKF, P-EnKF, S-EnKF and D-EnKF.
 //!
 //! Every variant exists in two interchangeable forms that share one
 //! algorithmic description (the co-design described in DESIGN.md):
@@ -28,6 +28,12 @@
 //!   multi-stage layered analysis overlapping I/O and communication with
 //!   computation via helper threads (Fig. 8), parameters chosen by the
 //!   auto-tuner (`enkf_tuning`).
+//! * **D-EnKF** (`DEnkf`) — distributed-array non-sequential executor:
+//!   every rank owns one full-width bar of the state, ranks all-to-all
+//!   exchange observation-space blocks, and the whole network is
+//!   assimilated in one batched covariance-form update whose `C⁻¹` kernel
+//!   is selectable (dense Cholesky or the iterative Sherman-Morrison of
+//!   arXiv 1302.3876).
 
 pub mod campaign;
 pub mod exec;
@@ -38,12 +44,14 @@ pub use campaign::{
     run_campaign, run_campaign_ctx, BackoffClock, CampaignConfig, CampaignCtx, CampaignError,
     CampaignExecutor, CampaignReport, RecoveryEvent,
 };
+pub use exec::denkf::DEnkf;
 pub use exec::lenkf::LEnkf;
 pub use exec::penkf::PEnkf;
 pub use exec::senkf::SEnkf;
 pub use exec::setup::AssimilationSetup;
 pub use exec::writeback::parallel_write_back;
 pub use model::campaign::{model_campaign, CampaignModelOutcome, CampaignModelPlan, ModelVariant};
+pub use model::denkf::{model_denkf, model_denkf_faulted, model_denkf_traced};
 pub use model::penkf::{model_penkf, model_penkf_faulted, model_penkf_traced};
 pub use model::senkf::{
     model_senkf, model_senkf_faulted, model_senkf_faulted_opts, model_senkf_opts,

@@ -44,12 +44,17 @@ pub enum ModelVariant {
     },
     /// The co-designed variant.
     SEnkf(Params),
+    /// The distributed-array non-sequential executor.
+    DEnkf {
+        /// State shards (= ranks).
+        shards: usize,
+    },
 }
 
 impl ModelVariant {
     fn layers(&self) -> usize {
         match *self {
-            ModelVariant::PEnkf { .. } => 1,
+            ModelVariant::PEnkf { .. } | ModelVariant::DEnkf { .. } => 1,
             ModelVariant::SEnkf(p) => p.layers,
         }
     }
@@ -113,6 +118,9 @@ pub fn model_campaign(
         ModelVariant::PEnkf { nsdx, nsdy } => model_penkf_faulted(cfg, nsdx, nsdy, &cycle_fcfg)?,
         ModelVariant::SEnkf(p) => {
             model_senkf_faulted_opts(cfg, p, SEnkfModelOptions::default(), &cycle_fcfg)?
+        }
+        ModelVariant::DEnkf { shards } => {
+            super::denkf::model_denkf_faulted(cfg, shards, &cycle_fcfg)?
         }
     };
 

@@ -1,6 +1,7 @@
 //! Modeled (discrete-event) executors for paper-scale experiments.
 
 pub mod campaign;
+pub mod denkf;
 pub mod penkf;
 pub mod reading;
 pub mod senkf;
@@ -22,6 +23,11 @@ pub struct ModelConfig {
     pub net: NetParams,
     /// Local-analysis cost per grid point, seconds (`c` in Table 1).
     pub compute_cost_per_point: f64,
+    /// Observation network stride (every `obs_stride`-th point in each
+    /// direction is observed — `ScenarioBuilder`'s uniform network). The
+    /// batched D-EnKF model needs it to recompute each shard's observed
+    /// row count, which sizes the exchanged observation blocks.
+    pub obs_stride: usize,
 }
 
 impl ModelConfig {
@@ -37,6 +43,7 @@ impl ModelConfig {
                 beta: machine.b,
             },
             compute_cost_per_point: machine.c,
+            obs_stride: 3,
         }
     }
 

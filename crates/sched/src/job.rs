@@ -81,6 +81,9 @@ impl JobSpec {
             CampaignExecutor::LEnkf { .. } => None,
             CampaignExecutor::PEnkf { nsdx, nsdy } => Some(ModelVariant::PEnkf { nsdx, nsdy }),
             CampaignExecutor::SEnkf(p) => Some(ModelVariant::SEnkf(p)),
+            // The kernel choice changes flops, not operation structure, so
+            // one DES model (keyed by shard count alone) prices both.
+            CampaignExecutor::DEnkf { shards, .. } => Some(ModelVariant::DEnkf { shards }),
         }
     }
 }

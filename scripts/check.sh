@@ -19,6 +19,9 @@ cargo test -q --test failure_injection --test fault_resilience \
 echo "==> durability suites: checkpoint corruption + kill-at-random-cycle resume"
 cargo test -q --test checkpoint_restart --test campaign_conformance
 
+echo "==> D-EnKF conformance: digest identity, degradation, kill-resume, SMW equivalence"
+cargo test -q --test denkf_conformance --test cross_variant_equivalence
+
 echo "==> scheduler suites: fair-share properties + multi-tenant isolation"
 cargo test -q -p enkf-sched
 cargo test -q --test scheduler_conformance

@@ -43,6 +43,13 @@ fn executors() -> Vec<(&'static str, CampaignExecutor)> {
         ("lenkf", CampaignExecutor::LEnkf { nsdx: 2, nsdy: 2 }),
         ("penkf", CampaignExecutor::PEnkf { nsdx: 2, nsdy: 2 }),
         ("senkf", CampaignExecutor::SEnkf(SENKF)),
+        (
+            "denkf",
+            CampaignExecutor::DEnkf {
+                shards: 4,
+                kernel: s_enkf::core::BatchedKernel::Cholesky,
+            },
+        ),
     ]
 }
 

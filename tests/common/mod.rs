@@ -219,6 +219,10 @@ impl TenantMix {
             xi: self.radius.xi,
             eta: self.radius.eta,
         };
+        // Campaign cycles observe through `CycleConfig::default()`'s
+        // network, so the modeled observation geometry must match it (the
+        // batched D-EnKF model sizes its exchange blocks from this).
+        cfg.obs_stride = CycleConfig::default().obs_stride;
         cfg
     }
 

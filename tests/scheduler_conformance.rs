@@ -52,7 +52,7 @@ fn assert_traces_identical(a: &CampaignReport, b: &CampaignReport, what: &str) {
     );
 }
 
-/// All three executors, one per tenant, scheduled concurrently: every
+/// All four executors, one per tenant, scheduled concurrently: every
 /// campaign's report is bit-identical to its solo run. Isolation holds on
 /// the whole executor matrix, not just the modeled pair.
 #[test]
@@ -63,7 +63,15 @@ fn concurrent_campaigns_match_solo_runs_on_all_executors() {
         .tenant(2.0)
         .job(CampaignExecutor::PEnkf { nsdx: 2, nsdy: 2 }, CYCLES)
         .tenant(1.0)
-        .job(CampaignExecutor::SEnkf(SENKF), CYCLES);
+        .job(CampaignExecutor::SEnkf(SENKF), CYCLES)
+        .tenant(1.0)
+        .job(
+            CampaignExecutor::DEnkf {
+                shards: 4,
+                kernel: s_enkf::core::BatchedKernel::ShermanMorrison,
+            },
+            CYCLES,
+        );
 
     // Solo baselines: each campaign alone on the machine.
     let mut solo = Vec::new();
@@ -89,13 +97,13 @@ fn concurrent_campaigns_match_solo_runs_on_all_executors() {
         })
         .collect();
     let out = run_real(&sched_cfg(64, 42), mix.tenants(), dispatches);
-    assert!(out.rejected.is_empty(), "all three must be admitted");
+    assert!(out.rejected.is_empty(), "all four must be admitted");
     assert!(out.unscheduled.is_empty());
-    assert_eq!(out.results.len(), 3);
+    assert_eq!(out.results.len(), 4);
     assert_eq!(
         out.results.iter().filter(|r| r.wave == 0).count(),
-        3,
-        "64 ranks fit all three in one wave"
+        4,
+        "64 ranks fit all four in one wave"
     );
 
     for result in &out.results {
