@@ -41,6 +41,10 @@ use enkf_trace::RankTracer;
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+mod writer;
+pub use writer::AsyncCheckpointer;
 
 /// FNV-1a 64-bit hash — the checksum used for every checkpoint artifact.
 /// Not cryptographic; it detects torn writes and bit rot, which is the
@@ -139,6 +143,12 @@ impl From<io::Error> for CkptError {
 
 /// The resumable state of a campaign after `cycle` completed cycles —
 /// everything the supervisor needs to continue as if never interrupted.
+///
+/// The field arrays are `Arc`-backed shared views of the experiment's
+/// copy-on-write state (`enkf_data::CycleState`): building and cloning a
+/// checkpoint is O(1) refcount bumps, which is what lets the supervisor
+/// hand cycle k's state to the asynchronous writer and immediately start
+/// cycle k+1 without deep-copying the ensemble.
 #[derive(Debug, Clone)]
 pub struct CampaignCheckpoint {
     /// Completed cycles (the next cycle to run).
@@ -153,12 +163,12 @@ pub struct CampaignCheckpoint {
     /// Fingerprint of the campaign configuration that wrote this.
     pub config_fp: u64,
     /// Truth trajectory state.
-    pub truth: Vec<f64>,
+    pub truth: Arc<Vec<f64>>,
     /// The analysis ensemble of the last completed cycle (= the next
     /// background).
-    pub analysis: Ensemble,
+    pub analysis: Arc<Ensemble>,
     /// Free-running control ensemble (always `members0` wide).
-    pub free_run: Ensemble,
+    pub free_run: Arc<Ensemble>,
     /// Per-cycle statistics accumulated so far.
     pub stats: Vec<CycleStats>,
     /// FNV-64 hash of each completed cycle's trace digest — the
@@ -247,19 +257,17 @@ impl CheckpointStore {
         let store = FileStore::open(&dir, FileLayout::new(mesh, 8))?;
         let members = ckpt.analysis.size();
         let mut member_crcs = Vec::with_capacity(members);
+        let mut enc = MemberEncoder::new();
         for k in 0..members {
-            let values = ckpt.analysis.member(k);
             let bytes = 8 * n as u64;
-            if let Some(t) = tracer.as_deref_mut() {
-                t.ckpt(Some(k), bytes, 1, || store.write_member_durable(k, &values))?;
+            let crc = if let Some(t) = tracer.as_deref_mut() {
+                t.ckpt(Some(k), bytes, 1, || {
+                    enc.write_durable(&store, &ckpt.analysis, k)
+                })?
             } else {
-                store.write_member_durable(k, &values)?;
-            }
-            let mut buf = Vec::with_capacity(8 * n);
-            for v in &values {
-                buf.extend_from_slice(&v.to_le_bytes());
-            }
-            member_crcs.push(fnv64(&buf));
+                enc.write_durable(&store, &ckpt.analysis, k)?
+            };
+            member_crcs.push(crc);
         }
 
         let aux = encode_aux(ckpt);
@@ -388,9 +396,9 @@ impl CheckpointStore {
             members0: man.members0,
             rng_cursor: man.rng_cursor,
             config_fp: man.config_fp,
-            truth: decoded.truth,
-            analysis: Ensemble::new(mesh, states),
-            free_run: decoded.free_run,
+            truth: Arc::new(decoded.truth),
+            analysis: Arc::new(Ensemble::new(mesh, states)),
+            free_run: Arc::new(decoded.free_run),
             stats: decoded.stats,
             cycle_digests: decoded.digests,
         })
@@ -425,7 +433,66 @@ impl CheckpointStore {
                 fs::remove_dir_all(self.cycle_dir(c))?;
             }
         }
+        // Sweep non-durable leftovers — quarantined manifests/members and
+        // torn partial attempts — once their cycle falls out of the
+        // retention window. Without this, `*.quarantined` artifacts (whose
+        // cycle directory no longer counts as durable) accumulate forever.
+        let Some(&cutoff) = cycles.get(cycles.len().saturating_sub(self.retain)) else {
+            return Ok(());
+        };
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(num) = name.strip_prefix("cycle_") else {
+                continue;
+            };
+            let Ok(cycle) = num.parse::<usize>() else {
+                continue;
+            };
+            if cycle < cutoff && !entry.path().join(MANIFEST).is_file() {
+                fs::remove_dir_all(entry.path())?;
+            }
+        }
         Ok(())
+    }
+}
+
+/// Reusable encode state for checkpoint member writes.
+///
+/// Gathers a member column into an owned `f64` buffer, bulk-converts it
+/// *once* to little-endian bytes staged in the store's
+/// [`enkf_pfs::BufferPool`] (the PR 7 `kernel::convert` path), checksums
+/// those same bytes, and hands them to the durable write path — one
+/// conversion instead of two, and zero payload allocations at steady
+/// state (pinned by `tests/dataplane_alloc_free.rs`).
+#[derive(Debug, Default)]
+pub struct MemberEncoder {
+    col: Vec<f64>,
+}
+
+impl MemberEncoder {
+    /// An encoder with empty (lazily grown) buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Durably write member `k` of `ensemble` through `store`, returning
+    /// the FNV-64 checksum of the exact bytes written.
+    pub fn write_durable(
+        &mut self,
+        store: &FileStore,
+        ensemble: &Ensemble,
+        k: usize,
+    ) -> io::Result<u64> {
+        ensemble.member_into(k, &mut self.col);
+        let mut buf = store.pool().take_bytes(0);
+        enkf_linalg::kernel::convert::extend_f64_le(&self.col, &mut buf);
+        let crc = fnv64(&buf);
+        let res = store.write_member_bytes_durable(k, &buf);
+        store.pool().put_bytes(buf);
+        res?;
+        Ok(crc)
     }
 }
 
@@ -670,9 +737,9 @@ mod tests {
             members0: members,
             rng_cursor: 1234 + cycle as u64,
             config_fp: 0xFEED_BEEF,
-            truth: (0..n).map(|i| (i as f64).cos()).collect(),
-            analysis: Ensemble::new(mesh, mk(1)),
-            free_run: Ensemble::new(mesh, mk(2)),
+            truth: Arc::new((0..n).map(|i| (i as f64).cos()).collect()),
+            analysis: Arc::new(Ensemble::new(mesh, mk(1))),
+            free_run: Arc::new(Ensemble::new(mesh, mk(2))),
             stats: (0..cycle)
                 .map(|c| CycleStats {
                     cycle: c,
@@ -710,6 +777,59 @@ mod tests {
             store.save(&sample(c, 3), None).unwrap();
         }
         assert_eq!(store.durable_cycles().unwrap(), vec![3, 4]);
+    }
+
+    /// Regression: quarantined artifacts used to escape retention forever —
+    /// a cycle whose manifest was quarantined no longer counts as durable,
+    /// so `prune` never saw it. The sweep must delete quarantined/torn
+    /// cycle directories once they fall out of the retention window.
+    #[test]
+    fn quarantined_artifacts_are_swept_out_of_the_retention_window() {
+        let scratch = ScratchDir::new("ckpt-sweep").unwrap();
+        let store = CheckpointStore::create(scratch.path().join("ckpt")).unwrap();
+        store.save(&sample(1, 3), None).unwrap();
+        store.save(&sample(2, 3), None).unwrap();
+        // Corrupt cycle 2's manifest; the failed load quarantines it.
+        let mpath = store.cycle_dir(2).join(MANIFEST);
+        let mut bytes = fs::read(&mpath).unwrap();
+        bytes[20] ^= 0x01;
+        fs::write(&mpath, &bytes).unwrap();
+        assert!(store.load_cycle(2, 0xFEED_BEEF, None).is_err());
+        assert!(store
+            .cycle_dir(2)
+            .join("MANIFEST.txt.quarantined")
+            .is_file());
+        // New durable cycles push cycle 2 out of the retention window; the
+        // quarantined directory must be swept, not kept forever.
+        for c in 3..6 {
+            store.save(&sample(c, 3), None).unwrap();
+        }
+        assert_eq!(store.durable_cycles().unwrap(), vec![4, 5]);
+        assert!(
+            !store.cycle_dir(2).exists(),
+            "quarantined cycle directory must be swept once out of retention"
+        );
+        let leftovers: Vec<_> = walk_quarantined(store.root());
+        assert!(
+            leftovers.is_empty(),
+            "no quarantined artifacts may survive the sweep: {leftovers:?}"
+        );
+    }
+
+    fn walk_quarantined(root: &Path) -> Vec<PathBuf> {
+        let mut found = Vec::new();
+        let mut stack = vec![root.to_path_buf()];
+        while let Some(dir) = stack.pop() {
+            for entry in fs::read_dir(&dir).unwrap() {
+                let p = entry.unwrap().path();
+                if p.is_dir() {
+                    stack.push(p);
+                } else if p.to_string_lossy().ends_with(".quarantined") {
+                    found.push(p);
+                }
+            }
+        }
+        found
     }
 
     #[test]

@@ -57,6 +57,12 @@ impl Ensemble {
         self.states.col(k)
     }
 
+    /// Copy member `k` into a caller-owned buffer (allocation-free once
+    /// the buffer has capacity).
+    pub fn member_into(&self, k: usize, out: &mut Vec<f64>) {
+        self.states.col_into(k, out);
+    }
+
     /// The ensemble mean `x̄ᵇ` (Eq. 4).
     pub fn mean(&self) -> Vec<f64> {
         self.states.row_means()

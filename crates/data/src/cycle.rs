@@ -17,6 +17,7 @@ use enkf_grid::{Mesh, ObservationNetwork};
 use enkf_linalg::{GaussianSampler, Matrix};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
+use std::sync::Arc;
 
 /// An [`StdRng`] that counts its raw draws. The count is the experiment's
 /// **RNG cursor**: persisting it in a checkpoint and replaying that many
@@ -90,6 +91,12 @@ pub struct CycleStats {
 /// everything [`CycledExperiment::restore`] needs to reconstruct the
 /// experiment bit-exactly. Produced by [`CycledExperiment::snapshot`];
 /// checkpoint layers persist it to disk.
+///
+/// The fields are `Arc`-backed shared views, not deep copies: the
+/// experiment replaces its state wholesale each cycle (copy-on-write by
+/// construction), so a snapshot is O(1) refcount bumps. This is what lets
+/// an asynchronous checkpoint writer hold the cycle-k state while cycle
+/// k+1 computes, without doubling memory or stalling the supervisor.
 #[derive(Debug, Clone)]
 pub struct CycleState {
     /// Completed cycles (the next cycle to run).
@@ -97,20 +104,25 @@ pub struct CycleState {
     /// Raw draws consumed from the experiment's RNG since seeding.
     pub rng_cursor: u64,
     /// Truth trajectory state.
-    pub truth: Vec<f64>,
+    pub truth: Arc<Vec<f64>>,
     /// Background ensemble (the previous cycle's analysis).
-    pub background: Ensemble,
+    pub background: Arc<Ensemble>,
     /// Free-running control ensemble.
-    pub free_run: Ensemble,
+    pub free_run: Arc<Ensemble>,
 }
 
 /// A running cycled experiment.
+///
+/// The state fields are `Arc`-wrapped and only ever *replaced* (never
+/// mutated in place) by [`CycledExperiment::run_cycle`], so
+/// [`CycledExperiment::snapshot`] is O(1) and outstanding snapshots stay
+/// bit-stable while the experiment advances.
 pub struct CycledExperiment {
     mesh: Mesh,
     config: CycleConfig,
-    truth: Vec<f64>,
-    background: Ensemble,
-    free_run: Ensemble,
+    truth: Arc<Vec<f64>>,
+    background: Arc<Ensemble>,
+    free_run: Arc<Ensemble>,
     rng: CountingRng,
     cycle: usize,
     seed: u64,
@@ -138,12 +150,12 @@ impl CycledExperiment {
             })
             .collect();
         let states = Matrix::from_fn(mesh.n(), members, |i, k| members_vec[k][i]);
-        let background = Ensemble::new(mesh, states);
+        let background = Arc::new(Ensemble::new(mesh, states));
         let free_run = background.clone();
         CycledExperiment {
             mesh,
             config,
-            truth,
+            truth: Arc::new(truth),
             background,
             free_run,
             rng,
@@ -185,14 +197,16 @@ impl CycledExperiment {
     }
 
     /// Snapshot the resumable state at the current cycle boundary. Call
-    /// between cycles (not mid-`run_cycle`).
+    /// between cycles (not mid-`run_cycle`). O(1): the state is shared,
+    /// not copied — `run_cycle` replaces (never mutates) the underlying
+    /// fields, so the snapshot stays bit-stable as the experiment runs on.
     pub fn snapshot(&self) -> CycleState {
         CycleState {
             cycle: self.cycle,
             rng_cursor: self.rng.draws,
-            truth: self.truth.clone(),
-            background: self.background.clone(),
-            free_run: self.free_run.clone(),
+            truth: Arc::clone(&self.truth),
+            background: Arc::clone(&self.background),
+            free_run: Arc::clone(&self.free_run),
         }
     }
 
@@ -263,22 +277,24 @@ impl CycledExperiment {
     ) -> Result<CycleStats, E> {
         let c = &self.config;
         // Forecast phase: truth evolves deterministically; ensembles get
-        // stochastic model error.
-        self.truth = c
-            .dynamics
-            .integrate(self.mesh, &self.truth, c.steps_per_cycle);
-        self.background = c.dynamics.forecast_ensemble(
+        // stochastic model error. Every state field is *replaced*, never
+        // mutated — outstanding snapshots keep the pre-cycle values.
+        self.truth = Arc::new(
+            c.dynamics
+                .integrate(self.mesh, &self.truth, c.steps_per_cycle),
+        );
+        self.background = Arc::new(c.dynamics.forecast_ensemble(
             &self.background,
             c.steps_per_cycle,
             c.model_error_std,
             &mut self.rng,
-        );
-        self.free_run = c.dynamics.forecast_ensemble(
+        ));
+        self.free_run = Arc::new(c.dynamics.forecast_ensemble(
             &self.free_run,
             c.steps_per_cycle,
             c.model_error_std,
             &mut self.rng,
-        );
+        ));
         // Observation + analysis phase.
         let observations = self.observe();
         let forecast_rmse = self.background.rmse_against(&self.truth);
@@ -289,7 +305,7 @@ impl CycledExperiment {
             analysis_rmse: analysis.rmse_against(&self.truth),
             free_run_rmse: self.free_run.rmse_against(&self.truth),
         };
-        self.background = analysis;
+        self.background = Arc::new(analysis);
         self.cycle += 1;
         Ok(stats)
     }
@@ -379,6 +395,31 @@ mod tests {
         );
         assert_eq!(b.truth(), full.truth());
         assert_eq!(b.rng_cursor(), full.rng_cursor());
+    }
+
+    #[test]
+    fn snapshot_is_o1_and_stable_while_the_experiment_advances() {
+        let mesh = Mesh::new(10, 6);
+        let radius = LocalizationRadius { xi: 1, eta: 1 };
+        let mut exp = CycledExperiment::new(mesh, 4, CycleConfig::default(), 21);
+        exp.run_cycle(|bg, obs| serial_enkf(bg, obs, radius))
+            .unwrap();
+        let snap = exp.snapshot();
+        // O(1): the snapshot shares the experiment's backing allocations
+        // instead of deep-copying the ensembles.
+        assert!(std::ptr::eq(exp.truth(), snap.truth.as_slice()));
+        assert!(std::ptr::eq(exp.background(), snap.background.as_ref()));
+        assert!(std::ptr::eq(exp.free_run(), snap.free_run.as_ref()));
+        // Copy-on-write: advancing the experiment replaces its state and
+        // leaves the outstanding snapshot bit-identical — the property an
+        // asynchronous checkpoint writer depends on.
+        let truth_before = snap.truth.to_vec();
+        let bg_before = snap.background.states().clone();
+        exp.run_cycle(|bg, obs| serial_enkf(bg, obs, radius))
+            .unwrap();
+        assert_eq!(*snap.truth, truth_before);
+        assert_eq!(snap.background.states(), &bg_before);
+        assert!(!std::ptr::eq(exp.background(), snap.background.as_ref()));
     }
 
     #[test]

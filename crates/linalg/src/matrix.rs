@@ -169,6 +169,13 @@ impl Matrix {
         (0..self.nrows).map(|i| self[(i, j)]).collect()
     }
 
+    /// Copy column `j` into a caller-owned buffer (allocation-free once
+    /// the buffer has capacity).
+    pub fn col_into(&self, j: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..self.nrows).map(|i| self[(i, j)]));
+    }
+
     /// Overwrite column `j` with the given values.
     pub fn set_col(&mut self, j: usize, values: &[f64]) {
         assert_eq!(values.len(), self.nrows, "set_col length mismatch");

@@ -18,11 +18,21 @@
 //! per-cycle trace digests to an uninterrupted run — recovery replays the
 //! exact RNG cursor, truth state and ensembles the uninterrupted run had at
 //! that cycle boundary, so there is nothing left to diverge.
+//!
+//! With [`CkptMode::Pipelined`] the supervisor additionally moves each
+//! checkpoint write off the critical path: cycle k's durable write runs on
+//! a background [`AsyncCheckpointer`] thread while cycle k+1's forecast
+//! and read phase proceed, with at most one write in flight and drain
+//! barriers at campaign end, before every restore, and on error paths.
+//! The durable frontier then lags the computed frontier by at most one
+//! cycle; recovery always restores the last *durable* cycle, and
+//! kill–resume determinism is untouched (cycle digests hash executor
+//! traces only, and replays from an older frontier are bit-identical).
 
 use crate::exec::setup::AssimilationSetup;
 use crate::report::ExecutionReport;
 use crate::{DEnkf, LEnkf, PEnkf, SEnkf};
-use enkf_ckpt::{fnv64, CampaignCheckpoint, CheckpointStore, CkptError};
+use enkf_ckpt::{fnv64, AsyncCheckpointer, CampaignCheckpoint, CheckpointStore, CkptError};
 use enkf_core::{inflated, EnkfError, Ensemble, LocalAnalysis, Result as CoreResult};
 use enkf_data::{write_ensemble, CycleConfig, CycleState, CycleStats, CycledExperiment};
 use enkf_fault::{FaultConfig, FaultLog, RetryPolicy, SubstrateError};
@@ -147,6 +157,19 @@ pub enum BackoffClock {
     Virtual,
 }
 
+/// How the supervisor commits per-cycle checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CkptMode {
+    /// Write each checkpoint on the critical path before starting the next
+    /// cycle (the PR 5 behaviour; durable frontier == computed frontier).
+    #[default]
+    Sync,
+    /// Hand each checkpoint to a background writer and overlap the write
+    /// with the next cycle's forecast and read phase. At most one write is
+    /// in flight; the durable frontier lags by ≤ 1 cycle.
+    Pipelined,
+}
+
 /// Per-invocation context of a supervised campaign: who the campaign
 /// belongs to and how backoff time passes. [`run_campaign`] uses the
 /// default (anonymous tenant, wall-clock backoff); the multi-tenant
@@ -158,6 +181,8 @@ pub struct CampaignCtx {
     pub tenant: Option<(u32, u32)>,
     /// The restart-backoff clock.
     pub backoff: BackoffClock,
+    /// Synchronous or pipelined checkpoint commits.
+    pub ckpt_mode: CkptMode,
 }
 
 /// One recovery action the supervisor took.
@@ -344,6 +369,73 @@ pub fn run_campaign_ctx(
     let mut sup = RankTracer::new(exec.num_ranks(), t0);
     sup.set_role(Role::Io);
 
+    match ctx.ckpt_mode {
+        CkptMode::Sync => {
+            let eng = Engine {
+                t0,
+                fp,
+                sup,
+                writer: None,
+            };
+            supervise(work, ckpt, exec, cfg, fault, ctx, eng)
+        }
+        CkptMode::Pipelined => std::thread::scope(|s| {
+            // The writer traces on a fork of the supervisor tracer (same
+            // rank, role and epoch), so pipelined and synchronous
+            // campaigns emit the identical Ckpt span multiset.
+            let writer = AsyncCheckpointer::spawn(s, ckpt, sup.fork());
+            let eng = Engine {
+                t0,
+                fp,
+                sup,
+                writer: Some(&writer),
+            };
+            supervise(work, ckpt, exec, cfg, fault, ctx, eng)
+        }),
+    }
+}
+
+/// Supervisor state threaded into [`supervise`]: the campaign clock and
+/// fingerprint, the supervisor tracer, and (in pipelined mode) the
+/// background checkpoint writer.
+struct Engine<'a, 'scope> {
+    t0: Instant,
+    fp: u64,
+    sup: RankTracer,
+    writer: Option<&'a AsyncCheckpointer<'scope>>,
+}
+
+/// Drain barrier: wait out any in-flight asynchronous checkpoint, fold its
+/// spans into the campaign trace, and surface a deferred write error. A
+/// no-op in synchronous mode.
+fn drain_writer(
+    writer: Option<&AsyncCheckpointer<'_>>,
+    trace: &mut Trace,
+) -> Result<(), CampaignError> {
+    if let Some(w) = writer {
+        let (spans, res) = w.drain();
+        trace.extend(spans);
+        res.map_err(|e| CampaignError::Checkpoint(CkptError::Io(e)))?;
+    }
+    Ok(())
+}
+
+fn supervise(
+    work: &FileStore,
+    ckpt: &CheckpointStore,
+    exec: &CampaignExecutor,
+    cfg: &CampaignConfig,
+    fault: &FaultConfig,
+    ctx: &CampaignCtx,
+    eng: Engine<'_, '_>,
+) -> Result<CampaignReport, CampaignError> {
+    let Engine {
+        t0,
+        fp,
+        mut sup,
+        writer,
+    } = eng;
+
     let mut stats: Vec<CycleStats> = Vec::new();
     let mut digests: Vec<u64> = Vec::new();
     let mut trace = Trace::new("campaign-real");
@@ -407,11 +499,18 @@ pub fn run_campaign_ctx(
                         dropped_members.push(m);
                     }
                 }
-                ckpt.save(
-                    &checkpoint_of(cfg, fp, &exp, &stats, &digests),
-                    Some(&mut sup),
-                )
-                .map_err(|e| CampaignError::Checkpoint(CkptError::Io(e)))?;
+                let snapshot = checkpoint_of(cfg, fp, &exp, &stats, &digests);
+                match writer {
+                    // Pipelined: hand the O(1) snapshot to the background
+                    // writer and start the next cycle immediately; blocks
+                    // only if the previous write is still in flight.
+                    Some(w) => w
+                        .save_async(snapshot)
+                        .map_err(|e| CampaignError::Checkpoint(CkptError::Io(e)))?,
+                    None => ckpt
+                        .save(&snapshot, Some(&mut sup))
+                        .map_err(|e| CampaignError::Checkpoint(CkptError::Io(e)))?,
+                }
                 attempt = 0;
                 restarts = 0;
             }
@@ -444,7 +543,11 @@ pub fn run_campaign_ctx(
                     sup.recovery(|| ());
                 }
                 // Restore from *disk*, not from memory: in-process recovery
-                // and a process kill + resume take the identical path.
+                // and a process kill + resume take the identical path. The
+                // drain barrier first waits out any in-flight asynchronous
+                // write, so the restore sees the freshest durable cycle and
+                // never races the writer.
+                drain_writer(writer, &mut trace)?;
                 let Some((ck, _skipped)) = ckpt.load_latest(fp, Some(&mut sup))? else {
                     return Err(CampaignError::NoCheckpoint { cycle: c });
                 };
@@ -464,6 +567,9 @@ pub fn run_campaign_ctx(
         }
     }
 
+    // End-of-campaign drain barrier: the report is complete only once the
+    // final cycle's checkpoint is durable (and its spans are in the trace).
+    drain_writer(writer, &mut trace)?;
     let final_analysis = exp.background().clone();
     trace.extend(sup.into_spans());
     if let Some((tenant, job)) = ctx.tenant {

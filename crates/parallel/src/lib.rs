@@ -42,7 +42,7 @@ pub mod report;
 
 pub use campaign::{
     run_campaign, run_campaign_ctx, BackoffClock, CampaignConfig, CampaignCtx, CampaignError,
-    CampaignExecutor, CampaignReport, RecoveryEvent,
+    CampaignExecutor, CampaignReport, CkptMode, RecoveryEvent,
 };
 pub use exec::denkf::DEnkf;
 pub use exec::lenkf::LEnkf;

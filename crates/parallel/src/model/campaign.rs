@@ -69,6 +69,9 @@ pub struct CampaignModelPlan {
     /// models the no-recovery-line baseline: a crash restarts the whole
     /// campaign from cycle 0.
     pub checkpoint: bool,
+    /// Whether checkpoint writes overlap the next cycle
+    /// ([`crate::CkptMode::Pipelined`]). Ignored without `checkpoint`.
+    pub pipelined: bool,
     /// Restart backoff policy (mirrors `CampaignConfig::restart`).
     pub restart: RetryPolicy,
 }
@@ -90,6 +93,15 @@ pub struct CampaignModelOutcome {
     /// cycles (everything a fault-free campaign would not have spent,
     /// excluding checkpoint I/O itself).
     pub lost_time: f64,
+    /// Checkpoint seconds on the critical path: time the campaign is
+    /// longer than it would be with free durability. Synchronous
+    /// campaigns expose every sweep; pipelined campaigns expose only the
+    /// initial/final sweeps, OST contention dilation, and backpressure
+    /// tails.
+    pub ckpt_exposed: f64,
+    /// Checkpoint seconds hidden behind overlapped cycle work (zero for
+    /// synchronous campaigns).
+    pub ckpt_hidden: f64,
     /// The single-cycle model outcome the campaign was stitched from.
     pub cycle: ModelOutcome,
 }
@@ -114,15 +126,21 @@ pub fn model_campaign(
         degraded: fcfg.degraded,
         recv_timeout: fcfg.recv_timeout,
     };
-    let (cycle, cycle_trace, _log) = match *variant {
-        ModelVariant::PEnkf { nsdx, nsdy } => model_penkf_faulted(cfg, nsdx, nsdy, &cycle_fcfg)?,
-        ModelVariant::SEnkf(p) => {
-            model_senkf_faulted_opts(cfg, p, SEnkfModelOptions::default(), &cycle_fcfg)?
-        }
-        ModelVariant::DEnkf { shards } => {
-            super::denkf::model_denkf_faulted(cfg, shards, &cycle_fcfg)?
-        }
+    let run_cycle_model = |cfg: &ModelConfig| -> Result<(ModelOutcome, Trace), String> {
+        let (out, tr, _log) = match *variant {
+            ModelVariant::PEnkf { nsdx, nsdy } => {
+                model_penkf_faulted(cfg, nsdx, nsdy, &cycle_fcfg)?
+            }
+            ModelVariant::SEnkf(p) => {
+                model_senkf_faulted_opts(cfg, p, SEnkfModelOptions::default(), &cycle_fcfg)?
+            }
+            ModelVariant::DEnkf { shards } => {
+                super::denkf::model_denkf_faulted(cfg, shards, &cycle_fcfg)?
+            }
+        };
+        Ok((out, tr))
     };
+    let (cycle, cycle_trace) = run_cycle_model(cfg)?;
 
     let n = (cfg.workload.nx * cfg.workload.ny) as u64;
     let member_bytes = 8 * n;
@@ -132,6 +150,34 @@ pub fn model_campaign(
     let restore_time = checkpoint_time;
     let sup_rank = cycle.total_ranks();
     let layers = variant.layers();
+
+    // Pipelined pricing: the background writer steals one of the machine's
+    // `S = num_osts · streams_per_ost` PFS streams while it drains, so the
+    // overlapped cycle runs against an `(S−1)/S` substrate. The per-cycle
+    // checkpoint cost that *stays* on the critical path is the contention
+    // dilation `Δ` (the cycle slowdown, prorated by how long the write
+    // actually overlaps) plus the backpressure tail `E = max(0, C − M)`
+    // (the write outlasting the cycle it hides behind). Overlap stops
+    // being free exactly when `Δ + E` approaches `C`.
+    let pipelined = camp.pipelined && camp.checkpoint;
+    let (ckpt_dilation, ckpt_tail) = if pipelined {
+        let streams = cfg.pfs.num_osts * cfg.pfs.streams_per_ost;
+        let m = cycle.makespan;
+        if streams > 1 {
+            let share = (streams - 1) as f64 / streams as f64;
+            let (shared, _tr) = run_cycle_model(&cfg.with_bandwidth_share(share))?;
+            let dilation =
+                (shared.makespan - m).max(0.0) * checkpoint_time.min(m) / m.max(f64::MIN_POSITIVE);
+            (dilation, (checkpoint_time - m).max(0.0))
+        } else {
+            // A single stream: the writer and the cycle fully serialize,
+            // overlap buys nothing — the pipelined campaign degenerates to
+            // the synchronous cost.
+            (checkpoint_time.min(m), (checkpoint_time - m).max(0.0))
+        }
+    } else {
+        (0.0, 0.0)
+    };
 
     let mut trace = Trace::new("campaign-model");
     let mut t = 0.0f64;
@@ -168,10 +214,19 @@ pub fn model_campaign(
         }
     };
 
+    let mut ckpt_exposed = 0.0f64;
+    let mut ckpt_sweeps = 0usize;
+    // Pipelined: whether the previous cycle's checkpoint write is still
+    // draining in the background (at most one, mirroring the real
+    // supervisor's backpressure bound).
+    let mut inflight = false;
+
     if camp.checkpoint {
         // The initial state is committed before any cycle runs — the
-        // recovery line for a crash in cycle 0.
+        // recovery line for a crash in cycle 0. Synchronous in both modes.
         emit_io(&mut trace, &mut t, Op::Ckpt);
+        ckpt_exposed += checkpoint_time;
+        ckpt_sweeps += 1;
     }
     let mut fired: BTreeSet<usize> = BTreeSet::new();
     let mut c = 0usize;
@@ -192,9 +247,26 @@ pub fn model_campaign(
             let frac = (stage as f64 / layers as f64).min(1.0);
             let partial = cycle.makespan * frac + fcfg.recv_timeout;
             let backoff = camp.restart.backoff(0);
-            trace.push(sup_span(Op::Recovery, t, partial + backoff, 0, 0, None));
-            t += partial + backoff;
+            // Pipelined: the drain barrier before the restore waits out
+            // whatever part of the in-flight write the partial cycle did
+            // not already hide.
+            let drain = if inflight {
+                (checkpoint_time - cycle.makespan * frac).max(0.0)
+            } else {
+                0.0
+            };
+            inflight = false;
+            trace.push(sup_span(
+                Op::Recovery,
+                t,
+                partial + backoff + drain,
+                0,
+                0,
+                None,
+            ));
+            t += partial + backoff + drain;
             lost += partial + backoff;
+            ckpt_exposed += drain;
             if camp.checkpoint {
                 emit_io(&mut trace, &mut t, Op::Restore);
                 // Re-attempt the same cycle (crash consumed).
@@ -206,12 +278,44 @@ pub fn model_campaign(
             }
             continue;
         }
+        // An in-flight write from the previous cycle contends for OST
+        // streams (dilation) and must finish before this cycle's commit
+        // can be handed over (backpressure tail).
+        let dilation = if inflight { ckpt_dilation } else { 0.0 };
         emit_cycle(&mut trace, &mut t);
+        t += dilation;
+        if inflight {
+            t += ckpt_tail;
+            ckpt_exposed += dilation + ckpt_tail;
+            inflight = false;
+        }
         if camp.checkpoint {
-            emit_io(&mut trace, &mut t, Op::Ckpt);
+            if pipelined {
+                // The write is queued now and drains behind the next
+                // cycle; its spans sit on the overlapped timeline without
+                // advancing the supervisor clock.
+                let mut tt = t;
+                emit_io(&mut trace, &mut tt, Op::Ckpt);
+                inflight = true;
+            } else {
+                emit_io(&mut trace, &mut t, Op::Ckpt);
+                ckpt_exposed += checkpoint_time;
+            }
+            ckpt_sweeps += 1;
         }
         c += 1;
     }
+    if inflight {
+        // End-of-campaign drain barrier: the final cycle's write has
+        // nothing left to hide behind.
+        t += checkpoint_time;
+        ckpt_exposed += checkpoint_time;
+    }
+    let ckpt_hidden = if camp.checkpoint {
+        (ckpt_sweeps as f64 * checkpoint_time - ckpt_exposed).max(0.0)
+    } else {
+        0.0
+    };
 
     Ok((
         CampaignModelOutcome {
@@ -221,6 +325,8 @@ pub fn model_campaign(
             restore_time,
             restarts,
             lost_time: lost,
+            ckpt_exposed,
+            ckpt_hidden,
             cycle,
         },
         trace,

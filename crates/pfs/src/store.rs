@@ -239,7 +239,9 @@ impl BufferPool {
     const MAX_POOLED: usize = 64;
 
     /// A byte buffer of exactly `len` bytes (recycled when possible).
-    fn take_bytes(&self, len: usize) -> Vec<u8> {
+    /// Public so encode layers above the store (e.g. the checkpoint
+    /// member encoder) can stage payloads through the same pool.
+    pub fn take_bytes(&self, len: usize) -> Vec<u8> {
         let mut buf = self.bytes.lock().pop().unwrap_or_default();
         buf.clear();
         buf.resize(len, 0);
@@ -247,7 +249,7 @@ impl BufferPool {
     }
 
     /// Return a byte buffer to the pool.
-    fn put_bytes(&self, buf: Vec<u8>) {
+    pub fn put_bytes(&self, buf: Vec<u8>) {
         let mut bytes = self.bytes.lock();
         if bytes.len() < Self::MAX_POOLED {
             bytes.push(buf);
@@ -502,6 +504,19 @@ impl FileStore {
     /// checkpoints are built on.
     pub fn write_member_durable(&self, k: usize, values: &[f64]) -> std::io::Result<()> {
         self.write_member_impl(k, values, true)
+    }
+
+    /// [`FileStore::write_member_durable`] from pre-encoded little-endian
+    /// bytes. For callers that already hold the member's byte image (e.g.
+    /// the checkpoint encoder, which checksums the same bytes it writes)
+    /// this skips a second f64 → LE conversion.
+    pub fn write_member_bytes_durable(&self, k: usize, bytes: &[u8]) -> std::io::Result<()> {
+        let expect = 8 * self.layout.mesh().n() * self.levels();
+        assert_eq!(bytes.len(), expect, "member byte count mismatch");
+        self.swap_member_file(k, bytes, true)?;
+        self.stats.lock().bytes_written += bytes.len() as u64;
+        self.note_member(k);
+        Ok(())
     }
 
     fn write_member_impl(&self, k: usize, values: &[f64], durable: bool) -> std::io::Result<()> {

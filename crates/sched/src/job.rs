@@ -2,7 +2,8 @@
 
 use enkf_fault::FaultConfig;
 use enkf_parallel::{
-    model_campaign, CampaignConfig, CampaignExecutor, CampaignModelPlan, ModelConfig, ModelVariant,
+    model_campaign, CampaignConfig, CampaignExecutor, CampaignModelPlan, CkptMode, ModelConfig,
+    ModelVariant,
 };
 use std::collections::BTreeMap;
 
@@ -45,6 +46,12 @@ pub struct JobSpec {
     pub campaign: CampaignConfig,
     /// Fault plan the campaign runs under.
     pub fault: FaultConfig,
+    /// How the dispatched campaign commits checkpoints: synchronous (on
+    /// the critical path) or pipelined behind the next cycle. One field
+    /// drives both worlds — the real dispatcher passes it to
+    /// `run_campaign_ctx` and the DES planner prices the matching
+    /// schedule, so admission reasoning and execution can't disagree.
+    pub ckpt_mode: CkptMode,
     /// DES model for capacity planning; `None` opts out of SLA admission
     /// (the job is best-effort and only rank/quota-gated).
     pub model: Option<JobModel>,
@@ -63,10 +70,18 @@ impl JobSpec {
             exec,
             campaign,
             fault: FaultConfig::none(),
+            ckpt_mode: CkptMode::default(),
             model: None,
             sla: None,
             bw_demand: 1.0,
         }
+    }
+
+    /// Switch the campaign (and its DES pricing) to pipelined checkpoint
+    /// commits.
+    pub fn pipelined(mut self) -> Self {
+        self.ckpt_mode = CkptMode::Pipelined;
+        self
     }
 
     /// Compute ranks the job's executor occupies while running.
@@ -127,24 +142,31 @@ impl DesPlanner {
         let model = spec
             .model
             .expect("capacity planning requires a JobSpec with a model");
-        let plan = CampaignModelPlan {
-            cycles: 1,
-            checkpoint: model.checkpoint,
-            restart: spec.campaign.restart,
-        };
         let shared = model.cfg.with_bandwidth_share(share);
-        let (out, _trace) = model_campaign(&shared, &model.variant, &plan, &FaultConfig::none())
-            .expect("single-cycle campaign model failed");
-        let init = if model.checkpoint {
-            out.checkpoint_time
-        } else {
-            0.0
+        let run = |cycles: usize| {
+            let plan = CampaignModelPlan {
+                cycles,
+                checkpoint: model.checkpoint,
+                pipelined: spec.ckpt_mode == CkptMode::Pipelined,
+                restart: spec.campaign.restart,
+            };
+            let (out, _trace) =
+                model_campaign(&shared, &model.variant, &plan, &FaultConfig::none())
+                    .expect("campaign model failed");
+            out.makespan
         };
+        // The steady-state step is the 2-cycle/1-cycle makespan difference
+        // — exact for both commit modes: synchronous campaigns add
+        // `cycle + ckpt` per extra cycle, pipelined ones add
+        // `cycle + dilation + tail` (the drained final write merely shifts
+        // from cycle K−1 to cycle K). `init` is whatever the first cycle
+        // costs beyond that, so `init + K·cycle` reproduces the K-cycle
+        // model makespan exactly.
+        let t1 = run(1);
+        let cycle = run(2) - t1;
         StepCost {
-            // `makespan` of a 1-cycle plan = init ckpt + cycle + ckpt;
-            // one steady-state step is everything but the init commit.
-            cycle: out.makespan - init,
-            init,
+            cycle,
+            init: t1 - cycle,
         }
     }
 }

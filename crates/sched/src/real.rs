@@ -110,6 +110,7 @@ pub fn run_real(
                     let ctx = CampaignCtx {
                         tenant: Some((id.tenant.0, id.seq)),
                         backoff: BackoffClock::Virtual,
+                        ckpt_mode: d.spec.ckpt_mode,
                     };
                     s.spawn(move || {
                         run_campaign_ctx(

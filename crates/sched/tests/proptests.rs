@@ -23,9 +23,12 @@ use s_enkf_sched_proptest_deps::*;
 mod s_enkf_sched_proptest_deps {
     pub use enkf_core::LocalAnalysis;
     pub use enkf_data::CycleConfig;
+    pub use enkf_fault::FaultConfig;
     pub use enkf_fault::RetryPolicy;
     pub use enkf_grid::{LocalizationRadius, Mesh};
-    pub use enkf_parallel::{CampaignConfig, CampaignExecutor, ModelConfig};
+    pub use enkf_parallel::{
+        model_campaign, CampaignConfig, CampaignExecutor, CampaignModelPlan, CkptMode, ModelConfig,
+    };
     pub use enkf_sched::{
         min_share_floor, simulate, ClusterCapacity, Demand, DesPlanner, JobId, JobModel, JobSpec,
         Planner, SchedConfig, SharePolicy, StepCost, SubmitError, TenantId, TenantSpec,
@@ -174,6 +177,55 @@ fn modeled_spec(cycles: usize, sla_factor: f64) -> (JobSpec, f64) {
     let solo = step.init + cycles as f64 * step.cycle;
     spec.sla = Some(solo * sla_factor);
     (spec, solo)
+}
+
+/// The planner's step differencing is *exact* in both commit modes:
+/// `init + K·cycle` reproduces the K-cycle campaign-model makespan to
+/// floating-point identity, synchronous and pipelined — so SLA admission
+/// reasons about exactly the schedule the dispatcher will run.
+#[test]
+fn des_planner_differencing_prices_both_commit_modes_exactly() {
+    for pipelined in [false, true] {
+        let (mut spec, _) = modeled_spec(2, 2.0);
+        if pipelined {
+            spec = spec.pipelined();
+        }
+        let model = spec.model.unwrap();
+        let step = DesPlanner::price(&spec, 1.0);
+        for cycles in 1..=5usize {
+            let plan = CampaignModelPlan {
+                cycles,
+                checkpoint: model.checkpoint,
+                pipelined,
+                restart: spec.campaign.restart,
+            };
+            let (out, _) =
+                model_campaign(&model.cfg, &model.variant, &plan, &FaultConfig::none()).unwrap();
+            let predicted = step.init + cycles as f64 * step.cycle;
+            assert!(
+                (out.makespan - predicted).abs() < 1e-9,
+                "pipelined={pipelined} K={cycles}: differencing {predicted} != model {}",
+                out.makespan
+            );
+        }
+        // Pipelining strictly cheapens the steady-state step (the sweep
+        // comes off the critical path), never the science.
+        if pipelined {
+            let sync_step = DesPlanner::price(
+                &JobSpec {
+                    ckpt_mode: CkptMode::Sync,
+                    ..modeled_spec(2, 2.0).0
+                },
+                1.0,
+            );
+            assert!(
+                step.cycle < sync_step.cycle,
+                "pipelined step {} must undercut sync step {}",
+                step.cycle,
+                sync_step.cycle
+            );
+        }
+    }
 }
 
 /// End to end with the real DES capacity planner: four tenants, each

@@ -185,6 +185,40 @@ impl PhaseTotals {
     }
 }
 
+/// Checkpoint durability time split by whether it was hidden behind
+/// concurrent campaign work. Produced by [`Trace::ckpt_overlap`].
+///
+/// A synchronous campaign commits checkpoints on the critical path, so
+/// its [`Op::Ckpt`] spans overlap nothing and every second is *exposed* —
+/// the campaign is that much longer than it would be with free
+/// durability. A pipelined campaign writes checkpoints from a background
+/// thread while the next cycle computes; the seconds of a `Ckpt` span
+/// that coincide with other work are *hidden* (they cost OST bandwidth
+/// but no wall time). The split works on both timelines — wall clock for
+/// real traces, virtual time for DES traces — because overlap is a pure
+/// interval computation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CkptOverlap {
+    /// Total [`Op::Ckpt`] span seconds.
+    pub total: f64,
+    /// Seconds coinciding with non-checkpoint, non-wait work.
+    pub hidden: f64,
+    /// Seconds during which the checkpoint write was the only work.
+    pub exposed: f64,
+}
+
+impl CkptOverlap {
+    /// Fraction of checkpoint time hidden behind other work (0 when no
+    /// checkpoint spans were recorded).
+    pub fn hidden_fraction(&self) -> f64 {
+        if self.total > 0.0 {
+            self.hidden / self.total
+        } else {
+            0.0
+        }
+    }
+}
+
 /// A completed execution's spans, with a label naming the run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
@@ -246,6 +280,46 @@ impl Trace {
         let mut out: BTreeMap<usize, PhaseTotals> = BTreeMap::new();
         for s in &self.spans {
             out.entry(s.rank).or_default().add(s);
+        }
+        out
+    }
+
+    /// Split checkpoint time into hidden and exposed seconds: for every
+    /// [`Op::Ckpt`] span, the portion of its interval covered by the
+    /// union of all non-checkpoint, non-wait spans (any rank) is hidden;
+    /// the rest is exposed. Wait spans do not hide anything — a rank
+    /// blocked on the checkpoint writer is precisely the cost this
+    /// accounting exists to surface.
+    pub fn ckpt_overlap(&self) -> CkptOverlap {
+        // Merge the non-checkpoint busy intervals once, then intersect
+        // each checkpoint span against the sorted merged set.
+        let mut busy: Vec<(f64, f64)> = self
+            .spans
+            .iter()
+            .filter(|s| !matches!(s.op, Op::Ckpt | Op::Wait) && s.dur > 0.0)
+            .map(|s| (s.start, s.start + s.dur))
+            .collect();
+        busy.sort_by(|a, b| a.partial_cmp(b).expect("trace times are finite"));
+        let mut merged: Vec<(f64, f64)> = Vec::with_capacity(busy.len());
+        for (a, b) in busy {
+            match merged.last_mut() {
+                Some((_, end)) if a <= *end => *end = end.max(b),
+                _ => merged.push((a, b)),
+            }
+        }
+        let mut out = CkptOverlap::default();
+        for s in self.spans.iter().filter(|s| s.op == Op::Ckpt) {
+            let (a, b) = (s.start, s.start + s.dur);
+            // First merged interval that could reach `a`.
+            let from = merged.partition_point(|&(_, end)| end <= a);
+            let hidden: f64 = merged[from..]
+                .iter()
+                .take_while(|&&(start, _)| start < b)
+                .map(|&(x, y)| (y.min(b) - x.max(a)).max(0.0))
+                .sum();
+            out.total += s.dur;
+            out.hidden += hidden;
+            out.exposed += (s.dur - hidden).max(0.0);
         }
         out
     }
@@ -725,6 +799,61 @@ mod tests {
         assert_eq!(spans[1].op, Op::Restore);
         assert_eq!(spans[2].op, Op::Recovery);
         assert_eq!(spans[2].bytes, 0);
+    }
+
+    fn timed(rank: usize, op: Op, start: f64, dur: f64) -> Span {
+        let mut s = span(rank, op, None, 0, 0);
+        s.start = start;
+        s.dur = dur;
+        s
+    }
+
+    #[test]
+    fn ckpt_overlap_splits_hidden_and_exposed_time() {
+        let mut t = Trace::new("overlap");
+        // Cycle work on ranks 0–1 covering [0, 10] with a gap at [4, 6].
+        t.push(timed(0, Op::Read, 0.0, 4.0));
+        t.push(timed(1, Op::Compute, 6.0, 4.0));
+        // A pipelined checkpoint on the supervisor rank at [2, 8]: hidden
+        // under the read for [2, 4] and the compute for [6, 8], exposed in
+        // the gap [4, 6].
+        t.push(timed(2, Op::Ckpt, 2.0, 6.0));
+        let o = t.ckpt_overlap();
+        assert!((o.total - 6.0).abs() < 1e-12);
+        assert!((o.hidden - 4.0).abs() < 1e-12, "hidden {}", o.hidden);
+        assert!((o.exposed - 2.0).abs() < 1e-12, "exposed {}", o.exposed);
+        assert!((o.hidden_fraction() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ckpt_overlap_synchronous_commits_are_fully_exposed() {
+        let mut t = Trace::new("sync");
+        // The synchronous schedule: cycle, then checkpoint, then cycle —
+        // no concurrency, every checkpoint second is exposed.
+        t.push(timed(0, Op::Compute, 0.0, 5.0));
+        t.push(timed(3, Op::Ckpt, 5.0, 2.0));
+        t.push(timed(0, Op::Compute, 7.0, 5.0));
+        let o = t.ckpt_overlap();
+        assert!((o.exposed - 2.0).abs() < 1e-12);
+        assert_eq!(o.hidden, 0.0);
+        // Empty trace: all-zero split, no NaN from the fraction.
+        let empty = Trace::new("none").ckpt_overlap();
+        assert_eq!(empty, CkptOverlap::default());
+        assert_eq!(empty.hidden_fraction(), 0.0);
+    }
+
+    #[test]
+    fn ckpt_overlap_ignores_waits_and_other_ckpt_spans() {
+        let mut t = Trace::new("waits");
+        // A rank blocked on the writer does not hide the write; neither
+        // does another checkpoint span running concurrently.
+        t.push(timed(0, Op::Wait, 0.0, 10.0));
+        t.push(timed(3, Op::Ckpt, 1.0, 3.0));
+        t.push(timed(3, Op::Ckpt, 2.0, 3.0));
+        let o = t.ckpt_overlap();
+        assert!((o.total - 6.0).abs() < 1e-12);
+        assert_eq!(o.hidden, 0.0, "waits and sibling ckpts hide nothing");
+        assert!((o.exposed - 6.0).abs() < 1e-12);
     }
 
     #[test]

@@ -17,7 +17,10 @@ cargo test -q --test failure_injection --test fault_resilience \
   --test fault_conformance --test trace_conformance
 
 echo "==> durability suites: checkpoint corruption + kill-at-random-cycle resume"
+echo "    (campaign_conformance covers sync AND pipelined commit modes,"
+echo "     incl. torn in-flight async writes and cross-mode resumes)"
 cargo test -q --test checkpoint_restart --test campaign_conformance
+cargo test -q -p enkf-ckpt
 
 echo "==> D-EnKF conformance: digest identity, degradation, kill-resume, SMW equivalence"
 cargo test -q --test denkf_conformance --test cross_variant_equivalence

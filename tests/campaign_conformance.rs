@@ -1,5 +1,5 @@
 //! Campaign-level conformance: kill–resume determinism and real-vs-DES
-//! agreement.
+//! agreement, in **both checkpoint-commit modes**.
 //!
 //! The headline invariant of the checkpoint/restart subsystem: a campaign
 //! killed at any point — between cycles, mid-cycle via an injected crash,
@@ -9,6 +9,13 @@
 //! empty fault plan, the real supervised campaign and its DES model emit
 //! byte-identical operation digests (cycle spans × K plus K+1 checkpoint
 //! sets).
+//!
+//! Every invariant is exercised under [`CkptMode::Sync`] *and*
+//! [`CkptMode::Pipelined`]: moving the checkpoint write to a background
+//! thread must change only *when* durability happens, never *what* the
+//! campaign computes — sync and pipelined runs of the same campaign are
+//! report- and digest-identical, and a kill during an in-flight
+//! asynchronous write falls back to the previous durable cycle.
 
 mod common;
 
@@ -17,8 +24,8 @@ use proptest::prelude::*;
 use s_enkf::ckpt::CheckpointStore;
 use s_enkf::fault::{FaultConfig, FaultPlan, RetryPolicy};
 use s_enkf::parallel::{
-    model_campaign, run_campaign, CampaignConfig, CampaignExecutor, CampaignModelPlan,
-    CampaignReport, ModelConfig, ModelVariant,
+    model_campaign, run_campaign, run_campaign_ctx, BackoffClock, CampaignConfig, CampaignCtx,
+    CampaignExecutor, CampaignModelPlan, CampaignReport, CkptMode, ModelConfig, ModelVariant,
 };
 use s_enkf::pfs::{FileStore, ScratchDir};
 
@@ -53,6 +60,34 @@ fn executors() -> Vec<(&'static str, CampaignExecutor)> {
     ]
 }
 
+fn modes() -> [(&'static str, CkptMode); 2] {
+    [("sync", CkptMode::Sync), ("pipelined", CkptMode::Pipelined)]
+}
+
+/// Run a campaign under an explicit checkpoint-commit mode.
+fn run_mode(
+    work: &FileStore,
+    ckpt: &CheckpointStore,
+    exec: &CampaignExecutor,
+    cfg: &CampaignConfig,
+    fault: &FaultConfig,
+    mode: CkptMode,
+) -> CampaignReport {
+    run_campaign_ctx(
+        work,
+        ckpt,
+        exec,
+        cfg,
+        fault,
+        &CampaignCtx {
+            tenant: None,
+            backoff: BackoffClock::Wall,
+            ckpt_mode: mode,
+        },
+    )
+    .unwrap()
+}
+
 fn assert_reports_identical(a: &CampaignReport, b: &CampaignReport, what: &str) {
     assert_eq!(a.stats, b.stats, "{what}: per-cycle statistics differ");
     assert_eq!(
@@ -66,94 +101,143 @@ fn assert_reports_identical(a: &CampaignReport, b: &CampaignReport, what: &str) 
     );
 }
 
-/// Killing a campaign at a cycle boundary (the process exits; all that
-/// survives is the checkpoint directory) and resuming produces exactly
-/// the uninterrupted run, on all three executors.
+/// Pipelining is a *scheduling* change, not a semantic one: a pipelined
+/// campaign is bit-identical to the synchronous one — same statistics,
+/// same per-cycle digests, same final ensemble, and the same whole-trace
+/// operation digest (the writer traces on a fork of the supervisor's
+/// rank, so even the Ckpt span multiset matches). On all four executors.
 #[test]
-fn kill_at_cycle_boundary_and_resume_is_bit_identical() {
+fn pipelined_campaign_is_bit_identical_to_sync() {
     for (name, exec) in executors() {
-        let (_s1, work1, ckpt1) = stores(&format!("camp-full-{name}"));
-        let full = run_campaign(
+        let (_s1, work1, ckpt1) = stores(&format!("camp-mode-sync-{name}"));
+        let sync = run_mode(
             &work1,
             &ckpt1,
             &exec,
             &campaign_cfg(CYCLES),
             &FaultConfig::none(),
-        )
-        .unwrap();
-        assert_eq!(full.stats.len(), CYCLES);
-        assert_eq!(full.resumed_from, None);
-
-        // "Kill" after 2 cycles: run a shorter campaign, drop every
-        // in-memory object, and resume from the surviving directories.
-        let (_s2, work2, ckpt2) = stores(&format!("camp-killed-{name}"));
-        let partial = run_campaign(
-            &work2,
-            &ckpt2,
-            &exec,
-            &campaign_cfg(2),
-            &FaultConfig::none(),
-        )
-        .unwrap();
-        assert_eq!(partial.stats.len(), 2);
-        drop(partial);
-
-        let resumed = run_campaign(
+            CkptMode::Sync,
+        );
+        let (_s2, work2, ckpt2) = stores(&format!("camp-mode-pipe-{name}"));
+        let pipe = run_mode(
             &work2,
             &ckpt2,
             &exec,
             &campaign_cfg(CYCLES),
             &FaultConfig::none(),
-        )
-        .unwrap();
-        assert_eq!(
-            resumed.resumed_from,
-            Some(2),
-            "{name}: must resume, not restart"
+            CkptMode::Pipelined,
         );
-        assert_reports_identical(&full, &resumed, name);
+        assert_reports_identical(&sync, &pipe, name);
+        assert_eq!(
+            sync.trace.digest(),
+            pipe.trace.digest(),
+            "{name}: sync and pipelined trace digests must be byte-identical"
+        );
     }
 }
 
-/// A rank crash mid-cycle tears the cycle down; the supervisor restores
-/// the last durable checkpoint from disk and re-runs. The recovered
-/// campaign is bit-identical to a never-faulted one.
+/// Killing a campaign at a cycle boundary (the process exits; all that
+/// survives is the checkpoint directory) and resuming produces exactly
+/// the uninterrupted run, on all four executors and both commit modes.
+#[test]
+fn kill_at_cycle_boundary_and_resume_is_bit_identical() {
+    for (name, exec) in executors() {
+        for (mname, mode) in modes() {
+            let tag = format!("{name}-{mname}");
+            let (_s1, work1, ckpt1) = stores(&format!("camp-full-{tag}"));
+            let full = run_mode(
+                &work1,
+                &ckpt1,
+                &exec,
+                &campaign_cfg(CYCLES),
+                &FaultConfig::none(),
+                mode,
+            );
+            assert_eq!(full.stats.len(), CYCLES);
+            assert_eq!(full.resumed_from, None);
+
+            // "Kill" after 2 cycles: run a shorter campaign, drop every
+            // in-memory object, and resume from the surviving directories.
+            let (_s2, work2, ckpt2) = stores(&format!("camp-killed-{tag}"));
+            let partial = run_mode(
+                &work2,
+                &ckpt2,
+                &exec,
+                &campaign_cfg(2),
+                &FaultConfig::none(),
+                mode,
+            );
+            assert_eq!(partial.stats.len(), 2);
+            drop(partial);
+
+            let resumed = run_mode(
+                &work2,
+                &ckpt2,
+                &exec,
+                &campaign_cfg(CYCLES),
+                &FaultConfig::none(),
+                mode,
+            );
+            assert_eq!(
+                resumed.resumed_from,
+                Some(2),
+                "{tag}: must resume, not restart"
+            );
+            assert_reports_identical(&full, &resumed, &tag);
+        }
+    }
+}
+
+/// A rank crash mid-cycle tears the cycle down; the supervisor drains any
+/// in-flight asynchronous write, restores the last durable checkpoint from
+/// disk and re-runs. The recovered campaign is bit-identical to a
+/// never-faulted one, in both commit modes.
 #[test]
 fn crash_recovery_is_bit_identical_to_uninterrupted() {
     for (name, exec) in executors() {
-        let (_s1, work1, ckpt1) = stores(&format!("camp-clean-{name}"));
-        let clean = run_campaign(
-            &work1,
-            &ckpt1,
-            &exec,
-            &campaign_cfg(CYCLES),
-            &FaultConfig::none(),
-        )
-        .unwrap();
+        for (mname, mode) in modes() {
+            let tag = format!("{name}-{mname}");
+            let (_s1, work1, ckpt1) = stores(&format!("camp-clean-{tag}"));
+            let clean = run_mode(
+                &work1,
+                &ckpt1,
+                &exec,
+                &campaign_cfg(CYCLES),
+                &FaultConfig::none(),
+                mode,
+            );
 
-        let mut fault = FaultConfig::none();
-        fault.plan = FaultPlan::new(7).with_crash_at_cycle(0, 1, 0);
-        fault.recv_timeout = 0.3;
-        let (_s2, work2, ckpt2) = stores(&format!("camp-crash-{name}"));
-        let recovered = run_campaign(&work2, &ckpt2, &exec, &campaign_cfg(CYCLES), &fault).unwrap();
-        assert_eq!(
-            recovered.recoveries.len(),
-            1,
-            "{name}: exactly one recovery for one injected crash"
-        );
-        assert_eq!(recovered.recoveries[0].cycle, 1);
-        assert!(!recovered.recoveries[0].degraded);
-        assert_reports_identical(&clean, &recovered, name);
+            let mut fault = FaultConfig::none();
+            fault.plan = FaultPlan::new(7).with_crash_at_cycle(0, 1, 0);
+            fault.recv_timeout = 0.3;
+            let (_s2, work2, ckpt2) = stores(&format!("camp-crash-{tag}"));
+            let recovered = run_mode(&work2, &ckpt2, &exec, &campaign_cfg(CYCLES), &fault, mode);
+            assert_eq!(
+                recovered.recoveries.len(),
+                1,
+                "{tag}: exactly one recovery for one injected crash"
+            );
+            assert_eq!(recovered.recoveries[0].cycle, 1);
+            assert!(!recovered.recoveries[0].degraded);
+            assert_reports_identical(&clean, &recovered, &tag);
+        }
     }
 }
 
 // Kill at a *random* cycle (including before any cycle completes), then
-// resume — the CI smoke version runs a handful of random kill points.
+// resume — possibly in the *other* commit mode, pinning that resumability
+// is a property of the on-disk format alone. The CI smoke version runs a
+// handful of random (kill point, mode, mode) combinations.
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(4))]
+    #![proptest_config(ProptestConfig::with_cases(6))]
 
     #[test]
-    fn kill_at_random_cycle_and_resume_smoke(kill_after in 0usize..CYCLES) {
+    fn kill_at_random_cycle_and_resume_smoke(
+        kill_after in 0usize..CYCLES,
+        kill_pipelined in any::<bool>(),
+        resume_pipelined in any::<bool>(),
+    ) {
+        let mode_of = |p: bool| if p { CkptMode::Pipelined } else { CkptMode::Sync };
         let exec = CampaignExecutor::PEnkf { nsdx: 2, nsdy: 2 };
         let (_s1, work1, ckpt1) = stores("camp-rand-full");
         let full = run_campaign(
@@ -162,17 +246,19 @@ proptest! {
 
         let (_s2, work2, ckpt2) = stores("camp-rand-killed");
         if kill_after > 0 {
-            run_campaign(
-                &work2, &ckpt2, &exec, &campaign_cfg(kill_after), &FaultConfig::none(),
-            ).unwrap();
+            run_mode(
+                &work2, &ckpt2, &exec, &campaign_cfg(kill_after),
+                &FaultConfig::none(), mode_of(kill_pipelined),
+            );
         } else {
             // Kill before the first cycle ever ran: only the initial
             // (cycle 0) checkpoint may exist. Resume must cope with a
             // completely fresh directory too.
         }
-        let resumed = run_campaign(
-            &work2, &ckpt2, &exec, &campaign_cfg(CYCLES), &FaultConfig::none(),
-        ).unwrap();
+        let resumed = run_mode(
+            &work2, &ckpt2, &exec, &campaign_cfg(CYCLES),
+            &FaultConfig::none(), mode_of(resume_pipelined),
+        );
         prop_assert_eq!(&resumed.stats, &full.stats);
         prop_assert_eq!(&resumed.cycle_digests, &full.cycle_digests);
         prop_assert_eq!(resumed.final_analysis.states(), full.final_analysis.states());
@@ -219,6 +305,53 @@ fn torn_checkpoint_on_kill_falls_back_one_cycle() {
     assert_reports_identical(&full, &resumed, "torn-checkpoint");
 }
 
+/// The pipelined analogue: the process dies while the *background writer*
+/// is mid-commit on the final cycle — member payloads landed but the
+/// manifest did not. The durable frontier is the previous cycle; a
+/// resume (in either mode) falls back to it, re-runs the lost cycle, and
+/// is bit-identical to the uninterrupted campaign. On all four executors.
+#[test]
+fn pipelined_torn_inflight_write_falls_back_to_previous_durable_cycle() {
+    for (name, exec) in executors() {
+        let (_s1, work1, ckpt1) = stores(&format!("camp-ptorn-full-{name}"));
+        let full = run_mode(
+            &work1,
+            &ckpt1,
+            &exec,
+            &campaign_cfg(CYCLES),
+            &FaultConfig::none(),
+            CkptMode::Pipelined,
+        );
+
+        let (_s2, work2, ckpt2) = stores(&format!("camp-ptorn-killed-{name}"));
+        run_mode(
+            &work2,
+            &ckpt2,
+            &exec,
+            &campaign_cfg(2),
+            &FaultConfig::none(),
+            CkptMode::Pipelined,
+        );
+        // Tear cycle 2's in-flight asynchronous commit: the kill landed
+        // after the member writes but before the manifest rename.
+        std::fs::remove_file(ckpt2.cycle_dir(2).join("MANIFEST.txt")).unwrap();
+        let resumed = run_mode(
+            &work2,
+            &ckpt2,
+            &exec,
+            &campaign_cfg(CYCLES),
+            &FaultConfig::none(),
+            CkptMode::Pipelined,
+        );
+        assert_eq!(
+            resumed.resumed_from,
+            Some(1),
+            "{name}: fallback to the previous durable cycle"
+        );
+        assert_reports_identical(&full, &resumed, name);
+    }
+}
+
 /// A permanently lost member degrades the campaign to the N−1 path:
 /// one budget-free recovery, then the ensemble continues on the
 /// survivors for every remaining cycle.
@@ -251,7 +384,8 @@ fn model_cfg() -> ModelConfig {
 
 /// On an empty fault plan, the real campaign and the DES campaign model
 /// produce byte-identical operation digests: K identical cycle span sets
-/// plus K+1 checkpoint sets on the supervisor rank.
+/// plus K+1 checkpoint sets on the supervisor rank — in both commit modes
+/// (pipelining moves the Ckpt spans in *time*, which digests ignore).
 #[test]
 fn real_and_modeled_campaigns_conform_on_empty_plan() {
     let cases = [
@@ -266,28 +400,31 @@ fn real_and_modeled_campaigns_conform_on_empty_plan() {
             ModelVariant::SEnkf(SENKF),
         ),
     ];
-    let plan = CampaignModelPlan {
-        cycles: CYCLES,
-        checkpoint: true,
-        restart: campaign_cfg(CYCLES).restart,
-    };
     for (name, exec, variant) in cases {
-        let (_s, work, ckpt) = stores(&format!("camp-conf-{name}"));
-        let real = run_campaign(
-            &work,
-            &ckpt,
-            &exec,
-            &campaign_cfg(CYCLES),
-            &FaultConfig::none(),
-        )
-        .unwrap();
-        let (_out, model_trace) =
-            model_campaign(&model_cfg(), &variant, &plan, &FaultConfig::none()).unwrap();
-        assert_eq!(
-            real.trace.digest(),
-            model_trace.digest(),
-            "{name}: real and modeled campaign digests must be byte-identical"
-        );
+        for (mname, mode) in modes() {
+            let plan = CampaignModelPlan {
+                cycles: CYCLES,
+                checkpoint: true,
+                pipelined: mode == CkptMode::Pipelined,
+                restart: campaign_cfg(CYCLES).restart,
+            };
+            let (_s, work, ckpt) = stores(&format!("camp-conf-{name}-{mname}"));
+            let real = run_mode(
+                &work,
+                &ckpt,
+                &exec,
+                &campaign_cfg(CYCLES),
+                &FaultConfig::none(),
+                mode,
+            );
+            let (_out, model_trace) =
+                model_campaign(&model_cfg(), &variant, &plan, &FaultConfig::none()).unwrap();
+            assert_eq!(
+                real.trace.digest(),
+                model_trace.digest(),
+                "{name}/{mname}: real and modeled campaign digests must be byte-identical"
+            );
+        }
     }
 }
 
@@ -303,6 +440,7 @@ fn model_checkpointing_bounds_crash_loss() {
     let with = CampaignModelPlan {
         cycles: CYCLES,
         checkpoint: true,
+        pipelined: false,
         restart,
     };
     let without = CampaignModelPlan {
@@ -330,5 +468,83 @@ fn model_checkpointing_bounds_crash_loss() {
         (clean_with.makespan - expected).abs() < 1e-9,
         "checkpoint overhead must be exactly K+1 serial member sweeps ({} vs {expected})",
         clean_with.makespan
+    );
+}
+
+/// The modeled pipelined campaign: overlap hides checkpoint time without
+/// weakening the crash-loss bound.
+///
+/// * clean pipelined makespan < clean synchronous makespan (strictly —
+///   the middle sweeps come off the critical path);
+/// * hidden + exposed accounts for every checkpoint second ((K+1) sweeps);
+/// * the trace-level interval accounting
+///   ([`s_enkf::trace::Trace::ckpt_overlap`]) agrees that most checkpoint
+///   time is hidden behind cycle work;
+/// * under a crash, the pipelined campaign loses no more than the
+///   synchronous one plus at most one sweep (the drained in-flight write).
+#[test]
+fn model_pipelined_overlap_cuts_exposed_checkpoint_time() {
+    let restart = campaign_cfg(CYCLES).restart;
+    let variant = ModelVariant::PEnkf { nsdx: 2, nsdy: 2 };
+    let sync = CampaignModelPlan {
+        cycles: CYCLES,
+        checkpoint: true,
+        pipelined: false,
+        restart,
+    };
+    let pipe = CampaignModelPlan {
+        pipelined: true,
+        ..sync
+    };
+    let none = FaultConfig::none();
+    let (s, _) = model_campaign(&model_cfg(), &variant, &sync, &none).unwrap();
+    let (p, p_trace) = model_campaign(&model_cfg(), &variant, &pipe, &none).unwrap();
+
+    assert!(
+        p.makespan < s.makespan,
+        "pipelining must shorten the clean campaign ({} vs {})",
+        p.makespan,
+        s.makespan
+    );
+    assert!(p.ckpt_hidden > 0.0, "some checkpoint time must be hidden");
+    assert!(
+        p.ckpt_exposed < s.ckpt_exposed,
+        "exposed checkpoint time must shrink ({} vs {})",
+        p.ckpt_exposed,
+        s.ckpt_exposed
+    );
+    let sweeps = (CYCLES + 1) as f64 * p.checkpoint_time;
+    assert!(
+        (p.ckpt_hidden + p.ckpt_exposed - sweeps).abs() < 1e-9,
+        "hidden + exposed must account for all (K+1) sweeps ({} vs {sweeps})",
+        p.ckpt_hidden + p.ckpt_exposed
+    );
+    // The trace-level interval accounting agrees: the pipelined trace
+    // carries all checkpoint seconds, and a positive fraction overlaps
+    // cycle work, while the synchronous trace hides nothing.
+    let overlap = p_trace.ckpt_overlap();
+    assert!((overlap.total - sweeps).abs() < 1e-9);
+    assert!(overlap.hidden > 0.0);
+    let (_, s_trace) = model_campaign(&model_cfg(), &variant, &sync, &none).unwrap();
+    let s_overlap = s_trace.ckpt_overlap();
+    assert!(
+        s_overlap.hidden.abs() < 1e-9,
+        "a synchronous campaign hides nothing ({})",
+        s_overlap.hidden
+    );
+
+    // Crash-loss bound: a mid-campaign crash loses the same bounded slice
+    // in both modes, modulo at most one drained in-flight sweep.
+    let mut fault = FaultConfig::none();
+    fault.plan = FaultPlan::new(1).with_crash_at_cycle(0, CYCLES - 1, 0);
+    fault.recv_timeout = 0.3;
+    let (sc, _) = model_campaign(&model_cfg(), &variant, &sync, &fault).unwrap();
+    let (pc, _) = model_campaign(&model_cfg(), &variant, &pipe, &fault).unwrap();
+    assert_eq!(pc.restarts, 1);
+    assert!(
+        pc.lost_time <= sc.lost_time + pc.checkpoint_time + 1e-9,
+        "pipelining must preserve the crash-loss bound ({} vs {})",
+        pc.lost_time,
+        sc.lost_time
     );
 }

@@ -42,9 +42,9 @@ fn synthetic(cycle: usize, salt: u64) -> CampaignCheckpoint {
         members0: MEMBERS,
         rng_cursor: 4_000 + cycle as u64,
         config_fp: FP,
-        truth: (0..n).map(|i| ((i as u64 + salt) as f64).cos()).collect(),
-        analysis: Ensemble::new(mesh, mk(1)),
-        free_run: Ensemble::new(mesh, mk(2)),
+        truth: std::sync::Arc::new((0..n).map(|i| ((i as u64 + salt) as f64).cos()).collect()),
+        analysis: std::sync::Arc::new(Ensemble::new(mesh, mk(1))),
+        free_run: std::sync::Arc::new(Ensemble::new(mesh, mk(2))),
         stats: (0..cycle)
             .map(|c| CycleStats {
                 cycle: c,

@@ -1,14 +1,24 @@
-//! Counting-allocator proof that the steady-state read → scatter → analyze
-//! cycle performs no heap allocation.
+//! Counting-allocator proof that the steady-state data-plane paths
+//! perform no (payload) heap allocation.
 //!
-//! One warm cycle fills the store's buffer pool (byte buffers, `f64`
-//! slabs), the open-file-handle cache, and the analysis workspace
-//! high-water marks; a second identical cycle must then complete without a
-//! single call into the global allocator — the data-plane guarantee the
-//! zero-copy refactor exists to provide.
+//! Two pinned guarantees:
+//!
+//! * The read → scatter → analyze cycle: one warm cycle fills the store's
+//!   buffer pool (byte buffers, `f64` slabs), the open-file-handle cache,
+//!   and the analysis workspace high-water marks; a second identical cycle
+//!   must then complete without a single call into the global allocator.
+//! * The checkpoint encode → durable-write sweep
+//!   ([`s_enkf::ckpt::MemberEncoder`]): the member column gather and the
+//!   f64 → LE byte image are pooled, so a steady-state sweep performs no
+//!   payload-sized allocation — only the handful of small path strings the
+//!   temp + rename protocol inherently builds per file.
+//!
+//! The allocator tracks calls, bytes, and the largest single request so
+//! the second guarantee can be stated precisely: "no allocation as large
+//! as a member payload, and total bytes far below the payload swept".
 
 use s_enkf::core::{
-    LetkfAnalysis, LetkfWorkspace, LocalObsIndex, ObservationOperator, Observations,
+    Ensemble, LetkfAnalysis, LetkfWorkspace, LocalObsIndex, ObservationOperator, Observations,
     PerturbedObservations,
 };
 use s_enkf::grid::{FileLayout, LocalizationRadius, Mesh, ObservationNetwork, RegionRect};
@@ -16,15 +26,29 @@ use s_enkf::linalg::Matrix;
 use s_enkf::pfs::{FileStore, RegionData, ScratchDir};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-/// System allocator wrapper counting every allocation-side call.
+/// System allocator wrapper counting every allocation-side call, the
+/// bytes it requested, and the largest single request.
 struct CountingAlloc;
 
 static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+static BYTES: AtomicUsize = AtomicUsize::new(0);
+static LARGEST: AtomicUsize = AtomicUsize::new(0);
+
+/// The counters are process-global, so tests that assert on deltas must
+/// not overlap with each other's allocations.
+static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
+fn count(size: usize) {
+    ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    BYTES.fetch_add(size, Ordering::Relaxed);
+    LARGEST.fetch_max(size, Ordering::Relaxed);
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count(layout.size());
         unsafe { System.alloc(layout) }
     }
 
@@ -33,12 +57,12 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count(new_size);
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count(layout.size());
         unsafe { System.alloc_zeroed(layout) }
     }
 }
@@ -103,6 +127,7 @@ fn cycle(
 
 #[test]
 fn read_scatter_analyze_cycle_is_allocation_free_at_steady_state() {
+    let _x = EXCLUSIVE.lock().unwrap();
     let mesh = Mesh::new(16, 8);
     let members = 6;
     let radius = LocalizationRadius { xi: 2, eta: 2 };
@@ -181,5 +206,76 @@ fn read_scatter_analyze_cycle_is_allocation_free_at_steady_state() {
         0,
         "steady-state read→scatter→analyze cycle allocated {} times",
         after - before
+    );
+}
+
+/// One checkpoint sweep: encode every member's column through the pooled
+/// [`s_enkf::ckpt::MemberEncoder`] path and write it durably. Returns the
+/// member checksums so nothing is optimized away.
+fn ckpt_sweep(
+    enc: &mut s_enkf::ckpt::MemberEncoder,
+    store: &FileStore,
+    ensemble: &Ensemble,
+    crcs: &mut Vec<u64>,
+) {
+    crcs.clear();
+    for k in 0..ensemble.size() {
+        crcs.push(enc.write_durable(store, ensemble, k).unwrap());
+    }
+}
+
+/// The steady-state checkpoint write path performs no payload-sized
+/// allocation: the column gather buffer and the little-endian byte image
+/// are recycled through the encoder and the store's pool. What remains is
+/// the temp + rename protocol's small per-file path strings — bounded to
+/// a sliver of the payload and never one allocation as large as a member.
+#[test]
+fn checkpoint_member_writes_are_payload_allocation_free_at_steady_state() {
+    let _x = EXCLUSIVE.lock().unwrap();
+    let mesh = Mesh::new(16, 8);
+    let members = 6;
+    let scratch = ScratchDir::new("ckpt-alloc").unwrap();
+    let store = FileStore::open(scratch.path(), FileLayout::new(mesh, 8)).unwrap();
+    let ensemble = Ensemble::new(
+        mesh,
+        Matrix::from_fn(mesh.n(), members, |i, k| {
+            ((i * 7 + k * 3) as f64 * 0.13).sin()
+        }),
+    );
+    let payload_per_member = 8 * mesh.n();
+
+    let mut enc = s_enkf::ckpt::MemberEncoder::new();
+    let mut warm_crcs = Vec::with_capacity(members);
+    let mut steady_crcs = Vec::with_capacity(members);
+    // Warm sweep: the encoder's column buffer and the pool's byte buffer
+    // reach member-payload capacity.
+    ckpt_sweep(&mut enc, &store, &ensemble, &mut warm_crcs);
+
+    let (calls0, bytes0) = (
+        ALLOCATIONS.load(Ordering::Relaxed),
+        BYTES.load(Ordering::Relaxed),
+    );
+    LARGEST.store(0, Ordering::Relaxed);
+    ckpt_sweep(&mut enc, &store, &ensemble, &mut steady_crcs);
+    let calls = ALLOCATIONS.load(Ordering::Relaxed) - calls0;
+    let bytes = BYTES.load(Ordering::Relaxed) - bytes0;
+    let largest = LARGEST.load(Ordering::Relaxed);
+
+    assert_eq!(steady_crcs, warm_crcs, "sweeps are deterministic");
+    assert!(
+        largest < payload_per_member,
+        "a payload-sized allocation ({largest} B >= {payload_per_member} B) leaked into the \
+         steady-state checkpoint write path"
+    );
+    assert!(
+        bytes < members * 512,
+        "steady-state checkpoint sweep allocated {bytes} B for {} B of payload \
+         (want only small path strings, < {} B)",
+        members * payload_per_member,
+        members * 512
+    );
+    assert!(
+        calls <= members * 16,
+        "steady-state checkpoint sweep allocated {calls} times"
     );
 }

@@ -245,6 +245,7 @@ fn campaign_real_and_model_digests_conform() {
     let plan = CampaignModelPlan {
         cycles: CYCLES,
         checkpoint: true,
+        pipelined: false,
         restart: mix().campaign_cfg(CYCLES).restart,
     };
     let (_out, model_trace) = model_campaign(

@@ -13,7 +13,9 @@ mod common;
 
 use common::{TenantMix, SENKF};
 use s_enkf::fault::{FaultConfig, FaultPlan};
-use s_enkf::parallel::{run_campaign, CampaignExecutor, CampaignReport};
+use s_enkf::parallel::{
+    run_campaign, run_campaign_ctx, CampaignCtx, CampaignExecutor, CampaignReport, CkptMode,
+};
 use s_enkf::sched::{
     run_real, ClusterCapacity, Quota, RealDispatch, RealOutcome, SchedConfig, SharePolicy,
     SubmitError,
@@ -220,6 +222,85 @@ fn kill_resume_of_one_tenant_leaves_the_other_bit_identical() {
     let resumed_a = resumed.results[0].report.as_ref().unwrap();
     assert_eq!(resumed_a.resumed_from, Some(2), "must resume, not restart");
     assert_reports_identical(base_a, resumed_a, "tenant A after kill-resume");
+}
+
+/// A pipelined tenant beside a synchronous one: the scheduler passes each
+/// job's [`JobSpec::ckpt_mode`] through to the dispatched campaign, both
+/// tenants stay bit-identical to their solo runs in the matching mode,
+/// and (pipelining being a scheduling change only) the pipelined tenant
+/// also matches the *synchronous* solo result.
+#[test]
+fn pipelined_tenant_is_isolated_and_matches_its_solo_run() {
+    let mix = TenantMix::small()
+        .tenant(1.0)
+        .job(CampaignExecutor::PEnkf { nsdx: 2, nsdy: 2 }, CYCLES)
+        .tenant(1.0)
+        .job(CampaignExecutor::SEnkf(SENKF), CYCLES);
+    let (ta, spec_a) = mix.jobs()[0].clone();
+    let (tb, spec_b) = mix.jobs()[1].clone();
+    let spec_a = spec_a.pipelined();
+
+    // Solo baselines, each in its own commit mode.
+    let solo_mode = |label: &str, spec: &s_enkf::sched::JobSpec| {
+        let (_s, work, ckpt) = mix.stores(label);
+        run_campaign_ctx(
+            &work,
+            &ckpt,
+            &spec.exec,
+            &spec.campaign,
+            &spec.fault,
+            &CampaignCtx {
+                tenant: None,
+                backoff: Default::default(),
+                ckpt_mode: spec.ckpt_mode,
+            },
+        )
+        .unwrap()
+    };
+    let solo_a = solo_mode("sched-pipe-solo-a", &spec_a);
+    let solo_b = solo_mode("sched-pipe-solo-b", &spec_b);
+    assert_eq!(spec_a.ckpt_mode, CkptMode::Pipelined);
+    assert_eq!(spec_b.ckpt_mode, CkptMode::Sync);
+
+    let (_sa, work_a, ckpt_a) = mix.stores("sched-pipe-conc-a");
+    let (_sb, work_b, ckpt_b) = mix.stores("sched-pipe-conc-b");
+    let out = run_real(
+        &sched_cfg(64, 21),
+        mix.tenants(),
+        vec![
+            RealDispatch {
+                tenant: ta,
+                spec: spec_a.clone(),
+                work: &work_a,
+                ckpt: &ckpt_a,
+            },
+            RealDispatch {
+                tenant: tb,
+                spec: spec_b,
+                work: &work_b,
+                ckpt: &ckpt_b,
+            },
+        ],
+    );
+    assert!(out.rejected.is_empty() && out.unscheduled.is_empty());
+    for result in &out.results {
+        let (solo, what) = if result.id.tenant == ta {
+            (&solo_a, "pipelined tenant")
+        } else {
+            (&solo_b, "synchronous tenant")
+        };
+        let report = result.report.as_ref().expect("campaign must succeed");
+        assert_reports_identical(solo, report, what);
+        assert_traces_identical(solo, report, what);
+    }
+
+    // And the pipelined solo run is itself bit-identical to a synchronous
+    // one — the mode changes the schedule, never the science.
+    let mut sync_a = spec_a;
+    sync_a.ckpt_mode = CkptMode::Sync;
+    let solo_sync_a = solo_mode("sched-pipe-solo-a-sync", &sync_a);
+    assert_reports_identical(&solo_sync_a, &solo_a, "pipelined vs sync solo");
+    assert_traces_identical(&solo_sync_a, &solo_a, "pipelined vs sync solo");
 }
 
 /// Scheduling decisions are deterministic: the same seeded mix produces
