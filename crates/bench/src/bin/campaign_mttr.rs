@@ -83,6 +83,7 @@ fn main() {
         max_retries: 3,
         base_backoff: 0.5,
         multiplier: 2.0,
+        ..RetryPolicy::default()
     };
     let sync = CampaignModelPlan {
         cycles: CYCLES,

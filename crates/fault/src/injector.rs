@@ -120,9 +120,14 @@ impl FaultInjector {
             .unwrap_or(0)
     }
 
-    /// Whether `member` cannot be read within the retry budget.
+    /// Whether `member` cannot be read within the retry budget. The budget
+    /// counts the retries the deadline actually schedules
+    /// ([`RetryPolicy::effective_retries`]), so a tight deadline widens the
+    /// dropout set — exhaustion degrades to the N−1 path instead of
+    /// stalling. Without a deadline this is the historical
+    /// `fail_attempts > max_retries`.
     pub fn is_unrecoverable(&self, member: usize) -> bool {
-        self.read_fail_attempts(member) > self.cfg.retry.max_retries
+        self.read_fail_attempts(member) > self.cfg.retry.effective_retries()
     }
 
     /// The sorted dropout set among members `0..members` — the members
@@ -136,6 +141,20 @@ impl FaultInjector {
     /// healthy; stacked slowdowns multiply.
     pub fn file_slowdown(&self, member: usize) -> f64 {
         let ost = member % self.cfg.plan.num_osts;
+        self.cfg
+            .plan
+            .ost_slowdowns
+            .iter()
+            .filter(|s| s.ost == ost)
+            .map(|s| s.factor)
+            .product()
+    }
+
+    /// Service multiplier for operations on OST `ost` directly (1.0 when
+    /// healthy; stacked slowdowns multiply). Adaptive read routing uses
+    /// this to price a replica path that stripes to a different OST than
+    /// the member's primary.
+    pub fn ost_factor(&self, ost: usize) -> f64 {
         self.cfg
             .plan
             .ost_slowdowns
@@ -237,6 +256,7 @@ mod tests {
             max_retries: 1,
             base_backoff: 1e-3,
             multiplier: 2.0,
+            ..RetryPolicy::default()
         }));
         assert_eq!(strict.unrecoverable_members(4), vec![0]);
     }

@@ -40,7 +40,7 @@ pub use error::{ReadError, SubstrateError};
 pub use injector::{FaultConfig, FaultInjector};
 pub use log::{FaultEvent, FaultLog, FaultRecord};
 pub use plan::{
-    CycleCrash, FaultPlan, MsgFault, OstSlowdown, RankCrash, ReadFault, ReadFaultKind, Straggler,
-    UNRECOVERABLE,
+    seeded_unit, CycleCrash, FaultPlan, MsgFault, OstSlowdown, RankCrash, ReadFault, ReadFaultKind,
+    Straggler, UNRECOVERABLE,
 };
 pub use retry::RetryPolicy;

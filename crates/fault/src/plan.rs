@@ -265,7 +265,7 @@ impl FaultPlan {
         assert!(max_dilation >= 1.0, "max_dilation must be >= 1");
         let mut plan = FaultPlan::new(seed);
         for rank in 0..ranks {
-            let u = unit_from(seed, rank as u64);
+            let u = seeded_unit(seed, rank as u64);
             plan.stragglers.push(Straggler {
                 rank,
                 dilation: 1.0 + u * (max_dilation - 1.0),
@@ -277,8 +277,9 @@ impl FaultPlan {
 
 /// SplitMix64-derived uniform in `[0, 1)` for `(seed, index)` — the same
 /// keyed-stream construction the perturbed observations use, so jitter
-/// plans are reproducible without an RNG dependency.
-fn unit_from(seed: u64, index: u64) -> f64 {
+/// plans, retry jitter ([`crate::RetryPolicy::with_jitter`]) and chaos-soak
+/// storm generators are reproducible without an RNG dependency.
+pub fn seeded_unit(seed: u64, index: u64) -> f64 {
     let mut z =
         (seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_add(0xD1B5_4A32_D192_ED03);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

@@ -1,0 +1,44 @@
+//! Online health monitoring and adaptive degradation.
+//!
+//! The fault subsystem (`enkf-fault`) made failures *injectable and
+//! deterministic*; this crate makes the response *adaptive* while keeping
+//! the same determinism contract. Three pieces:
+//!
+//! * **Detection** ([`HealthMonitor`]): per-OST and per-rank trackers fed
+//!   with the dilation ratios of observed read/compute spans. Within a
+//!   cycle, observations accumulate into an order-insensitive keyed table;
+//!   at the cycle boundary each target's cycle mean is folded into an EWMA
+//!   baseline and a phi-accrual-style suspicion score. Every decision is a
+//!   pure function of the observation multiset — never of wall-clock time
+//!   or thread interleaving — so the real executors and the DES models
+//!   reach bit-identical verdicts.
+//! * **Routing** ([`RouteView`]): the frozen per-cycle decision table.
+//!   Suspected-degraded OSTs are blacklisted with probation and
+//!   reintegration; members striped to a blacklisted OST get a speculative
+//!   duplicate read whose winner is decided by a deterministic tie-break,
+//!   and member schedules are stably reordered away from hot OSTs (the
+//!   trace digest is an order-free multiset, so reordering is
+//!   conformance-neutral by construction).
+//! * **Evidence** ([`HealthLog`]): every detection and failover decision is
+//!   logged; the canonical sorted digest is part of the chaos-soak
+//!   conformance surface next to the trace and fault-log digests.
+//!
+//! Determinism argument, in one paragraph: the real substrate *injects*
+//! degradation (OST slowdowns, stragglers) through `enkf-fault`, so the
+//! dilation ratio of every observed span is itself a pure plan function.
+//! The monitor consumes those ratios — not noisy wall-clock durations — and
+//! folds them in sorted key order, so the per-cycle means, the EWMA
+//! baselines, the suspicion scores, and hence the blacklist/speculation
+//! decisions are byte-reproducible across reruns and identical between the
+//! threaded executors and the single-threaded DES weave. A production
+//! deployment would feed measured ratios instead; the detector math is
+//! agnostic, and the bench drives it with measured wall-clock spans to show
+//! the math holds up under noise.
+
+mod log;
+mod monitor;
+mod route;
+
+pub use crate::log::{HealthEvent, HealthLog, HealthRecord};
+pub use monitor::{HealthMonitor, HealthParams, HealthSnapshot, TargetStatus};
+pub use route::{ReadRoute, RouteView};

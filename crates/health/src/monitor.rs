@@ -1,0 +1,546 @@
+//! The failure detector: EWMA baselines + phi-accrual-style suspicion.
+
+use crate::log::{HealthEvent, HealthLog};
+use crate::route::RouteView;
+use std::collections::BTreeMap;
+use std::f64::consts::LN_10;
+use std::sync::Mutex;
+
+/// Detector tuning. Defaults are chosen so a ≥ 2× dilation blacklists after
+/// one cycle of evidence and a mild ~1.5× dilation needs two consecutive
+/// anomalous cycles (suspicion *accrues*, phi-accrual style), while healthy
+/// jitter below `suspect_ratio` never trips.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthParams {
+    /// File→OST striping modulus (must match `FaultPlan::num_osts` /
+    /// `PfsParams::num_osts` for routing to mean anything).
+    pub num_osts: usize,
+    /// Replica placement shift: replica of OST `o` is `(o + shift) % num_osts`.
+    pub replica_shift: usize,
+    /// EWMA weight of the newest cycle mean in the baseline.
+    pub ewma_alpha: f64,
+    /// Cycle mean / baseline ratio above which a cycle is anomalous and
+    /// accrues suspicion.
+    pub suspect_ratio: f64,
+    /// Floor of the deviation estimate, keeping φ finite on a quiet
+    /// baseline (the substrate's injected ratios have zero variance when
+    /// healthy).
+    pub dev_floor: f64,
+    /// Accrued suspicion (φ units) at which a target is blacklisted.
+    pub suspicion_threshold: f64,
+    /// Cycles a blacklisted OST sits out before a probation probe.
+    pub probation_cycles: u32,
+}
+
+impl Default for HealthParams {
+    fn default() -> Self {
+        HealthParams {
+            num_osts: 6, // PfsParams::tianhe2_like striping
+            replica_shift: 1,
+            ewma_alpha: 0.3,
+            suspect_ratio: 1.4,
+            dev_floor: 0.25,
+            suspicion_threshold: 1.0,
+            probation_cycles: 1,
+        }
+    }
+}
+
+impl HealthParams {
+    /// Defaults with an explicit striping modulus.
+    pub fn with_num_osts(num_osts: usize) -> Self {
+        HealthParams {
+            num_osts,
+            ..HealthParams::default()
+        }
+    }
+}
+
+/// Where a monitored target currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetStatus {
+    /// In rotation.
+    Healthy,
+    /// Out of rotation for `remaining` more cycles.
+    Blacklisted {
+        /// Cycles left before probation.
+        remaining: u32,
+    },
+    /// Back in rotation on probe duty: one healthy cycle reintegrates, one
+    /// anomalous cycle re-blacklists.
+    Probation,
+}
+
+/// Per-target detector state. All arithmetic is plain f64 on
+/// plan-determined ratios folded in sorted key order, so two detectors fed
+/// the same observation multiset are bit-identical — the property the
+/// chaos-soak conformance suite pins.
+#[derive(Debug, Clone)]
+struct Detector {
+    /// EWMA baseline of the cycle-mean dilation ratio.
+    mu: f64,
+    /// EWMA of the absolute deviation from the baseline.
+    dev: f64,
+    /// Accrued suspicion, φ units.
+    susp: f64,
+    status: TargetStatus,
+    /// Whether suspicion ever crossed the threshold without a clearing
+    /// cycle since (drives rank suspected/cleared events).
+    suspected: bool,
+}
+
+impl Detector {
+    fn new() -> Self {
+        Detector {
+            mu: 1.0,
+            dev: 0.0,
+            susp: 0.0,
+            status: TargetStatus::Healthy,
+            suspected: false,
+        }
+    }
+
+    /// The phi-accrual-style instantaneous suspicion of cycle mean `m`:
+    /// `φ = (m − μ) / (max(dev, floor) · ln 10)` — the anomaly's z-like
+    /// deviation expressed as "orders of magnitude of surprise", matching
+    /// the −log₁₀ P scaling of the classic accrual detector under an
+    /// exponential tail.
+    fn phi(&self, m: f64, p: &HealthParams) -> f64 {
+        (m - self.mu) / (self.dev.max(p.dev_floor) * LN_10)
+    }
+
+    /// Fold one cycle mean (or its absence) into the detector. Returns the
+    /// detection transitions to log.
+    fn step(&mut self, m: Option<f64>, p: &HealthParams) -> Vec<HealthEvent> {
+        let mut events = Vec::new();
+        if let TargetStatus::Blacklisted { remaining } = self.status {
+            // Out of rotation: no observations to judge, just serve the term.
+            if remaining > 1 {
+                self.status = TargetStatus::Blacklisted {
+                    remaining: remaining - 1,
+                };
+            } else {
+                self.status = TargetStatus::Probation;
+                events.push(HealthEvent::OstProbation);
+            }
+            return events;
+        }
+        let Some(m) = m else {
+            return events; // nothing observed this cycle: no verdict
+        };
+        if m > self.mu * p.suspect_ratio {
+            self.susp += self.phi(m, p).max(0.0);
+            events.push(HealthEvent::OstSuspected);
+            if self.status == TargetStatus::Probation || self.susp >= p.suspicion_threshold {
+                // A failed probe re-blacklists immediately; a fresh target
+                // needs accrued suspicion past the threshold.
+                self.status = TargetStatus::Blacklisted {
+                    remaining: p.probation_cycles,
+                };
+                self.suspected = true;
+                events.push(HealthEvent::OstBlacklisted);
+            }
+        } else {
+            if self.status == TargetStatus::Probation {
+                self.status = TargetStatus::Healthy;
+                events.push(HealthEvent::OstReintegrated);
+            }
+            if self.suspected {
+                self.suspected = false;
+                events.push(HealthEvent::RankCleared); // relabelled for ranks below
+            }
+            self.susp = 0.0;
+            // Only healthy cycles update the baseline: degraded samples must
+            // not poison μ (or the detector would acclimatize to the fault).
+            self.dev = (1.0 - p.ewma_alpha) * self.dev + p.ewma_alpha * (m - self.mu).abs();
+            self.mu = (1.0 - p.ewma_alpha) * self.mu + p.ewma_alpha * m;
+        }
+        events
+    }
+}
+
+/// A frozen summary of the detector state at a cycle boundary — what the
+/// scheduler consumes at rebalance to reprice SLAs against degraded
+/// capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// Cycle the snapshot closes.
+    pub cycle: u32,
+    /// OSTs out of rotation.
+    pub blacklisted_osts: Vec<usize>,
+    /// OSTs on probe duty next cycle.
+    pub probation_osts: Vec<usize>,
+    /// Ranks whose compute dilation is past the suspicion threshold.
+    pub suspected_ranks: Vec<usize>,
+    /// Striping modulus (for capacity math).
+    pub num_osts: usize,
+}
+
+impl HealthSnapshot {
+    /// Nothing degraded.
+    pub fn is_clean(&self) -> bool {
+        self.blacklisted_osts.is_empty()
+            && self.probation_osts.is_empty()
+            && self.suspected_ranks.is_empty()
+    }
+
+    /// Fraction of OST bandwidth still in rotation — the factor the
+    /// scheduler multiplies into its bandwidth pool when repricing SLAs.
+    pub fn capacity_factor(&self) -> f64 {
+        if self.num_osts == 0 {
+            return 1.0;
+        }
+        (self.num_osts - self.blacklisted_osts.len()) as f64 / self.num_osts as f64
+    }
+}
+
+/// The online health monitor: per-OST and per-rank detectors, an
+/// order-insensitive per-cycle observation accumulator, the decision log,
+/// and the frozen routing view executors consult.
+///
+/// Thread contract: `observe_*` and the log take `&self` (rank threads feed
+/// concurrently mid-cycle); `end_cycle` takes `&mut self` (the supervisor
+/// folds at the cycle boundary). Within a cycle the view never changes.
+#[derive(Debug)]
+pub struct HealthMonitor {
+    params: HealthParams,
+    cycle: u32,
+    osts: BTreeMap<usize, Detector>,
+    ranks: BTreeMap<usize, Detector>,
+    /// (target, member)-keyed sums — keyed, not running, so the fold order
+    /// is canonical no matter how rank threads interleave.
+    acc: Mutex<CycleAcc>,
+    log: HealthLog,
+    view: RouteView,
+}
+
+#[derive(Debug, Default)]
+struct CycleAcc {
+    /// (ost, member) → (count, dilation ratio).
+    reads: BTreeMap<(usize, usize), (u64, f64)>,
+    /// rank → (count, dilation ratio).
+    computes: BTreeMap<usize, (u64, f64)>,
+}
+
+impl HealthMonitor {
+    /// A monitor with all targets healthy.
+    pub fn new(params: HealthParams) -> Self {
+        let view = RouteView::healthy(params.num_osts, params.replica_shift);
+        HealthMonitor {
+            params,
+            cycle: 0,
+            osts: BTreeMap::new(),
+            ranks: BTreeMap::new(),
+            acc: Mutex::new(CycleAcc::default()),
+            log: HealthLog::new(),
+            view,
+        }
+    }
+
+    /// The detector tuning.
+    pub fn params(&self) -> &HealthParams {
+        &self.params
+    }
+
+    /// The cycle observations currently accumulate into.
+    pub fn cycle(&self) -> u32 {
+        self.cycle
+    }
+
+    /// The frozen routing table for the current cycle.
+    pub fn view(&self) -> &RouteView {
+        &self.view
+    }
+
+    /// The decision log.
+    pub fn log(&self) -> &HealthLog {
+        &self.log
+    }
+
+    /// Canonical digest of every decision so far.
+    pub fn digest(&self) -> String {
+        self.log.digest()
+    }
+
+    /// Record one read service observation: `member`'s read was served by
+    /// `ost` at `ratio`× the healthy service time.
+    pub fn observe_read(&self, ost: usize, member: usize, ratio: f64) {
+        let mut acc = self.acc.lock().expect("health accumulator poisoned");
+        let e = acc.reads.entry((ost, member)).or_insert((0, ratio));
+        e.0 += 1;
+        e.1 = ratio;
+    }
+
+    /// Record one compute observation: `rank` computed at `ratio`× its
+    /// healthy cost.
+    pub fn observe_compute(&self, rank: usize, ratio: f64) {
+        let mut acc = self.acc.lock().expect("health accumulator poisoned");
+        let e = acc.computes.entry(rank).or_insert((0, ratio));
+        e.0 += 1;
+        e.1 = ratio;
+    }
+
+    /// Log a speculative read decision (called by the adaptive read path on
+    /// both executors).
+    pub fn speculated(
+        &self,
+        rank: usize,
+        stage: Option<usize>,
+        member: usize,
+        ost: usize,
+        replica: usize,
+        replica_won: bool,
+    ) {
+        self.log
+            .speculated(self.cycle, rank, stage, member, ost, replica, replica_won);
+    }
+
+    /// Discard the current cycle's accumulated observations without
+    /// stepping the detectors or advancing the cycle. The campaign
+    /// supervisor calls this when a cycle attempt fails and will be
+    /// re-run from a checkpoint: the partial attempt's observations must
+    /// not bias the detectors, and the re-run re-observes the full cycle,
+    /// so recovery keeps detection a pure function of *completed* cycles.
+    pub fn abort_cycle(&self) {
+        let mut acc = self.acc.lock().expect("health accumulator poisoned");
+        *acc = CycleAcc::default();
+    }
+
+    /// Close the cycle: fold the accumulated observations into the
+    /// detectors in sorted key order, step every tracked target, refreeze
+    /// the routing view, log the transitions, and return the snapshot.
+    pub fn end_cycle(&mut self) -> HealthSnapshot {
+        let acc = {
+            let mut acc = self.acc.lock().expect("health accumulator poisoned");
+            std::mem::take(&mut *acc)
+        };
+        // Per-OST cycle means: Σ count·ratio / Σ count over sorted members.
+        let mut ost_means: BTreeMap<usize, (f64, f64)> = BTreeMap::new();
+        for (&(ost, _member), &(count, ratio)) in &acc.reads {
+            let e = ost_means.entry(ost).or_insert((0.0, 0.0));
+            e.0 += count as f64 * ratio;
+            e.1 += count as f64;
+        }
+        for &ost in ost_means.keys() {
+            self.osts.entry(ost).or_insert_with(Detector::new);
+        }
+        let cycle = self.cycle;
+        for (&ost, det) in self.osts.iter_mut() {
+            let m = ost_means.get(&ost).map(|&(sum, n)| sum / n);
+            for ev in det.step(m, &self.params) {
+                // Detectors are target-agnostic; OstSuspected/... labels are
+                // already OST-flavoured, and the clearing event is not
+                // emitted for OSTs (reintegration covers it).
+                if ev != HealthEvent::RankCleared {
+                    self.log.ost_event(cycle, ost, ev);
+                }
+            }
+        }
+        for &rank in acc.computes.keys() {
+            self.ranks.entry(rank).or_insert_with(Detector::new);
+        }
+        for (&rank, det) in self.ranks.iter_mut() {
+            let m = acc.computes.get(&rank).map(|&(_, ratio)| ratio);
+            for ev in det.step(m, &self.params) {
+                let ev = match ev {
+                    HealthEvent::OstSuspected | HealthEvent::OstBlacklisted => {
+                        HealthEvent::RankSuspected
+                    }
+                    HealthEvent::RankCleared => HealthEvent::RankCleared,
+                    // Ranks are not routed around, so the probation ladder
+                    // collapses onto suspected/cleared.
+                    _ => continue,
+                };
+                // A rank crossing the threshold logs one RankSuspected per
+                // anomalous cycle; dedup the double-fire on the blacklist
+                // transition cycle.
+                if ev == HealthEvent::RankSuspected {
+                    self.log.rank_event(cycle, rank, ev);
+                    break;
+                }
+                self.log.rank_event(cycle, rank, ev);
+            }
+        }
+        self.view.blacklisted = self
+            .osts
+            .iter()
+            .filter(|(_, d)| matches!(d.status, TargetStatus::Blacklisted { .. }))
+            .map(|(&o, _)| o)
+            .collect();
+        let snap = self.snapshot_at(cycle);
+        self.cycle += 1;
+        snap
+    }
+
+    /// The current detector state as a snapshot (without closing a cycle).
+    pub fn snapshot(&self) -> HealthSnapshot {
+        self.snapshot_at(self.cycle)
+    }
+
+    fn snapshot_at(&self, cycle: u32) -> HealthSnapshot {
+        HealthSnapshot {
+            cycle,
+            blacklisted_osts: self
+                .osts
+                .iter()
+                .filter(|(_, d)| matches!(d.status, TargetStatus::Blacklisted { .. }))
+                .map(|(&o, _)| o)
+                .collect(),
+            probation_osts: self
+                .osts
+                .iter()
+                .filter(|(_, d)| d.status == TargetStatus::Probation)
+                .map(|(&o, _)| o)
+                .collect(),
+            suspected_ranks: self
+                .ranks
+                .iter()
+                .filter(|(_, d)| d.suspected)
+                .map(|(&r, _)| r)
+                .collect(),
+            num_osts: self.params.num_osts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> HealthParams {
+        HealthParams::with_num_osts(4)
+    }
+
+    /// Feed one cycle of reads: every OST observes `members_per_ost`
+    /// members at the given ratios (index = ost).
+    fn feed(mon: &HealthMonitor, ratios: &[f64]) {
+        for (ost, &r) in ratios.iter().enumerate() {
+            mon.observe_read(ost, ost, r); // member = ost for simplicity
+        }
+    }
+
+    #[test]
+    fn healthy_cycles_never_trip() {
+        let mut mon = HealthMonitor::new(params());
+        for _ in 0..6 {
+            feed(&mon, &[1.0, 1.0, 1.0, 1.0]);
+            let snap = mon.end_cycle();
+            assert!(snap.is_clean(), "healthy substrate must stay clean");
+        }
+        assert!(mon.log().is_empty());
+        assert_eq!(mon.snapshot().capacity_factor(), 1.0);
+    }
+
+    #[test]
+    fn severe_slowdown_blacklists_in_one_cycle() {
+        let mut mon = HealthMonitor::new(params());
+        feed(&mon, &[1.0, 4.0, 1.0, 1.0]);
+        let snap = mon.end_cycle();
+        assert_eq!(snap.blacklisted_osts, vec![1]);
+        assert!(mon.view().blacklisted.contains(&1));
+        assert_eq!(snap.capacity_factor(), 0.75);
+        let d = mon.digest();
+        assert!(d.contains("ost=1") && d.contains("event=ost-blacklisted"));
+    }
+
+    #[test]
+    fn mild_slowdown_needs_accrued_evidence() {
+        let mut mon = HealthMonitor::new(params());
+        feed(&mon, &[1.0, 1.5, 1.0, 1.0]);
+        let snap = mon.end_cycle();
+        assert!(
+            snap.blacklisted_osts.is_empty(),
+            "one mild cycle: suspect only"
+        );
+        assert!(mon.digest().contains("event=ost-suspected"));
+        feed(&mon, &[1.0, 1.5, 1.0, 1.0]);
+        let snap = mon.end_cycle();
+        assert_eq!(
+            snap.blacklisted_osts,
+            vec![1],
+            "accrual crosses the threshold"
+        );
+    }
+
+    #[test]
+    fn probation_and_reintegration_round_trip() {
+        let mut mon = HealthMonitor::new(params());
+        feed(&mon, &[1.0, 6.0, 1.0, 1.0]);
+        assert_eq!(mon.end_cycle().blacklisted_osts, vec![1]);
+        // Term served (probation_cycles = 1): next boundary moves to probe.
+        feed(&mon, &[1.0, 1.0, 1.0, 1.0]); // OST 1 routed away: no reads for it
+        let snap = mon.end_cycle();
+        assert!(snap.blacklisted_osts.is_empty());
+        assert_eq!(snap.probation_osts, vec![1]);
+        assert!(!mon.view().blacklisted.contains(&1), "probe reads allowed");
+        // The probe comes back healthy: reintegrated.
+        feed(&mon, &[1.0, 1.0, 1.0, 1.0]);
+        let snap = mon.end_cycle();
+        assert!(snap.is_clean());
+        assert!(mon.digest().contains("event=ost-reintegrated"));
+    }
+
+    #[test]
+    fn failed_probe_reblacklists() {
+        let mut mon = HealthMonitor::new(params());
+        feed(&mon, &[1.0, 6.0, 1.0, 1.0]);
+        mon.end_cycle();
+        feed(&mon, &[1.0, 1.0, 1.0, 1.0]);
+        mon.end_cycle(); // → probation
+        feed(&mon, &[1.0, 6.0, 1.0, 1.0]); // probe still degraded
+        let snap = mon.end_cycle();
+        assert_eq!(snap.blacklisted_osts, vec![1]);
+    }
+
+    #[test]
+    fn straggling_rank_is_suspected_then_cleared() {
+        let mut mon = HealthMonitor::new(params());
+        mon.observe_compute(2, 3.0);
+        let snap = mon.end_cycle();
+        assert_eq!(snap.suspected_ranks, vec![2]);
+        assert!(mon.digest().contains("event=rank-suspected"));
+        mon.observe_compute(2, 1.0);
+        // The rank detector enters the blacklist ladder internally; walk it
+        // out: blacklist term, probe, healthy.
+        mon.end_cycle();
+        mon.observe_compute(2, 1.0);
+        mon.end_cycle();
+        mon.observe_compute(2, 1.0);
+        let snap = mon.end_cycle();
+        assert!(snap.suspected_ranks.is_empty());
+        assert!(mon.digest().contains("event=rank-cleared"));
+    }
+
+    #[test]
+    fn detection_is_a_pure_function_of_the_observation_multiset() {
+        let run = |order_flip: bool| {
+            let mut mon = HealthMonitor::new(params());
+            for c in 0..5 {
+                let members: Vec<usize> = if order_flip {
+                    (0..8).rev().collect()
+                } else {
+                    (0..8).collect()
+                };
+                for m in members {
+                    let ost = m % 4;
+                    let ratio = if ost == 2 && c >= 1 { 3.0 } else { 1.0 };
+                    mon.observe_read(ost, m, ratio);
+                }
+                mon.end_cycle();
+            }
+            mon.digest()
+        };
+        assert_eq!(run(false), run(true), "feed order must not matter");
+        assert!(run(false).contains("event=ost-blacklisted"));
+    }
+
+    #[test]
+    fn speculation_events_carry_the_route() {
+        let mon = HealthMonitor::new(params());
+        mon.speculated(3, Some(1), 5, 1, 2, true);
+        let d = mon.digest();
+        assert!(d.contains("member=5"));
+        assert!(d.contains("replica=2"));
+        assert!(d.contains("event=replica-won"));
+    }
+}

@@ -1,0 +1,173 @@
+//! The frozen per-cycle routing decision table.
+
+use std::collections::BTreeSet;
+
+/// How a member's read should be issued this cycle. Decided once per
+/// (member, view) — a pure function, so the real executor and the DES weave
+/// agree without coordination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadRoute {
+    /// The member's OST is in rotation: read exactly like the resilient
+    /// path (byte-identical spans — the no-fault parity guarantee).
+    Primary,
+    /// The member stripes to a blacklisted OST: a speculative duplicate is
+    /// issued on the replica path. `replica_wins` is the deterministic
+    /// first-completion tie-break: the path with the smaller expected
+    /// dilation wins (ties go to the replica, which is the healthier bet by
+    /// construction); the loser is cancelled and charged as a zero-cost
+    /// marker span.
+    Speculate {
+        /// OST index of the replica path.
+        replica: usize,
+        /// Whether the replica read wins the race.
+        replica_wins: bool,
+    },
+}
+
+/// The blacklist as the executors consume it: which OSTs are out of
+/// rotation this cycle, and how replicas are assigned. Frozen between cycle
+/// boundaries — within a cycle every rank (and the model weave) routes from
+/// the same table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteView {
+    /// File→OST striping modulus (must match `FaultPlan::num_osts`).
+    pub num_osts: usize,
+    /// Replica placement: the replica of OST `o` is `(o + shift) % num_osts`.
+    pub replica_shift: usize,
+    /// OSTs currently out of rotation.
+    pub blacklisted: BTreeSet<usize>,
+}
+
+impl RouteView {
+    /// An all-healthy view: every route is [`ReadRoute::Primary`].
+    pub fn healthy(num_osts: usize, replica_shift: usize) -> Self {
+        RouteView {
+            num_osts,
+            replica_shift,
+            blacklisted: BTreeSet::new(),
+        }
+    }
+
+    /// Whether no OST is blacklisted (the passthrough fast path).
+    pub fn is_clean(&self) -> bool {
+        self.blacklisted.is_empty()
+    }
+
+    /// The OST member `member`'s file stripes to.
+    pub fn ost_of(&self, member: usize) -> usize {
+        member % self.num_osts
+    }
+
+    /// The replica OST of `ost`.
+    pub fn replica_of(&self, ost: usize) -> usize {
+        (ost + self.replica_shift) % self.num_osts
+    }
+
+    /// Route a read of `member`, given the expected service dilation of the
+    /// primary and replica paths (from the fault plan via
+    /// `FaultInjector::ost_factor`). Pure: both executors call this with
+    /// identical arguments and get identical routes.
+    pub fn route(&self, member: usize, primary_factor: f64, replica_factor: f64) -> ReadRoute {
+        let ost = self.ost_of(member);
+        if !self.blacklisted.contains(&ost) {
+            return ReadRoute::Primary;
+        }
+        let replica = self.replica_of(ost);
+        let replica_wins = !self.blacklisted.contains(&replica) && replica_factor <= primary_factor;
+        ReadRoute::Speculate {
+            replica,
+            replica_wins,
+        }
+    }
+
+    /// Stable reorder of a member schedule away from hot OSTs: members on
+    /// healthy OSTs first, members on blacklisted OSTs last, original order
+    /// preserved within each class. The trace digest is an order-free
+    /// multiset, so this is conformance-neutral; in time (wall or virtual)
+    /// it moves the slow tail where speculation and pipelining can hide it.
+    pub fn reorder(&self, members: &[usize]) -> Vec<usize> {
+        if self.is_clean() {
+            return members.to_vec();
+        }
+        let (cool, hot): (Vec<usize>, Vec<usize>) = members
+            .iter()
+            .copied()
+            .partition(|&m| !self.blacklisted.contains(&self.ost_of(m)));
+        let mut out = cool;
+        out.extend(hot);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(blacklisted: &[usize]) -> RouteView {
+        RouteView {
+            num_osts: 4,
+            replica_shift: 1,
+            blacklisted: blacklisted.iter().copied().collect(),
+        }
+    }
+
+    #[test]
+    fn clean_view_routes_everything_primary() {
+        let v = view(&[]);
+        assert!(v.is_clean());
+        for m in 0..8 {
+            assert_eq!(v.route(m, 5.0, 1.0), ReadRoute::Primary);
+        }
+        assert_eq!(v.reorder(&[3, 1, 2]), vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn blacklisted_ost_speculates_and_replica_wins_ties() {
+        let v = view(&[1]);
+        // Member 1 stripes to OST 1 (blacklisted), replica is OST 2.
+        assert_eq!(
+            v.route(1, 4.0, 1.0),
+            ReadRoute::Speculate {
+                replica: 2,
+                replica_wins: true
+            }
+        );
+        // Tie goes to the replica.
+        assert_eq!(
+            v.route(1, 1.0, 1.0),
+            ReadRoute::Speculate {
+                replica: 2,
+                replica_wins: true
+            }
+        );
+        // A slower replica loses the race.
+        assert_eq!(
+            v.route(1, 2.0, 3.0),
+            ReadRoute::Speculate {
+                replica: 2,
+                replica_wins: false
+            }
+        );
+        // Members on other OSTs are untouched.
+        assert_eq!(v.route(0, 1.0, 1.0), ReadRoute::Primary);
+    }
+
+    #[test]
+    fn blacklisted_replica_loses_the_race() {
+        let v = view(&[1, 2]);
+        assert_eq!(
+            v.route(5, 4.0, 1.0),
+            ReadRoute::Speculate {
+                replica: 2,
+                replica_wins: false
+            }
+        );
+    }
+
+    #[test]
+    fn reorder_is_stable_and_moves_hot_members_last() {
+        let v = view(&[1]);
+        // OST of member = member % 4; members 1 and 5 are hot.
+        assert_eq!(v.reorder(&[0, 1, 2, 3, 4, 5]), vec![0, 2, 3, 4, 1, 5]);
+    }
+}

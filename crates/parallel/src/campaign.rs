@@ -37,6 +37,7 @@ use enkf_core::{inflated, EnkfError, Ensemble, LocalAnalysis, Result as CoreResu
 use enkf_data::{write_ensemble, CycleConfig, CycleState, CycleStats, CycledExperiment};
 use enkf_fault::{FaultConfig, FaultLog, RetryPolicy, SubstrateError};
 use enkf_grid::Mesh;
+use enkf_health::{HealthMonitor, HealthParams, HealthSnapshot};
 use enkf_pfs::FileStore;
 use enkf_trace::{RankTracer, Role, Trace};
 use enkf_tuning::Params;
@@ -85,17 +86,22 @@ impl CampaignExecutor {
         }
     }
 
-    fn run_faulted(
+    fn run_adaptive(
         &self,
         setup: &AssimilationSetup<'_>,
         cfg: &FaultConfig,
+        monitor: Option<&HealthMonitor>,
     ) -> CoreResult<(Ensemble, ExecutionReport, Trace, FaultLog)> {
         match *self {
-            CampaignExecutor::LEnkf { nsdx, nsdy } => LEnkf { nsdx, nsdy }.run_faulted(setup, cfg),
-            CampaignExecutor::PEnkf { nsdx, nsdy } => PEnkf { nsdx, nsdy }.run_faulted(setup, cfg),
-            CampaignExecutor::SEnkf(p) => SEnkf::new(p).run_faulted(setup, cfg),
+            CampaignExecutor::LEnkf { nsdx, nsdy } => {
+                LEnkf { nsdx, nsdy }.run_adaptive(setup, cfg, monitor)
+            }
+            CampaignExecutor::PEnkf { nsdx, nsdy } => {
+                PEnkf { nsdx, nsdy }.run_adaptive(setup, cfg, monitor)
+            }
+            CampaignExecutor::SEnkf(p) => SEnkf::new(p).run_adaptive(setup, cfg, monitor),
             CampaignExecutor::DEnkf { shards, kernel } => {
-                DEnkf { shards, kernel }.run_faulted(setup, cfg)
+                DEnkf { shards, kernel }.run_adaptive(setup, cfg, monitor)
             }
         }
     }
@@ -183,6 +189,17 @@ pub struct CampaignCtx {
     pub backoff: BackoffClock,
     /// Synchronous or pipelined checkpoint commits.
     pub ckpt_mode: CkptMode,
+    /// Online health monitoring: `Some(params)` attaches a cross-cycle
+    /// [`HealthMonitor`] — each cycle runs through the executors' adaptive
+    /// read path (blacklisted-OST members last, speculative duplicates,
+    /// deadline-budgeted retries) and the detectors step at every
+    /// successful cycle boundary. Detector state is in-memory only: a
+    /// campaign resumed from a checkpoint restarts its detectors cold
+    /// (conservative — probation clears, suspicion re-accrues), so the
+    /// kill–resume bit-identity guarantee applies to non-adaptive
+    /// campaigns; adaptive campaigns are deterministic per uninterrupted
+    /// run of a seeded plan.
+    pub health: Option<HealthParams>,
 }
 
 /// One recovery action the supervisor took.
@@ -228,6 +245,15 @@ pub struct CampaignReport {
     /// Restart-backoff seconds accounted but not slept
     /// ([`BackoffClock::Virtual`]); zero under the wall clock.
     pub virtual_backoff: f64,
+    /// One [`HealthSnapshot`] per completed cycle when the campaign ran
+    /// with [`CampaignCtx::health`]; empty otherwise. The scheduler feeds
+    /// these to its rebalance to reprice SLAs against degraded capacity.
+    pub health_snapshots: Vec<HealthSnapshot>,
+    /// Canonical digest of every health decision the campaign's monitor
+    /// made (`None` without monitoring) — the chaos-soak conformance
+    /// artifact, byte-identical to the modeled campaign's under a common
+    /// seeded plan.
+    pub health_digest: Option<String>,
 }
 
 /// Supervisor-level failures.
@@ -443,6 +469,8 @@ fn supervise(
     let mut dropped_members = Vec::new();
     let mut degraded_mode = false;
     let mut virtual_backoff = 0.0f64;
+    let mut monitor = ctx.health.map(HealthMonitor::new);
+    let mut health_snapshots: Vec<HealthSnapshot> = Vec::new();
 
     let (mut exp, resumed_from) = match ckpt.load_latest(fp, Some(&mut sup))? {
         Some((ck, _skipped)) => {
@@ -483,7 +511,7 @@ fn supervise(
                 analysis: cfg.analysis,
             };
             let (analysis, report, cycle_trace, _log) = exec
-                .run_faulted(&setup, &fcfg)
+                .run_adaptive(&setup, &fcfg, monitor.as_ref())
                 .map_err(CampaignError::Analysis)?;
             cycle_out = Some((report, cycle_trace));
             Ok(analysis)
@@ -498,6 +526,12 @@ fn supervise(
                     if !dropped_members.contains(&m) {
                         dropped_members.push(m);
                     }
+                }
+                if let Some(mon) = monitor.as_mut() {
+                    // Cycle boundary: fold this cycle's observations into
+                    // the detectors and refreeze the routing view the next
+                    // cycle's readers will consult.
+                    health_snapshots.push(mon.end_cycle());
                 }
                 let snapshot = checkpoint_of(cfg, fp, &exp, &stats, &digests);
                 match writer {
@@ -515,6 +549,12 @@ fn supervise(
                 restarts = 0;
             }
             Err(CampaignError::Analysis(EnkfError::Substrate(se))) => {
+                if let Some(mon) = monitor.as_ref() {
+                    // The attempt failed mid-cycle: discard its partial
+                    // observations — the re-run re-observes the full cycle,
+                    // keeping detection a pure function of completed cycles.
+                    mon.abort_cycle();
+                }
                 let permanent_loss = matches!(se, SubstrateError::Unrecoverable { .. });
                 if !permanent_loss {
                     if restarts >= cfg.restart.max_retries {
@@ -586,5 +626,7 @@ fn supervise(
         dropped_members,
         wall_time: t0.elapsed().as_secs_f64(),
         virtual_backoff,
+        health_snapshots,
+        health_digest: monitor.map(|m| m.digest()),
     })
 }

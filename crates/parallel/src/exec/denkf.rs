@@ -29,10 +29,12 @@ use crate::report::{ExecutionReport, PhaseBreakdown};
 use enkf_core::{batched_transform, BatchedKernel, EnkfError, Ensemble, Result};
 use enkf_data::region_to_matrix;
 use enkf_fault::{FaultConfig, FaultLog, SubstrateError};
+use enkf_health::HealthMonitor;
 use enkf_linalg::Matrix;
 use enkf_net::{Cluster, RankCtx};
-use enkf_pfs::{read_region_resilient, RegionData};
+use enkf_pfs::{read_region_adaptive, RegionData};
 use enkf_trace::Trace;
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 /// The observation-space payload of the all-to-all exchange.
@@ -108,6 +110,23 @@ impl DEnkf {
         setup: &AssimilationSetup<'_>,
         cfg: &FaultConfig,
     ) -> Result<(Ensemble, ExecutionReport, Trace, FaultLog)> {
+        self.run_adaptive(setup, cfg, None)
+    }
+
+    /// [`DEnkf::run_faulted`] with online health monitoring. Each shard
+    /// reads members whose OST is blacklisted last and routes bar reads
+    /// through [`read_region_adaptive`], so a degraded OST triggers a
+    /// speculative duplicate read against its replica; bars are collected
+    /// keyed by member and re-assembled ascending, so the reorder never
+    /// reaches the numerics. Observed dilation ratios feed the monitor;
+    /// the caller folds them with [`HealthMonitor::end_cycle`]. With
+    /// `monitor: None` this is byte-identical to [`DEnkf::run_faulted`].
+    pub fn run_adaptive(
+        &self,
+        setup: &AssimilationSetup<'_>,
+        cfg: &FaultConfig,
+        monitor: Option<&HealthMonitor>,
+    ) -> Result<(Ensemble, ExecutionReport, Trace, FaultLog)> {
         setup.validate()?;
         // Shards are full-width bars: the `1 × shards` decomposition.
         let decomp = setup.decomposition(1, self.shards)?;
@@ -139,10 +158,24 @@ impl DEnkf {
                 // full-width band, one contiguous segment, one disk
                 // addressing operation per member (§4.1.2's bar argument,
                 // here applied to the analysis decomposition itself).
-                let mut per_member: Vec<RegionData> = Vec::with_capacity(alive.len());
-                for k in 0..setup.members {
-                    match read_region_resilient(setup.store, tracer, None, k, &bar, injector) {
-                        Ok(d) => per_member.push(d),
+                let order: Vec<usize> = match monitor {
+                    Some(mon) => mon.view().reorder(&(0..setup.members).collect::<Vec<_>>()),
+                    None => (0..setup.members).collect(),
+                };
+                let mut by_member: BTreeMap<usize, RegionData> = BTreeMap::new();
+                for &k in &order {
+                    match read_region_adaptive(
+                        setup.store,
+                        tracer,
+                        None,
+                        k,
+                        &bar,
+                        injector,
+                        monitor,
+                    ) {
+                        Ok(d) => {
+                            by_member.insert(k, d);
+                        }
                         Err(_) if dropped.contains(&k) => {}
                         Err(e) => {
                             // Peers count on this shard's block: unblock
@@ -162,6 +195,7 @@ impl DEnkf {
                         }
                     }
                 }
+                let per_member: Vec<RegionData> = by_member.into_values().collect();
                 let xb = region_to_matrix(&bar, &per_member);
                 let n_alive = alive.len();
 
@@ -275,6 +309,9 @@ impl DEnkf {
                 // Phase 3: the batched transform (identical on every rank)
                 // and the shard-local update Xᵃ = Xᵇ + U_shard T.
                 let dilation = injector.compute_dilation(rank);
+                if let Some(mon) = monitor {
+                    mon.observe_compute(rank, dilation);
+                }
                 let r_var = setup.observations.error_var();
                 tracer
                     .compute(None, || {

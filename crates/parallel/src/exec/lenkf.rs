@@ -12,8 +12,9 @@ use crate::report::{ExecutionReport, PhaseBreakdown};
 use enkf_core::{Ensemble, Result};
 use enkf_data::region_to_matrix;
 use enkf_fault::{FaultConfig, FaultLog, SubstrateError};
+use enkf_health::HealthMonitor;
 use enkf_net::{Cluster, RankCtx};
-use enkf_pfs::{read_full_resilient, RegionData};
+use enkf_pfs::{read_full_adaptive, RegionData};
 use enkf_trace::Trace;
 use std::time::{Duration, Instant};
 
@@ -58,6 +59,23 @@ impl LEnkf {
         setup: &AssimilationSetup<'_>,
         cfg: &FaultConfig,
     ) -> Result<(Ensemble, ExecutionReport, Trace, FaultLog)> {
+        self.run_adaptive(setup, cfg, None)
+    }
+
+    /// [`LEnkf::run_faulted`] with online health monitoring. Rank 0 (the
+    /// only reader) reads members whose OST is blacklisted last and routes
+    /// every read through [`read_full_adaptive`], so a degraded OST
+    /// triggers a speculative duplicate against its replica. Receivers key
+    /// incoming blocks by member index, so the reorder never changes the
+    /// analysis input. Observed dilation ratios feed the monitor; the
+    /// caller folds them with [`HealthMonitor::end_cycle`]. With
+    /// `monitor: None` this is byte-identical to [`LEnkf::run_faulted`].
+    pub fn run_adaptive(
+        &self,
+        setup: &AssimilationSetup<'_>,
+        cfg: &FaultConfig,
+        monitor: Option<&HealthMonitor>,
+    ) -> Result<(Ensemble, ExecutionReport, Trace, FaultLog)> {
         setup.validate()?;
         let decomp = setup.decomposition(self.nsdx, self.nsdy)?;
         let mesh = setup.mesh();
@@ -92,10 +110,23 @@ impl LEnkf {
                     // The single reader: read each full member, carve out every
                     // rank's expansion block, send (keep own block locally).
                     // Dropped members burn their injected-failure spans but
-                    // produce no scatter.
-                    for (k, slot) in per_member.iter_mut().enumerate() {
-                        let full = match read_full_resilient(setup.store, tracer, None, k, injector)
-                        {
+                    // produce no scatter. Under a health monitor the read
+                    // order moves blacklisted-OST members last; peers key
+                    // blocks by member index, so the reorder is invisible
+                    // to the numerics.
+                    let order: Vec<usize> = match monitor {
+                        Some(mon) => mon.view().reorder(&(0..setup.members).collect::<Vec<_>>()),
+                        None => (0..setup.members).collect(),
+                    };
+                    for &k in &order {
+                        let full = match read_full_adaptive(
+                            setup.store,
+                            tracer,
+                            None,
+                            k,
+                            injector,
+                            monitor,
+                        ) {
                             Ok(d) => d,
                             Err(_) if dropped.contains(&k) => continue,
                             Err(e) => {
@@ -136,7 +167,7 @@ impl LEnkf {
                                 }
                             });
                         }
-                        *slot = Some(full.extract(&expansion));
+                        per_member[k] = Some(full.extract(&expansion));
                     }
                 } else {
                     // Receive the expansion blocks of all surviving members
@@ -174,14 +205,24 @@ impl LEnkf {
                     received?;
                 }
 
-                let per_member: Vec<RegionData> = alive
-                    .iter()
-                    .map(|&k| {
-                        per_member[k]
-                            .take()
-                            .expect("all surviving members delivered")
-                    })
-                    .collect();
+                // Typed, not a panic: a protocol violation (a duplicate
+                // block shadowing another member within the counted
+                // receive loop) must tear this rank down cleanly, like
+                // every other substrate failure.
+                let mut assembled: Vec<RegionData> = Vec::with_capacity(alive.len());
+                for &k in alive {
+                    match per_member[k].take() {
+                        Some(d) => assembled.push(d),
+                        None => {
+                            return Err(SubstrateError::HelperFailed {
+                                rank,
+                                detail: format!("member {k} block missing after scatter"),
+                            }
+                            .into())
+                        }
+                    }
+                }
+                let per_member = assembled;
                 let dilation = injector.compute_dilation(rank);
                 let out = tracer.compute(None, || {
                     let start = Instant::now();
@@ -194,6 +235,9 @@ impl LEnkf {
                     dilate(start, dilation);
                     r
                 });
+                if let Some(mon) = monitor {
+                    mon.observe_compute(rank, dilation);
+                }
                 out.map(|m| (target, m))
             });
 

@@ -14,9 +14,11 @@ use crate::report::{ExecutionReport, PhaseBreakdown};
 use enkf_core::{Ensemble, Result};
 use enkf_data::region_to_matrix;
 use enkf_fault::{FaultConfig, FaultLog, SubstrateError};
+use enkf_health::HealthMonitor;
 use enkf_net::{Cluster, RankCtx};
-use enkf_pfs::{read_region_resilient, RegionData};
+use enkf_pfs::{read_region_adaptive, RegionData};
 use enkf_trace::Trace;
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// The P-EnKF variant: `n_sdx × n_sdy` ranks, block reading, sequential
@@ -60,6 +62,27 @@ impl PEnkf {
         setup: &AssimilationSetup<'_>,
         cfg: &FaultConfig,
     ) -> Result<(Ensemble, ExecutionReport, Trace, FaultLog)> {
+        self.run_adaptive(setup, cfg, None)
+    }
+
+    /// [`PEnkf::run_faulted`] with online health monitoring. When a
+    /// [`HealthMonitor`] is supplied, each rank consults the monitor's
+    /// frozen [`RouteView`](enkf_health::RouteView) before every member
+    /// read: members on blacklisted OSTs are read last (the reorder is
+    /// digest-neutral and, because blocks are keyed by member before the
+    /// analysis, numerically invisible) and routed through
+    /// [`read_region_adaptive`] so a degraded OST triggers a speculative
+    /// duplicate read against its replica. Observed read-dilation and
+    /// compute-dilation ratios are fed back into the monitor; the caller
+    /// folds them at the cycle boundary with
+    /// [`HealthMonitor::end_cycle`]. With `monitor: None` this is
+    /// byte-identical to [`PEnkf::run_faulted`].
+    pub fn run_adaptive(
+        &self,
+        setup: &AssimilationSetup<'_>,
+        cfg: &FaultConfig,
+        monitor: Option<&HealthMonitor>,
+    ) -> Result<(Ensemble, ExecutionReport, Trace, FaultLog)> {
         setup.validate()?;
         let decomp = setup.decomposition(self.nsdx, self.nsdy)?;
         let mesh = setup.mesh();
@@ -89,16 +112,33 @@ impl PEnkf {
                 // Phase 1: block-read the expansion of every member file.
                 // Dropped members still burn their (injected-failure) fault
                 // spans before being skipped, so the wall cost of deciding
-                // to drop is accounted for.
-                let mut per_member: Vec<RegionData> = Vec::with_capacity(alive.len());
-                for k in 0..setup.members {
-                    match read_region_resilient(setup.store, tracer, None, k, &expansion, injector)
-                    {
-                        Ok(d) => per_member.push(d),
+                // to drop is accounted for. Under a health monitor the read
+                // *order* moves blacklisted-OST members last, but blocks are
+                // collected keyed by member and re-assembled ascending, so
+                // the analysis input is bit-identical either way.
+                let order: Vec<usize> = match monitor {
+                    Some(mon) => mon.view().reorder(&(0..setup.members).collect::<Vec<_>>()),
+                    None => (0..setup.members).collect(),
+                };
+                let mut by_member: BTreeMap<usize, RegionData> = BTreeMap::new();
+                for &k in &order {
+                    match read_region_adaptive(
+                        setup.store,
+                        tracer,
+                        None,
+                        k,
+                        &expansion,
+                        injector,
+                        monitor,
+                    ) {
+                        Ok(d) => {
+                            by_member.insert(k, d);
+                        }
                         Err(_) if dropped.contains(&k) => {}
                         Err(e) => return Err(e.into()),
                     }
                 }
+                let per_member: Vec<RegionData> = by_member.into_values().collect();
 
                 // Phase 2: local analysis on the gathered data.
                 let dilation = injector.compute_dilation(rank);
@@ -113,6 +153,9 @@ impl PEnkf {
                     dilate(start, dilation);
                     r
                 });
+                if let Some(mon) = monitor {
+                    mon.observe_compute(rank, dilation);
+                }
                 out.map(|m| (target, m))
             });
 

@@ -20,9 +20,10 @@ use crate::report::{ExecutionReport, PhaseBreakdown};
 use enkf_core::{EnkfError, Ensemble, Result};
 use enkf_fault::{FaultConfig, FaultLog, SubstrateError};
 use enkf_grid::RegionRect;
+use enkf_health::HealthMonitor;
 use enkf_linalg::Matrix;
 use enkf_net::{Cluster, RankCtx};
-use enkf_pfs::{read_stages_ahead, ReadAheadError, StageRead};
+use enkf_pfs::{read_stages_ahead_adaptive, ReadAheadError, StageRead};
 use enkf_trace::{Role, Trace};
 use enkf_tuning::Params;
 use std::collections::BTreeMap;
@@ -84,6 +85,25 @@ impl SEnkf {
         setup: &AssimilationSetup<'_>,
         cfg: &FaultConfig,
     ) -> Result<(Ensemble, ExecutionReport, Trace, FaultLog)> {
+        self.run_adaptive(setup, cfg, None)
+    }
+
+    /// [`SEnkf::run_faulted`] with online health monitoring. Each I/O rank
+    /// reorders its group's member list so blacklisted-OST members are read
+    /// last (bundles carry explicit member indices and the helper thread
+    /// places columns by member, so the reorder never reaches the
+    /// numerics), and every bar read goes through the adaptive route —
+    /// a blacklisted OST triggers a deterministic speculative duplicate
+    /// read against its replica. Observed read and compute dilation ratios
+    /// feed the monitor; the caller folds them at the cycle boundary with
+    /// [`HealthMonitor::end_cycle`]. With `monitor: None` this is
+    /// byte-identical to [`SEnkf::run_faulted`].
+    pub fn run_adaptive(
+        &self,
+        setup: &AssimilationSetup<'_>,
+        cfg: &FaultConfig,
+        monitor: Option<&HealthMonitor>,
+    ) -> Result<(Ensemble, ExecutionReport, Trace, FaultLog)> {
         setup.validate()?;
         let p = self.params;
         let decomp = setup.decomposition(p.nsdx, p.nsdy)?;
@@ -133,8 +153,16 @@ impl SEnkf {
                     let io_index = rank - c2;
                     let group = io_index / p.nsdy;
                     let j = io_index % p.nsdy;
+                    // Under a health monitor, read blacklisted-OST members
+                    // last. `alive_files` is derived from the *reordered*
+                    // list, so bundle member order always matches the data
+                    // order the pipeline delivers.
                     let files: Vec<usize> =
                         (group * files_per_group..(group + 1) * files_per_group).collect();
+                    let files = match monitor {
+                        Some(mon) => mon.view().reorder(&files),
+                        None => files,
+                    };
                     let alive_files: Vec<usize> = files
                         .iter()
                         .copied()
@@ -155,12 +183,13 @@ impl SEnkf {
                             members: files.clone(),
                         })
                         .collect();
-                    let outcome = read_stages_ahead::<std::convert::Infallible>(
+                    let outcome = read_stages_ahead_adaptive::<std::convert::Infallible>(
                         setup.store,
                         injector,
                         tracer,
                         &plan,
                         dropped,
+                        monitor,
                         |sr, datas, tracer| {
                             let l = sr.stage;
                             if alive_files.is_empty() {
@@ -221,6 +250,27 @@ impl SEnkf {
                             return (Err(e.into()), true);
                         }
                         Err(ReadAheadError::Consume(never)) => match never {},
+                        Err(ReadAheadError::ReaderPanicked { message }) => {
+                            // Contained prefetch-thread panic: unblock this
+                            // latitude block's compute ranks, then surface a
+                            // typed substrate error instead of tearing down
+                            // the executor.
+                            let detail = format!("prefetch thread panicked: {message}");
+                            for i in 0..p.nsdx {
+                                let id = enkf_grid::SubDomainId { i, j };
+                                ctx.send(
+                                    decomp.rank_of(id),
+                                    0,
+                                    Msg::Abort {
+                                        reason: detail.clone(),
+                                    },
+                                );
+                            }
+                            return (
+                                Err(SubstrateError::HelperFailed { rank, detail }.into()),
+                                true,
+                            );
+                        }
                     }
                     if let Some(l) = crash {
                         // The plan kills this rank at the start of stage l:
@@ -320,6 +370,9 @@ impl SEnkf {
                 let sub_width = target.width();
                 let layer_height = target.height() / p.layers;
                 let dilation = injector.compute_dilation(rank);
+                if let Some(mon) = monitor {
+                    mon.observe_compute(rank, dilation);
+                }
                 let mut result = Matrix::zeros(target.npoints(), alive_total);
                 let mut ready: BTreeMap<usize, Matrix> = BTreeMap::new();
                 for l in 0..p.layers {

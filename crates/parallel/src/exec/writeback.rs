@@ -10,7 +10,13 @@ use crate::report::PhaseBreakdown;
 use enkf_core::{EnkfError, Ensemble, Result};
 use enkf_grid::{Decomposition, RegionRect};
 use enkf_pfs::FileStore;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
+
+/// Test failpoint: the next writer thread panics mid-write. The panic must
+/// surface as a typed error from [`parallel_write_back`], never tear down
+/// the caller. Self-clearing.
+pub static FAIL_WRITER_PANIC: AtomicBool = AtomicBool::new(false);
 
 /// Write every member of `analysis` into `store` using `writers` parallel
 /// bar writers. Member files are created (zero-filled) first; each writer
@@ -49,6 +55,9 @@ pub fn parallel_write_back(
             .map(|j| {
                 let decomp = &decomp;
                 scope.spawn(move || {
+                    if FAIL_WRITER_PANIC.swap(false, Ordering::SeqCst) {
+                        panic!("injected write-back writer panic (failpoint)");
+                    }
                     let bar: RegionRect = decomp.bar(j);
                     let local = analysis.restrict(&bar);
                     // One staging vector per writer, reused across members —
@@ -72,7 +81,20 @@ pub fn parallel_write_back(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("writer panicked"))
+            .enumerate()
+            .map(|(j, h)| match h.join() {
+                Ok(err) => err,
+                // Contain a panicking writer: the caller gets a typed
+                // error, not a propagated panic from a worker thread.
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "writer panicked".into());
+                    Some(format!("writer {j} panicked: {msg}"))
+                }
+            })
             .collect()
     });
     if let Some(msg) = errors.into_iter().flatten().next() {
@@ -106,6 +128,27 @@ mod tests {
         parallel_write_back(&store, &scenario.ensemble, 4).unwrap();
         let back = read_ensemble(&store, members).unwrap();
         assert_eq!(back.states(), scenario.ensemble.states());
+    }
+
+    #[test]
+    fn panicking_writer_is_a_typed_error_not_a_process_panic() {
+        let mesh = Mesh::new(16, 8);
+        let members = 3;
+        let scenario = ScenarioBuilder::new(mesh).members(members).seed(5).build();
+        let scratch = ScratchDir::new("wb-panic").unwrap();
+        let store = FileStore::open(scratch.path(), FileLayout::new(mesh, 8)).unwrap();
+        FAIL_WRITER_PANIC.store(true, Ordering::SeqCst);
+        let err = parallel_write_back(&store, &scenario.ensemble, 2)
+            .expect_err("a panicking writer must surface as an error");
+        let msg = err.to_string();
+        assert!(msg.contains("panicked"), "typed containment: {msg}");
+        assert!(msg.contains("failpoint"), "payload preserved: {msg}");
+        assert!(
+            !FAIL_WRITER_PANIC.load(Ordering::SeqCst),
+            "failpoint clears itself"
+        );
+        // The store is still usable after containment.
+        parallel_write_back(&store, &scenario.ensemble, 2).unwrap();
     }
 
     #[test]

@@ -50,12 +50,22 @@ pub use exec::penkf::PEnkf;
 pub use exec::senkf::SEnkf;
 pub use exec::setup::AssimilationSetup;
 pub use exec::writeback::parallel_write_back;
-pub use model::campaign::{model_campaign, CampaignModelOutcome, CampaignModelPlan, ModelVariant};
-pub use model::denkf::{model_denkf, model_denkf_faulted, model_denkf_traced};
-pub use model::penkf::{model_penkf, model_penkf_faulted, model_penkf_traced};
+pub use model::campaign::{
+    model_campaign, model_campaign_adaptive, CampaignModelOutcome, CampaignModelPlan, ModelVariant,
+};
+pub use model::denkf::{
+    model_denkf, model_denkf_adaptive, model_denkf_faulted, model_denkf_traced,
+};
+pub use model::lenkf::{
+    model_lenkf, model_lenkf_adaptive, model_lenkf_faulted, model_lenkf_traced,
+};
+pub use model::penkf::{
+    model_penkf, model_penkf_adaptive, model_penkf_faulted, model_penkf_traced,
+};
 pub use model::senkf::{
-    model_senkf, model_senkf_faulted, model_senkf_faulted_opts, model_senkf_opts,
-    model_senkf_opts_traced, model_senkf_traced, SEnkfModelOptions,
+    model_senkf, model_senkf_adaptive, model_senkf_adaptive_opts, model_senkf_faulted,
+    model_senkf_faulted_opts, model_senkf_opts, model_senkf_opts_traced, model_senkf_traced,
+    SEnkfModelOptions,
 };
 pub use model::{ModelConfig, ModelOutcome};
 pub use report::{ExecutionReport, PhaseBreakdown};

@@ -24,10 +24,12 @@
 //! baseline: a crash throws away *all* completed cycles, which is the
 //! comparison the Fig. 14-style MTTR sweep in `scripts/bench.sh` plots.
 
-use super::penkf::model_penkf_faulted;
-use super::senkf::{model_senkf_faulted_opts, SEnkfModelOptions};
+use super::penkf::model_penkf_adaptive;
+use super::senkf::{model_senkf_adaptive_opts, SEnkfModelOptions};
 use super::{ModelConfig, ModelOutcome};
+use enkf_ckpt::fnv64;
 use enkf_fault::{FaultConfig, RetryPolicy};
+use enkf_health::{HealthMonitor, HealthSnapshot};
 use enkf_trace::{Op, Role, Span, Trace};
 use enkf_tuning::Params;
 use std::collections::BTreeSet;
@@ -35,6 +37,13 @@ use std::collections::BTreeSet;
 /// Which modeled executor the campaign drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ModelVariant {
+    /// Single-reader baseline.
+    LEnkf {
+        /// Sub-domains along longitude.
+        nsdx: usize,
+        /// Sub-domains along latitude.
+        nsdy: usize,
+    },
     /// Block-reading baseline.
     PEnkf {
         /// Sub-domains along longitude.
@@ -54,7 +63,9 @@ pub enum ModelVariant {
 impl ModelVariant {
     fn layers(&self) -> usize {
         match *self {
-            ModelVariant::PEnkf { .. } | ModelVariant::DEnkf { .. } => 1,
+            ModelVariant::LEnkf { .. }
+            | ModelVariant::PEnkf { .. }
+            | ModelVariant::DEnkf { .. } => 1,
             ModelVariant::SEnkf(p) => p.layers,
         }
     }
@@ -102,8 +113,18 @@ pub struct CampaignModelOutcome {
     /// Checkpoint seconds hidden behind overlapped cycle work (zero for
     /// synchronous campaigns).
     pub ckpt_hidden: f64,
-    /// The single-cycle model outcome the campaign was stitched from.
+    /// The single-cycle model outcome the campaign was stitched from (the
+    /// baseline, monitor-free cycle in adaptive campaigns).
     pub cycle: ModelOutcome,
+    /// FNV-64 hash of each completed cycle's trace digest, in cycle order
+    /// — comparable entry for entry with the real supervisor's
+    /// `CampaignReport::cycle_digests`. Without a monitor every entry is
+    /// the same replayed cycle; with one, cycles re-model under the
+    /// evolving routing view.
+    pub cycle_digests: Vec<u64>,
+    /// One [`HealthSnapshot`] per completed cycle when a monitor was
+    /// attached; empty otherwise.
+    pub health_snapshots: Vec<HealthSnapshot>,
 }
 
 /// Model a K-cycle supervised campaign under `fcfg`. Cycle-scoped crashes
@@ -117,6 +138,28 @@ pub fn model_campaign(
     camp: &CampaignModelPlan,
     fcfg: &FaultConfig,
 ) -> Result<(CampaignModelOutcome, Trace), String> {
+    model_campaign_adaptive(cfg, variant, camp, fcfg, None)
+}
+
+/// [`model_campaign`] with online health monitoring: the mirror of
+/// [`crate::run_campaign_ctx`] under [`crate::CampaignCtx::health`]. With a
+/// monitor the one-cycle-replayed-K-times shortcut is no longer sound —
+/// the frozen routing view evolves at every cycle boundary, reshaping the
+/// next cycle's reads — so each completed cycle re-runs the per-variant
+/// adaptive DES against the current view and then steps the detectors,
+/// exactly the real supervisor's boundary fold. Crashed attempts feed no
+/// observations on either side (the real supervisor discards the partial
+/// attempt's accumulator), and their partial work is priced at the
+/// baseline cycle makespan. Under a common seeded plan the returned
+/// per-cycle digests and the monitor's decision log are byte-identical to
+/// the real adaptive campaign's.
+pub fn model_campaign_adaptive(
+    cfg: &ModelConfig,
+    variant: &ModelVariant,
+    camp: &CampaignModelPlan,
+    fcfg: &FaultConfig,
+    mut monitor: Option<&mut HealthMonitor>,
+) -> Result<(CampaignModelOutcome, Trace), String> {
     // The steady-state cycle: the campaign plan's non-cycle faults apply
     // to every cycle, while cycle-scoped crashes are orchestrated here at
     // the supervisor level (the per-cycle DES rejects crash plans).
@@ -126,21 +169,31 @@ pub fn model_campaign(
         degraded: fcfg.degraded,
         recv_timeout: fcfg.recv_timeout,
     };
-    let run_cycle_model = |cfg: &ModelConfig| -> Result<(ModelOutcome, Trace), String> {
+    let run_cycle_model = |cfg: &ModelConfig,
+                           mon: Option<&HealthMonitor>|
+     -> Result<(ModelOutcome, Trace), String> {
         let (out, tr, _log) = match *variant {
+            ModelVariant::LEnkf { nsdx, nsdy } => {
+                super::lenkf::model_lenkf_adaptive(cfg, nsdx, nsdy, &cycle_fcfg, mon)?
+            }
             ModelVariant::PEnkf { nsdx, nsdy } => {
-                model_penkf_faulted(cfg, nsdx, nsdy, &cycle_fcfg)?
+                model_penkf_adaptive(cfg, nsdx, nsdy, &cycle_fcfg, mon)?
             }
             ModelVariant::SEnkf(p) => {
-                model_senkf_faulted_opts(cfg, p, SEnkfModelOptions::default(), &cycle_fcfg)?
+                model_senkf_adaptive_opts(cfg, p, SEnkfModelOptions::default(), &cycle_fcfg, mon)?
             }
             ModelVariant::DEnkf { shards } => {
-                super::denkf::model_denkf_faulted(cfg, shards, &cycle_fcfg)?
+                super::denkf::model_denkf_adaptive(cfg, shards, &cycle_fcfg, mon)?
             }
         };
         Ok((out, tr))
     };
-    let (cycle, cycle_trace) = run_cycle_model(cfg)?;
+    // The baseline cycle prices checkpoint overlap and crashed partial
+    // attempts in both modes; it is also the replayed cycle when no
+    // monitor is attached. Run monitor-free so pricing feeds no
+    // observations.
+    let (cycle, cycle_trace) = run_cycle_model(cfg, None)?;
+    let base_digest = fnv64(cycle_trace.digest().as_bytes());
 
     let n = (cfg.workload.nx * cfg.workload.ny) as u64;
     let member_bytes = 8 * n;
@@ -165,7 +218,7 @@ pub fn model_campaign(
         let m = cycle.makespan;
         if streams > 1 {
             let share = (streams - 1) as f64 / streams as f64;
-            let (shared, _tr) = run_cycle_model(&cfg.with_bandwidth_share(share))?;
+            let (shared, _tr) = run_cycle_model(&cfg.with_bandwidth_share(share), None)?;
             let dilation =
                 (shared.makespan - m).max(0.0) * checkpoint_time.min(m) / m.max(f64::MIN_POSITIVE);
             (dilation, (checkpoint_time - m).max(0.0))
@@ -216,6 +269,8 @@ pub fn model_campaign(
 
     let mut ckpt_exposed = 0.0f64;
     let mut ckpt_sweeps = 0usize;
+    let mut cycle_digests: Vec<u64> = Vec::new();
+    let mut health_snapshots: Vec<HealthSnapshot> = Vec::new();
     // Pipelined: whether the previous cycle's checkpoint write is still
     // draining in the background (at most one, mirroring the real
     // supervisor's backpressure bound).
@@ -274,6 +329,7 @@ pub fn model_campaign(
                 // No recovery line: everything completed so far is thrown
                 // away and the campaign restarts from cycle 0.
                 lost += t - (partial + backoff);
+                cycle_digests.clear();
                 c = 0;
             }
             continue;
@@ -282,7 +338,25 @@ pub fn model_campaign(
         // streams (dilation) and must finish before this cycle's commit
         // can be handed over (backpressure tail).
         let dilation = if inflight { ckpt_dilation } else { 0.0 };
-        emit_cycle(&mut trace, &mut t);
+        match monitor.as_deref_mut() {
+            None => {
+                emit_cycle(&mut trace, &mut t);
+                cycle_digests.push(base_digest);
+            }
+            Some(mon) => {
+                // Adaptive: this cycle's reads follow the current frozen
+                // view, so the DES must be rebuilt, and the boundary fold
+                // refreezes the view for the next cycle.
+                let (out, tr) = run_cycle_model(cfg, Some(mon))?;
+                cycle_digests.push(fnv64(tr.digest().as_bytes()));
+                trace.extend(tr.spans().iter().cloned().map(|mut s| {
+                    s.start += t;
+                    s
+                }));
+                t += out.makespan;
+                health_snapshots.push(mon.end_cycle());
+            }
+        }
         t += dilation;
         if inflight {
             t += ckpt_tail;
@@ -328,6 +402,8 @@ pub fn model_campaign(
             ckpt_exposed,
             ckpt_hidden,
             cycle,
+            cycle_digests,
+            health_snapshots,
         },
         trace,
     ))

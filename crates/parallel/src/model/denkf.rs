@@ -8,10 +8,11 @@
 //! and one batched-transform compute gated on every peer's block.
 
 use crate::exec::denkf::exchange_bytes;
-use crate::model::{ModelConfig, ModelOutcome};
+use crate::model::{read_order, weave_member_read, ModelConfig, ModelOutcome};
 use crate::report::PhaseBreakdown;
 use enkf_fault::{FaultConfig, FaultInjector, FaultLog};
 use enkf_grid::{Decomposition, FileLayout, Mesh, ObservationNetwork};
+use enkf_health::HealthMonitor;
 use enkf_net::ModeledNet;
 use enkf_pfs::ModeledPfs;
 use enkf_sim::{Kind, Simulation, Task, TaskId};
@@ -43,6 +44,22 @@ pub fn model_denkf_faulted(
     shards: usize,
     fcfg: &FaultConfig,
 ) -> Result<(ModelOutcome, Trace, FaultLog), String> {
+    model_denkf_adaptive(cfg, shards, fcfg, None)
+}
+
+/// [`model_denkf_faulted`] with online health monitoring: every shard's bar
+/// reads are routed through the same frozen view the real adaptive executor
+/// consults (blacklisted-OST members last, speculative duplicates marked
+/// and charged at the race winner's OST and factor), with identical
+/// `(ost, member, ratio)` observations fed back — real and modeled trace,
+/// fault and health digests are byte-identical under a common seed. With
+/// `monitor: None` this is [`model_denkf_faulted`].
+pub fn model_denkf_adaptive(
+    cfg: &ModelConfig,
+    shards: usize,
+    fcfg: &FaultConfig,
+    monitor: Option<&HealthMonitor>,
+) -> Result<(ModelOutcome, Trace, FaultLog), String> {
     let w = &cfg.workload;
     let mesh = Mesh::new(w.nx, w.ny);
     let decomp = Decomposition::new(mesh, 1, shards).map_err(|e| e.to_string())?;
@@ -69,7 +86,6 @@ pub fn model_denkf_faulted(
             injector.log().dropped(m);
         }
     }
-    let retry = *injector.retry();
     let alive = w.members - dropped.len();
 
     let mut sim = Simulation::new();
@@ -93,50 +109,11 @@ pub fn model_denkf_faulted(
         let bar = decomp.subdomain(id);
         let seeks = layout.seek_count(&bar) as u64;
         let bytes = layout.region_bytes(&bar);
-        let read_service = pfs.read_service(seeks, bytes);
-        for k in 0..w.members {
-            let fails = injector.read_fail_attempts(k);
-            let service = read_service * injector.file_slowdown(k);
-            let tag = OpTag {
-                bytes,
-                seeks,
-                member: Some(k),
-                ..OpTag::default()
-            };
-            for attempt in 0..retry.attempts() {
-                if attempt > 0 {
-                    injector.log().backoff(r, None, k, attempt - 1);
-                    sim.add_task(
-                        Task::new(agents[r], Kind::Fault, retry.backoff(attempt - 1)).with_op(
-                            OpTag {
-                                member: Some(k),
-                                ..OpTag::default()
-                            },
-                        ),
-                    )
-                    .map_err(|e| e.to_string())?;
-                }
-                if attempt < fails {
-                    injector.log().injected(r, None, k, attempt);
-                    sim.add_task(
-                        Task::new(agents[r], Kind::Fault, service)
-                            .with_resources(vec![pfs.ost_of_file(k)])
-                            .with_op(tag),
-                    )
-                    .map_err(|e| e.to_string())?;
-                    continue;
-                }
-                sim.add_task(
-                    Task::new(agents[r], Kind::Read, service)
-                        .with_resources(vec![pfs.ost_of_file(k)])
-                        .with_op(tag),
-                )
-                .map_err(|e| e.to_string())?;
-                if attempt > 0 {
-                    injector.log().recovered(r, None, k, attempt);
-                }
-                break;
-            }
+        let order = read_order(&(0..w.members).collect::<Vec<_>>(), monitor);
+        for &k in &order {
+            weave_member_read(
+                &mut sim, &pfs, &injector, monitor, agents[r], r, None, false, k, seeks, bytes,
+            )?;
         }
         // One observation-block send per peer. Program order on the agent
         // already places these after the rank's reads.
@@ -169,9 +146,11 @@ pub fn model_denkf_faulted(
     let mut compute_tasks = Vec::with_capacity(shards);
     for (r, id) in decomp.iter_ids().enumerate() {
         let bar = decomp.subdomain(id);
-        let service = cfg.compute_cost_per_point
-            * (bar.npoints() + m_total) as f64
-            * injector.compute_dilation(r);
+        let dilation = injector.compute_dilation(r);
+        if let Some(mon) = monitor {
+            mon.observe_compute(r, dilation);
+        }
+        let service = cfg.compute_cost_per_point * (bar.npoints() + m_total) as f64 * dilation;
         let t = sim
             .add_task(
                 Task::new(agents[r], Kind::Compute, service)

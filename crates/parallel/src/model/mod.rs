@@ -2,14 +2,160 @@
 
 pub mod campaign;
 pub mod denkf;
+pub mod lenkf;
 pub mod penkf;
 pub mod reading;
 pub mod senkf;
 
 use crate::report::PhaseBreakdown;
+use enkf_fault::FaultInjector;
+use enkf_health::{HealthMonitor, ReadRoute};
 use enkf_net::NetParams;
-use enkf_pfs::PfsParams;
+use enkf_pfs::{ModeledPfs, PfsParams};
+use enkf_sim::{AgentId, Kind, ResourceId, Simulation, Task};
+use enkf_trace::OpTag;
 use enkf_tuning::Workload;
+
+/// The OST resource hosting OST index `ost` (mirrors the real side's
+/// `member % num_osts` striping — `ModeledPfs::ost_of_file` is this very
+/// modulus applied to a member index).
+fn ost_resource(pfs: &ModeledPfs, ost: usize) -> ResourceId {
+    pfs.osts()[ost % pfs.osts().len()]
+}
+
+/// Weave one member read into the DES graph — the model-side mirror of the
+/// real executors' `read_region_adaptive` call, shared by every variant.
+///
+/// Without a monitor this is the classic resilient weave: per attempt of
+/// the *deadline-capped* schedule, a backoff `Fault` task (attempt > 0), an
+/// injected-failure `Fault` task occupying the member's OST for a full
+/// service, or the successful `Read`; the fault log records
+/// backoff/injected/recovered exactly as the real retry loop does.
+///
+/// With a monitor, the same frozen [`enkf_health::RouteView`] the real rank
+/// consults picks the route first: a blacklisted primary OST adds the
+/// zero-service cancelled-duplicate `Fault` marker (carrying the region's
+/// bytes/seeks, mirroring the real marker span) and charges the weave at
+/// the deterministic race winner's OST and slowdown factor; the served read
+/// reports the same `(ost, member, ratio)` observation to the monitor. This
+/// shared decision procedure is what keeps real and modeled trace, fault
+/// *and* health digests byte-identical under a common seed.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn weave_member_read(
+    sim: &mut Simulation,
+    pfs: &ModeledPfs,
+    injector: &FaultInjector,
+    monitor: Option<&HealthMonitor>,
+    agent: AgentId,
+    rank: usize,
+    stage: Option<usize>,
+    io: bool,
+    member: usize,
+    seeks: u64,
+    bytes: u64,
+) -> Result<(), String> {
+    let retry = *injector.retry();
+    let fails = injector.read_fail_attempts(member);
+    let base = pfs.read_service(seeks, bytes);
+    let tag = OpTag {
+        io,
+        stage,
+        bytes,
+        seeks,
+        member: Some(member),
+        ..OpTag::default()
+    };
+    let (resource, service, observed) = match monitor {
+        None => (
+            pfs.ost_of_file(member),
+            base * injector.file_slowdown(member),
+            None,
+        ),
+        Some(mon) => {
+            let view = mon.view();
+            let ost = view.ost_of(member);
+            let primary_factor = injector.ost_factor(ost);
+            let replica_factor = injector.ost_factor(view.replica_of(ost));
+            match view.route(member, primary_factor, replica_factor) {
+                ReadRoute::Primary => (
+                    ost_resource(pfs, ost),
+                    base * primary_factor,
+                    Some((mon, ost, primary_factor)),
+                ),
+                ReadRoute::Speculate {
+                    replica,
+                    replica_wins,
+                } => {
+                    mon.speculated(rank, stage, member, ost, replica, replica_wins);
+                    let (winner_ost, winner_factor) = if replica_wins {
+                        (replica, replica_factor)
+                    } else {
+                        (ost, primary_factor)
+                    };
+                    // The losing duplicate, cancelled at first completion:
+                    // a zero-service marker with the region's footprint.
+                    sim.add_task(Task::new(agent, Kind::Fault, 0.0).with_op(tag))
+                        .map_err(|e| e.to_string())?;
+                    (
+                        ost_resource(pfs, winner_ost),
+                        base * winner_factor,
+                        Some((mon, winner_ost, winner_factor)),
+                    )
+                }
+            }
+        }
+    };
+    for attempt in 0..retry.scheduled_attempts() {
+        if attempt > 0 {
+            injector.log().backoff(rank, stage, member, attempt - 1);
+            sim.add_task(
+                Task::new(agent, Kind::Fault, retry.backoff(attempt - 1)).with_op(OpTag {
+                    io,
+                    stage,
+                    member: Some(member),
+                    ..OpTag::default()
+                }),
+            )
+            .map_err(|e| e.to_string())?;
+        }
+        if attempt < fails {
+            // Injected failure: the attempt still occupies the OST for a
+            // full service, mirroring the real read-and-discard.
+            injector.log().injected(rank, stage, member, attempt);
+            sim.add_task(
+                Task::new(agent, Kind::Fault, service)
+                    .with_resources(vec![resource])
+                    .with_op(tag),
+            )
+            .map_err(|e| e.to_string())?;
+            continue;
+        }
+        sim.add_task(
+            Task::new(agent, Kind::Read, service)
+                .with_resources(vec![resource])
+                .with_op(tag),
+        )
+        .map_err(|e| e.to_string())?;
+        if attempt > 0 {
+            injector.log().recovered(rank, stage, member, attempt);
+        }
+        if let Some((mon, obs_ost, factor)) = observed {
+            mon.observe_read(obs_ost, member, factor);
+        }
+        break;
+    }
+    Ok(())
+}
+
+/// The member order a health-aware rank reads in: blacklisted-OST members
+/// last (stable within each class), exactly [`enkf_health::RouteView::reorder`]
+/// on the monitor's frozen view; plan order when no monitor is attached.
+pub(crate) fn read_order(members: &[usize], monitor: Option<&HealthMonitor>) -> Vec<usize> {
+    match monitor {
+        Some(mon) => mon.view().reorder(members),
+        None => members.to_vec(),
+    }
+}
 
 /// Configuration of a modeled run: workload geometry plus substrate
 /// parameters.

@@ -1,9 +1,10 @@
 //! Modeled P-EnKF: block reading then compute, at paper scale.
 
-use crate::model::{ModelConfig, ModelOutcome};
+use crate::model::{read_order, weave_member_read, ModelConfig, ModelOutcome};
 use crate::report::PhaseBreakdown;
 use enkf_fault::{FaultConfig, FaultInjector, FaultLog};
 use enkf_grid::{Decomposition, FileLayout, LocalizationRadius, Mesh};
+use enkf_health::HealthMonitor;
 use enkf_pfs::ModeledPfs;
 use enkf_sim::{Kind, Simulation, Task};
 use enkf_trace::{OpTag, Trace};
@@ -46,6 +47,23 @@ pub fn model_penkf_faulted(
     nsdy: usize,
     fcfg: &FaultConfig,
 ) -> Result<(ModelOutcome, Trace, FaultLog), String> {
+    model_penkf_adaptive(cfg, nsdx, nsdy, fcfg, None)
+}
+
+/// [`model_penkf_faulted`] with online health monitoring: the DES weaves
+/// the *same* routing decisions the real adaptive executor makes from the
+/// monitor's frozen view — blacklisted-OST members read last, speculative
+/// duplicates marked and charged at the race winner's OST and factor, and
+/// identical `(ost, member, ratio)` observations fed back. Under a common
+/// seed and view, real and modeled trace, fault and health digests are
+/// byte-identical. With `monitor: None` this is [`model_penkf_faulted`].
+pub fn model_penkf_adaptive(
+    cfg: &ModelConfig,
+    nsdx: usize,
+    nsdy: usize,
+    fcfg: &FaultConfig,
+    monitor: Option<&HealthMonitor>,
+) -> Result<(ModelOutcome, Trace, FaultLog), String> {
     let w = &cfg.workload;
     let mesh = Mesh::new(w.nx, w.ny);
     let decomp = Decomposition::new(mesh, nsdx, nsdy).map_err(|e| e.to_string())?;
@@ -72,7 +90,6 @@ pub fn model_penkf_faulted(
             injector.log().dropped(m);
         }
     }
-    let retry = *injector.retry();
 
     let mut sim = Simulation::new();
     let pfs = ModeledPfs::register(&mut sim, cfg.pfs);
@@ -84,57 +101,17 @@ pub fn model_penkf_faulted(
         let expansion = decomp.expansion(id, radius);
         let seeks = layout.seek_count(&expansion) as u64;
         let bytes = layout.region_bytes(&expansion);
-        let read_service = pfs.read_service(seeks, bytes);
-        for k in 0..w.members {
-            let fails = injector.read_fail_attempts(k);
-            let service = read_service * injector.file_slowdown(k);
-            let tag = OpTag {
-                bytes,
-                seeks,
-                member: Some(k),
-                ..OpTag::default()
-            };
-            for attempt in 0..retry.attempts() {
-                if attempt > 0 {
-                    injector.log().backoff(r, None, k, attempt - 1);
-                    sim.add_task(
-                        Task::new(agents[r], Kind::Fault, retry.backoff(attempt - 1)).with_op(
-                            OpTag {
-                                member: Some(k),
-                                ..OpTag::default()
-                            },
-                        ),
-                    )
-                    .map_err(|e| e.to_string())?;
-                }
-                if attempt < fails {
-                    // Injected failure: the attempt still occupies the OST
-                    // for a full service, mirroring the real executor's
-                    // read-and-discard.
-                    injector.log().injected(r, None, k, attempt);
-                    sim.add_task(
-                        Task::new(agents[r], Kind::Fault, service)
-                            .with_resources(vec![pfs.ost_of_file(k)])
-                            .with_op(tag),
-                    )
-                    .map_err(|e| e.to_string())?;
-                    continue;
-                }
-                sim.add_task(
-                    Task::new(agents[r], Kind::Read, service)
-                        .with_resources(vec![pfs.ost_of_file(k)])
-                        .with_op(tag),
-                )
-                .map_err(|e| e.to_string())?;
-                if attempt > 0 {
-                    injector.log().recovered(r, None, k, attempt);
-                }
-                break;
-            }
+        let order = read_order(&(0..w.members).collect::<Vec<_>>(), monitor);
+        for &k in &order {
+            weave_member_read(
+                &mut sim, &pfs, &injector, monitor, agents[r], r, None, false, k, seeks, bytes,
+            )?;
         }
-        let comp = cfg.compute_cost_per_point
-            * decomp.subdomain(id).npoints() as f64
-            * injector.compute_dilation(r);
+        let dilation = injector.compute_dilation(r);
+        if let Some(mon) = monitor {
+            mon.observe_compute(r, dilation);
+        }
+        let comp = cfg.compute_cost_per_point * decomp.subdomain(id).npoints() as f64 * dilation;
         let t = sim
             .add_task(Task::new(agents[r], Kind::Compute, comp).with_op(OpTag::default()))
             .map_err(|e| e.to_string())?;

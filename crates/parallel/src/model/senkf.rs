@@ -1,9 +1,10 @@
 //! Modeled S-EnKF: concurrent-group bar reading, multi-stage overlap.
 
-use crate::model::{ModelConfig, ModelOutcome};
+use crate::model::{read_order, weave_member_read, ModelConfig, ModelOutcome};
 use crate::report::PhaseBreakdown;
 use enkf_fault::{FaultConfig, FaultInjector, FaultLog};
 use enkf_grid::{Decomposition, FileLayout, LocalizationRadius, Mesh, SubDomainId};
+use enkf_health::HealthMonitor;
 use enkf_net::ModeledNet;
 use enkf_pfs::ModeledPfs;
 use enkf_sim::{Kind, Simulation, Task, TaskId};
@@ -95,6 +96,34 @@ pub fn model_senkf_faulted_opts(
     opts: SEnkfModelOptions,
     fcfg: &FaultConfig,
 ) -> Result<(ModelOutcome, Trace, FaultLog), String> {
+    model_senkf_adaptive_opts(cfg, params, opts, fcfg, None)
+}
+
+/// [`model_senkf_faulted`] with online health monitoring (default options):
+/// each I/O rank's group file list is reordered on the monitor's frozen
+/// view exactly as the real adaptive executor reorders its read plan, every
+/// bar read is routed/speculated/observed through the shared
+/// [`crate::model::weave_member_read`] decision procedure, and compute
+/// dilations are reported per rank — so real and modeled trace, fault and
+/// health digests stay byte-identical under a common seed. With
+/// `monitor: None` this is [`model_senkf_faulted`].
+pub fn model_senkf_adaptive(
+    cfg: &ModelConfig,
+    params: Params,
+    fcfg: &FaultConfig,
+    monitor: Option<&HealthMonitor>,
+) -> Result<(ModelOutcome, Trace, FaultLog), String> {
+    model_senkf_adaptive_opts(cfg, params, SEnkfModelOptions::default(), fcfg, monitor)
+}
+
+/// [`model_senkf_adaptive`] with ablation options.
+pub fn model_senkf_adaptive_opts(
+    cfg: &ModelConfig,
+    params: Params,
+    opts: SEnkfModelOptions,
+    fcfg: &FaultConfig,
+    monitor: Option<&HealthMonitor>,
+) -> Result<(ModelOutcome, Trace, FaultLog), String> {
     let w = &cfg.workload;
     let mesh = Mesh::new(w.nx, w.ny);
     let decomp = Decomposition::new(mesh, params.nsdx, params.nsdy).map_err(|e| e.to_string())?;
@@ -136,7 +165,6 @@ pub fn model_senkf_faulted_opts(
             injector.log().dropped(m);
         }
     }
-    let retry = *injector.retry();
     // Guard the DES against degenerate parameterizations: the task graph
     // has roughly ncg·C2·L send tasks plus reads and computes.
     let est_tasks =
@@ -178,54 +206,22 @@ pub fn model_senkf_faulted_opts(
                 // the I/O rank; the OST limits cross-rank concurrency),
                 // woven through the same attempt/backoff loop as the real
                 // resilient read path.
-                for f in 0..files_per_group {
-                    let file = g * files_per_group + f;
-                    let fails = injector.read_fail_attempts(file);
-                    let service =
-                        pfs.read_service(bar_seeks, bar_bytes) * injector.file_slowdown(file);
-                    let tag = OpTag {
-                        io: true,
-                        stage: Some(l),
-                        bytes: bar_bytes,
-                        seeks: bar_seeks,
-                        member: Some(file),
-                        ..OpTag::default()
-                    };
-                    for attempt in 0..retry.attempts() {
-                        if attempt > 0 {
-                            injector.log().backoff(io_rank, Some(l), file, attempt - 1);
-                            sim.add_task(
-                                Task::new(io_agent, Kind::Fault, retry.backoff(attempt - 1))
-                                    .with_op(OpTag {
-                                        io: true,
-                                        stage: Some(l),
-                                        member: Some(file),
-                                        ..OpTag::default()
-                                    }),
-                            )
-                            .map_err(|e| e.to_string())?;
-                        }
-                        if attempt < fails {
-                            injector.log().injected(io_rank, Some(l), file, attempt);
-                            sim.add_task(
-                                Task::new(io_agent, Kind::Fault, service)
-                                    .with_resources(vec![pfs.ost_of_file(file)])
-                                    .with_op(tag),
-                            )
-                            .map_err(|e| e.to_string())?;
-                            continue;
-                        }
-                        sim.add_task(
-                            Task::new(io_agent, Kind::Read, service)
-                                .with_resources(vec![pfs.ost_of_file(file)])
-                                .with_op(tag),
-                        )
-                        .map_err(|e| e.to_string())?;
-                        if attempt > 0 {
-                            injector.log().recovered(io_rank, Some(l), file, attempt);
-                        }
-                        break;
-                    }
+                let group_files: Vec<usize> =
+                    (g * files_per_group..(g + 1) * files_per_group).collect();
+                for &file in &read_order(&group_files, monitor) {
+                    weave_member_read(
+                        &mut sim,
+                        &pfs,
+                        &injector,
+                        monitor,
+                        io_agent,
+                        io_rank,
+                        Some(l),
+                        true,
+                        file,
+                        bar_seeks,
+                        bar_bytes,
+                    )?;
                 }
                 if alive_in_group == 0 {
                     continue; // whole group dropped: no bundles at all
@@ -262,10 +258,13 @@ pub fn model_senkf_faulted_opts(
     // on the compute agent serializes communication with computation.
     let mut compute_tasks = Vec::with_capacity(c2 * params.layers);
     for (r, id) in decomp.iter_ids().enumerate() {
+        let dilation = injector.compute_dilation(r);
+        if let Some(mon) = monitor {
+            mon.observe_compute(r, dilation);
+        }
         for (l, stage_sends) in sends.iter().enumerate() {
             let layer = decomp.layer(id, l, params.layers);
-            let service =
-                cfg.compute_cost_per_point * layer.npoints() as f64 * injector.compute_dilation(r);
+            let service = cfg.compute_cost_per_point * layer.npoints() as f64 * dilation;
             let deps = if opts.helper_thread {
                 stage_sends[r].clone()
             } else {

@@ -25,7 +25,9 @@ pub mod scratch;
 pub mod store;
 
 pub use model::{ModeledPfs, PfsParams};
-pub use readahead::{read_stages_ahead, ReadAheadError, StageRead};
-pub use resilient::{read_full_resilient, read_region_resilient};
+pub use readahead::{read_stages_ahead, read_stages_ahead_adaptive, ReadAheadError, StageRead};
+pub use resilient::{
+    read_full_adaptive, read_full_resilient, read_region_adaptive, read_region_resilient,
+};
 pub use scratch::ScratchDir;
 pub use store::{BufferPool, FileStore, IoStats, RegionData};

@@ -17,12 +17,23 @@
 //! The stage plan must therefore be truncated *before* calling (e.g. at a
 //! planned crash stage) — the prefetcher never reads past the plan.
 
-use crate::resilient::read_region_resilient;
+use crate::resilient::read_region_adaptive;
 use crate::store::{FileStore, RegionData};
 use enkf_fault::{FaultInjector, SubstrateError};
 use enkf_grid::RegionRect;
+use enkf_health::HealthMonitor;
 use enkf_trace::RankTracer;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::sync_channel;
+
+/// Failpoint: when set, the next read-ahead reader thread panics before its
+/// first read, then the flag clears itself. This is the regression hook
+/// pinning that a prefetch-thread panic surfaces as
+/// [`ReadAheadError::ReaderPanicked`] instead of propagating a panic out of
+/// the pipelined read path. Test-only by convention; one relaxed load per
+/// plan when unset.
+#[doc(hidden)]
+pub static FAIL_READER_PANIC: AtomicBool = AtomicBool::new(false);
 
 /// One stage of a read plan: which members' copies of which region to read.
 #[derive(Debug, Clone)]
@@ -46,6 +57,15 @@ pub enum ReadAheadError<E> {
     },
     /// The consumer closure returned an error.
     Consume(E),
+    /// The prefetch thread panicked. The panic is contained here — spans of
+    /// reads that completed before the panic are preserved in the caller's
+    /// tracer, and the caller gets a typed error instead of a propagated
+    /// panic (the pre-fix behaviour was an `.expect()` that tore down the
+    /// whole executor).
+    ReaderPanicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 /// Run a staged read plan with one-stage read-ahead.
@@ -74,6 +94,23 @@ pub fn read_stages_ahead<E>(
     tracer: &mut RankTracer,
     stages: &[StageRead],
     skip_failed: &[usize],
+    consume: impl FnMut(&StageRead, Vec<RegionData>, &mut RankTracer) -> Result<(), E>,
+) -> Result<(), ReadAheadError<E>> {
+    read_stages_ahead_adaptive(store, injector, tracer, stages, skip_failed, None, consume)
+}
+
+/// [`read_stages_ahead`] with online health monitoring: every member read
+/// goes through [`crate::read_region_adaptive`], so a blacklisted OST
+/// triggers the deterministic speculative-duplicate route and each
+/// completed read reports its observed dilation ratio to the monitor. With
+/// `monitor: None` this is exactly [`read_stages_ahead`].
+pub fn read_stages_ahead_adaptive<E>(
+    store: &FileStore,
+    injector: &FaultInjector,
+    tracer: &mut RankTracer,
+    stages: &[StageRead],
+    skip_failed: &[usize],
+    monitor: Option<&HealthMonitor>,
     mut consume: impl FnMut(&StageRead, Vec<RegionData>, &mut RankTracer) -> Result<(), E>,
 ) -> Result<(), ReadAheadError<E>> {
     if stages.is_empty() {
@@ -87,16 +124,20 @@ pub fn read_stages_ahead<E>(
     std::thread::scope(|scope| {
         let reader_tracer = &mut reader_tracer;
         let reader = scope.spawn(move || {
+            if FAIL_READER_PANIC.swap(false, Ordering::SeqCst) {
+                panic!("injected read-ahead reader panic (failpoint)");
+            }
             'stages: for (idx, sr) in stages.iter().enumerate() {
                 let mut bars = Vec::with_capacity(sr.members.len());
                 for &member in &sr.members {
-                    match read_region_resilient(
+                    match read_region_adaptive(
                         store,
                         reader_tracer,
                         Some(sr.stage),
                         member,
                         &sr.region,
                         injector,
+                        monitor,
                     ) {
                         Ok(data) => bars.push(data),
                         Err(_) if skip_failed.contains(&member) => {}
@@ -137,7 +178,19 @@ pub fn read_stages_ahead<E>(
             }
         }
         drop(rx); // unblock the reader if we bailed mid-plan
-        reader.join().expect("read-ahead thread panicked");
+        if let Err(payload) = reader.join() {
+            // Contain the panic as a typed error; an earlier consume/read
+            // error stays the root cause (the reader only panics after the
+            // consumer bailed in that ordering).
+            if out.is_ok() {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                out = Err(ReadAheadError::ReaderPanicked { message });
+            }
+        }
     });
     tracer.absorb(reader_tracer);
     out
@@ -146,6 +199,7 @@ pub fn read_stages_ahead<E>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::resilient::read_region_resilient;
     use crate::{FileStore, ScratchDir};
     use enkf_fault::{FaultConfig, FaultPlan, RetryPolicy};
     use enkf_grid::{FileLayout, Mesh};
@@ -279,7 +333,7 @@ mod tests {
                 assert_eq!(stage, 2);
                 assert_eq!(member, 99);
             }
-            ReadAheadError::Consume(_) => panic!("expected read error"),
+            other => panic!("expected read error, got {other:?}"),
         }
         assert_eq!(seen, vec![0, 1], "stages before the failure were consumed");
     }
@@ -300,7 +354,7 @@ mod tests {
         .unwrap_err();
         match err {
             ReadAheadError::Consume(msg) => assert_eq!(msg, "stop"),
-            ReadAheadError::Read { .. } => panic!("expected consume error"),
+            other => panic!("expected consume error, got {other:?}"),
         }
     }
 
@@ -312,6 +366,7 @@ mod tests {
                 max_retries: 2,
                 base_backoff: 1e-6,
                 multiplier: 2.0,
+                ..RetryPolicy::default()
             },
         );
         let stages = plan(3, 3);
@@ -348,6 +403,47 @@ mod tests {
 
         assert_eq!(digest_of(ra_tracer), seq_digest);
         assert_eq!(inj_ra.log().digest(), seq_log);
+    }
+
+    #[test]
+    fn reader_panic_is_contained_as_a_typed_error() {
+        let (_s, st) = store(2);
+        let inj = FaultInjector::new(FaultConfig::none());
+        let stages = plan(3, 2);
+        let mut t = RankTracer::new(0, Instant::now());
+        FAIL_READER_PANIC.store(true, std::sync::atomic::Ordering::SeqCst);
+        let err = read_stages_ahead::<std::convert::Infallible>(
+            &st,
+            &inj,
+            &mut t,
+            &stages,
+            &[],
+            |_, _, _| Ok(()),
+        )
+        .unwrap_err();
+        match err {
+            ReadAheadError::ReaderPanicked { message } => {
+                assert!(
+                    message.contains("failpoint"),
+                    "payload preserved: {message}"
+                );
+            }
+            other => panic!("expected ReaderPanicked, got {other:?}"),
+        }
+        assert!(
+            !FAIL_READER_PANIC.load(std::sync::atomic::Ordering::SeqCst),
+            "failpoint clears itself"
+        );
+        // The pipeline must stay reusable after a contained panic.
+        read_stages_ahead::<std::convert::Infallible>(
+            &st,
+            &inj,
+            &mut t,
+            &stages,
+            &[],
+            |_, _, _| Ok(()),
+        )
+        .unwrap();
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use crate::store::{FileStore, RegionData};
 use enkf_fault::{FaultInjector, ReadError, SubstrateError};
 use enkf_grid::RegionRect;
+use enkf_health::{HealthMonitor, ReadRoute};
 use enkf_trace::RankTracer;
 use std::time::{Duration, Instant};
 
@@ -46,13 +47,33 @@ pub fn read_region_resilient(
     region: &RegionRect,
     injector: &FaultInjector,
 ) -> Result<RegionData, SubstrateError> {
+    let slowdown = injector.file_slowdown(member);
+    read_with_policy(store, tracer, stage, member, region, injector, slowdown)
+}
+
+/// The retry loop with an explicit service-dilation factor — the shared
+/// engine under [`read_region_resilient`] (primary-path dilation from the
+/// member's own OST) and [`read_region_adaptive`] (dilation from whichever
+/// path won the speculative race). The attempt budget is the *deadline-
+/// capped* [`enkf_fault::RetryPolicy::scheduled_attempts`]: a tight
+/// per-phase deadline schedules fewer attempts, and exhaustion surfaces as
+/// [`SubstrateError::RetriesExhausted`] so degraded mode completes N−1
+/// instead of stalling.
+fn read_with_policy(
+    store: &FileStore,
+    tracer: &mut RankTracer,
+    stage: Option<usize>,
+    member: usize,
+    region: &RegionRect,
+    injector: &FaultInjector,
+    slowdown: f64,
+) -> Result<RegionData, SubstrateError> {
     let (seeks, bytes) = store.op_cost(region);
     let retry = injector.retry();
     let fails = injector.read_fail_attempts(member);
-    let slowdown = injector.file_slowdown(member);
     let rank = tracer.rank();
     let mut last_real: Option<ReadError> = None;
-    for attempt in 0..retry.attempts() {
+    for attempt in 0..retry.scheduled_attempts() {
         if attempt > 0 {
             injector.log().backoff(rank, stage, member, attempt - 1);
             let pause = retry.backoff(attempt - 1);
@@ -96,9 +117,95 @@ pub fn read_region_resilient(
     }
     Err(SubstrateError::RetriesExhausted {
         member,
-        attempts: retry.attempts(),
+        attempts: retry.scheduled_attempts(),
         cause: last_real,
     })
+}
+
+/// Health-aware read: consult the monitor's frozen [`enkf_health::RouteView`]
+/// and either read the primary path exactly like [`read_region_resilient`]
+/// (byte-identical spans — the no-fault parity guarantee) or, when the
+/// member stripes to a blacklisted OST, issue a speculative duplicate on
+/// the replica path. The race winner is the deterministic
+/// [`ReadRoute::Speculate::replica_wins`] tie-break; the loser is cancelled
+/// at first completion and charged as a zero-duration fault marker span
+/// carrying the region's footprint, so the trace digest records the
+/// duplicate without distorting the makespan. Every served read feeds one
+/// observation back into the monitor.
+///
+/// `monitor == None` is the passthrough: bit-identical to
+/// [`read_region_resilient`]. The monitor's `num_osts` must match the
+/// fault plan's striping modulus for routing to price paths correctly.
+pub fn read_region_adaptive(
+    store: &FileStore,
+    tracer: &mut RankTracer,
+    stage: Option<usize>,
+    member: usize,
+    region: &RegionRect,
+    injector: &FaultInjector,
+    monitor: Option<&HealthMonitor>,
+) -> Result<RegionData, SubstrateError> {
+    let Some(mon) = monitor else {
+        return read_region_resilient(store, tracer, stage, member, region, injector);
+    };
+    let view = mon.view();
+    let ost = view.ost_of(member);
+    let primary_factor = injector.ost_factor(ost);
+    let replica_factor = injector.ost_factor(view.replica_of(ost));
+    match view.route(member, primary_factor, replica_factor) {
+        ReadRoute::Primary => {
+            let out = read_with_policy(
+                store,
+                tracer,
+                stage,
+                member,
+                region,
+                injector,
+                primary_factor,
+            )?;
+            mon.observe_read(ost, member, primary_factor);
+            Ok(out)
+        }
+        ReadRoute::Speculate {
+            replica,
+            replica_wins,
+        } => {
+            mon.speculated(tracer.rank(), stage, member, ost, replica, replica_wins);
+            let (winner_ost, winner_factor) = if replica_wins {
+                (replica, replica_factor)
+            } else {
+                (ost, primary_factor)
+            };
+            // The losing duplicate, cancelled at first completion: a
+            // zero-duration marker span with the region's footprint.
+            let (seeks, bytes) = store.op_cost(region);
+            tracer.fault(stage, Some(member), bytes, seeks, || {});
+            let out = read_with_policy(
+                store,
+                tracer,
+                stage,
+                member,
+                region,
+                injector,
+                winner_factor,
+            )?;
+            mon.observe_read(winner_ost, member, winner_factor);
+            Ok(out)
+        }
+    }
+}
+
+/// [`read_region_adaptive`] over the whole mesh.
+pub fn read_full_adaptive(
+    store: &FileStore,
+    tracer: &mut RankTracer,
+    stage: Option<usize>,
+    member: usize,
+    injector: &FaultInjector,
+    monitor: Option<&HealthMonitor>,
+) -> Result<RegionData, SubstrateError> {
+    let region = RegionRect::full(store.layout().mesh());
+    read_region_adaptive(store, tracer, stage, member, &region, injector, monitor)
 }
 
 /// [`read_region_resilient`] over the whole mesh.
@@ -168,6 +275,7 @@ mod tests {
             max_retries: 3,
             base_backoff: 1e-6,
             multiplier: 2.0,
+            ..RetryPolicy::default()
         });
         let inj = FaultInjector::new(cfg);
         let mut t = tracer();
@@ -202,6 +310,7 @@ mod tests {
             max_retries: 1,
             base_backoff: 1e-6,
             multiplier: 2.0,
+            ..RetryPolicy::default()
         });
         let inj = FaultInjector::new(cfg);
         let mut t = tracer();
@@ -218,6 +327,138 @@ mod tests {
             }
             other => panic!("unexpected error: {other}"),
         }
+    }
+
+    #[test]
+    fn adaptive_without_monitor_is_the_resilient_path() {
+        let (_s, st) = store();
+        let cfg = FaultConfig::degraded(FaultPlan::new(3).with_read_fault(0, 1)).with_retry(
+            RetryPolicy {
+                max_retries: 2,
+                base_backoff: 1e-6,
+                multiplier: 2.0,
+                ..RetryPolicy::default()
+            },
+        );
+        let inj_a = FaultInjector::new(cfg.clone());
+        let mut ta = tracer();
+        let da = read_full_adaptive(&st, &mut ta, None, 0, &inj_a, None).unwrap();
+        let inj_b = FaultInjector::new(cfg);
+        let mut tb = tracer();
+        let db = read_full_resilient(&st, &mut tb, None, 0, &inj_b).unwrap();
+        assert_eq!(da, db);
+        assert_eq!(into_trace(ta).digest(), into_trace(tb).digest());
+        assert_eq!(inj_a.log().digest(), inj_b.log().digest());
+    }
+
+    #[test]
+    fn adaptive_with_clean_view_matches_resilient_and_observes() {
+        let (_s, st) = store();
+        let plan = FaultPlan::new(5)
+            .with_num_osts(4)
+            .with_ost_slowdown(1, 1.0001);
+        let cfg = FaultConfig::degraded(plan);
+        let inj = FaultInjector::new(cfg.clone());
+        let mon = enkf_health::HealthMonitor::new(enkf_health::HealthParams::with_num_osts(4));
+        let mut t = tracer();
+        let d = read_full_adaptive(&st, &mut t, None, 1, &inj, Some(&mon)).unwrap();
+        assert_eq!(d.len(), 32);
+        let trace = into_trace(t);
+        assert!(trace.digest().contains("op=read"));
+        assert!(
+            !trace.digest().contains("op=fault"),
+            "no speculation on a clean view"
+        );
+        // The serving OST's dilation ratio was observed.
+        let inj_ref = FaultInjector::new(cfg);
+        let mut tr = tracer();
+        let dr = read_full_resilient(&st, &mut tr, None, 1, &inj_ref).unwrap();
+        assert_eq!(d, dr);
+        assert_eq!(trace.digest(), into_trace(tr).digest());
+    }
+
+    #[test]
+    fn blacklisted_ost_speculates_to_the_replica() {
+        let (_s, st) = store();
+        // OST 1 is 4× slow; member 1 stripes to it, replica is OST 2.
+        let plan = FaultPlan::new(9).with_num_osts(4).with_ost_slowdown(1, 4.0);
+        let inj = FaultInjector::new(FaultConfig::degraded(plan));
+        let mut mon = enkf_health::HealthMonitor::new(enkf_health::HealthParams::with_num_osts(4));
+        // Warm-up cycle: the monitor sees the dilation and blacklists OST 1.
+        mon.observe_read(1, 1, 4.0);
+        let snap = mon.end_cycle();
+        assert_eq!(snap.blacklisted_osts, vec![1]);
+
+        let mut t = tracer();
+        let d = read_full_adaptive(&st, &mut t, Some(0), 1, &inj, Some(&mon)).unwrap();
+        assert_eq!(d.len(), 32, "payload is the real file contents");
+        let trace = into_trace(t);
+        // One cancelled-duplicate marker + one winning read.
+        assert!(trace.digest().contains("op=fault"));
+        assert!(trace.digest().contains("op=read"));
+        let hd = mon.digest();
+        assert!(hd.contains("event=speculated"));
+        assert!(
+            hd.contains("event=replica-won"),
+            "healthy replica wins: {hd}"
+        );
+        assert!(hd.contains("replica=2"));
+    }
+
+    #[test]
+    fn blacklisted_replica_keeps_the_primary_as_winner() {
+        let (_s, st) = store();
+        let plan = FaultPlan::new(9)
+            .with_num_osts(4)
+            .with_ost_slowdown(1, 4.0)
+            .with_ost_slowdown(2, 8.0);
+        let inj = FaultInjector::new(FaultConfig::degraded(plan));
+        let mut mon = enkf_health::HealthMonitor::new(enkf_health::HealthParams::with_num_osts(4));
+        mon.observe_read(1, 1, 4.0);
+        mon.observe_read(2, 2, 8.0);
+        let snap = mon.end_cycle();
+        assert_eq!(snap.blacklisted_osts, vec![1, 2]);
+        let mut t = tracer();
+        read_full_adaptive(&st, &mut t, None, 1, &inj, Some(&mon)).unwrap();
+        let hd = mon.digest();
+        assert!(hd.contains("event=speculated"));
+        assert!(
+            !hd.contains("event=replica-won"),
+            "a blacklisted replica must not win: {hd}"
+        );
+    }
+
+    #[test]
+    fn deadline_budget_caps_attempts_and_degrades() {
+        let (_s, st) = store();
+        // 2 injected failures need 3 attempts; the deadline affords only 1.
+        let plan = FaultPlan::new(7).with_read_fault(0, 2);
+        let cfg = FaultConfig::degraded(plan).with_retry(
+            RetryPolicy {
+                max_retries: 3,
+                base_backoff: 1.0,
+                multiplier: 2.0,
+                ..RetryPolicy::default()
+            }
+            .with_deadline(0.5),
+        );
+        let inj = FaultInjector::new(cfg);
+        assert!(
+            inj.is_unrecoverable(0),
+            "deadline exhaustion widens the dropout set (N−1 path)"
+        );
+        let mut t = tracer();
+        let err = read_full_resilient(&st, &mut t, None, 0, &inj).unwrap_err();
+        match err {
+            SubstrateError::RetriesExhausted { attempts, .. } => {
+                assert_eq!(attempts, 1, "the deadline affords a single attempt");
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        // No backoff was slept: the lone attempt's fault span only.
+        let trace = into_trace(t);
+        assert!(trace.digest().contains("op=fault"));
+        assert!(!trace.digest().contains("op=read"));
     }
 
     #[test]
@@ -242,6 +483,7 @@ mod tests {
             max_retries: 2,
             base_backoff: 1e-6,
             multiplier: 2.0,
+            ..RetryPolicy::default()
         });
         let inj = FaultInjector::new(cfg);
         let mut t = tracer();

@@ -89,11 +89,11 @@ impl JobSpec {
         self.exec.num_ranks()
     }
 
-    /// The modeled variant matching a real executor, where one exists
-    /// (L-EnKF has no DES model and schedules best-effort).
+    /// The modeled variant matching a real executor (every executor now
+    /// has a DES model, so SLA-gated admission covers the whole matrix).
     pub fn variant_of(exec: &CampaignExecutor) -> Option<ModelVariant> {
         match *exec {
-            CampaignExecutor::LEnkf { .. } => None,
+            CampaignExecutor::LEnkf { nsdx, nsdy } => Some(ModelVariant::LEnkf { nsdx, nsdy }),
             CampaignExecutor::PEnkf { nsdx, nsdy } => Some(ModelVariant::PEnkf { nsdx, nsdy }),
             CampaignExecutor::SEnkf(p) => Some(ModelVariant::SEnkf(p)),
             // The kernel choice changes flops, not operation structure, so

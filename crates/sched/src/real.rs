@@ -111,6 +111,7 @@ pub fn run_real(
                         tenant: Some((id.tenant.0, id.seq)),
                         backoff: BackoffClock::Virtual,
                         ckpt_mode: d.spec.ckpt_mode,
+                        health: None,
                     };
                     s.spawn(move || {
                         run_campaign_ctx(

@@ -38,6 +38,7 @@
 //! of the same seed.
 
 use enkf_ckpt::fnv64;
+use enkf_health::HealthSnapshot;
 use enkf_net::NetParams;
 use enkf_pfs::PfsParams;
 use std::collections::BTreeMap;
@@ -195,6 +196,11 @@ pub struct Scheduler<P: Planner> {
     last_submit: BTreeMap<TenantId, f64>,
     decisions: Vec<String>,
     share_checks: Vec<ShareCheck>,
+    /// Fraction of PFS bandwidth still in rotation, per the latest
+    /// [`HealthSnapshot`] applied — 1.0 on a healthy machine. Scales the
+    /// bandwidth pool every rebalance splits and the floors SLA admission
+    /// prices against.
+    health_factor: f64,
 }
 
 impl<P: Planner> Scheduler<P> {
@@ -211,6 +217,7 @@ impl<P: Planner> Scheduler<P> {
             last_submit: BTreeMap::new(),
             decisions: Vec::new(),
             share_checks: Vec::new(),
+            health_factor: 1.0,
         }
     }
 
@@ -253,6 +260,34 @@ impl<P: Planner> Scheduler<P> {
     /// Share snapshots taken at every rebalance (fairness audit trail).
     pub fn share_checks(&self) -> &[ShareCheck] {
         &self.share_checks
+    }
+
+    /// The bandwidth fraction the machine currently delivers (1.0 healthy).
+    pub fn health_factor(&self) -> f64 {
+        self.health_factor
+    }
+
+    /// Consume a campaign [`HealthSnapshot`] at a cycle boundary: shrink
+    /// the bandwidth pool to the snapshot's
+    /// [`capacity_factor`](HealthSnapshot::capacity_factor) (blacklisted
+    /// OSTs are out of rotation until reintegrated) and rebalance every
+    /// running job against the degraded machine. SLA admission floors are
+    /// priced against the same shrunken pool, so deadline guarantees stay
+    /// honest while capacity is down. Logged and deterministic: the same
+    /// snapshot stream reproduces the same decision digest.
+    pub fn apply_health(&mut self, now: f64, snap: &HealthSnapshot) {
+        let factor = snap.capacity_factor();
+        if (factor - self.health_factor).abs() > f64::EPSILON {
+            self.log(
+                now,
+                format!(
+                    "health cycle={} blacklisted={:?} suspected-ranks={:?} factor={factor:.9e}",
+                    snap.cycle, snap.blacklisted_osts, snap.suspected_ranks
+                ),
+            );
+        }
+        self.health_factor = factor;
+        self.rebalance(now);
     }
 
     fn log(&mut self, now: f64, line: String) {
@@ -306,7 +341,10 @@ impl<P: Planner> Scheduler<P> {
         let solo_prediction = if spec.model.is_some() {
             let seq = *self.next_seq.get(&tenant).unwrap_or(&0);
             let id = JobId { tenant, seq };
-            let solo_share = spec.bw_demand.min(1.0);
+            let solo_share = spec
+                .bw_demand
+                .min(self.health_factor)
+                .max(f64::MIN_POSITIVE);
             let step = self.planner.step(id, &spec, solo_share);
             Some(step.init + spec.campaign.cycles as f64 * step.cycle)
         } else {
@@ -366,9 +404,9 @@ impl<P: Planner> Scheduler<P> {
             return Vec::new();
         }
         match self.cfg.policy {
-            SharePolicy::FairShare => weighted_max_min(1.0, &self.bw_demands(ids)),
+            SharePolicy::FairShare => weighted_max_min(self.health_factor, &self.bw_demands(ids)),
             SharePolicy::EqualSplit => {
-                let even = 1.0 / ids.len() as f64;
+                let even = self.health_factor / ids.len() as f64;
                 ids.iter()
                     .map(|id| even.min(self.jobs[id].spec.bw_demand))
                     .collect()
@@ -444,7 +482,7 @@ impl<P: Planner> Scheduler<P> {
             let (Some(sla), true) = (sla, has_model) else {
                 continue;
             };
-            let floor = min_share_floor(1.0, &demands, i).max(f64::MIN_POSITIVE);
+            let floor = min_share_floor(self.health_factor, &demands, i).max(f64::MIN_POSITIVE);
             let spec = self.jobs[id].spec.clone();
             let step = self.planner.step(*id, &spec, floor);
             let st = &self.jobs[id];

@@ -289,3 +289,70 @@ fn unattainable_sla_is_rejected_at_submit() {
     }
     assert!(out.records.is_empty());
 }
+
+/// A health snapshot with blacklisted OSTs shrinks the bandwidth pool:
+/// running jobs are repriced to at most the capacity factor, the decision
+/// log records the event, and reintegration restores full shares.
+#[test]
+fn health_snapshot_reprices_running_shares() {
+    use enkf_health::{HealthMonitor, HealthParams};
+    use enkf_sched::{NoPlanner, Scheduler};
+
+    let cfg = SchedConfig {
+        capacity: ClusterCapacity::tianhe2_like(16),
+        policy: SharePolicy::FairShare,
+        seed: 9,
+    };
+    let mut sched = Scheduler::new(cfg, NoPlanner);
+    let tenant = TenantSpec::new(0, 1.0);
+    sched.add_tenant(tenant);
+    let a = sched
+        .submit(0.0, tenant.id, base_spec(2, 2, 2, 1.0))
+        .unwrap();
+    let b = sched
+        .submit(0.5, tenant.id, base_spec(2, 2, 2, 1.0))
+        .unwrap();
+    sched.try_dispatch(1.0);
+    assert_eq!(sched.running().len(), 2);
+    let healthy_share = sched.job(a).unwrap().share;
+    assert!(
+        (healthy_share - 0.5).abs() < 1e-12,
+        "two equal jobs split 1.0"
+    );
+
+    // One of six OSTs blacklists: detect it through a real monitor so the
+    // snapshot is the genuine campaign artifact, not a hand-built one.
+    let mut mon = HealthMonitor::new(HealthParams::with_num_osts(6));
+    for m in 0..6 {
+        mon.observe_read(m % 6, m, if m % 6 == 2 { 5.0 } else { 1.0 });
+    }
+    let snap = mon.end_cycle();
+    assert_eq!(snap.blacklisted_osts, vec![2]);
+    sched.apply_health(2.0, &snap);
+
+    assert!((sched.health_factor() - 5.0 / 6.0).abs() < 1e-12);
+    for id in [a, b] {
+        let share = sched.job(id).unwrap().share;
+        assert!(
+            (share - 5.0 / 12.0).abs() < 1e-12,
+            "degraded pool must split 5/6, job {id} got {share}"
+        );
+    }
+    assert!(
+        sched
+            .decisions()
+            .iter()
+            .any(|d| d.contains("health") && d.contains("[2]")),
+        "the health event must be on the decision log"
+    );
+
+    // The OST serves its term and reintegrates: full capacity back.
+    mon.end_cycle(); // blacklist term → probation
+    for m in 0..6 {
+        mon.observe_read(m % 6, m, 1.0);
+    }
+    let snap = mon.end_cycle();
+    assert!(snap.is_clean());
+    sched.apply_health(3.0, &snap);
+    assert!((sched.job(a).unwrap().share - 0.5).abs() < 1e-12);
+}

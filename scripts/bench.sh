@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Benchmark runner emitting BENCH_PR{5,6,7,8,9}.json at the repo root.
+# Benchmark runner emitting BENCH_PR{5,6,7,8,9,10}.json at the repo root.
 #
 # Usage: scripts/bench.sh [--only <name>]
 #   --only <name>  run a single benchmark; <name> is one of
 #                  campaign_mttr | scheduler_fairness | roofline |
-#                  batched_assimilation | pipelined_campaign
+#                  batched_assimilation | pipelined_campaign |
+#                  adaptive_degradation
 #
 # PR5: the fig14-style campaign MTTR sweep on the DES model at paper
 # scale: virtual time-to-completion of a 16-cycle supervised assimilation
@@ -24,6 +25,10 @@
 # PR9: pipelined vs synchronous checkpointing — the same MTTR sweep's
 # PIPE lines: clean-campaign durability overhead cut by cross-cycle
 # overlap, with the crash-loss bound preserved.
+#
+# PR10: online health monitoring — a static (retry-only) vs adaptive
+# (failure detector + OST blacklisting + speculative replica reads)
+# campaign under OST slowdown storms of growing severity.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -320,12 +325,59 @@ FOOTER
   echo "wrote $out"
 }
 
+bench_adaptive_degradation() {
+  local out=BENCH_PR10.json
+
+  echo "==> adaptive_degradation (static vs health-monitored campaign under OST storms)"
+  cargo run -q --release -p enkf-bench --bin adaptive_degradation | tee "$tmp/adapt.txt"
+
+  # adaptive_degradation prints one machine-readable line per severity:
+  #   ADAPT severity=2 cycles=6 static_s=... adaptive_s=... speedup=... \
+  #         first_cycle_s=... steady_cycle_s=... blacklisted=2
+  awk '
+    $1 == "ADAPT" {
+      for (i = 2; i <= NF; i++) { split($i, kv, "="); v[kv[1]] = kv[2] }
+      printf "    { \"severity\": %s, \"static_s\": %s, \"adaptive_s\": %s, \"speedup\": %s,",
+        v["severity"], v["static_s"], v["adaptive_s"], v["speedup"]
+      printf " \"adaptive_first_cycle_s\": %s, \"adaptive_steady_cycle_s\": %s, \"blacklisted_osts\": %s },\n",
+        v["first_cycle_s"], v["steady_cycle_s"], v["blacklisted"]
+    }
+  ' "$tmp/adapt.txt" >"$tmp/adapt_sweep.txt"
+  sed -i '$ s/ },$/ }/' "$tmp/adapt_sweep.txt"
+
+  local cycles s3
+  cycles=$(awk '$1 == "ADAPT" { for (i=2;i<=NF;i++) { split($i,kv,"="); v[kv[1]]=kv[2] } print v["cycles"]; exit }' "$tmp/adapt.txt")
+  s3=$(awk '$1 == "ADAPT" { for (i=2;i<=NF;i++) { split($i,kv,"="); v[kv[1]]=kv[2] }
+    if (v["severity"] == 3) { print v["speedup"]; exit } }' "$tmp/adapt.txt")
+
+  {
+    cat <<HEADER
+{
+  "benchmark": "PR10: online health monitoring — static vs adaptive degradation under OST storms",
+  "model": "DES, paper-scale autotuned S-EnKF, $cycles-cycle campaign, 2 of 6 OSTs slowed by 1+severity",
+  "static_arm": "seeded retries + degraded mode, no monitor: every cycle pays the slowed OSTs in full",
+  "adaptive_arm": "health monitor carried across cycles: detectors blacklist the hot OSTs at the cycle-0 fold, later cycles reorder and speculate onto healthy replicas",
+  "invariants": "severity 0 arms bit-identical (clean monitor is free); severity >= 2 adaptive strictly faster (asserted in-bin)",
+  "severity_3_speedup": $s3,
+  "sweep": [
+HEADER
+    cat "$tmp/adapt_sweep.txt"
+    cat <<'FOOTER'
+  ]
+}
+FOOTER
+  } >"$out"
+
+  echo "wrote $out"
+}
+
 ran=0
 if want campaign_mttr; then bench_campaign_mttr; ran=1; fi
 if want pipelined_campaign; then bench_pipelined_campaign; ran=1; fi
 if want scheduler_fairness; then bench_scheduler_fairness; ran=1; fi
 if want roofline; then bench_roofline; ran=1; fi
 if want batched_assimilation; then bench_batched_assimilation; ran=1; fi
+if want adaptive_degradation; then bench_adaptive_degradation; ran=1; fi
 
 if [[ "$ran" -eq 0 ]]; then
   echo "unknown benchmark '$only' (see --only list in the header)" >&2

@@ -25,6 +25,11 @@ cargo test -q -p enkf-ckpt
 echo "==> D-EnKF conformance: digest identity, degradation, kill-resume, SMW equivalence"
 cargo test -q --test denkf_conformance --test cross_variant_equivalence
 
+echo "==> chaos-soak smoke: multi-cycle fault storms under health monitoring,"
+echo "    real-vs-DES digest identity + bit-exact replay, all four executors"
+cargo test -q --test chaos_soak
+cargo test -q -p enkf-health -p enkf-fault
+
 echo "==> scheduler suites: fair-share properties + multi-tenant isolation"
 cargo test -q -p enkf-sched
 cargo test -q --test scheduler_conformance

@@ -14,6 +14,9 @@
 //!   and modeled executors (Chrome-trace export, conformance checking).
 //! * [`fault`] — deterministic fault injection: seeded fault plans, retry
 //!   policies, degraded (N−1) execution, and the shared fault-event log.
+//! * [`health`] — online health monitoring and adaptive degradation:
+//!   deterministic failure detectors, OST blacklisting with probation,
+//!   speculative read routing, and the shared health decision log.
 //! * [`pfs`] — the parallel file system substrate (OSTs, striping, seek and
 //!   transfer costs; real local-disk backend plus a DES-modeled backend).
 //! * [`ckpt`] — durable, self-verifying campaign checkpoints (atomic
@@ -56,6 +59,7 @@ pub use enkf_core as core;
 pub use enkf_data as data;
 pub use enkf_fault as fault;
 pub use enkf_grid as grid;
+pub use enkf_health as health;
 pub use enkf_linalg as linalg;
 pub use enkf_net as net;
 pub use enkf_parallel as parallel;
@@ -83,12 +87,17 @@ pub mod prelude {
     pub use enkf_grid::{
         Decomposition, FileLayout, LocalizationRadius, Mesh, RegionRect, SubDomainId,
     };
+    pub use enkf_health::{
+        HealthEvent, HealthLog, HealthMonitor, HealthParams, HealthSnapshot, ReadRoute, RouteView,
+    };
     pub use enkf_linalg::Matrix;
     pub use enkf_net::NetParams;
     pub use enkf_parallel::{
-        model_campaign, model_penkf_faulted, model_penkf_traced, model_senkf_faulted,
-        model_senkf_traced, parallel_write_back, run_campaign, AssimilationSetup, CampaignConfig,
-        CampaignError, CampaignExecutor, CampaignModelOutcome, CampaignModelPlan, CampaignReport,
+        model_campaign, model_campaign_adaptive, model_denkf_adaptive, model_lenkf_adaptive,
+        model_penkf_adaptive, model_penkf_faulted, model_penkf_traced, model_senkf_adaptive,
+        model_senkf_faulted, model_senkf_traced, parallel_write_back, run_campaign,
+        run_campaign_ctx, AssimilationSetup, CampaignConfig, CampaignCtx, CampaignError,
+        CampaignExecutor, CampaignModelOutcome, CampaignModelPlan, CampaignReport, DEnkf,
         ExecutionReport, LEnkf, ModelConfig, ModelOutcome, ModelVariant, PEnkf, PhaseBreakdown,
         RecoveryEvent, SEnkf,
     };

@@ -83,6 +83,7 @@ fn run_mode(
             tenant: None,
             backoff: BackoffClock::Wall,
             ckpt_mode: mode,
+            health: None,
         },
     )
     .unwrap()
@@ -367,6 +368,7 @@ fn unrecoverable_member_degrades_to_n_minus_one() {
         max_retries: 1,
         base_backoff: 1e-6,
         multiplier: 2.0,
+        ..RetryPolicy::default()
     };
     let (_s, work, ckpt) = stores("camp-degraded");
     let report = run_campaign(&work, &ckpt, &exec, &campaign_cfg(CYCLES), &fault).unwrap();

@@ -56,6 +56,7 @@ fn fast_retry() -> RetryPolicy {
         max_retries: 3,
         base_backoff: 1e-6,
         multiplier: 2.0,
+        ..RetryPolicy::default()
     }
 }
 
@@ -199,6 +200,7 @@ fn model_backoff_delays_are_exact_in_virtual_time() {
         max_retries: 3,
         base_backoff: 0.25,
         multiplier: 2.0,
+        ..RetryPolicy::default()
     };
     let mut fcfg = FaultConfig::degraded(FaultPlan::new(7).with_read_fault(0, 2));
     fcfg.degraded = false;

@@ -253,6 +253,7 @@ fn pipelined_tenant_is_isolated_and_matches_its_solo_run() {
                 tenant: None,
                 backoff: Default::default(),
                 ckpt_mode: spec.ckpt_mode,
+                health: None,
             },
         )
         .unwrap()
